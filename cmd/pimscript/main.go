@@ -1,0 +1,68 @@
+// Command pimscript runs scenario script files (see internal/script for the
+// language): declare a topology, deploy a protocol, schedule joins, sends,
+// and link failures, and assert on delivery and state. Exit status is
+// non-zero if any script fails an expectation.
+//
+// Usage:
+//
+//	pimscript scenarios/*.pim
+//	pimscript -v scenarios/rendezvous.pim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pim/internal/script"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print deployment logs and delivery counts")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pimscript [-v] <script.pim> ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		s, err := script.ParseFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		res, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed++
+			continue
+		}
+		if res.OK() {
+			fmt.Printf("PASS %s\n", path)
+		} else {
+			failed++
+			fmt.Printf("FAIL %s\n", path)
+			for _, f := range res.Failures {
+				fmt.Printf("     %s\n", f)
+			}
+		}
+		if *verbose {
+			for _, l := range res.Log {
+				fmt.Printf("     %s\n", l)
+			}
+			keys := make([]string, 0, len(res.Delivered))
+			for k := range res.Delivered {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("     delivered %s = %d\n", k, res.Delivered[k])
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

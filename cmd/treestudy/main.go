@@ -1,0 +1,114 @@
+// Command treestudy regenerates the paper's Figure 2 data series: the delay
+// ratio of optimal core-based trees to shortest-path trees (2a) and the
+// maximum per-link traffic flows under each tree type (2b).
+//
+// Usage:
+//
+//	treestudy -fig 2a -trials 500        # the paper's full 2(a) run
+//	treestudy -fig 2b -trials 20         # reduced 2(b) sweep
+//	treestudy -fig 2b -core optimal      # pairwise-optimal core placement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pim"
+	"pim/internal/plot"
+	"pim/internal/trees"
+)
+
+func main() {
+	fig := flag.String("fig", "2a", "which figure to regenerate: 2a or 2b")
+	trials := flag.Int("trials", 0, "graphs per node degree (0 = package default; the paper used 500)")
+	nodes := flag.Int("nodes", 50, "network size")
+	groupSize := flag.Int("members", 0, "group size (default: 10 for 2a, 40 for 2b)")
+	groups := flag.Int("groups", 300, "active groups (2b)")
+	senders := flag.Int("senders", 32, "senders per group (2b)")
+	seed := flag.Int64("seed", 1994, "random seed")
+	core := flag.String("core", "", "core placement for 2b: center (default) | optimal | member")
+	doPlot := flag.Bool("plot", false, "render an ASCII chart of the series")
+	flag.Parse()
+
+	switch *fig {
+	case "2a":
+		cfg := pim.DefaultFigure2a()
+		cfg.Nodes = *nodes
+		cfg.Seed = *seed
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		if *groupSize > 0 {
+			cfg.GroupSize = *groupSize
+		}
+		fmt.Printf("# Figure 2(a): CBT/SPT max-delay ratio — %d-node graphs, %d-member groups, %d trials/degree\n",
+			cfg.Nodes, cfg.GroupSize, cfg.Trials)
+		points := pim.RunFigure2a(cfg)
+		fmt.Printf("%-8s %-10s %-10s %-8s\n", "degree", "mean", "stddev", "max")
+		for _, p := range points {
+			fmt.Printf("%-8.0f %-10.3f %-10.3f %-8.3f\n", p.Degree, p.MeanRatio, p.StdRatio, p.MaxRatio)
+		}
+		if *doPlot {
+			var xs []string
+			var mean, upper []float64
+			for _, p := range points {
+				xs = append(xs, fmt.Sprintf("%.0f", p.Degree))
+				mean = append(mean, p.MeanRatio)
+				upper = append(upper, p.MeanRatio+p.StdRatio)
+			}
+			fmt.Println()
+			fmt.Print(plot.Chart("CBT/SPT max-delay ratio vs node degree", xs, []plot.Series{
+				{Name: "mean", Marker: '*', Values: mean},
+				{Name: "mean+sd", Marker: '.', Values: upper},
+			}, 12))
+		}
+	case "2b":
+		cfg := pim.DefaultFigure2b()
+		cfg.Nodes = *nodes
+		cfg.Groups = *groups
+		cfg.Senders = *senders
+		cfg.Seed = *seed
+		if *trials > 0 {
+			cfg.Trials = *trials
+		}
+		if *groupSize > 0 {
+			cfg.GroupSize = *groupSize
+		}
+		switch *core {
+		case "", "center":
+			cfg.Core = trees.CoreEccentricity
+		case "optimal":
+			cfg.Core = trees.CorePairwiseOptimal
+		case "member":
+			cfg.Core = trees.CoreRandomMember
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -core %q\n", *core)
+			os.Exit(2)
+		}
+		fmt.Printf("# Figure 2(b): max per-link flows — %d groups × %d members (%d senders), %d trials/degree\n",
+			cfg.Groups, cfg.GroupSize, cfg.Senders, cfg.Trials)
+		points := pim.RunFigure2b(cfg)
+		fmt.Printf("%-8s %-12s %-14s %-8s\n", "degree", "SPT", "center-tree", "ratio")
+		for _, p := range points {
+			fmt.Printf("%-8.0f %-12.1f %-14.1f %-8.2f\n", p.Degree, p.SPTMax, p.CBTMax, p.CBTOver)
+		}
+		if *doPlot {
+			var xs []string
+			var spt, cbtv []float64
+			for _, p := range points {
+				xs = append(xs, fmt.Sprintf("%.0f", p.Degree))
+				spt = append(spt, p.SPTMax)
+				cbtv = append(cbtv, p.CBTMax)
+			}
+			fmt.Println()
+			fmt.Print(plot.Chart("max per-link flows vs node degree", xs, []plot.Series{
+				{Name: "SPT", Marker: 'o', Values: spt},
+				{Name: "center-tree", Marker: '*', Values: cbtv},
+			}, 12))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q (want 2a or 2b)\n", *fig)
+		os.Exit(2)
+	}
+}

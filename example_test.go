@@ -1,0 +1,59 @@
+package pim_test
+
+import (
+	"fmt"
+
+	"pim"
+)
+
+// Example reproduces the paper's Figure 3 rendezvous on a four-router line:
+// the receiver joins toward the RP, the sender's designated router registers
+// the source, the RP joins back, and data flows end to end.
+func Example() {
+	g := pim.NewTopology(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+
+	sim := pim.BuildSim(g)
+	receiver := sim.AddHost(0)
+	sender := sim.AddHost(3)
+	sim.FinishUnicast(pim.UseOracle)
+
+	group := pim.GroupAddress(0)
+	sim.DeployPIM(pim.Config{
+		RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}},
+	})
+	sim.Run(2 * pim.Second)
+
+	receiver.Join(group)
+	sim.Run(2 * pim.Second)
+	for i := 0; i < 3; i++ {
+		pim.SendData(sender, group, 128)
+		sim.Run(pim.Second)
+	}
+	fmt.Println("delivered:", receiver.Received[group])
+	// Output: delivered: 3
+}
+
+// ExampleRunFigure2a regenerates a reduced-trial Figure 2(a) point: the
+// delay penalty of an optimal core-based tree at node degree 4.
+func ExampleRunFigure2a() {
+	cfg := pim.DefaultFigure2a()
+	cfg.Degrees = []float64{4}
+	cfg.Trials = 50
+	p := pim.RunFigure2a(cfg)[0]
+	fmt.Printf("ratio >= 1: %v, within Wall bound: %v\n", p.MeanRatio >= 1, p.MeanRatio <= 2)
+	// Output: ratio >= 1: true, within Wall bound: true
+}
+
+// ExampleRunSparseOverhead measures PIM-SM's overhead ledger on a sparse
+// workload.
+func ExampleRunSparseOverhead() {
+	cfg := pim.DefaultSparseConfig()
+	cfg.Duration = 60 * pim.Second
+	r := pim.RunSparseOverhead(cfg, pim.ProtoPIMSM)
+	fmt.Printf("delivered everything: %v, off-tree links clean: %v\n",
+		r.Delivered >= r.Expected*9/10, r.LinksTouched < 100)
+	// Output: delivered everything: true, off-tree links clean: true
+}

@@ -1,0 +1,43 @@
+// Command densecompare reproduces the paper's Figure 1 arguments on the
+// three-domain internet (§1.3): a dense-mode protocol periodically
+// re-broadcasts data across the whole internet when prunes expire, a shared
+// tree concentrates traffic and lengthens sender paths, and PIM's
+// receiver-initiated trees avoid both.
+package main
+
+import (
+	"fmt"
+
+	"pim"
+)
+
+func main() {
+	prune := 30 * pim.Second
+
+	fmt.Println("Figure 1(b): one source in domain A, one member per domain")
+	fmt.Println("(data footprint over 4 prune lifetimes; 5 backbone links, 11 total)")
+	fmt.Printf("%-14s %9s %9s %10s %10s\n",
+		"protocol", "bb-links", "links", "dataPkts", "delivered")
+	for _, p := range []pim.Protocol{pim.ProtoDVMRP, pim.ProtoPIMDM, pim.ProtoPIMSM, pim.ProtoPIMSMShared, pim.ProtoCBT} {
+		r := pim.RunFigure1Broadcast(p, prune)
+		fmt.Printf("%-14s %9d %9d %10d %10d\n",
+			r.Protocol, r.BackboneLinksTouched, r.TotalLinksTouched, r.DataPackets, r.Delivered)
+	}
+
+	fmt.Println("\nFigure 1(c): sources Y (domain B) and Z (domain C) both send")
+	fmt.Printf("%-14s %12s %12s %14s\n", "protocol", "bb-dataPkts", "maxLink", "meanDelay(ms)")
+	for _, p := range []pim.Protocol{pim.ProtoCBT, pim.ProtoPIMSMShared, pim.ProtoPIMSM} {
+		r := pim.RunFigure1Concentration(p)
+		fmt.Printf("%-14s %12d %12d %14.1f\n",
+			r.Protocol, r.BackboneDataPackets, r.MaxLinkData, float64(r.MeanDelay)/float64(pim.Millisecond))
+	}
+
+	fmt.Println("\nSparse-group overhead on a random 50-node internet (§1.2 ledger)")
+	cfg := pim.DefaultSparseConfig()
+	fmt.Printf("%-14s %6s %8s %10s %7s %9s\n",
+		"protocol", "state", "ctrl", "dataPkts", "links", "delivered")
+	for _, r := range pim.CompareSparseOverhead(cfg, pim.AllProtocols()) {
+		fmt.Printf("%-14s %6d %8d %10d %7d %6d/%d\n",
+			r.Protocol, r.State, r.CtrlMessages, r.DataPackets, r.LinksTouched, r.Delivered, r.Expected)
+	}
+}

@@ -1,0 +1,80 @@
+// Command sptswitch walks the paper's Figure 5: a receiver on the shared
+// tree switches to the source's shortest-path tree. Router B, where the two
+// trees diverge, sets the SPT bit when data arrives over the shortcut and
+// prunes the source off the RP tree; the RP records the negative cache.
+//
+// Topology:
+//
+//	receiver — A — B — C(RP) — D — sender
+//	               \__________/
+//	              (B—D shortcut)
+package main
+
+import (
+	"fmt"
+
+	"pim"
+)
+
+func main() {
+	g := pim.NewTopology(4)
+	g.AddEdge(0, 1, 1) // A-B
+	g.AddEdge(1, 2, 1) // B-C
+	g.AddEdge(2, 3, 1) // C-D
+	g.AddEdge(1, 3, 1) // B-D: the shortest path bypassing the RP
+
+	sim := pim.BuildSim(g)
+	receiver := sim.AddHost(0)
+	sender := sim.AddHost(3)
+	sim.FinishUnicast(pim.UseOracle)
+	group := pim.GroupAddress(0)
+	rp := sim.RouterAddr(2)
+
+	for _, policy := range []struct {
+		name string
+		p    pim.SPTPolicy
+	}{
+		{"stay on shared tree (SwitchNever)", pim.SwitchNever},
+		{"switch immediately (SwitchImmediate)", pim.SwitchImmediate},
+	} {
+		// Fresh simulation per policy so state comparisons are clean.
+		sim = pim.BuildSim(g)
+		receiver = sim.AddHost(0)
+		sender = sim.AddHost(3)
+		sim.FinishUnicast(pim.UseOracle)
+		dep := sim.DeployPIM(pim.Config{
+			RPMapping: map[pim.IP][]pim.IP{group: {rp}},
+			SPTPolicy: policy.p,
+		})
+		sim.Run(2 * pim.Second)
+		receiver.Join(group)
+		sim.Run(2 * pim.Second)
+		sim.Net.Stats.Reset()
+		for i := 0; i < 10; i++ {
+			pim.SendData(sender, group, 128)
+			sim.Run(pim.Second)
+		}
+		src := sender.Iface.Addr
+		fmt.Printf("policy: %s\n", policy.name)
+		fmt.Printf("  delivered: %d/10\n", receiver.Received[group])
+		b := dep.Routers[1]
+		if sg := b.MFIB.SG(src, group); sg != nil {
+			fmt.Printf("  B (S,G): %v  iif=%v  SPTbit=%v\n", sg, sg.IIF, sg.SPTBit)
+		} else {
+			fmt.Println("  B (S,G): none (data follows the RP tree)")
+		}
+		if rpt := dep.Routers[2].MFIB.SGRpt(src, group); rpt != nil {
+			fmt.Printf("  C (RP) negative cache: %v (source pruned off the shared tree)\n", rpt)
+		} else {
+			fmt.Println("  C (RP) negative cache: none")
+		}
+		// Per-link data footprint shows which path the packets took.
+		names := []string{"A-B", "B-C", "C-D", "B-D"}
+		fmt.Print("  data packets per link:")
+		for ei, l := range sim.EdgeLinks {
+			fmt.Printf("  %s=%d", names[ei], sim.Net.Stats.PerLink[l.ID].DataPackets)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module pim
+
+go 1.22

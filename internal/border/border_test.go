@@ -1,0 +1,259 @@
+package border_test
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/border"
+	"pim/internal/core"
+	"pim/internal/igmp"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimdm"
+	"pim/internal/unicast"
+)
+
+// fixture builds a sparse region spliced to a dense region via one border
+// router:
+//
+//	sparse:  rp —— s1 —— BORDER
+//	dense:               BORDER —— d1 —— d2
+//	hosts:   hrp(rp)  hs(s1)  hd1(d1)  hd2(d2)
+type fixture struct {
+	net        *netsim.Network
+	group      addr.IP
+	b          *border.BorderRouter
+	sparse     map[string]*core.Router
+	dense      map[string]*pimdm.Router
+	hosts      map[string]*igmp.Host
+	denseLinks []*netsim.Link
+}
+
+func build(t *testing.T) *fixture {
+	t.Helper()
+	net := netsim.NewNetwork()
+	rpN := net.AddNode("rp")
+	s1N := net.AddNode("s1")
+	bN := net.AddNode("border")
+	d1N := net.AddNode("d1")
+	d2N := net.AddNode("d2")
+
+	p2p := func(a, b *netsim.Node, link int) (*netsim.Iface, *netsim.Iface, *netsim.Link) {
+		ia := net.AddIface(a, addr.V4(10, 200, byte(link), 1))
+		ib := net.AddIface(b, addr.V4(10, 200, byte(link), 2))
+		l := net.Connect(ia, ib, netsim.Millisecond)
+		return ia, ib, l
+	}
+	_, _, _ = p2p(rpN, s1N, 0)
+	_, bSparseIf, _ := p2p(s1N, bN, 1)
+	bDenseIf := net.AddIface(bN, addr.V4(10, 200, 2, 1))
+	d1Up := net.AddIface(d1N, addr.V4(10, 200, 2, 2))
+	ld1 := net.Connect(bDenseIf, d1Up, netsim.Millisecond)
+	d1Down := net.AddIface(d1N, addr.V4(10, 200, 3, 1))
+	d2Up := net.AddIface(d2N, addr.V4(10, 200, 3, 2))
+	ld2 := net.Connect(d1Down, d2Up, netsim.Millisecond)
+	_ = bSparseIf
+
+	hostAt := func(n *netsim.Node, r int) *igmp.Host {
+		rif := net.AddIface(n, addr.V4(10, 100, byte(r), 254))
+		hn := net.AddNode("h")
+		hif := net.AddIface(hn, addr.V4(10, 100, byte(r), 1))
+		net.Connect(rif, hif, netsim.Millisecond)
+		return igmp.NewHost(hn, hif)
+	}
+	hrp := hostAt(rpN, 0)
+	hs := hostAt(s1N, 1)
+	hd1 := hostAt(d1N, 3)
+	hd2 := hostAt(d2N, 4)
+
+	oracle := unicast.NewOracle(net)
+	group := addr.GroupForIndex(0)
+	rpAddr := rpN.Addr()
+	sparseCfg := core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rpAddr}}}
+	denseCfg := pimdm.Config{PruneHoldTime: 600 * netsim.Second}
+
+	f := &fixture{
+		net: net, group: group,
+		sparse: map[string]*core.Router{}, dense: map[string]*pimdm.Router{},
+		hosts:      map[string]*igmp.Host{"hrp": hrp, "hs": hs, "hd1": hd1, "hd2": hd2},
+		denseLinks: []*netsim.Link{ld1, ld2},
+	}
+	// Pure sparse routers.
+	for name, nd := range map[string]*netsim.Node{"rp": rpN, "s1": s1N} {
+		r := core.New(nd, sparseCfg, oracle.RouterFor(nd))
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		f.sparse[name] = r
+	}
+	// Pure dense routers.
+	for name, nd := range map[string]*netsim.Node{"d1": d1N, "d2": d2N} {
+		r := pimdm.New(nd, denseCfg, oracle.RouterFor(nd))
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		f.dense[name] = r
+	}
+	// The border router.
+	f.b = border.New(bN, sparseCfg, denseCfg, oracle.RouterFor(bN), []*netsim.Iface{bDenseIf})
+	bq := igmp.NewQuerier(bN)
+	bq.OnJoin = func(ifc *netsim.Iface, g addr.IP) { f.b.LocalJoin(ifc, g) }
+	bq.OnLeave = func(ifc *netsim.Iface, g addr.IP) { f.b.LocalLeave(ifc, g) }
+	f.b.Start()
+	bq.Start()
+
+	net.Sched.RunUntil(2 * netsim.Second)
+	return f
+}
+
+func (f *fixture) run(d netsim.Time) { f.net.Sched.RunUntil(f.net.Sched.Now() + d) }
+
+func (f *fixture) send(h *igmp.Host, n int) {
+	for i := 0; i < n; i++ {
+		pkt := packet.New(h.Iface.Addr, f.group, packet.ProtoUDP, make([]byte, 64))
+		h.Node.Send(h.Iface, pkt, 0)
+		f.run(netsim.Second)
+	}
+}
+
+// TestDenseMemberPullsSparseData is the §4 headline: a member deep in the
+// dense region triggers member-existence flooding, the border joins the
+// sparse tree, and data from a sparse-region source reaches the member.
+func TestDenseMemberPullsSparseData(t *testing.T) {
+	f := build(t)
+	f.hosts["hd2"].Join(f.group)
+	f.run(3 * netsim.Second)
+
+	// Member existence propagated to the border region-wide.
+	if !f.b.Dense.RegionHasMembers(f.group) {
+		t.Fatal("border never learned region membership")
+	}
+	// The border joined the shared tree: (*,G) on the sparse instance.
+	if f.b.Sparse.MFIB.Wildcard(f.group) == nil {
+		t.Fatal("border did not join the sparse tree")
+	}
+	// And the sparse transit router carries the state.
+	if f.sparse["s1"].MFIB.Wildcard(f.group) == nil {
+		t.Fatal("no (*,G) at the sparse transit router")
+	}
+	// A sparse-region source now reaches the dense-region member.
+	f.send(f.hosts["hs"], 5)
+	if got := f.hosts["hd2"].Received[f.group]; got < 4 {
+		t.Fatalf("dense member got %d of 5 packets", got)
+	}
+	// Member-less dense branch d1's host LAN stays clean? d1 is transit to
+	// d2, so its host LAN (truncated leaf, no members) must carry nothing.
+	if f.hosts["hd1"].Received[f.group] != 0 {
+		t.Error("non-member dense host received data")
+	}
+}
+
+// TestLastDenseLeaveprunesSparseTree: when the region's last member leaves,
+// the border prunes itself off the shared tree.
+func TestLastDenseLeavePrunesSparseTree(t *testing.T) {
+	f := build(t)
+	f.hosts["hd2"].Join(f.group)
+	f.run(3 * netsim.Second)
+	if f.b.Sparse.MFIB.Wildcard(f.group) == nil {
+		t.Fatal("tree did not form")
+	}
+	f.hosts["hd2"].Leave(f.group)
+	// Leave -> member ad refresh -> border leave; allow a query cycle.
+	f.run(2 * pimdm.DefaultQueryInterval)
+	wc := f.b.Sparse.MFIB.Wildcard(f.group)
+	now := f.net.Sched.Now()
+	if wc != nil && !wc.OIFEmpty(now) {
+		t.Error("border still holds live sparse oifs after region emptied")
+	}
+}
+
+// TestDenseSourceReachesSparseReceiver: the reverse direction — a source
+// inside the dense region, a receiver in the sparse region. The border
+// registers the source toward the RP on the region's behalf.
+func TestDenseSourceReachesSparseReceiver(t *testing.T) {
+	f := build(t)
+	f.hosts["hrp"].Join(f.group)
+	f.run(3 * netsim.Second)
+	f.send(f.hosts["hd2"], 6)
+	if got := f.hosts["hrp"].Received[f.group]; got < 5 {
+		t.Fatalf("sparse receiver got %d of 6 packets from dense source", got)
+	}
+	// The RP built (S,G) state toward the dense source via the border.
+	src := f.hosts["hd2"].Iface.Addr
+	if f.sparse["rp"].MFIB.SG(src, f.group) == nil {
+		t.Error("RP holds no (S,G) for the dense-region source")
+	}
+}
+
+// TestBothDirectionsSimultaneously: members and sources on both sides.
+func TestBothDirectionsSimultaneously(t *testing.T) {
+	f := build(t)
+	f.hosts["hd2"].Join(f.group)
+	f.hosts["hs"].Join(f.group)
+	f.run(3 * netsim.Second)
+	f.send(f.hosts["hd1"], 5) // dense source
+	f.send(f.hosts["hs"], 5)  // sparse source (also a member)
+	if got := f.hosts["hd2"].Received[f.group]; got < 8 {
+		t.Errorf("dense member got %d of 10", got)
+	}
+	// The sparse member hears the dense source.
+	if got := f.hosts["hs"].Received[f.group]; got < 4 {
+		t.Errorf("sparse member got %d of 5 dense-source packets", got)
+	}
+}
+
+// TestBorderLocalMembershipRouting: the border's own IGMP callbacks route to
+// the owning protocol instance by interface side.
+func TestBorderLocalMembershipRouting(t *testing.T) {
+	f := build(t)
+	bNode := f.b.Node
+	sparseIf := bNode.Ifaces[0] // toward s1
+	denseIf := bNode.Ifaces[1]  // toward d1
+	if f.b.IsDenseIface(sparseIf) || !f.b.IsDenseIface(denseIf) {
+		t.Fatal("IsDenseIface misclassifies")
+	}
+	f.b.LocalJoin(sparseIf, f.group)
+	if f.b.Sparse.MFIB.Wildcard(f.group) == nil {
+		t.Error("sparse-side join did not reach the sparse instance")
+	}
+	f.b.LocalLeave(sparseIf, f.group)
+	// Dense-side membership goes to the dense instance (and, via the
+	// region-membership splice, back into the sparse tree).
+	f.b.LocalJoin(denseIf, f.group)
+	if !f.b.Dense.RegionHasMembers(f.group) {
+		t.Error("dense-side join did not reach the dense instance")
+	}
+	f.b.LocalLeave(denseIf, f.group)
+	if f.b.StateCount() < 0 {
+		t.Error("unreachable")
+	}
+}
+
+// TestCrashedDenseRouterAgesOut: when the member's router crashes (all its
+// messages lost), its member-existence advertisement ages out and the
+// border leaves the sparse tree — soft state end to end.
+func TestCrashedDenseRouterAgesOut(t *testing.T) {
+	f := build(t)
+	f.hosts["hd2"].Join(f.group)
+	f.run(3 * netsim.Second)
+	if !f.b.Dense.RegionHasMembers(f.group) {
+		t.Fatal("membership never reached the border")
+	}
+	// Crash d2: every frame it originates is lost.
+	d2 := f.dense["d2"].Node
+	f.net.Loss = func(from, to *netsim.Iface, pkt *packet.Packet) bool {
+		return from.Node == d2
+	}
+	f.run(5 * pimdm.DefaultQueryInterval)
+	if f.b.Dense.RegionHasMembers(f.group) {
+		t.Fatal("crashed router's membership never aged out")
+	}
+	wc := f.b.Sparse.MFIB.Wildcard(f.group)
+	if wc != nil && !wc.OIFEmpty(f.net.Sched.Now()) {
+		t.Error("border still on the sparse tree after the region emptied")
+	}
+}

@@ -1,0 +1,18 @@
+package cbt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pim/internal/cbt"
+)
+
+// TestUnmarshalNeverPanics: arbitrary bytes must decode or error cleanly.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _ = cbt.Unmarshal(b)
+	}
+}

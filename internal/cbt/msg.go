@@ -1,0 +1,64 @@
+// Package cbt implements the Core Based Trees baseline (Ballardie, Francis,
+// Crowcroft — the paper's reference [10]): one bidirectional shared tree per
+// group rooted at a core router, built with explicit JOIN-REQUEST /
+// JOIN-ACK handshakes and maintained with echo keepalives — the
+// hop-by-hop-reliability design the paper contrasts with PIM's soft state
+// (§1.3 fn. 4).
+//
+// The paper's Figure 1(c) critique — traffic concentration on the shared
+// tree and non-shortest sender paths — is measured against this
+// implementation by the Figure 1 benchmarks.
+package cbt
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"pim/internal/addr"
+)
+
+// Message types carried over packet.ProtoCBT.
+const (
+	TypeJoinReq   = 1
+	TypeJoinAck   = 2
+	TypeQuit      = 3
+	TypeEchoReq   = 4
+	TypeEchoReply = 5
+	TypeFlush     = 6
+)
+
+// Message is the single wire format for all CBT control messages. Core is
+// only meaningful for join request/ack.
+type Message struct {
+	Type  byte
+	Group addr.IP
+	Core  addr.IP
+}
+
+// ErrBadMessage reports malformed wire bytes.
+var ErrBadMessage = errors.New("cbt: malformed message")
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 10)
+	b[0] = m.Type
+	binary.BigEndian.PutUint32(b[2:], uint32(m.Group))
+	binary.BigEndian.PutUint32(b[6:], uint32(m.Core))
+	return b
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 10 {
+		return nil, ErrBadMessage
+	}
+	m := &Message{
+		Type:  b[0],
+		Group: addr.IP(binary.BigEndian.Uint32(b[2:])),
+		Core:  addr.IP(binary.BigEndian.Uint32(b[6:])),
+	}
+	if m.Type < TypeJoinReq || m.Type > TypeFlush {
+		return nil, ErrBadMessage
+	}
+	return m, nil
+}

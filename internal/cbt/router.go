@@ -1,0 +1,389 @@
+package cbt
+
+import (
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/unicast"
+)
+
+// Config carries the protocol parameters.
+type Config struct {
+	// CoreMapping assigns each group its core router address.
+	CoreMapping map[addr.IP]addr.IP
+	// EchoInterval paces child→parent keepalives; a parent silent for 3×
+	// flushes the subtree.
+	EchoInterval netsim.Time
+	// JoinRetry is the JOIN-REQUEST retransmission interval until the ack
+	// arrives (CBT's explicit hop-by-hop reliability).
+	JoinRetry netsim.Time
+}
+
+// Defaults.
+const (
+	DefaultEchoInterval = 30 * netsim.Second
+	DefaultJoinRetry    = 5 * netsim.Second
+)
+
+// groupState is this router's node on one group's bidirectional tree.
+type groupState struct {
+	core       addr.IP
+	onTree     bool
+	parentIf   *netsim.Iface
+	parentAddr addr.IP // 0 at the core
+	// children maps iface index -> set of downstream router addresses
+	// (a multi-access LAN can carry several children on one interface).
+	children map[int]map[addr.IP]bool
+	// memberIfs are interfaces with local IGMP members.
+	memberIfs map[int]*netsim.Iface
+	// pending are downstream joins awaiting our own ack.
+	pending map[int]map[addr.IP]bool
+	// joinTimer retransmits the join request until acked.
+	joinTimer *netsim.Timer
+	// lastReply tracks parent liveness.
+	lastReply netsim.Time
+}
+
+// Router is one CBT router instance.
+type Router struct {
+	Node    *netsim.Node
+	Cfg     Config
+	Unicast unicast.Router
+	Metrics *metrics.Counters
+
+	groups map[addr.IP]*groupState
+}
+
+// New builds a CBT router.
+func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
+	if cfg.EchoInterval == 0 {
+		cfg.EchoInterval = DefaultEchoInterval
+	}
+	if cfg.JoinRetry == 0 {
+		cfg.JoinRetry = DefaultJoinRetry
+	}
+	if cfg.CoreMapping == nil {
+		cfg.CoreMapping = map[addr.IP]addr.IP{}
+	}
+	return &Router{
+		Node: nd, Cfg: cfg, Unicast: uni,
+		Metrics: metrics.New(),
+		groups:  map[addr.IP]*groupState{},
+	}
+}
+
+// Start registers handlers and begins keepalives.
+func (r *Router) Start() {
+	r.Node.Handle(packet.ProtoCBT, netsim.HandlerFunc(r.handleCtrl))
+	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+	sched := r.Node.Net.Sched
+	var echo func()
+	echo = func() {
+		r.keepalive()
+		sched.After(r.Cfg.EchoInterval, echo)
+	}
+	sched.After(0, echo)
+}
+
+func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
+
+// StateCount returns the number of per-group tree entries — CBT's state
+// axis (one entry per group regardless of source count).
+func (r *Router) StateCount() int { return len(r.groups) }
+
+// OnTree reports whether this router is on the group's tree.
+func (r *Router) OnTree(g addr.IP) bool {
+	st := r.groups[g]
+	return st != nil && st.onTree
+}
+
+func (r *Router) state(g addr.IP) *groupState {
+	st := r.groups[g]
+	if st == nil {
+		st = &groupState{
+			core:      r.Cfg.CoreMapping[g],
+			children:  map[int]map[addr.IP]bool{},
+			memberIfs: map[int]*netsim.Iface{},
+			pending:   map[int]map[addr.IP]bool{},
+		}
+		r.groups[g] = st
+	}
+	return st
+}
+
+// --- Membership ---
+
+// LocalJoin records a member and joins the tree toward the core.
+func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
+	core, ok := r.Cfg.CoreMapping[g]
+	if !ok {
+		return
+	}
+	st := r.state(g)
+	st.memberIfs[ifc.Index] = ifc
+	if st.onTree {
+		return
+	}
+	if r.Node.OwnsAddr(core) {
+		st.onTree = true // the core is the root of its own tree
+		return
+	}
+	r.sendJoinReq(g, st)
+}
+
+// LocalLeave removes a member; a leaf router with no members quits the tree.
+func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
+	st := r.groups[g]
+	if st == nil {
+		return
+	}
+	delete(st.memberIfs, ifc.Index)
+	r.maybeQuit(g, st)
+}
+
+func (r *Router) maybeQuit(g addr.IP, st *groupState) {
+	if len(st.memberIfs) > 0 || len(st.children) > 0 || r.Node.OwnsAddr(st.core) {
+		return
+	}
+	if st.onTree && st.parentAddr != 0 && st.parentIf != nil && st.parentIf.Up() {
+		r.sendTo(st.parentIf, st.parentAddr, &Message{Type: TypeQuit, Group: g})
+	}
+	if st.joinTimer != nil {
+		st.joinTimer.Stop()
+	}
+	delete(r.groups, g)
+}
+
+// --- Tree construction ---
+
+// sendJoinReq transmits (and schedules retransmission of) the join request
+// toward the core.
+func (r *Router) sendJoinReq(g addr.IP, st *groupState) {
+	if rt, ok := r.Unicast.Lookup(st.core); ok {
+		nextHop := rt.NextHop
+		if nextHop == 0 {
+			nextHop = st.core
+		}
+		st.parentIf, st.parentAddr = rt.Iface, nextHop
+		r.sendTo(rt.Iface, nextHop, &Message{Type: TypeJoinReq, Group: g, Core: st.core})
+		r.Metrics.Inc(metrics.CtrlCBTJoin)
+	}
+	// Arm the retry even when the core is momentarily unreachable: the
+	// request repeats until the handshake completes.
+	if st.joinTimer != nil {
+		st.joinTimer.Stop()
+	}
+	st.joinTimer = r.Node.Net.Sched.After(r.Cfg.JoinRetry, func() {
+		if cur := r.groups[g]; cur == st && !st.onTree {
+			r.sendJoinReq(g, st) // explicit reliability: retransmit until acked
+		}
+	})
+}
+
+func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
+	m, err := Unmarshal(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case TypeJoinReq:
+		r.handleJoinReq(in, pkt.Src, m)
+	case TypeJoinAck:
+		r.handleJoinAck(in, m)
+	case TypeQuit:
+		if st := r.groups[m.Group]; st != nil {
+			if set := st.children[in.Index]; set != nil {
+				delete(set, pkt.Src)
+				if len(set) == 0 {
+					delete(st.children, in.Index)
+				}
+			}
+			r.maybeQuit(m.Group, st)
+		}
+	case TypeEchoReq:
+		if st := r.groups[m.Group]; st != nil && st.onTree && st.children[in.Index][pkt.Src] {
+			r.sendTo(in, pkt.Src, &Message{Type: TypeEchoReply, Group: m.Group})
+			r.Metrics.Inc(metrics.CtrlCBTEcho)
+		}
+	case TypeEchoReply:
+		if st := r.groups[m.Group]; st != nil && in == st.parentIf {
+			st.lastReply = r.now()
+		}
+	case TypeFlush:
+		r.flush(m.Group)
+	}
+}
+
+func (r *Router) handleJoinReq(in *netsim.Iface, from addr.IP, m *Message) {
+	st := r.state(m.Group)
+	if st.core == 0 {
+		st.core = m.Core
+	}
+	if st.onTree || r.Node.OwnsAddr(m.Core) {
+		st.onTree = true
+		addToSet(st.children, in.Index, from)
+		r.sendTo(in, from, &Message{Type: TypeJoinAck, Group: m.Group, Core: m.Core})
+		r.Metrics.Inc(metrics.CtrlCBTAck)
+		return
+	}
+	// Transit router: remember the requester, forward toward the core.
+	addToSet(st.pending, in.Index, from)
+	if st.joinTimer == nil || !st.joinTimer.Active() {
+		r.sendJoinReq(m.Group, st)
+	}
+}
+
+func (r *Router) handleJoinAck(in *netsim.Iface, m *Message) {
+	st := r.groups[m.Group]
+	if st == nil || st.onTree || in != st.parentIf {
+		return
+	}
+	st.onTree = true
+	st.lastReply = r.now()
+	if st.joinTimer != nil {
+		st.joinTimer.Stop()
+	}
+	// Ack every waiting downstream joiner.
+	for idx, set := range st.pending {
+		ifc := r.Node.Ifaces[idx]
+		for child := range set {
+			addToSet(st.children, idx, child)
+			r.sendTo(ifc, child, &Message{Type: TypeJoinAck, Group: m.Group, Core: st.core})
+			r.Metrics.Inc(metrics.CtrlCBTAck)
+		}
+	}
+	st.pending = map[int]map[addr.IP]bool{}
+}
+
+// --- Keepalive and failure recovery ---
+
+func (r *Router) keepalive() {
+	now := r.now()
+	for g, st := range r.groups {
+		if !st.onTree || st.parentAddr == 0 {
+			continue
+		}
+		if st.lastReply != 0 && now-st.lastReply > 3*r.Cfg.EchoInterval {
+			// Parent is gone: flush the subtree, then rejoin if we still
+			// have local members.
+			r.flush(g)
+			continue
+		}
+		if st.parentIf != nil && st.parentIf.Up() {
+			r.sendTo(st.parentIf, st.parentAddr, &Message{Type: TypeEchoReq, Group: g})
+			r.Metrics.Inc(metrics.CtrlCBTEcho)
+		}
+	}
+}
+
+// flush tears down this router's attachment and propagates downstream; a
+// router with local members immediately rejoins toward the core.
+func (r *Router) flush(g addr.IP) {
+	st := r.groups[g]
+	if st == nil {
+		return
+	}
+	for idx, set := range st.children {
+		ifc := r.Node.Ifaces[idx]
+		if !ifc.Up() {
+			continue
+		}
+		for child := range set {
+			r.sendTo(ifc, child, &Message{Type: TypeFlush, Group: g})
+		}
+	}
+	members := st.memberIfs
+	if st.joinTimer != nil {
+		st.joinTimer.Stop()
+	}
+	delete(r.groups, g)
+	if len(members) > 0 && !r.Node.OwnsAddr(st.core) {
+		ns := r.state(g)
+		ns.memberIfs = members
+		r.sendJoinReq(g, ns)
+	}
+}
+
+// --- Data plane ---
+
+// handleData forwards multicast data over the bidirectional tree: packets
+// from any tree direction (or a local member LAN) flow to every other tree
+// edge and member LAN. Off-tree routers relay the packet hop-by-hop toward
+// the core (the CBT "non-member sender" path).
+func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() || g.IsLinkLocalMulticast() {
+		return
+	}
+	st := r.groups[g]
+	if st == nil || !st.onTree {
+		core, ok := r.Cfg.CoreMapping[g]
+		if !ok {
+			r.Metrics.Inc(metrics.DataNoState)
+			return
+		}
+		// Relay toward the core until an on-tree router takes over.
+		rt, ok := r.Unicast.Lookup(core)
+		if !ok || rt.Iface == in {
+			r.Metrics.Inc(metrics.DataDropped)
+			return
+		}
+		fwd, live := pkt.Forwarded()
+		if !live {
+			return
+		}
+		nextHop := rt.NextHop
+		if nextHop == 0 {
+			nextHop = core
+		}
+		r.Node.Send(rt.Iface, fwd, nextHop)
+		r.Metrics.Inc(metrics.DataForwarded)
+		return
+	}
+	// On-tree dissemination: loop safety comes from the tree structure —
+	// a packet entering on one tree interface leaves on all others only.
+	fwd, live := pkt.Forwarded()
+	if !live {
+		return
+	}
+	send := func(ifc *netsim.Iface, nextHop addr.IP) {
+		if ifc == in || !ifc.Up() {
+			return
+		}
+		r.Node.Send(ifc, fwd, nextHop)
+		r.Metrics.Inc(metrics.DataForwarded)
+	}
+	if st.parentIf != nil && st.parentAddr != 0 {
+		send(st.parentIf, st.parentAddr)
+	}
+	sentIface := map[int]bool{}
+	for idx, set := range st.children {
+		for child := range set {
+			send(r.Node.Ifaces[idx], child)
+		}
+		sentIface[idx] = true
+	}
+	for idx, ifc := range st.memberIfs {
+		if !sentIface[idx] && (st.parentIf == nil || idx != st.parentIf.Index) {
+			send(ifc, 0)
+			sentIface[idx] = true
+		}
+	}
+}
+
+func addToSet(m map[int]map[addr.IP]bool, idx int, a addr.IP) {
+	if m[idx] == nil {
+		m[idx] = map[addr.IP]bool{}
+	}
+	m[idx][a] = true
+}
+
+func (r *Router) sendTo(ifc *netsim.Iface, to addr.IP, m *Message) {
+	if ifc == nil || !ifc.Up() {
+		return
+	}
+	pkt := packet.New(ifc.Addr, to, packet.ProtoCBT, m.Marshal())
+	pkt.TTL = 1
+	r.Node.Send(ifc, pkt, to)
+}

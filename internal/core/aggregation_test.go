@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// aggSim builds receiver—A—B(RP)—C with THREE sender hosts on C's one stub
+// LAN, the workload where §4 source aggregation pays: one subnet, many
+// senders.
+func aggSim(t *testing.T, aggregate bool) (*scenario.Sim, *scenario.PIMDeployment, *hosts3) {
+	t.Helper()
+	g := topology.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	sim := scenario.Build(g)
+	receiver := sim.AddHost(0)
+	s1 := sim.AddHost(2)
+	s2 := sim.AddHost(2)
+	s3 := sim.AddHost(2)
+	sim.FinishUnicast(scenario.UseOracle)
+	group := addr.GroupForIndex(0)
+	dep := sim.DeployPIM(core.Config{
+		RPMapping:        map[addr.IP][]addr.IP{group: {sim.RouterAddr(1)}},
+		AggregateSources: aggregate,
+	})
+	sim.Run(2 * netsim.Second)
+	receiver.Join(group)
+	sim.Run(2 * netsim.Second)
+	return sim, dep, &hosts3{receiver, s1, s2, s3, group}
+}
+
+type hosts3 struct {
+	receiver, s1, s2, s3 *hostT
+	group                addr.IP
+}
+
+type hostT = hostAlias
+
+func TestSourceAggregationCollapsesState(t *testing.T) {
+	// Without aggregation: one (S,G) per sender host.
+	simH, depH, hH := aggSim(t, false)
+	for _, s := range []*hostT{hH.s1, hH.s2, hH.s3} {
+		for i := 0; i < 3; i++ {
+			scenario.SendData(s, hH.group, 64)
+			simH.Run(500 * netsim.Millisecond)
+		}
+	}
+	hostEntries := depH.Routers[1].MFIB.Len() // at the RP
+
+	// With aggregation: the three senders share one subnet entry.
+	simA, depA, hA := aggSim(t, true)
+	for _, s := range []*hostT{hA.s1, hA.s2, hA.s3} {
+		for i := 0; i < 3; i++ {
+			scenario.SendData(s, hA.group, 64)
+			simA.Run(500 * netsim.Millisecond)
+		}
+	}
+	aggEntries := depA.Routers[1].MFIB.Len()
+	if aggEntries >= hostEntries {
+		t.Errorf("aggregation did not shrink RP state: %d vs %d", aggEntries, hostEntries)
+	}
+	// The aggregated entry is keyed by the subnet address.
+	subnet := hA.s1.Iface.Addr & addr.Mask(24)
+	if depA.Routers[1].MFIB.SG(subnet, hA.group) == nil {
+		t.Errorf("no (subnet,G) entry at the RP for %v", subnet)
+	}
+	// Delivery is unaffected.
+	if hH.receiver.Received[hH.group] < 8 || hA.receiver.Received[hA.group] < 8 {
+		t.Errorf("delivery: host-mode=%d agg-mode=%d of 9",
+			hH.receiver.Received[hH.group], hA.receiver.Received[hA.group])
+	}
+}
+
+func TestSourceAggregationWithSPTSwitch(t *testing.T) {
+	// Receivers switching to SPTs under aggregation join the subnet, and
+	// all senders on it flow over the one source tree.
+	sim, dep, h := aggSim(t, true)
+	for i := 0; i < 5; i++ {
+		scenario.SendData(h.s1, h.group, 64)
+		scenario.SendData(h.s2, h.group, 64)
+		sim.Run(500 * netsim.Millisecond)
+	}
+	subnet := h.s1.Iface.Addr & addr.Mask(24)
+	sgA := dep.Routers[0].MFIB.SG(subnet, h.group)
+	if sgA == nil {
+		t.Fatal("receiver DR has no aggregated (subnet,G) entry")
+	}
+	if !sgA.SPTBit {
+		t.Error("aggregated SPT never completed")
+	}
+	if h.receiver.Received[h.group] < 9 {
+		t.Errorf("delivered %d of 10", h.receiver.Received[h.group])
+	}
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// BenchmarkDataForwarding measures the per-packet cost of the §3.5 data
+// plane through a 5-hop established shared tree (marshal, per-hop RPF check
+// and oif fan-out, unmarshal, host delivery).
+func BenchmarkDataForwarding(b *testing.B) {
+	g := topology.New(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	sim := scenario.Build(g)
+	receiver := sim.AddHost(0)
+	sender := sim.AddHost(5)
+	sim.FinishUnicast(scenario.UseOracle)
+	group := addr.GroupForIndex(0)
+	sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	sim.Run(2 * netsim.Second)
+	receiver.Join(group)
+	sim.Run(2 * netsim.Second)
+	// Prime the source path.
+	scenario.SendData(sender, group, 128)
+	sim.Run(2 * netsim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scenario.SendData(sender, group, 128)
+		sim.Run(100 * netsim.Millisecond)
+	}
+	b.StopTimer()
+	if receiver.Received[group] < b.N {
+		b.Fatalf("delivered %d of %d", receiver.Received[group], b.N)
+	}
+}
+
+// BenchmarkJoinProcessing measures the control-plane cost of processing a
+// receiver join end-to-end (IGMP report -> triggered joins to the RP).
+func BenchmarkJoinProcessing(b *testing.B) {
+	g := topology.New(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim := scenario.Build(g)
+		receiver := sim.AddHost(0)
+		sim.FinishUnicast(scenario.UseOracle)
+		group := addr.GroupForIndex(0)
+		sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(5)}}})
+		sim.Run(2 * netsim.Second)
+		b.StartTimer()
+		receiver.Join(group)
+		sim.Run(netsim.Second)
+	}
+}
+
+// BenchmarkPeriodicRefresh measures one refresh cycle across a router
+// holding state for many groups.
+func BenchmarkPeriodicRefresh(b *testing.B) {
+	g := topology.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	sim := scenario.Build(g)
+	receiver := sim.AddHost(0)
+	sim.FinishUnicast(scenario.UseOracle)
+	const groups = 100
+	rpMap := map[addr.IP][]addr.IP{}
+	for i := 0; i < groups; i++ {
+		rpMap[addr.GroupForIndex(i)] = []addr.IP{sim.RouterAddr(2)}
+	}
+	sim.DeployPIM(core.Config{RPMapping: rpMap})
+	sim.Run(2 * netsim.Second)
+	for i := 0; i < groups; i++ {
+		receiver.Join(addr.GroupForIndex(i))
+	}
+	sim.Run(20 * netsim.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One full refresh period across all routers: 100 (*,G) entries
+		// refreshed per cycle per router.
+		sim.Run(core.DefaultJoinPruneInterval)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimmsg"
+	"pim/internal/unicast"
+)
+
+// handleData is the §3.5 data plane: incoming-interface check, forwarding
+// over live outgoing interfaces, the two shared-tree→SPT transition
+// exception rules, sender-side registering, and receiver-side SPT
+// switching.
+func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() {
+		r.forwardUnicast(pkt)
+		return
+	}
+	if g.IsLinkLocalMulticast() {
+		return
+	}
+	s := pkt.Src
+	// Sender side (§3): if the source is a directly-connected host and we
+	// are the DR for its subnet, announce it to the RP(s) with registers.
+	if r.sourceIsLocal(in, s) && r.IsDR(in) {
+		r.senderSide(in, s, g, pkt)
+	}
+	r.forwardData(in, pkt)
+}
+
+// sourceIsLocal reports whether s lives on the subnet of the arrival
+// interface.
+func (r *Router) sourceIsLocal(in *netsim.Iface, s addr.IP) bool {
+	return in.Addr != 0 && unicast.LinkPrefix(in.Addr).Contains(s)
+}
+
+// senderSide sends a register (the data packet encapsulated, §3) to every
+// RP that has not yet built native (S,G) state through us ("each source
+// registers and sends data packets toward each of the RPs", §3.9).
+func (r *Router) senderSide(in *netsim.Iface, s, g addr.IP, pkt *packet.Packet) {
+	rps := r.RPsFor(g)
+	if len(rps) == 0 {
+		return
+	}
+	now := r.now()
+	sg := r.MFIB.SG(r.sourceKey(s), g)
+	// With a single RP, any live (S,G) branch means that RP has joined and
+	// native forwarding works; the per-interface check below would be
+	// fooled by equal-cost-path asymmetry (the RP's join can arrive on a
+	// different interface than our route toward the RP).
+	nativeServed := sg != nil && len(rps) == 1 && !sg.OIFEmpty(now)
+	for _, rp := range rps {
+		if r.Node.OwnsAddr(rp) {
+			// We are the RP and the DR: rendezvous locally, no message.
+			r.rpAcceptSource(r.sourceKey(s), g, in)
+			continue
+		}
+		rt, ok := r.Unicast.Lookup(rp)
+		if !ok {
+			continue
+		}
+		// Registers stop once the RP's join built (S,G) state that pulls
+		// native data out the interface toward that RP.
+		if nativeServed || (sg != nil && sg.HasOIF(rt.Iface, now)) {
+			continue
+		}
+		inner, err := pkt.Marshal()
+		if err != nil {
+			continue
+		}
+		body := (&pimmsg.Register{Inner: inner}).Marshal()
+		reg := packet.New(in.Addr, rp, packet.ProtoPIMData, pimmsg.Envelope(pimmsg.TypeRegister, body))
+		nextHop := rt.NextHop
+		if nextHop == 0 {
+			nextHop = rp
+		}
+		r.Node.Send(rt.Iface, reg, nextHop)
+		r.Metrics.Inc(metrics.CtrlRegister)
+	}
+}
+
+// forwardData applies the §3.5 forwarding rules to a multicast datagram.
+func (r *Router) forwardData(in *netsim.Iface, pkt *packet.Packet) {
+	s, g := r.sourceKey(pkt.Src), pkt.Dst
+	wc := r.MFIB.Wildcard(g)
+	sg := r.MFIB.SG(s, g)
+
+	if sg != nil {
+		iifMatch := in == sg.IIF || (sg.IIF == nil && r.sourceIsLocal(in, pkt.Src))
+		if iifMatch {
+			if !sg.SPTBit {
+				// §3.5 exception 2: first packet arriving on the SPT
+				// interface completes the transition...
+				sg.SPTBit = true
+				// ...and §3.3: prune the source off the shared tree if the
+				// two trees diverge here.
+				if wc != nil && sg.IIF != wc.IIF {
+					r.sendJoinPrune(wc.IIF, wc.UpstreamNeighbor, g, nil,
+						[]pimmsg.Addr{{Addr: s, RP: true}})
+				}
+			}
+			r.emit(pkt, in, r.unionOIFs(sg, wc, s, in))
+			return
+		}
+		if !sg.SPTBit && wc != nil && (in == wc.IIF || wc.IIF == nil) {
+			// §3.5 exception 1: during the transition the packet is
+			// forwarded according to (*,G).
+			r.emit(pkt, in, r.sharedOIFs(wc, s, in))
+			return
+		}
+		r.Metrics.Inc(metrics.DataDropped)
+		return
+	}
+
+	if wc != nil {
+		atRP := wc.IIF == nil
+		if in == wc.IIF || atRP {
+			r.emit(pkt, in, r.sharedOIFs(wc, s, in))
+			r.considerSPTSwitch(in, s, g, wc)
+			return
+		}
+		r.Metrics.Inc(metrics.DataDropped)
+		return
+	}
+	r.Metrics.Inc(metrics.DataNoState)
+}
+
+// sharedOIFs is the (*,G) outgoing list minus effective negative-cache
+// prunes for s.
+func (r *Router) sharedOIFs(wc *mfib.Entry, s addr.IP, except *netsim.Iface) []*netsim.Iface {
+	now := r.now()
+	rpt := r.MFIB.SGRpt(s, wc.Key.Group)
+	var out []*netsim.Iface
+	for _, ifc := range wc.LiveOIFs(now, except) {
+		if rpt != nil {
+			if o := rpt.OIFs[ifc.Index]; o != nil && o.Live(now) && !o.PrunePending {
+				continue // pruned for this source (§3.3 fn. 11)
+			}
+		}
+		out = append(out, ifc)
+	}
+	return out
+}
+
+// unionOIFs is the (S,G) list united with the inherited shared-tree list —
+// the race-free equivalent of §3.3's copy-at-creation (DESIGN.md §4).
+func (r *Router) unionOIFs(sg, wc *mfib.Entry, s addr.IP, except *netsim.Iface) []*netsim.Iface {
+	now := r.now()
+	out := sg.LiveOIFs(now, except)
+	if wc == nil {
+		return out
+	}
+	have := map[int]bool{}
+	for _, ifc := range out {
+		have[ifc.Index] = true
+	}
+	for _, ifc := range r.sharedOIFs(wc, s, except) {
+		if !have[ifc.Index] && ifc != sg.IIF {
+			out = append(out, ifc)
+			have[ifc.Index] = true
+		}
+	}
+	return out
+}
+
+// emit transmits the packet over each outgoing interface with a TTL
+// decrement.
+func (r *Router) emit(pkt *packet.Packet, in *netsim.Iface, oifs []*netsim.Iface) {
+	if len(oifs) == 0 {
+		return
+	}
+	fwd, ok := pkt.Forwarded()
+	if !ok {
+		return
+	}
+	for _, out := range oifs {
+		if out == in {
+			continue
+		}
+		r.Node.Send(out, fwd, 0)
+		r.Metrics.Inc(metrics.DataForwarded)
+	}
+}
+
+// considerSPTSwitch applies the §3.3 receiver-side policy: a router with
+// directly-connected members seeing shared-tree traffic from a source it
+// has no (S,G) state for may join that source's shortest-path tree.
+func (r *Router) considerSPTSwitch(in *netsim.Iface, s, g addr.IP, wc *mfib.Entry) {
+	if r.Cfg.SPTPolicy == SwitchNever {
+		return
+	}
+	if !r.hasLocalMember(wc) {
+		return
+	}
+	if s == 0 || r.MFIB.SG(s, g) != nil {
+		return
+	}
+	now := r.now()
+	if r.Cfg.SPTPolicy == SwitchThreshold {
+		k := mfib.Key{Source: s, Group: g}
+		c := r.sptCount[k]
+		if c == nil || now-c.windowStart > r.Cfg.SPTWindow {
+			c = &sptCounter{windowStart: now}
+			r.sptCount[k] = c
+		}
+		c.packets++
+		if c.packets < r.Cfg.SPTPackets {
+			return
+		}
+		delete(r.sptCount, k)
+	}
+	r.initiateSPTSwitch(s, g, wc)
+}
+
+func (r *Router) hasLocalMember(e *mfib.Entry) bool {
+	for _, o := range e.OIFs {
+		if o.LocalMember {
+			return true
+		}
+	}
+	return false
+}
+
+// initiateSPTSwitch creates the (Sn,G) entry with a cleared SPT bit, copies
+// the shared-tree outgoing interfaces ("all local shared tree branches are
+// replicated in the new shortest path tree", §3.3), and sends a join toward
+// the source.
+func (r *Router) initiateSPTSwitch(s, g addr.IP, wc *mfib.Entry) {
+	now := r.now()
+	iif, up, ok := r.rpf(s)
+	if !ok || up == 0 {
+		return // no route toward the source, or it is directly connected
+	}
+	sg, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	if !created {
+		return
+	}
+	sg.RP = wc.RP
+	sg.IIF, sg.UpstreamNeighbor = iif, up
+	sg.SPTBit = false
+	// "All local shared tree branches are replicated in the new shortest
+	// path tree" (§3.3): the local-member interfaces move over; downstream
+	// join-driven branches keep receiving through the inherited shared
+	// list until they switch themselves.
+	for _, o := range wc.OIFs {
+		if o.LocalMember && o.Iface != iif {
+			sg.AddLocalOIF(o.Iface)
+		}
+	}
+	_ = now
+	r.sendJoinPrune(sg.IIF, sg.UpstreamNeighbor, g, []pimmsg.Addr{{Addr: s}}, nil)
+}

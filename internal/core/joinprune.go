@@ -1,0 +1,599 @@
+package core
+
+import (
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimmsg"
+)
+
+// --- Local membership (§3.1) ---
+
+// LocalJoin records an IGMP-reported member for g on ifc and, if this
+// router is the DR there and an RP mapping exists, builds or extends the
+// (*,G) shared-tree state and sends a triggered join toward the RP (§3.2).
+func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
+	if !r.IsDR(ifc) {
+		return
+	}
+	rp, ok := r.rpFor(g)
+	if !ok {
+		// No RP mapping: the group is not handled in sparse mode (§3.1).
+		return
+	}
+	now := r.now()
+	wc, created := r.MFIB.Upsert(mfib.Key{Group: g, RPBit: true}, now)
+	wc.AddLocalOIF(ifc)
+	if created {
+		wc.RP = rp
+		r.setUpstream(wc, rp)
+	}
+	// Always send a triggered join: a re-joining member must not wait for
+	// the next periodic refresh to re-draw the tree (the upstream branch
+	// may have been pruned since the last member left).
+	r.sendJoinPrune(wc.IIF, wc.UpstreamNeighbor, g,
+		[]pimmsg.Addr{{Addr: wc.RP, WC: true, RP: true}}, nil)
+	r.armRPTimer(g)
+}
+
+// LocalLeave withdraws a local member; when the last outgoing interface
+// disappears the state is pruned upstream and scheduled for deletion
+// (§3.6).
+func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
+	now := r.now()
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		o := e.OIFs[ifc.Index]
+		if o == nil || !o.LocalMember {
+			return
+		}
+		o.LocalMember = false
+		if !o.Live(now) {
+			e.RemoveOIF(ifc)
+		}
+		if !e.Key.RPBit || e.Wildcard {
+			r.checkEmptyOIF(e)
+		}
+	})
+}
+
+// armRPTimer (re)starts the RP fail-over timer for a group with local
+// members (§3.9). A router that is itself the group's RP never arms one:
+// it originates the reachability messages and cannot hear its own beacons.
+func (r *Router) armRPTimer(g addr.IP) {
+	if rp, ok := r.rpFor(g); ok && r.Node.OwnsAddr(rp) {
+		return
+	}
+	if tm := r.rpTimer[g]; tm != nil {
+		tm.Stop()
+	}
+	r.rpTimer[g] = r.sched().After(3*r.Cfg.RPReachInterval, func() { r.rpFailover(g) })
+}
+
+// --- Sending ---
+
+// sendJoinPrune emits one join/prune message for a single group out the
+// given interface, addressed to the upstream neighbor but multicast to
+// 224.0.0.2 so LAN peers overhear it (§3.7).
+func (r *Router) sendJoinPrune(out *netsim.Iface, upstream addr.IP, g addr.IP, joins, prunes []pimmsg.Addr) {
+	if out == nil || upstream == 0 || !out.Up() {
+		return
+	}
+	m := &pimmsg.JoinPrune{
+		UpstreamNeighbor: upstream,
+		HoldTime:         r.Cfg.holdTimeSeconds(),
+		Groups:           []pimmsg.GroupRecord{{Group: g, Joins: joins, Prunes: prunes}},
+	}
+	r.transmitJoinPrune(out, m)
+}
+
+func (r *Router) transmitJoinPrune(out *netsim.Iface, m *pimmsg.JoinPrune) {
+	payload := pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal())
+	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM, payload)
+	pkt.TTL = 1
+	r.Node.Send(out, pkt, 0)
+	r.Metrics.Inc(metrics.CtrlJoinPrune)
+}
+
+// setUpstream resolves and installs the RPF interface and upstream neighbor
+// of an entry toward the given target (RP or source).
+func (r *Router) setUpstream(e *mfib.Entry, target addr.IP) {
+	iif, up, ok := r.rpf(target)
+	if !ok {
+		e.IIF, e.UpstreamNeighbor = nil, 0
+		return
+	}
+	e.IIF, e.UpstreamNeighbor = iif, up
+}
+
+// upstreamTarget returns the address an entry's joins/prunes chase: the RP
+// for wildcard and RP-bit entries, the source otherwise.
+func upstreamTarget(e *mfib.Entry) addr.IP {
+	if e.Wildcard || e.Key.RPBit {
+		return e.RP
+	}
+	return e.Key.Source
+}
+
+// --- Periodic refresh (§3.4) ---
+
+// periodicRefresh re-sends the join/prune state for every entry, batched
+// per (interface, upstream neighbor) so one message carries many groups.
+func (r *Router) periodicRefresh() {
+	now := r.now()
+	type dest struct {
+		iface    *netsim.Iface
+		upstream addr.IP
+	}
+	type record struct {
+		joins  []pimmsg.Addr
+		prunes []pimmsg.Addr
+	}
+	batches := map[dest]map[addr.IP]*record{}
+	add := func(ifc *netsim.Iface, up addr.IP, g addr.IP, a pimmsg.Addr, prune bool) {
+		if ifc == nil || up == 0 || !ifc.Up() {
+			return
+		}
+		d := dest{iface: ifc, upstream: up}
+		if batches[d] == nil {
+			batches[d] = map[addr.IP]*record{}
+		}
+		rec := batches[d][g]
+		if rec == nil {
+			rec = &record{}
+			batches[d][g] = rec
+		}
+		if prune {
+			rec.prunes = append(rec.prunes, a)
+		} else {
+			rec.joins = append(rec.joins, a)
+		}
+	}
+
+	r.MFIB.ForEach(func(e *mfib.Entry) {
+		g := e.Key.Group
+		switch {
+		case e.Wildcard:
+			if e.OIFEmpty(now) || e.DeleteAt != 0 {
+				r.checkEmptyOIF(e)
+				return
+			}
+			if e.SuppressedUntil > now {
+				return
+			}
+			add(e.IIF, e.UpstreamNeighbor, g,
+				pimmsg.Addr{Addr: e.RP, WC: true, RP: true}, false)
+			// §3.3 fn. 13: negative caches upstream are kept alive by
+			// periodic prunes traveling with the shared-tree refresh.
+			for _, s := range r.rptPrunesToRefresh(g, e) {
+				add(e.IIF, e.UpstreamNeighbor, g,
+					pimmsg.Addr{Addr: s, RP: true}, true)
+			}
+		case e.Key.RPBit:
+			// Negative-cache entries are refreshed from downstream; they
+			// originate nothing themselves.
+		default: // (S,G) shortest-path entry
+			if !r.sgEffectivelyEmpty(e) {
+				e.DeleteAt = 0 // revived through the inherited list
+			}
+			if r.sgEffectivelyEmpty(e) || e.DeleteAt != 0 {
+				r.checkEmptyOIF(e)
+				return
+			}
+			if e.SuppressedUntil > now {
+				return
+			}
+			add(e.IIF, e.UpstreamNeighbor, g, pimmsg.Addr{Addr: e.Key.Source}, false)
+		}
+	})
+
+	for d, groups := range batches {
+		m := &pimmsg.JoinPrune{UpstreamNeighbor: d.upstream, HoldTime: r.Cfg.holdTimeSeconds()}
+		for g, rec := range groups {
+			m.Groups = append(m.Groups, pimmsg.GroupRecord{Group: g, Joins: rec.joins, Prunes: rec.prunes})
+		}
+		sortGroups(m.Groups)
+		r.transmitJoinPrune(d.iface, m)
+	}
+}
+
+func sortGroups(gs []pimmsg.GroupRecord) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].Group < gs[j-1].Group; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+// rptPrunesToRefresh returns the sources whose shared-tree prunes this
+// router must keep refreshing toward the RP: sources it switched to an SPT
+// with a divergent incoming interface (§3.3), and sources whose negative
+// cache covers every remaining shared-tree oif (full-branch prune
+// propagation).
+func (r *Router) rptPrunesToRefresh(g addr.IP, wc *mfib.Entry) []addr.IP {
+	now := r.now()
+	var out []addr.IP
+	seen := map[addr.IP]bool{}
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		switch {
+		case e.Wildcard:
+		case e.Key.RPBit:
+			if r.rptCoversSharedOifs(e, wc) && !seen[e.Key.Source] {
+				seen[e.Key.Source] = true
+				out = append(out, e.Key.Source)
+			}
+		default:
+			if e.SPTBit && e.IIF != wc.IIF && !e.OIFEmpty(now) && !seen[e.Key.Source] {
+				seen[e.Key.Source] = true
+				out = append(out, e.Key.Source)
+			}
+		}
+	})
+	return out
+}
+
+// rptCoversSharedOifs reports whether the negative cache prunes every live
+// shared-tree oif, meaning no downstream branch still wants the source via
+// the RP tree and the prune should propagate upstream.
+func (r *Router) rptCoversSharedOifs(rpt, wc *mfib.Entry) bool {
+	now := r.now()
+	live := wc.LiveOIFs(now, nil)
+	if len(live) == 0 {
+		return false
+	}
+	for _, ifc := range live {
+		o := rpt.OIFs[ifc.Index]
+		if o == nil || !o.Live(now) || o.PrunePending {
+			return false
+		}
+	}
+	return true
+}
+
+// rpUnreachable reports whether an entry's current RP can no longer be
+// used: no unicast route exists or the incoming interface is down.
+func (r *Router) rpUnreachable(e *mfib.Entry) bool {
+	if e.IIF != nil && !e.IIF.Up() {
+		return true
+	}
+	if r.Node.OwnsAddr(e.RP) {
+		return false
+	}
+	_, _, ok := r.rpf(e.RP)
+	if !ok {
+		return true
+	}
+	return false
+}
+
+// sgEffectivelyEmpty reports whether an (S,G) entry forwards to nothing:
+// both its own outgoing list and the inherited shared-tree list are empty.
+// At the RP the entry is held open while (*,G) exists — "data packets will
+// continue to travel from the source to the RP(s) in order to reach new
+// receivers" (§3.10).
+func (r *Router) sgEffectivelyEmpty(e *mfib.Entry) bool {
+	wc := r.MFIB.Wildcard(e.Key.Group)
+	if wc != nil && r.Node.OwnsAddr(wc.RP) {
+		return false
+	}
+	return len(r.unionOIFs(e, wc, e.Key.Source, nil)) == 0
+}
+
+// checkEmptyOIF handles the §3.6 rule: when an entry's outgoing interface
+// list goes null, a prune is sent upstream and the entry is deleted after
+// 3× the refresh period.
+func (r *Router) checkEmptyOIF(e *mfib.Entry) {
+	now := r.now()
+	if e.DeleteAt != 0 {
+		return
+	}
+	if e.Wildcard || e.Key.RPBit {
+		if !e.OIFEmpty(now) {
+			return
+		}
+	} else if !r.sgEffectivelyEmpty(e) {
+		return
+	}
+	e.DeleteAt = now + r.Cfg.holdTime()
+	a := pimmsg.Addr{Addr: upstreamTarget(e), WC: e.Wildcard, RP: e.Wildcard}
+	if !e.Wildcard {
+		a = pimmsg.Addr{Addr: e.Key.Source}
+	}
+	r.sendJoinPrune(e.IIF, e.UpstreamNeighbor, e.Key.Group, nil, []pimmsg.Addr{a})
+}
+
+// maintain sweeps expired state and empty negative caches each refresh
+// period.
+func (r *Router) maintain() {
+	now := r.now()
+	r.MFIB.Sweep(now)
+	// Negative caches with no live pruned interface have no reason to
+	// exist; their upstream copies expire the same way.
+	var dead []mfib.Key
+	r.MFIB.ForEach(func(e *mfib.Entry) {
+		if e.Key.RPBit && !e.Wildcard && e.OIFEmpty(now) {
+			dead = append(dead, e.Key)
+		}
+		if !e.Key.RPBit && !e.Wildcard && r.sgEffectivelyEmpty(e) {
+			r.checkEmptyOIF(e)
+		}
+		if e.Wildcard && e.OIFEmpty(now) {
+			r.checkEmptyOIF(e)
+		}
+	})
+	for _, k := range dead {
+		r.MFIB.Delete(k)
+	}
+}
+
+// --- Receiving (§3.2, §3.6, §3.7) ---
+
+func (r *Router) handleJoinPrune(in *netsim.Iface, body []byte) {
+	m, err := pimmsg.UnmarshalJoinPrune(body)
+	if err != nil {
+		return
+	}
+	if m.UpstreamNeighbor == in.Addr {
+		r.processJoinPrune(in, m)
+		return
+	}
+	// Overheard on a LAN: §3.7 prune override and join suppression.
+	if in.Link != nil && in.Link.IsLAN() {
+		r.overhearJoinPrune(in, m)
+	}
+}
+
+func (r *Router) processJoinPrune(in *netsim.Iface, m *pimmsg.JoinPrune) {
+	hold := netsim.Time(m.HoldTime) * netsim.Second
+	for _, grp := range m.Groups {
+		g := grp.Group
+		for _, a := range grp.Joins {
+			switch {
+			case a.WC && a.RP:
+				r.joinShared(in, g, a.Addr, hold)
+			case a.RP:
+				r.cancelNegativeCache(in, g, r.sourceKey(a.Addr))
+			default:
+				r.joinSPT(in, g, r.sourceKey(a.Addr), hold)
+			}
+		}
+		for _, a := range grp.Prunes {
+			switch {
+			case a.WC && a.RP:
+				r.pruneShared(in, g)
+			case a.RP:
+				r.pruneSourceOnShared(in, g, r.sourceKey(a.Addr), hold)
+			default:
+				r.pruneSPT(in, g, r.sourceKey(a.Addr))
+			}
+		}
+	}
+}
+
+// joinShared installs/refreshes (*,G) state for a downstream join with the
+// WC and RP bits (§3.2).
+func (r *Router) joinShared(in *netsim.Iface, g, rp addr.IP, hold netsim.Time) {
+	now := r.now()
+	wc, created := r.MFIB.Upsert(mfib.Key{Group: g, RPBit: true}, now)
+	if created {
+		wc.RP = rp
+		if _, ok := r.rpMap[g]; !ok {
+			// Learn the group's RP from the join so this transit router
+			// can keep propagating state for it.
+			r.rpMap[g] = []addr.IP{rp}
+		}
+		r.setUpstream(wc, rp)
+	} else if rp != wc.RP && r.rpUnreachable(wc) {
+		// §3.9 fail-over seen from a transit router: downstream joins now
+		// chase an alternate RP and the old one is gone, so adopt the new
+		// RP and re-anchor the tree toward it.
+		wc.RP = rp
+		r.setUpstream(wc, rp)
+		created = true // trigger an upstream join below
+	}
+	wc.AddOIF(in, now+hold)
+	// The arrival interface can never be both iif and oif.
+	if wc.IIF == in {
+		wc.RemoveOIF(in)
+		return
+	}
+	// A (*,G) join re-opens the shared tree on this interface for all
+	// sources: cancel negative-cache prunes recorded against it.
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		if e.Key.RPBit && !e.Wildcard {
+			e.RemoveOIF(in)
+		}
+	})
+	if created {
+		r.sendJoinPrune(wc.IIF, wc.UpstreamNeighbor, g,
+			[]pimmsg.Addr{{Addr: rp, WC: true, RP: true}}, nil)
+	}
+}
+
+// joinSPT installs/refreshes (S,G) shortest-path state (§3.3).
+func (r *Router) joinSPT(in *netsim.Iface, g, s addr.IP, hold netsim.Time) {
+	now := r.now()
+	sg, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	if created {
+		if rp, ok := r.rpFor(g); ok {
+			sg.RP = rp
+		}
+		r.setUpstream(sg, s)
+	}
+	sg.AddOIF(in, now+hold)
+	if sg.IIF == in {
+		sg.RemoveOIF(in)
+		return
+	}
+	if created {
+		r.sendJoinPrune(sg.IIF, sg.UpstreamNeighbor, g,
+			[]pimmsg.Addr{{Addr: s}}, nil)
+	}
+}
+
+// cancelNegativeCache handles a join with only the RP bit: downstream wants
+// the source via the shared tree again.
+func (r *Router) cancelNegativeCache(in *netsim.Iface, g, s addr.IP) {
+	rpt := r.MFIB.SGRpt(s, g)
+	if rpt == nil {
+		return
+	}
+	rpt.RemoveOIF(in)
+	if rpt.OIFEmpty(r.now()) {
+		r.MFIB.Delete(rpt.Key)
+		// Propagate the cancellation so upstream negative caches clear
+		// promptly rather than waiting for expiry.
+		if wc := r.MFIB.Wildcard(g); wc != nil {
+			r.sendJoinPrune(wc.IIF, wc.UpstreamNeighbor, g,
+				[]pimmsg.Addr{{Addr: s, RP: true}}, nil)
+		}
+	}
+}
+
+// pruneShared removes a downstream interface from (*,G) (§3.6), honoring
+// the LAN override window (§3.7).
+func (r *Router) pruneShared(in *netsim.Iface, g addr.IP) {
+	wc := r.MFIB.Wildcard(g)
+	if wc == nil {
+		return
+	}
+	o := wc.OIFs[in.Index]
+	if o == nil {
+		return
+	}
+	r.scheduleOIFPrune(wc, o, in, func() {
+		wc.RemoveOIF(in)
+		r.checkEmptyOIF(wc)
+	})
+}
+
+// pruneSPT removes a downstream interface from (S,G).
+func (r *Router) pruneSPT(in *netsim.Iface, g, s addr.IP) {
+	sg := r.MFIB.SG(s, g)
+	if sg == nil {
+		return
+	}
+	o := sg.OIFs[in.Index]
+	if o == nil {
+		return
+	}
+	r.scheduleOIFPrune(sg, o, in, func() {
+		sg.RemoveOIF(in)
+		r.checkEmptyOIF(sg)
+	})
+}
+
+// scheduleOIFPrune applies a prune immediately on point-to-point links and
+// after the override window on LANs, unless a join cancels it first.
+func (r *Router) scheduleOIFPrune(e *mfib.Entry, o *mfib.OIF, in *netsim.Iface, apply func()) {
+	if in.Link == nil || !in.Link.IsLAN() {
+		apply()
+		return
+	}
+	now := r.now()
+	o.PrunePending = true
+	o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
+	r.sched().After(r.Cfg.PruneOverrideDelay, func() {
+		cur := e.OIFs[in.Index]
+		if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
+			apply()
+		}
+	})
+}
+
+// pruneSourceOnShared handles a prune with the RP bit: source S is pruned
+// from the shared tree on the arriving interface, recorded as negative
+// cache (§3.3 fn. 11).
+func (r *Router) pruneSourceOnShared(in *netsim.Iface, g, s addr.IP, hold netsim.Time) {
+	now := r.now()
+	wc := r.MFIB.Wildcard(g)
+	if wc == nil || !wc.HasOIF(in, now) {
+		return
+	}
+	rpt, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g, RPBit: true}, now)
+	if created {
+		rpt.RP = wc.RP
+		rpt.IIF, rpt.UpstreamNeighbor = wc.IIF, wc.UpstreamNeighbor
+	}
+	o := rpt.AddOIF(in, now+hold) // "pruned" membership, kept alive by prune refreshes
+	if in.Link != nil && in.Link.IsLAN() {
+		// Effective only after the override window (§3.7); an overheard
+		// join with the RP bit cancels it via cancelNegativeCache.
+		o.PrunePending = true
+		o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
+		r.sched().After(r.Cfg.PruneOverrideDelay, func() {
+			cur := rpt.OIFs[in.Index]
+			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
+				o.PrunePending = false
+				r.propagateRptPrune(g, s, rpt, wc)
+			}
+		})
+		return
+	}
+	r.propagateRptPrune(g, s, rpt, wc)
+}
+
+// propagateRptPrune forwards the negative-cache prune toward the RP when no
+// shared-tree branch still needs the source.
+func (r *Router) propagateRptPrune(g, s addr.IP, rpt, wc *mfib.Entry) {
+	if r.rptCoversSharedOifs(rpt, wc) {
+		r.sendJoinPrune(wc.IIF, wc.UpstreamNeighbor, g, nil,
+			[]pimmsg.Addr{{Addr: s, RP: true}})
+	}
+}
+
+// overhearJoinPrune implements the LAN behaviour of §3.7 for messages
+// addressed to another upstream router.
+func (r *Router) overhearJoinPrune(in *netsim.Iface, m *pimmsg.JoinPrune) {
+	now := r.now()
+	for _, grp := range m.Groups {
+		g := grp.Group
+		// Join suppression: an identical overheard join postpones ours.
+		for _, a := range grp.Joins {
+			var e *mfib.Entry
+			switch {
+			case a.WC && a.RP:
+				e = r.MFIB.Wildcard(g)
+			case !a.WC && !a.RP:
+				e = r.MFIB.SG(a.Addr, g)
+			}
+			if e != nil && e.IIF == in && e.UpstreamNeighbor == m.UpstreamNeighbor {
+				e.SuppressedUntil = now + r.Cfg.JoinPruneInterval - r.Cfg.PruneOverrideDelay
+			}
+		}
+		// Prune override: if we still need the state being pruned, send a
+		// join to the same upstream before the override window closes.
+		for _, a := range grp.Prunes {
+			switch {
+			case a.WC && a.RP:
+				if wc := r.MFIB.Wildcard(g); wc != nil && wc.IIF == in &&
+					!wc.OIFEmpty(now) && wc.UpstreamNeighbor == m.UpstreamNeighbor {
+					r.sendJoinPrune(in, m.UpstreamNeighbor, g,
+						[]pimmsg.Addr{{Addr: wc.RP, WC: true, RP: true}}, nil)
+				}
+			case a.RP:
+				wc := r.MFIB.Wildcard(g)
+				if wc != nil && wc.IIF == in && !wc.OIFEmpty(now) &&
+					wc.UpstreamNeighbor == m.UpstreamNeighbor &&
+					r.MFIB.SGRpt(a.Addr, g) == nil && r.wantsSourceViaShared(g, a.Addr) {
+					r.sendJoinPrune(in, m.UpstreamNeighbor, g,
+						[]pimmsg.Addr{{Addr: a.Addr, RP: true}}, nil)
+				}
+			default:
+				if sg := r.MFIB.SG(a.Addr, g); sg != nil && sg.IIF == in &&
+					!sg.OIFEmpty(now) && sg.UpstreamNeighbor == m.UpstreamNeighbor {
+					r.sendJoinPrune(in, m.UpstreamNeighbor, g,
+						[]pimmsg.Addr{{Addr: a.Addr}}, nil)
+				}
+			}
+		}
+	}
+}
+
+// wantsSourceViaShared reports whether this router still depends on the
+// shared tree for the source (it has not completed an SPT switch for it).
+func (r *Router) wantsSourceViaShared(g, s addr.IP) bool {
+	sg := r.MFIB.SG(s, g)
+	return sg == nil || !sg.SPTBit
+}

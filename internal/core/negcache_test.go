@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimmsg"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// craftJoinPrune injects a join/prune message into a router as if it arrived
+// on the given interface from the given source address.
+func craftJoinPrune(nd *netsim.Node, in *netsim.Iface, src addr.IP, m *pimmsg.JoinPrune) {
+	pkt := packet.New(src, addr.AllRouters, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
+	pkt.TTL = 1
+	nd.LocalSend(in, pkt)
+}
+
+// TestNegativeCachePruneAndCancel drives the §3.3 fn.11 negative-cache life
+// cycle with crafted messages on a point-to-point branch: a downstream
+// RP-bit prune installs the negative cache and propagates toward the RP; a
+// later RP-bit join cancels it and propagates the cancellation.
+func TestNegativeCachePruneAndCancel(t *testing.T) {
+	// receiver—r0—r1—r2(RP)
+	g := topology.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	sim := scenario.Build(g)
+	receiver := sim.AddHost(0)
+	sim.FinishUnicast(scenario.UseOracle)
+	group := addr.GroupForIndex(0)
+	rp := sim.RouterAddr(2)
+	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	sim.Run(2 * netsim.Second)
+	receiver.Join(group)
+	sim.Run(2 * netsim.Second)
+
+	r1 := dep.Routers[1]
+	src := addr.V4(10, 100, 9, 1) // some remote source
+	downIface := sim.Routers[1].Ifaces[0]
+	fromR0 := sim.Routers[0].Ifaces[0].Addr
+
+	// Downstream prunes the source off the shared tree.
+	craftJoinPrune(sim.Routers[1], downIface, fromR0, &pimmsg.JoinPrune{
+		UpstreamNeighbor: downIface.Addr,
+		HoldTime:         180,
+		Groups: []pimmsg.GroupRecord{{
+			Group:  group,
+			Prunes: []pimmsg.Addr{{Addr: src, RP: true}},
+		}},
+	})
+	sim.Run(netsim.Second)
+	now := sim.Net.Sched.Now()
+	rpt := r1.MFIB.SGRpt(src, group)
+	if rpt == nil || !rpt.HasOIF(downIface, now) {
+		t.Fatal("negative cache not installed at r1")
+	}
+	// The prune covered r1's only shared oif, so it propagated to the RP.
+	if dep.Routers[2].MFIB.SGRpt(src, group) == nil {
+		t.Fatal("negative cache did not propagate to the RP")
+	}
+	// Now the downstream re-joins the source on the shared tree.
+	craftJoinPrune(sim.Routers[1], downIface, fromR0, &pimmsg.JoinPrune{
+		UpstreamNeighbor: downIface.Addr,
+		HoldTime:         180,
+		Groups: []pimmsg.GroupRecord{{
+			Group: group,
+			Joins: []pimmsg.Addr{{Addr: src, RP: true}},
+		}},
+	})
+	sim.Run(netsim.Second)
+	if r1.MFIB.SGRpt(src, group) != nil {
+		t.Error("negative cache survived the RP-bit join")
+	}
+	rpRpt := dep.Routers[2].MFIB.SGRpt(src, group)
+	if rpRpt != nil && !rpRpt.OIFEmpty(sim.Net.Sched.Now()) {
+		t.Error("cancellation did not propagate to the RP")
+	}
+}
+
+// TestLANOverrideOfRPBitPrune: on a shared LAN, a downstream router that
+// still depends on the shared tree for a source overrides another router's
+// RP-bit prune (§3.7 applied to negative-cache prunes).
+func TestLANOverrideOfRPBitPrune(t *testing.T) {
+	f := buildLANFixture(t)
+	f.h1.Join(f.group)
+	f.h2.Join(f.group)
+	f.net.Sched.RunUntil(f.net.Sched.Now() + 2*netsim.Second)
+
+	src := addr.V4(10, 100, 9, 1)
+	// D1 prunes the source off the shared tree on the transit LAN,
+	// addressed to U.
+	m := &pimmsg.JoinPrune{
+		UpstreamNeighbor: f.uLANIface.Addr,
+		HoldTime:         180,
+		Groups: []pimmsg.GroupRecord{{
+			Group:  f.group,
+			Prunes: []pimmsg.Addr{{Addr: src, RP: true}},
+		}},
+	}
+	pkt := packet.New(f.d1LANIface.Addr, addr.AllRouters, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
+	pkt.TTL = 1
+	f.d1LANIface.Node.Send(f.d1LANIface, pkt, 0)
+
+	// Past the override window: D2's override join must have kept (or
+	// cancelled) the prune, so U still forwards the source onto the LAN.
+	f.net.Sched.RunUntil(f.net.Sched.Now() + 3*core.DefaultPruneOverrideDelay)
+	now := f.net.Sched.Now()
+	rpt := f.u.MFIB.SGRpt(src, f.group)
+	if rpt != nil {
+		if o := rpt.OIFs[f.uLANIface.Index]; o != nil && o.Live(now) && !o.PrunePending {
+			t.Fatal("RP-bit prune took effect despite D2's override")
+		}
+	}
+}
+
+// TestNeighborsAndIsRPFor covers the introspection helpers.
+func TestNeighborsAndIsRPFor(t *testing.T) {
+	f := buildLANFixture(t)
+	// U sees both D routers on its LAN interface.
+	nbrs := f.u.Neighbors(f.uLANIface)
+	if len(nbrs) != 2 {
+		t.Fatalf("U neighbors on LAN = %v", nbrs)
+	}
+	if nbrs[0] != f.d1LANIface.Addr || nbrs[1] != f.d2LANIface.Addr {
+		t.Errorf("neighbors = %v", nbrs)
+	}
+	if !f.rp.IsRPFor(f.group) {
+		t.Error("RP router does not claim its group")
+	}
+	if f.u.IsRPFor(f.group) {
+		t.Error("non-RP router claims the group")
+	}
+}

@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// TestDeliveryExactness is the core delivery property over random topologies
+// and memberships: after the tree settles, every member receives every
+// packet exactly once and every non-member receives nothing.
+func TestDeliveryExactness(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial=%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + trial)))
+			g := topology.Random(topology.GenConfig{Nodes: 15, Degree: 3}, rng)
+			sim := scenario.Build(g)
+			hosts := make([]*hostAlias, 6)
+			routers := topology.PickDistinct(15, 7, rng)
+			for i := range hosts {
+				hosts[i] = sim.AddHost(routers[i])
+			}
+			sender := sim.AddHost(routers[6])
+			sim.FinishUnicast(scenario.UseOracle)
+			group := addr.GroupForIndex(0)
+			rp := sim.RouterAddr(routers[rng.Intn(6)])
+			policy := core.SPTPolicy(rng.Intn(2)) // immediate or never
+			sim.DeployPIM(core.Config{
+				RPMapping: map[addr.IP][]addr.IP{group: {rp}},
+				SPTPolicy: policy,
+			})
+			sim.Run(2 * netsim.Second)
+			members := map[int]bool{}
+			for i, h := range hosts {
+				if rng.Intn(2) == 0 {
+					h.Join(group)
+					members[i] = true
+				}
+			}
+			sim.Run(2 * netsim.Second)
+			// Settle the tree with a few warm-up packets (registers and the
+			// SPT transition may duplicate or route via the RP).
+			for i := 0; i < 3; i++ {
+				scenario.SendData(sender, group, 64)
+				sim.Run(netsim.Second)
+			}
+			sim.Run(5 * netsim.Second)
+			before := make([]int, len(hosts))
+			for i, h := range hosts {
+				before[i] = h.Received[group]
+			}
+			const n = 10
+			for i := 0; i < n; i++ {
+				scenario.SendData(sender, group, 64)
+				sim.Run(netsim.Second)
+			}
+			for i, h := range hosts {
+				got := h.Received[group] - before[i]
+				if members[i] && got != n {
+					t.Errorf("member host %d received %d of %d (policy %v)", i, got, n, policy)
+				}
+				if !members[i] && got != 0 {
+					t.Errorf("non-member host %d received %d packets", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStateQuiescesToZero: whatever random membership history occurred, once
+// every member leaves and holdtimes pass, no multicast state remains
+// anywhere (soft-state cleanliness).
+func TestStateQuiescesToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := topology.Random(topology.GenConfig{Nodes: 12, Degree: 3}, rng)
+	sim := scenario.Build(g)
+	var hosts []*hostAlias
+	for _, r := range topology.PickDistinct(12, 5, rng) {
+		hosts = append(hosts, sim.AddHost(r))
+	}
+	sim.FinishUnicast(scenario.UseOracle)
+	group := addr.GroupForIndex(0)
+	dep := sim.DeployPIM(core.Config{
+		RPMapping:         map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
+		JoinPruneInterval: 15 * netsim.Second,
+	})
+	sim.Run(2 * netsim.Second)
+	// Random join/leave/send history.
+	joined := make([]bool, len(hosts))
+	for step := 0; step < 30; step++ {
+		i := rng.Intn(len(hosts))
+		if joined[i] {
+			hosts[i].Leave(group)
+		} else {
+			hosts[i].Join(group)
+		}
+		joined[i] = !joined[i]
+		scenario.SendData(hosts[rng.Intn(len(hosts))], group, 64)
+		sim.Run(3 * netsim.Second)
+	}
+	// Everyone leaves; run out all holdtimes (3×15 s) plus slack.
+	for i, h := range hosts {
+		if joined[i] {
+			h.Leave(group)
+		}
+	}
+	sim.Run(8 * 3 * 15 * netsim.Second)
+	if n := dep.TotalState(); n != 0 {
+		for i, r := range dep.Routers {
+			if r.StateCount() > 0 {
+				t.Logf("router %d: %d entries", i, r.StateCount())
+			}
+		}
+		t.Fatalf("state did not quiesce: %d entries remain", n)
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"sort"
+
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimmsg"
+	"pim/internal/unicast"
+)
+
+// Router is one PIM sparse-mode router instance.
+type Router struct {
+	Node    *netsim.Node
+	Cfg     Config
+	Unicast unicast.Router
+	MFIB    *mfib.Table
+	Metrics *metrics.Counters
+
+	// rpMap holds group -> ordered RP candidates (config plus host RPMap
+	// messages); currentRP tracks which candidate the receiver side of this
+	// router has joined toward (§3.9: "receivers only join toward a single
+	// RP").
+	rpMap     map[addr.IP][]addr.IP
+	currentRP map[addr.IP]addr.IP
+	// rpTimer fires RP fail-over for groups with local members (§3.9).
+	rpTimer map[addr.IP]*netsim.Timer
+
+	// neighbors[ifaceIndex][address] = expiry, learned from PIM queries.
+	neighbors map[int]map[addr.IP]netsim.Time
+
+	// sptCount tracks §3.3 threshold switching per (S,G).
+	sptCount map[mfib.Key]*sptCounter
+
+	// Dynamic RP discovery (§4): flooded RP-report state.
+	rpReportSeq  uint32
+	rpReportSeqs map[addr.IP]uint32
+	learnedRP    map[addr.IP]learnedMapping
+
+	started bool
+}
+
+// learnedMapping is a cached group→RP mapping from an RP-report.
+type learnedMapping struct {
+	rp      addr.IP
+	expires netsim.Time
+}
+
+type sptCounter struct {
+	windowStart netsim.Time
+	packets     int
+}
+
+// New constructs a PIM-SM router bound to a node and a unicast routing view.
+func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
+	cfg.fillDefaults()
+	r := &Router{
+		Node:         nd,
+		Cfg:          cfg,
+		Unicast:      uni,
+		MFIB:         mfib.NewTable(),
+		Metrics:      metrics.New(),
+		rpMap:        map[addr.IP][]addr.IP{},
+		currentRP:    map[addr.IP]addr.IP{},
+		rpTimer:      map[addr.IP]*netsim.Timer{},
+		neighbors:    map[int]map[addr.IP]netsim.Time{},
+		sptCount:     map[mfib.Key]*sptCounter{},
+		rpReportSeqs: map[addr.IP]uint32{},
+		learnedRP:    map[addr.IP]learnedMapping{},
+	}
+	for g, rps := range cfg.RPMapping {
+		r.rpMap[g] = append([]addr.IP(nil), rps...)
+	}
+	return r
+}
+
+// Start registers packet handlers and begins the periodic machinery.
+func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
+	r.Node.Handle(packet.ProtoPIMData, netsim.HandlerFunc(r.handlePIM))
+	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+	r.Unicast.OnChange(func() { r.routesChanged() })
+
+	sched := r.sched()
+	var refresh func()
+	refresh = func() {
+		r.maintain()
+		r.periodicRefresh()
+		sched.After(r.Cfg.JoinPruneInterval, refresh)
+	}
+	// Deterministic per-router phase offset: desynchronized refreshes give
+	// §3.7 join suppression a chance to work on shared LANs.
+	offset := netsim.Time(uint64(r.Node.ID)*1000003) % (r.Cfg.JoinPruneInterval / 2)
+	sched.After(offset, refresh)
+
+	var query func()
+	query = func() {
+		r.expireNeighbors()
+		r.sendQueries()
+		sched.After(r.Cfg.QueryInterval, query)
+	}
+	sched.After(0, query)
+
+	var rpBeacon func()
+	rpBeacon = func() {
+		r.originateRPReach()
+		r.originateRPReport()
+		sched.After(r.Cfg.RPReachInterval, rpBeacon)
+	}
+	sched.After(0, rpBeacon)
+}
+
+func (r *Router) sched() *netsim.Scheduler { return r.Node.Net.Sched }
+func (r *Router) now() netsim.Time         { return r.sched().Now() }
+
+// SetRPMapping installs or replaces the ordered RP candidate list for a
+// group (configuration path of §3, or host RPMap messages via LearnRPMap).
+func (r *Router) SetRPMapping(g addr.IP, rps []addr.IP) {
+	r.rpMap[g] = append([]addr.IP(nil), rps...)
+}
+
+// LearnRPMap merges a host-provided mapping (§3.1 fn. 9): unknown groups
+// adopt the list; known groups keep their configuration.
+func (r *Router) LearnRPMap(g addr.IP, rps []addr.IP) {
+	if len(rps) == 0 {
+		return
+	}
+	if _, ok := r.rpMap[g]; !ok {
+		r.SetRPMapping(g, rps)
+	}
+}
+
+// RPsFor returns the RP candidates for a group; an empty result means the
+// group is not PIM sparse-mode supported (§3.1: "the router will assume
+// that the group is not to be supported with PIM sparse mode"). Cached
+// RP-report mappings count when no configured candidates exist.
+func (r *Router) RPsFor(g addr.IP) []addr.IP {
+	if rps := r.rpMap[g]; len(rps) > 0 {
+		return rps
+	}
+	if lm, ok := r.learnedRP[g]; ok && r.now() <= lm.expires {
+		return []addr.IP{lm.rp}
+	}
+	return nil
+}
+
+// rpFor returns the RP this router's receiver side currently uses for g:
+// a configured/host-learned candidate first, then a cached RP-report
+// mapping (§4).
+func (r *Router) rpFor(g addr.IP) (addr.IP, bool) {
+	if rp, ok := r.currentRP[g]; ok {
+		return rp, true
+	}
+	rps := r.rpMap[g]
+	if len(rps) == 0 {
+		if lm, ok := r.learnedRP[g]; ok && r.now() <= lm.expires {
+			r.currentRP[g] = lm.rp
+			return lm.rp, true
+		}
+		return 0, false
+	}
+	r.currentRP[g] = rps[0]
+	return rps[0], true
+}
+
+// IsRPFor reports whether this router owns an RP address for the group.
+func (r *Router) IsRPFor(g addr.IP) bool {
+	for _, rp := range r.rpMap[g] {
+		if r.Node.OwnsAddr(rp) {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceKey normalizes a source address to the granularity the router
+// keeps (S,G) state at: the host address, or the /24 subnet when §4 source
+// aggregation is enabled.
+func (r *Router) sourceKey(s addr.IP) addr.IP {
+	if r.Cfg.AggregateSources {
+		return s & addr.Mask(24)
+	}
+	return s
+}
+
+// rpf resolves the RPF interface and upstream neighbor toward a target
+// (source or RP). ok is false when no route exists. A zero upstream with
+// ok=true means the target is directly connected (or is this node).
+func (r *Router) rpf(target addr.IP) (iif *netsim.Iface, upstream addr.IP, ok bool) {
+	if r.Node.OwnsAddr(target) {
+		return nil, 0, true
+	}
+	rt, ok := r.Unicast.Lookup(target)
+	if !ok {
+		return nil, 0, false
+	}
+	up := rt.NextHop
+	if up == 0 {
+		// Directly connected subnet. If the target itself is a PIM
+		// neighbor (an RP sharing our LAN), address it; if it is a host
+		// (a directly-connected source), there is no upstream router.
+		if r.isNeighbor(rt.Iface, target) {
+			up = target
+		}
+	}
+	return rt.Iface, up, true
+}
+
+// --- Neighbor discovery and DR election (§3.7) ---
+
+func (r *Router) sendQueries() {
+	body := (&pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}).Marshal()
+	payload := pimmsg.Envelope(pimmsg.TypeQuery, body)
+	for _, ifc := range r.Node.Ifaces {
+		if !ifc.Up() || ifc.Addr == 0 {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
+		pkt.TTL = 1
+		r.Node.Send(ifc, pkt, 0)
+		r.Metrics.Inc(metrics.CtrlQuery)
+	}
+}
+
+func (r *Router) handleQuery(in *netsim.Iface, src addr.IP, body []byte) {
+	q, err := pimmsg.UnmarshalQuery(body)
+	if err != nil {
+		return
+	}
+	byAddr := r.neighbors[in.Index]
+	if byAddr == nil {
+		byAddr = map[addr.IP]netsim.Time{}
+		r.neighbors[in.Index] = byAddr
+	}
+	byAddr[src] = r.now() + netsim.Time(q.HoldTime)*netsim.Second
+}
+
+func (r *Router) expireNeighbors() {
+	now := r.now()
+	for _, byAddr := range r.neighbors {
+		for a, deadline := range byAddr {
+			if now > deadline {
+				delete(byAddr, a)
+			}
+		}
+	}
+}
+
+func (r *Router) isNeighbor(ifc *netsim.Iface, a addr.IP) bool {
+	byAddr := r.neighbors[ifc.Index]
+	if byAddr == nil {
+		return false
+	}
+	deadline, ok := byAddr[a]
+	return ok && r.now() <= deadline
+}
+
+// IsDR reports whether this router is the designated router on the
+// interface: the highest address among itself and its live PIM neighbors
+// ("the designated router is the one that takes responsibility for serving
+// the members on the LAN").
+func (r *Router) IsDR(ifc *netsim.Iface) bool {
+	now := r.now()
+	for a, deadline := range r.neighbors[ifc.Index] {
+		if now <= deadline && a > ifc.Addr {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbors returns the live PIM neighbors on an interface, sorted.
+func (r *Router) Neighbors(ifc *netsim.Iface) []addr.IP {
+	now := r.now()
+	var out []addr.IP
+	for a, deadline := range r.neighbors[ifc.Index] {
+		if now <= deadline {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- PIM message dispatch ---
+
+func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
+	// Unicast PIM packets (registers) not addressed to us are forwarded
+	// toward their destination like any unicast datagram.
+	if !pkt.Dst.IsMulticast() && !r.Node.OwnsAddr(pkt.Dst) {
+		r.forwardUnicast(pkt)
+		return
+	}
+	typ, body, err := pimmsg.Open(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case pimmsg.TypeQuery:
+		r.handleQuery(in, pkt.Src, body)
+	case pimmsg.TypeJoinPrune:
+		r.handleJoinPrune(in, body)
+	case pimmsg.TypeRegister:
+		r.handleRegister(in, pkt, body)
+	case pimmsg.TypeRPReach:
+		r.handleRPReach(in, body)
+	case pimmsg.TypeRPReport:
+		r.handleRPReport(in, body)
+	}
+}
+
+// forwardUnicast relays a unicast packet one hop along the unicast route.
+func (r *Router) forwardUnicast(pkt *packet.Packet) {
+	rt, ok := r.Unicast.Lookup(pkt.Dst)
+	if !ok {
+		return
+	}
+	fwd, ok := pkt.Forwarded()
+	if !ok {
+		return
+	}
+	nextHop := rt.NextHop
+	if nextHop == 0 {
+		nextHop = pkt.Dst
+	}
+	r.Node.Send(rt.Iface, fwd, nextHop)
+}
+
+// StateCount returns the number of multicast forwarding entries — the
+// "state" axis of the paper's overhead comparison.
+func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// HandlePIMPacket is the exported PIM control entry point, used by border
+// routers (internal/border) that multiplex sparse- and dense-mode protocol
+// instances over one node's interfaces.
+func (r *Router) HandlePIMPacket(in *netsim.Iface, pkt *packet.Packet) { r.handlePIM(in, pkt) }
+
+// HandleDataPacket is the exported data-plane entry point (see
+// HandlePIMPacket).
+func (r *Router) HandleDataPacket(in *netsim.Iface, pkt *packet.Packet) { r.handleData(in, pkt) }
+
+// HandleBorderData processes a multicast data packet that entered from a
+// dense-mode region at a border router (§4 interoperation): the border acts
+// as the region's designated router, registering the region-internal source
+// toward the RP(s) and forwarding over any sparse-mode state whose incoming
+// interface faces the region.
+func (r *Router) HandleBorderData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() || g.IsLinkLocalMulticast() {
+		return
+	}
+	if r.IsDR(in) {
+		r.senderSide(in, pkt.Src, g, pkt)
+	}
+	r.forwardData(in, pkt)
+}

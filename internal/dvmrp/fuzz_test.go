@@ -1,0 +1,18 @@
+package dvmrp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pim/internal/dvmrp"
+)
+
+// TestUnmarshalNeverPanics: arbitrary bytes must decode or error cleanly.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _ = dvmrp.Unmarshal(b)
+	}
+}

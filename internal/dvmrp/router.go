@@ -1,0 +1,339 @@
+package dvmrp
+
+import (
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/unicast"
+)
+
+// Config carries the protocol parameters.
+type Config struct {
+	// PruneLifetime bounds how long a pruned branch stays pruned before it
+	// grows back (the paper's periodic-rebroadcast cost).
+	PruneLifetime netsim.Time
+	// ProbeInterval paces neighbor probes; an interface with no probing
+	// neighbor is a leaf subnet subject to truncated broadcast.
+	ProbeInterval netsim.Time
+}
+
+// Defaults. RFC 1075 uses ~2 hours for prunes; experiments scale it down so
+// the grow-back behaviour is observable (configurable per run).
+const (
+	DefaultPruneLifetime = 120 * netsim.Second
+	DefaultProbeInterval = 30 * netsim.Second
+)
+
+// infiniteExpiry keeps default-on oifs alive until explicitly pruned.
+const infiniteExpiry = netsim.Time(1) << 60
+
+// Router is one DVMRP router instance.
+type Router struct {
+	Node    *netsim.Node
+	Cfg     Config
+	Unicast unicast.Router
+	MFIB    *mfib.Table
+	Metrics *metrics.Counters
+
+	// neighbors[ifaceIndex][addr] = expiry; learned from probes.
+	neighbors map[int]map[addr.IP]netsim.Time
+	// members[ifaceIndex][group] = true; local membership from IGMP.
+	members map[int]map[addr.IP]bool
+	// prunedUpstream[key] = true when we sent a prune toward the source and
+	// have not grafted back.
+	prunedUpstream map[mfib.Key]bool
+}
+
+// New builds a DVMRP router.
+func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
+	if cfg.PruneLifetime == 0 {
+		cfg.PruneLifetime = DefaultPruneLifetime
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	return &Router{
+		Node: nd, Cfg: cfg, Unicast: uni,
+		MFIB:           mfib.NewTable(),
+		Metrics:        metrics.New(),
+		neighbors:      map[int]map[addr.IP]netsim.Time{},
+		members:        map[int]map[addr.IP]bool{},
+		prunedUpstream: map[mfib.Key]bool{},
+	}
+}
+
+// Start registers handlers and begins probing.
+func (r *Router) Start() {
+	r.Node.Handle(packet.ProtoDVMRP, netsim.HandlerFunc(r.handleCtrl))
+	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+	sched := r.Node.Net.Sched
+	var probe func()
+	probe = func() {
+		r.expireNeighbors()
+		r.sendProbes()
+		sched.After(r.Cfg.ProbeInterval, probe)
+	}
+	sched.After(0, probe)
+}
+
+func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
+
+// StateCount returns the number of multicast forwarding entries.
+func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// --- Membership (from IGMP) ---
+
+// LocalJoin records a member and grafts pruned branches back (§1.1 graft).
+func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
+	byGroup := r.members[ifc.Index]
+	if byGroup == nil {
+		byGroup = map[addr.IP]bool{}
+		r.members[ifc.Index] = byGroup
+	}
+	byGroup[g] = true
+	// Splice this interface back into every active source's tree.
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		if e.Wildcard || e.Key.RPBit {
+			return
+		}
+		e.AddLocalOIF(ifc)
+		if r.prunedUpstream[e.Key] {
+			r.sendCtrlUpstream(e, TypeGraft, 0)
+			delete(r.prunedUpstream, e.Key)
+		}
+	})
+}
+
+// LocalLeave removes a member; sources flowing to a now-dead branch get
+// pruned.
+func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
+	if byGroup := r.members[ifc.Index]; byGroup != nil {
+		delete(byGroup, g)
+	}
+	now := r.now()
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		if e.Wildcard || e.Key.RPBit {
+			return
+		}
+		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
+			o.LocalMember = false
+			if !o.Live(now) {
+				e.RemoveOIF(ifc)
+			}
+		}
+		r.maybePruneUpstream(e)
+	})
+}
+
+func (r *Router) hasMember(ifc *netsim.Iface, g addr.IP) bool {
+	byGroup := r.members[ifc.Index]
+	return byGroup != nil && byGroup[g]
+}
+
+// --- Neighbor probes ---
+
+func (r *Router) sendProbes() {
+	payload := (&Message{Type: TypeProbe}).Marshal()
+	for _, ifc := range r.Node.Ifaces {
+		if !ifc.Up() || ifc.Addr == 0 {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoDVMRP, payload)
+		pkt.TTL = 1
+		r.Node.Send(ifc, pkt, 0)
+	}
+}
+
+func (r *Router) expireNeighbors() {
+	now := r.now()
+	for _, byAddr := range r.neighbors {
+		for a, deadline := range byAddr {
+			if now > deadline {
+				delete(byAddr, a)
+			}
+		}
+	}
+}
+
+// isLeaf reports whether an interface has no DVMRP neighbor: a leaf subnet
+// eligible for truncated broadcast.
+func (r *Router) isLeaf(ifc *netsim.Iface) bool {
+	now := r.now()
+	for _, deadline := range r.neighbors[ifc.Index] {
+		if now <= deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Control messages ---
+
+func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
+	m, err := Unmarshal(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case TypeProbe:
+		byAddr := r.neighbors[in.Index]
+		if byAddr == nil {
+			byAddr = map[addr.IP]netsim.Time{}
+			r.neighbors[in.Index] = byAddr
+		}
+		byAddr[pkt.Src] = r.now() + 3*r.Cfg.ProbeInterval
+	case TypePrune:
+		r.handlePrune(in, m)
+	case TypeGraft:
+		r.handleGraft(in, pkt.Src, m)
+	case TypeGraftAck:
+		// Reliability bookkeeping: the graft reached upstream. With the
+		// simulator's loss-free links no retransmission state is needed;
+		// the ack is counted for the overhead ledger.
+	}
+}
+
+// handlePrune removes the downstream interface and grows it back after the
+// prune lifetime.
+func (r *Router) handlePrune(in *netsim.Iface, m *Message) {
+	e := r.MFIB.SG(m.Source, m.Group)
+	if e == nil {
+		return
+	}
+	if r.hasMember(in, m.Group) {
+		return // members still present on that subnet: ignore stray prune
+	}
+	e.RemoveOIF(in)
+	lifetime := netsim.Time(m.Lifetime) * netsim.Second
+	key := e.Key
+	r.Node.Net.Sched.After(lifetime, func() {
+		// Grow back (§1.1): the branch resumes broadcast until re-pruned.
+		if cur := r.MFIB.Get(key); cur != nil && in.Up() {
+			cur.AddOIF(in, infiniteExpiry)
+			delete(r.prunedUpstream, key)
+		}
+	})
+	r.maybePruneUpstream(e)
+}
+
+// handleGraft re-attaches a downstream branch and propagates upstream if we
+// had pruned ourselves.
+func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, m *Message) {
+	ack := packet.New(in.Addr, from, packet.ProtoDVMRP,
+		(&Message{Type: TypeGraftAck, Source: m.Source, Group: m.Group}).Marshal())
+	ack.TTL = 1
+	r.Node.Send(in, ack, from)
+	r.Metrics.Inc(metrics.CtrlGraft)
+
+	e := r.MFIB.SG(m.Source, m.Group)
+	if e == nil {
+		return
+	}
+	e.AddOIF(in, infiniteExpiry)
+	if r.prunedUpstream[e.Key] {
+		r.sendCtrlUpstream(e, TypeGraft, 0)
+		delete(r.prunedUpstream, e.Key)
+	}
+}
+
+// maybePruneUpstream sends a prune toward the source when no outgoing
+// interface remains.
+func (r *Router) maybePruneUpstream(e *mfib.Entry) {
+	if !e.OIFEmpty(r.now()) || r.prunedUpstream[e.Key] {
+		return
+	}
+	if e.UpstreamNeighbor == 0 {
+		return // first-hop router for the source: nothing upstream
+	}
+	r.sendCtrlUpstream(e, TypePrune, uint16(r.Cfg.PruneLifetime/netsim.Second))
+	r.prunedUpstream[e.Key] = true
+	// Self grow-back: after the advertised lifetime upstream resumes
+	// sending, so clear the pruned marker and let data re-populate.
+	key := e.Key
+	r.Node.Net.Sched.After(r.Cfg.PruneLifetime, func() {
+		delete(r.prunedUpstream, key)
+	})
+}
+
+func (r *Router) sendCtrlUpstream(e *mfib.Entry, typ byte, lifetime uint16) {
+	if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
+		return
+	}
+	m := &Message{Type: typ, Source: e.Key.Source, Group: e.Key.Group, Lifetime: lifetime}
+	pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, m.Marshal())
+	pkt.TTL = 1
+	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+	switch typ {
+	case TypePrune:
+		r.Metrics.Inc(metrics.CtrlPrune)
+	case TypeGraft:
+		r.Metrics.Inc(metrics.CtrlGraft)
+	}
+}
+
+// --- Data plane: truncated RPF broadcast (§1.1) ---
+
+func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() || g.IsLinkLocalMulticast() {
+		return
+	}
+	s := pkt.Src
+	now := r.now()
+	// RPF check: accept only on the interface used to reach the source.
+	srcLocal := in.Addr != 0 && unicast.LinkPrefix(in.Addr).Contains(s)
+	var iif *netsim.Iface
+	var upstream addr.IP
+	if !srcLocal {
+		rt, ok := r.Unicast.Lookup(s)
+		if !ok {
+			r.Metrics.Inc(metrics.DataDropped)
+			return
+		}
+		iif, upstream = rt.Iface, rt.NextHop
+		if in != iif {
+			r.Metrics.Inc(metrics.DataDropped)
+			return
+		}
+	} else {
+		iif = in
+	}
+
+	e := r.MFIB.SG(s, g)
+	if e == nil {
+		// First packet from this source: install broadcast state on every
+		// interface except the RPF one, truncating member-less leaves.
+		e, _ = r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+		e.IIF, e.UpstreamNeighbor = iif, upstream
+		if srcLocal {
+			e.UpstreamNeighbor = 0
+		}
+		for _, ifc := range r.Node.Ifaces {
+			if ifc == in || !ifc.Up() || ifc.Addr == 0 {
+				continue
+			}
+			if r.isLeaf(ifc) {
+				if r.hasMember(ifc, g) {
+					e.AddLocalOIF(ifc)
+				}
+				continue // truncated broadcast
+			}
+			e.AddOIF(ifc, infiniteExpiry)
+		}
+	}
+	oifs := e.LiveOIFs(now, in)
+	if len(oifs) == 0 {
+		r.maybePruneUpstream(e)
+		return
+	}
+	fwd, ok := pkt.Forwarded()
+	if !ok {
+		return
+	}
+	for _, out := range oifs {
+		r.Node.Send(out, fwd, 0)
+		r.Metrics.Inc(metrics.DataForwarded)
+	}
+}

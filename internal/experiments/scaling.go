@@ -1,0 +1,65 @@
+package experiments
+
+// Scaling sweeps quantify the §1.2 overhead-growth axes: "the scalability
+// of a multicast protocol can be evaluated in terms of its overhead growth
+// with the size of the internet, size of groups, number of groups, size of
+// sender sets, and distribution of group members." The sweeps below vary
+// one axis at a time over the same random internet and record each
+// protocol's ledger, exposing the §3 trade the paper calls out explicitly:
+// "PIM avoids explicit enumeration of receivers, but does require
+// enumeration of sources" — PIM state grows with the sender set while CBT's
+// per-group shared tree does not.
+
+// ScalingPoint is one sweep sample: the varied axis value and the ledger of
+// every protocol at that value.
+type ScalingPoint struct {
+	X       int
+	Results []Result
+}
+
+// RunSenderScaling varies the per-group sender count.
+func RunSenderScaling(base SparseConfig, senderCounts []int, protos []Protocol) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(senderCounts))
+	for _, n := range senderCounts {
+		cfg := base
+		cfg.Senders = n
+		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
+	}
+	return out
+}
+
+// RunGroupScaling varies the number of concurrently active groups.
+func RunGroupScaling(base SparseConfig, groupCounts []int, protos []Protocol) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(groupCounts))
+	for _, n := range groupCounts {
+		cfg := base
+		cfg.Groups = n
+		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
+	}
+	return out
+}
+
+// RunMemberScaling varies the per-group receiver count.
+func RunMemberScaling(base SparseConfig, memberCounts []int, protos []Protocol) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(memberCounts))
+	for _, n := range memberCounts {
+		cfg := base
+		cfg.Members = n
+		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
+	}
+	return out
+}
+
+// RunSizeScaling varies the internet size (router count) at fixed degree —
+// the §1.2 "size of the internet" axis. Sparse-mode cost should track the
+// tree size (diameter·members), not the internet size; flood-and-prune cost
+// tracks the internet size.
+func RunSizeScaling(base SparseConfig, nodeCounts []int, protos []Protocol) []ScalingPoint {
+	out := make([]ScalingPoint, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		cfg := base
+		cfg.Nodes = n
+		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/igmp"
+	"pim/internal/netsim"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// TestScaleStress runs a 100-router internet with 10 groups under churn:
+// hosts join and leave, links fail and recover, senders transmit
+// throughout. Invariants: no panics, post-churn delivery works for every
+// group, and state on routers without downstream receivers decays.
+func TestScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale stress skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	g := topology.Random(topology.GenConfig{Nodes: 100, Degree: 4}, rng)
+	sim := scenario.Build(g)
+
+	const groups = 10
+	type party struct {
+		host  *igmp.Host
+		group addr.IP
+	}
+	var receivers, senders []party
+	hostAt := map[int]*igmp.Host{}
+	ensure := func(r int) *igmp.Host {
+		if h := hostAt[r]; h != nil {
+			return h
+		}
+		h := sim.AddHost(r)
+		hostAt[r] = h
+		return h
+	}
+	rpMap := map[addr.IP][]addr.IP{}
+	for gi := 0; gi < groups; gi++ {
+		grp := addr.GroupForIndex(gi)
+		picked := topology.PickDistinct(100, 5, rng)
+		for _, m := range picked[:4] {
+			receivers = append(receivers, party{ensure(m), grp})
+		}
+		senders = append(senders, party{ensure(picked[4]), grp})
+		rpMap[grp] = []addr.IP{scenario.RouterLANAddr(picked[0])}
+	}
+	// The RP must exist as an interface: use the member router's LAN-side
+	// address, which ensure() above created.
+	sim.FinishUnicast(scenario.UseOracle)
+	dep := sim.DeployPIM(core.Config{RPMapping: rpMap})
+	sim.Run(2 * netsim.Second)
+
+	// Churn phase: interleave joins, sends, leaves, link flaps.
+	for _, p := range receivers {
+		p.host.Join(p.group)
+	}
+	sim.Run(5 * netsim.Second)
+	flapped := map[int]bool{}
+	for round := 0; round < 30; round++ {
+		for _, s := range senders {
+			scenario.SendData(s.host, s.group, 128)
+		}
+		switch round % 6 {
+		case 1: // random leave + rejoin later
+			p := receivers[rng.Intn(len(receivers))]
+			p.host.Leave(p.group)
+		case 2: // rejoin everyone (idempotent for current members)
+			for _, p := range receivers {
+				p.host.Join(p.group)
+			}
+		case 3: // flap a random backbone link (avoid cutting the graph for
+			// too long: restore two rounds later)
+			e := rng.Intn(len(sim.EdgeLinks))
+			if !flapped[e] {
+				flapped[e] = true
+				sim.Net.SetLinkUp(sim.EdgeLinks[e], false)
+				e := e
+				sim.Net.Sched.After(20*netsim.Second, func() {
+					sim.Net.SetLinkUp(sim.EdgeLinks[e], true)
+					delete(flapped, e)
+				})
+			}
+		}
+		sim.Run(10 * netsim.Second)
+	}
+	// Restore everything, re-assert membership, and verify delivery.
+	for e, down := range flapped {
+		if down {
+			sim.Net.SetLinkUp(sim.EdgeLinks[e], true)
+		}
+	}
+	for _, p := range receivers {
+		p.host.Join(p.group)
+	}
+	sim.Run(30 * netsim.Second)
+	before := map[*igmp.Host]int{}
+	for _, p := range receivers {
+		before[p.host] = p.host.Received[p.group]
+	}
+	for i := 0; i < 5; i++ {
+		for _, s := range senders {
+			scenario.SendData(s.host, s.group, 128)
+		}
+		sim.Run(2 * netsim.Second)
+	}
+	missed := 0
+	for _, p := range receivers {
+		if p.host.Received[p.group]-before[p.host] < 4 {
+			missed++
+		}
+	}
+	if missed > len(receivers)/10 {
+		t.Errorf("%d of %d receivers missed most post-churn packets", missed, len(receivers))
+	}
+	// State stays bounded: entries only for active groups on tree routers.
+	total := dep.TotalState()
+	if total == 0 {
+		t.Fatal("no state at all")
+	}
+	// Generous bound: every router could hold at most (*,G)+(S,G)+(S,G)rpt
+	// per group; anything beyond signals a leak.
+	if max := 100 * groups * 3; total > max {
+		t.Errorf("state total %d exceeds bound %d (leak?)", total, max)
+	}
+}

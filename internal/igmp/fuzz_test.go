@@ -1,0 +1,16 @@
+package igmp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics: arbitrary bytes must decode or error cleanly.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		_, _ = Unmarshal(b)
+	}
+}

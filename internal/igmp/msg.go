@@ -1,0 +1,77 @@
+// Package igmp implements the group membership substrate of the paper's §3.1:
+// hosts report membership to directly-connected routers via query/report
+// (RFC 1112 style, which the paper cites as [5]), routers track local members
+// per interface, and hosts can push group→RP mappings to their routers via
+// the new host message the paper proposes ("a new IGMP message used by hosts
+// [to] distribute information about RPs to their local routers").
+package igmp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"pim/internal/addr"
+)
+
+// Message types.
+const (
+	TypeQuery  = 0x11 // router -> 224.0.0.1
+	TypeReport = 0x12 // host -> group address
+	TypeLeave  = 0x17 // host -> 224.0.0.2
+	// TypeRPMap is the paper's proposed host->router message carrying the
+	// G -> RP(s) mapping for a group the host participates in (§3.1 fn. 9).
+	TypeRPMap = 0x30
+)
+
+// Message is a decoded IGMP message. Group is the group being reported,
+// queried (0 for a general query), or mapped; RPs is populated only for
+// TypeRPMap.
+type Message struct {
+	Type  byte
+	Group addr.IP
+	RPs   []addr.IP
+}
+
+// ErrBadMessage reports a malformed wire message.
+var ErrBadMessage = errors.New("igmp: malformed message")
+
+// Marshal encodes the message:
+//
+//	byte type, byte reserved, uint16 #rps, uint32 group, uint32 rp...
+func (m *Message) Marshal() []byte {
+	b := make([]byte, 8+4*len(m.RPs))
+	b[0] = m.Type
+	binary.BigEndian.PutUint16(b[2:], uint16(len(m.RPs)))
+	binary.BigEndian.PutUint32(b[4:], uint32(m.Group))
+	for i, rp := range m.RPs {
+		binary.BigEndian.PutUint32(b[8+4*i:], uint32(rp))
+	}
+	return b
+}
+
+// Unmarshal decodes a wire message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 8 {
+		return nil, ErrBadMessage
+	}
+	m := &Message{
+		Type:  b[0],
+		Group: addr.IP(binary.BigEndian.Uint32(b[4:])),
+	}
+	n := int(binary.BigEndian.Uint16(b[2:]))
+	if len(b) < 8+4*n {
+		return nil, ErrBadMessage
+	}
+	if n > 0 && m.Type != TypeRPMap {
+		return nil, ErrBadMessage
+	}
+	for i := 0; i < n; i++ {
+		m.RPs = append(m.RPs, addr.IP(binary.BigEndian.Uint32(b[8+4*i:])))
+	}
+	switch m.Type {
+	case TypeQuery, TypeReport, TypeLeave, TypeRPMap:
+		return m, nil
+	default:
+		return nil, ErrBadMessage
+	}
+}

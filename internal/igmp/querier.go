@@ -1,0 +1,170 @@
+package igmp
+
+import (
+	"pim/internal/addr"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+)
+
+// Default protocol timing (scaled paper/RFC values).
+const (
+	DefaultQueryInterval      = 60 * netsim.Second
+	DefaultMembershipHoldTime = 150 * netsim.Second // 2.5 × query interval
+)
+
+// Querier is the router side of IGMP for one node: it queries every
+// interface, tracks which groups have local members per interface, learns
+// G→RP mappings from RPMap host messages, and notifies the multicast routing
+// protocol of membership changes.
+type Querier struct {
+	Node          *netsim.Node
+	QueryInterval netsim.Time
+	HoldTime      netsim.Time
+
+	// OnJoin/OnLeave fire when the first member appears / last member
+	// disappears for a group on an interface.
+	OnJoin  func(ifc *netsim.Iface, group addr.IP)
+	OnLeave func(ifc *netsim.Iface, group addr.IP)
+	// OnRPMap fires when a host pushes a group→RP mapping.
+	OnRPMap func(group addr.IP, rps []addr.IP)
+
+	// members[ifaceIndex][group] = expiry time.
+	members map[int]map[addr.IP]netsim.Time
+}
+
+// NewQuerier attaches the router side of IGMP to a node.
+func NewQuerier(nd *netsim.Node) *Querier {
+	return &Querier{
+		Node:          nd,
+		QueryInterval: DefaultQueryInterval,
+		HoldTime:      DefaultMembershipHoldTime,
+		members:       map[int]map[addr.IP]netsim.Time{},
+	}
+}
+
+// Start registers the IGMP handler and begins periodic querying.
+func (q *Querier) Start() {
+	q.Node.Handle(packet.ProtoIGMP, netsim.HandlerFunc(q.handle))
+	sched := q.Node.Net.Sched
+	var tick func()
+	tick = func() {
+		q.expire()
+		q.query()
+		sched.After(q.QueryInterval, tick)
+	}
+	sched.After(0, tick)
+}
+
+func (q *Querier) query() {
+	msg := Message{Type: TypeQuery}
+	payload := msg.Marshal()
+	for _, ifc := range q.Node.Ifaces {
+		if !ifc.Up() || ifc.Addr == 0 {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllSystems, packet.ProtoIGMP, payload)
+		pkt.TTL = 1
+		q.Node.Send(ifc, pkt, 0)
+	}
+}
+
+func (q *Querier) handle(in *netsim.Iface, pkt *packet.Packet) {
+	m, err := Unmarshal(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case TypeReport:
+		if !m.Group.IsMulticast() || m.Group.IsLinkLocalMulticast() {
+			return
+		}
+		q.noteMember(in, m.Group)
+	case TypeLeave:
+		// Fast leave: the real protocol sends group-specific queries; the
+		// simulator trusts the leave and drops membership immediately when
+		// no other member reported recently. A conservative implementation
+		// would re-query; hosts here re-report on the next query anyway.
+		q.dropMember(in, m.Group)
+	case TypeRPMap:
+		if q.OnRPMap != nil && m.Group.IsMulticast() {
+			q.OnRPMap(m.Group, m.RPs)
+		}
+	}
+}
+
+func (q *Querier) noteMember(in *netsim.Iface, g addr.IP) {
+	byGroup := q.members[in.Index]
+	if byGroup == nil {
+		byGroup = map[addr.IP]netsim.Time{}
+		q.members[in.Index] = byGroup
+	}
+	_, had := byGroup[g]
+	byGroup[g] = q.Node.Net.Sched.Now() + q.HoldTime
+	if !had && q.OnJoin != nil {
+		q.OnJoin(in, g)
+	}
+}
+
+func (q *Querier) dropMember(in *netsim.Iface, g addr.IP) {
+	byGroup := q.members[in.Index]
+	if byGroup == nil {
+		return
+	}
+	if _, had := byGroup[g]; had {
+		delete(byGroup, g)
+		if q.OnLeave != nil {
+			q.OnLeave(in, g)
+		}
+	}
+}
+
+func (q *Querier) expire() {
+	now := q.Node.Net.Sched.Now()
+	for idx, byGroup := range q.members {
+		for g, deadline := range byGroup {
+			if now > deadline {
+				delete(byGroup, g)
+				if q.OnLeave != nil && idx < len(q.Node.Ifaces) {
+					q.OnLeave(q.Node.Ifaces[idx], g)
+				}
+			}
+		}
+	}
+}
+
+// HasMember reports whether the group has a live local member on the
+// interface.
+func (q *Querier) HasMember(ifc *netsim.Iface, g addr.IP) bool {
+	byGroup := q.members[ifc.Index]
+	if byGroup == nil {
+		return false
+	}
+	deadline, ok := byGroup[g]
+	return ok && q.Node.Net.Sched.Now() <= deadline
+}
+
+// HasAnyMember reports whether the group has a member on any interface.
+func (q *Querier) HasAnyMember(g addr.IP) bool {
+	for _, ifc := range q.Node.Ifaces {
+		if q.HasMember(ifc, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// Groups returns the set of groups with live members on any interface.
+func (q *Querier) Groups() []addr.IP {
+	seen := map[addr.IP]bool{}
+	var out []addr.IP
+	now := q.Node.Net.Sched.Now()
+	for _, byGroup := range q.members {
+		for g, deadline := range byGroup {
+			if now <= deadline && !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}

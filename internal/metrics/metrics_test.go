@@ -1,0 +1,54 @@
+package metrics
+
+import "testing"
+
+func TestCountersBasics(t *testing.T) {
+	c := New()
+	c.Inc(CtrlJoinPrune)
+	c.Add(CtrlJoinPrune, 2)
+	c.Add(DataForwarded, 10)
+	if c.Get(CtrlJoinPrune) != 3 {
+		t.Errorf("joinprune = %d", c.Get(CtrlJoinPrune))
+	}
+	if c.Get("never") != 0 {
+		t.Error("untouched counter nonzero")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != CtrlJoinPrune {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(DataForwarded, 1)
+	b.Add(DataForwarded, 2)
+	b.Add(DataDropped, 5)
+	a.Merge(b)
+	if a.Get(DataForwarded) != 3 || a.Get(DataDropped) != 5 {
+		t.Errorf("merge: %v", a)
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1) // must not panic
+	c.Inc("x")
+	if c.Get("x") != 0 {
+		t.Error("nil Get should be 0")
+	}
+	if c.Names() != nil {
+		t.Error("nil Names should be nil")
+	}
+	c.Merge(New())
+	New().Merge(nil)
+}
+
+func TestCountersString(t *testing.T) {
+	c := New()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	if got := c.String(); got != "a=1 b=2" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,273 @@
+// Package mfib implements the multicast forwarding information base of §3:
+// (S,G) and (*,G) entries carrying the incoming interface, the outgoing
+// interface list with per-interface timers, and the WC (wildcard), RP, and
+// SPT flag bits the paper defines. The PIM sparse-mode engine in
+// internal/core drives the state machine; the baselines (DVMRP, PIM-DM)
+// reuse the same entry store for their own (S,G) state so that state-size
+// comparisons count the same objects.
+//
+// Entry kinds, using the paper's notation:
+//
+//   - (*,G): Wildcard=true, RPBit=true. Matches any source; incoming
+//     interface is the RPF interface toward the RP; the RP address is kept
+//     in place of the source (§3, "saves the RP address in place of the
+//     source address").
+//   - (S,G): Wildcard=false, RPBit=false. A shortest-path-tree entry with an
+//     SPT bit recording whether the switch from shared tree has completed
+//     (§3.3 fn. 7).
+//   - (S,G) RP-bit: Wildcard=false, RPBit=true. A negative cache on the
+//     shared tree (§3.3 fn. 11): interfaces pruned for S are recorded here
+//     and subtracted from the (*,G) list during forwarding.
+package mfib
+
+import (
+	"fmt"
+	"sort"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+)
+
+// Key identifies an entry. Source is the wildcard (0) for (*,G) entries.
+// RPBit distinguishes the negative-cache (S,G) entry from the SPT (S,G)
+// entry, which may coexist on one router.
+type Key struct {
+	Source addr.IP
+	Group  addr.IP
+	RPBit  bool
+}
+
+// OIF is one outgoing interface of an entry. An interface stays in the list
+// while either a downstream join keeps its timer fresh (Expires) or a local
+// IGMP member is present (LocalMember); the paper's per-oif timers are §3.6.
+type OIF struct {
+	Iface       *netsim.Iface
+	Expires     netsim.Time // join-driven lifetime; ignored if LocalMember
+	LocalMember bool
+	// PrunePending is set while a LAN prune awaits possible join override
+	// (§3.7); the interface keeps forwarding until the deadline passes.
+	PrunePending  bool
+	PruneDeadline netsim.Time
+}
+
+// Entry is one multicast forwarding entry.
+type Entry struct {
+	Key Key
+	// RP is the rendezvous point associated with the group (kept in all
+	// entry kinds so upstream join/prune messages can carry it).
+	RP addr.IP
+	// Wildcard is the WC bit: set for (*,G).
+	Wildcard bool
+	// SPTBit records a completed shared-tree→SPT transition (§3.3); only
+	// meaningful on (S,G) entries without the RP bit.
+	SPTBit bool
+	// IIF is the expected arrival interface (RPF interface toward the
+	// source, or toward the RP for wildcard/RP-bit entries). Nil at the RP
+	// itself for (*,G) (§3.2: "the incoming interface in the RP's (*,G)
+	// entry is set to null") and at a source's first-hop router for (S,G).
+	IIF *netsim.Iface
+	// UpstreamNeighbor is the next-hop address toward the source/RP that
+	// periodic join/prune messages target; 0 when IIF is nil.
+	UpstreamNeighbor addr.IP
+	// OIFs maps interface index -> outgoing interface state.
+	OIFs map[int]*OIF
+	// Created supports the "delete after 3× refresh period" rule and
+	// entry-age metrics.
+	Created netsim.Time
+	// DeleteAt, when nonzero, marks the entry for removal once reached
+	// (set when the oif list goes null, §3.6).
+	DeleteAt netsim.Time
+	// SuppressedUntil implements §3.7 join suppression on LANs: hearing
+	// another router's identical join postpones this entry's own periodic
+	// refresh until the recorded time.
+	SuppressedUntil netsim.Time
+}
+
+// NewEntry builds an empty entry.
+func NewEntry(k Key, now netsim.Time) *Entry {
+	return &Entry{Key: k, Wildcard: k.Source == 0, OIFs: map[int]*OIF{}, Created: now}
+}
+
+// AddOIF inserts or refreshes an outgoing interface driven by a downstream
+// join, clearing any pending prune (a join overrides a pending LAN prune).
+func (e *Entry) AddOIF(ifc *netsim.Iface, expires netsim.Time) *OIF {
+	o := e.OIFs[ifc.Index]
+	if o == nil {
+		o = &OIF{Iface: ifc}
+		e.OIFs[ifc.Index] = o
+	}
+	if expires > o.Expires {
+		o.Expires = expires
+	}
+	o.PrunePending = false
+	e.DeleteAt = 0
+	return o
+}
+
+// AddLocalOIF inserts or marks an interface as having a local member.
+func (e *Entry) AddLocalOIF(ifc *netsim.Iface) *OIF {
+	o := e.OIFs[ifc.Index]
+	if o == nil {
+		o = &OIF{Iface: ifc}
+		e.OIFs[ifc.Index] = o
+	}
+	o.LocalMember = true
+	o.PrunePending = false
+	e.DeleteAt = 0
+	return o
+}
+
+// RemoveOIF drops an interface from the list.
+func (e *Entry) RemoveOIF(ifc *netsim.Iface) { delete(e.OIFs, ifc.Index) }
+
+// HasOIF reports whether the interface is currently in the live list.
+func (e *Entry) HasOIF(ifc *netsim.Iface, now netsim.Time) bool {
+	o := e.OIFs[ifc.Index]
+	return o != nil && o.Live(now)
+}
+
+// Live reports whether the oif should still receive packets: a local member
+// holds it open; otherwise the join timer must be unexpired. A pending LAN
+// prune does not stop forwarding until its deadline fires (§3.7 gives other
+// routers the override window).
+func (o *OIF) Live(now netsim.Time) bool {
+	if o.LocalMember {
+		return true
+	}
+	return now <= o.Expires
+}
+
+// LiveOIFs returns the interfaces to forward over, excluding the given
+// arrival interface, sorted by index for determinism.
+func (e *Entry) LiveOIFs(now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	var out []*netsim.Iface
+	for _, o := range e.OIFs {
+		if !o.Live(now) {
+			continue
+		}
+		if except != nil && o.Iface == except {
+			continue
+		}
+		out = append(out, o.Iface)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// OIFEmpty reports whether no live outgoing interface remains.
+func (e *Entry) OIFEmpty(now netsim.Time) bool { return len(e.LiveOIFs(now, nil)) == 0 }
+
+// String renders the entry in the paper's notation for traces and tests.
+func (e *Entry) String() string {
+	kind := fmt.Sprintf("(%v,%v)", e.Key.Source, e.Key.Group)
+	if e.Wildcard {
+		kind = fmt.Sprintf("(*,%v)", e.Key.Group)
+	} else if e.Key.RPBit {
+		kind += "RPbit"
+	}
+	return kind
+}
+
+// Table stores a router's multicast forwarding entries.
+type Table struct {
+	entries map[Key]*Entry
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{entries: map[Key]*Entry{}} }
+
+// Get returns the entry for the exact key, or nil.
+func (t *Table) Get(k Key) *Entry { return t.entries[k] }
+
+// Wildcard returns the (*,G) entry, or nil.
+func (t *Table) Wildcard(g addr.IP) *Entry {
+	return t.entries[Key{Group: g, RPBit: true}]
+}
+
+// SG returns the (S,G) shortest-path entry, or nil.
+func (t *Table) SG(s, g addr.IP) *Entry {
+	return t.entries[Key{Source: s, Group: g}]
+}
+
+// SGRpt returns the (S,G) RP-bit negative-cache entry, or nil.
+func (t *Table) SGRpt(s, g addr.IP) *Entry {
+	return t.entries[Key{Source: s, Group: g, RPBit: true}]
+}
+
+// Upsert returns the entry for k, creating it if absent; created reports
+// whether it was new.
+func (t *Table) Upsert(k Key, now netsim.Time) (e *Entry, created bool) {
+	if e = t.entries[k]; e != nil {
+		return e, false
+	}
+	e = NewEntry(k, now)
+	e.Key = k
+	t.entries[k] = e
+	return e, true
+}
+
+// Delete removes an entry.
+func (t *Table) Delete(k Key) { delete(t.entries, k) }
+
+// Len returns the number of entries — the "state" axis of the paper's
+// overhead metric.
+func (t *Table) Len() int { return len(t.entries) }
+
+// ForGroup calls fn for every entry of the group, in deterministic order.
+func (t *Table) ForGroup(g addr.IP, fn func(*Entry)) {
+	t.forSelected(func(k Key) bool { return k.Group == g }, fn)
+}
+
+// ForEach calls fn for every entry in deterministic order.
+func (t *Table) ForEach(fn func(*Entry)) {
+	t.forSelected(func(Key) bool { return true }, fn)
+}
+
+func (t *Table) forSelected(sel func(Key) bool, fn func(*Entry)) {
+	keys := make([]Key, 0, len(t.entries))
+	for k := range t.entries {
+		if sel(k) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return !a.RPBit && b.RPBit
+	})
+	for _, k := range keys {
+		if e := t.entries[k]; e != nil {
+			fn(e)
+		}
+	}
+}
+
+// Sweep removes entries whose DeleteAt deadline has passed and prunes
+// expired non-local oifs; it returns the removed entries so the protocol can
+// emit triggered prunes.
+func (t *Table) Sweep(now netsim.Time) []*Entry {
+	var removed []*Entry
+	for k, e := range t.entries {
+		for idx, o := range e.OIFs {
+			if !o.LocalMember && now > o.Expires {
+				delete(e.OIFs, idx)
+			}
+		}
+		if e.DeleteAt != 0 && now >= e.DeleteAt {
+			removed = append(removed, e)
+			delete(t.entries, k)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool {
+		if removed[i].Key.Group != removed[j].Key.Group {
+			return removed[i].Key.Group < removed[j].Key.Group
+		}
+		return removed[i].Key.Source < removed[j].Key.Source
+	})
+	return removed
+}

@@ -1,0 +1,380 @@
+// Package mospf implements the link-state multicast baseline (Moy's MOSPF,
+// the paper's reference [3]): routers flood group-membership LSAs to every
+// other router in the domain, and each router computes the shortest-path
+// tree from a packet's source on demand with Dijkstra.
+//
+// The paper's §1.1 critique — "every router must receive and store
+// membership information for every group in the domain" and "the processing
+// cost of the Dijkstra shortest-path-tree calculations" — is what the
+// comparison benchmarks measure here: LSA counts (metrics.CtrlLSA), stored
+// membership per router, and SPF runs (metrics.SPFRuns).
+//
+// Substitution note (DESIGN.md §4): unicast topology is shared through a
+// Domain object rather than re-flooded, standing in for the identical OSPF
+// link-state databases every MOSPF router would hold; group membership,
+// which is the scaling cost under study, travels as real flooded messages.
+package mospf
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/topology"
+	"pim/internal/unicast"
+)
+
+// Domain is the topology view shared by all routers in one MOSPF domain:
+// the router-level graph and the interface realizing each graph edge.
+type Domain struct {
+	Routers []*netsim.Node
+	index   map[*netsim.Node]int
+	Graph   *topology.Graph
+	// edgeIfaces[e] are the two interfaces of graph edge e, ordered (A,B).
+	edgeIfaces [][2]*netsim.Iface
+	// sp caches per-source Dijkstra results (the "forwarding cache"
+	// amortization MOSPF performs); invalidated on membership change.
+	sp map[int]*topology.ShortestPaths
+}
+
+// NewDomain derives the router graph from the live links joining the given
+// routers.
+func NewDomain(routers []*netsim.Node) *Domain {
+	d := &Domain{Routers: routers, index: map[*netsim.Node]int{}}
+	for i, nd := range routers {
+		d.index[nd] = i
+	}
+	d.Graph = topology.New(len(routers))
+	seen := map[*netsim.Link]bool{}
+	for i, nd := range routers {
+		for _, ifc := range nd.Ifaces {
+			l := ifc.Link
+			if l == nil || seen[l] {
+				continue
+			}
+			for _, peer := range l.Ifaces {
+				j, ok := d.index[peer.Node]
+				if !ok || peer.Node == nd || j < i {
+					continue
+				}
+				e := d.Graph.AddEdge(i, j, int64(l.Delay))
+				d.edgeIfaces = append(d.edgeIfaces, [2]*netsim.Iface{ifc, peer})
+				_ = e
+			}
+			seen[l] = true
+		}
+	}
+	d.sp = map[int]*topology.ShortestPaths{}
+	return d
+}
+
+// RouterFor locates the router whose connected subnet contains ip, or -1.
+func (d *Domain) RouterFor(ip addr.IP) int {
+	for i, nd := range d.Routers {
+		for _, ifc := range nd.Ifaces {
+			if ifc.Addr != 0 && unicast.LinkPrefix(ifc.Addr).Contains(ip) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// ifaceOnEdge returns router r's interface on graph edge e.
+func (d *Domain) ifaceOnEdge(r, e int) *netsim.Iface {
+	pair := d.edgeIfaces[e]
+	if d.index[pair[0].Node] == r {
+		return pair[0]
+	}
+	return pair[1]
+}
+
+// membershipLSA is the flooded group-membership advertisement:
+//
+//	uint32 origin (router index), uint32 seq, uint16 #groups, uint32 group...
+type membershipLSA struct {
+	Origin uint32
+	Seq    uint32
+	Groups []addr.IP
+}
+
+var errBadLSA = errors.New("mospf: malformed membership LSA")
+
+func (m *membershipLSA) marshal() []byte {
+	b := make([]byte, 10+4*len(m.Groups))
+	binary.BigEndian.PutUint32(b, m.Origin)
+	binary.BigEndian.PutUint32(b[4:], m.Seq)
+	binary.BigEndian.PutUint16(b[8:], uint16(len(m.Groups)))
+	for i, g := range m.Groups {
+		binary.BigEndian.PutUint32(b[10+4*i:], uint32(g))
+	}
+	return b
+}
+
+func (m *membershipLSA) unmarshal(b []byte) error {
+	if len(b) < 10 {
+		return errBadLSA
+	}
+	m.Origin = binary.BigEndian.Uint32(b)
+	m.Seq = binary.BigEndian.Uint32(b[4:])
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	if len(b) < 10+4*n {
+		return errBadLSA
+	}
+	m.Groups = make([]addr.IP, n)
+	for i := 0; i < n; i++ {
+		m.Groups[i] = addr.IP(binary.BigEndian.Uint32(b[10+4*i:]))
+	}
+	return nil
+}
+
+// Router is one MOSPF router instance.
+type Router struct {
+	Node    *netsim.Node
+	Domain  *Domain
+	Metrics *metrics.Counters
+	MFIB    *mfib.Table // (S,G) forwarding cache
+
+	self int // index in the domain
+	seq  uint32
+	// membership[origin][group]: the domain-wide membership database every
+	// router stores (the §1.1 scaling cost).
+	membership map[uint32]map[addr.IP]bool
+	seqs       map[uint32]uint32
+	// localMembers[ifaceIndex][group] from IGMP.
+	localMembers map[int]map[addr.IP]bool
+}
+
+// New builds an MOSPF router within a domain.
+func New(nd *netsim.Node, d *Domain) *Router {
+	return &Router{
+		Node: nd, Domain: d,
+		Metrics:      metrics.New(),
+		MFIB:         mfib.NewTable(),
+		self:         d.index[nd],
+		membership:   map[uint32]map[addr.IP]bool{},
+		seqs:         map[uint32]uint32{},
+		localMembers: map[int]map[addr.IP]bool{},
+	}
+}
+
+// Start registers handlers.
+func (r *Router) Start() {
+	r.Node.Handle(packet.ProtoMOSPF, netsim.HandlerFunc(r.handleLSA))
+	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+}
+
+// StateCount returns forwarding cache entries plus stored membership rows —
+// both components of MOSPF's per-router state.
+func (r *Router) StateCount() int {
+	n := r.MFIB.Len()
+	for _, groups := range r.membership {
+		n += len(groups)
+	}
+	return n
+}
+
+// MembershipRows returns only the stored foreign-membership count.
+func (r *Router) MembershipRows() int {
+	n := 0
+	for _, groups := range r.membership {
+		n += len(groups)
+	}
+	return n
+}
+
+// --- Membership flooding ---
+
+// LocalJoin records a member and floods an updated membership LSA.
+func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
+	byGroup := r.localMembers[ifc.Index]
+	if byGroup == nil {
+		byGroup = map[addr.IP]bool{}
+		r.localMembers[ifc.Index] = byGroup
+	}
+	byGroup[g] = true
+	r.originate()
+}
+
+// LocalLeave removes a member and floods.
+func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
+	if byGroup := r.localMembers[ifc.Index]; byGroup != nil {
+		delete(byGroup, g)
+	}
+	r.originate()
+}
+
+func (r *Router) localGroups() []addr.IP {
+	set := map[addr.IP]bool{}
+	for _, byGroup := range r.localMembers {
+		for g := range byGroup {
+			set[g] = true
+		}
+	}
+	out := make([]addr.IP, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *Router) originate() {
+	r.seq++
+	lsa := &membershipLSA{Origin: uint32(r.self), Seq: r.seq, Groups: r.localGroups()}
+	r.install(lsa)
+	r.flood(lsa, nil)
+}
+
+func (r *Router) handleLSA(in *netsim.Iface, pkt *packet.Packet) {
+	var lsa membershipLSA
+	if err := lsa.unmarshal(pkt.Payload); err != nil {
+		return
+	}
+	if lsa.Origin == uint32(r.self) {
+		return
+	}
+	if cur, ok := r.seqs[lsa.Origin]; ok && int32(lsa.Seq-cur) <= 0 {
+		return
+	}
+	r.install(&lsa)
+	r.flood(&lsa, in)
+}
+
+func (r *Router) install(lsa *membershipLSA) {
+	r.seqs[lsa.Origin] = lsa.Seq
+	groups := map[addr.IP]bool{}
+	for _, g := range lsa.Groups {
+		groups[g] = true
+	}
+	r.membership[lsa.Origin] = groups
+	// Membership changed: drop cached trees (they will be recomputed on
+	// the next data packet) and any shared Dijkstra cache.
+	r.MFIB = mfib.NewTable()
+	r.Domain.sp = map[int]*topology.ShortestPaths{}
+}
+
+func (r *Router) flood(lsa *membershipLSA, except *netsim.Iface) {
+	payload := lsa.marshal()
+	for _, ifc := range r.Node.Ifaces {
+		if ifc == except || !ifc.Up() || ifc.Addr == 0 {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoMOSPF, payload)
+		pkt.TTL = 1
+		r.Node.Send(ifc, pkt, 0)
+		r.Metrics.Inc(metrics.CtrlLSA)
+	}
+}
+
+// memberRouters returns the domain routers with members of g (per the
+// flooded database plus local knowledge).
+func (r *Router) memberRouters(g addr.IP) []int {
+	var out []int
+	for origin, groups := range r.membership {
+		if groups[g] {
+			out = append(out, int(origin))
+		}
+	}
+	has := false
+	for _, byGroup := range r.localMembers {
+		if byGroup[g] {
+			has = true
+			break
+		}
+	}
+	if has {
+		found := false
+		for _, o := range out {
+			if o == r.self {
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, r.self)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- Data plane: on-demand SPT computation (§1.1) ---
+
+func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() || g.IsLinkLocalMulticast() {
+		return
+	}
+	s := pkt.Src
+	e := r.MFIB.SG(s, g)
+	if e == nil {
+		e = r.computeEntry(s, g)
+		if e == nil {
+			r.Metrics.Inc(metrics.DataNoState)
+			return
+		}
+	}
+	srcLocal := in.Addr != 0 && unicast.LinkPrefix(in.Addr).Contains(s)
+	if e.IIF != nil && in != e.IIF && !srcLocal {
+		r.Metrics.Inc(metrics.DataDropped)
+		return
+	}
+	now := r.Node.Net.Sched.Now()
+	fwd, ok := pkt.Forwarded()
+	if !ok {
+		return
+	}
+	for _, out := range e.LiveOIFs(now, in) {
+		r.Node.Send(out, fwd, 0)
+		r.Metrics.Inc(metrics.DataForwarded)
+	}
+}
+
+// computeEntry runs (or reuses) the source-rooted Dijkstra and derives this
+// router's (S,G) forwarding cache entry.
+func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
+	src := r.Domain.RouterFor(s)
+	if src < 0 {
+		return nil
+	}
+	members := r.memberRouters(g)
+	if len(members) == 0 {
+		// Negative cache: remember that this source/group pair has no
+		// members so each packet does not recompute.
+		e, _ := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, r.Node.Net.Sched.Now())
+		return e
+	}
+	sp := r.Domain.sp[src]
+	if sp == nil {
+		sp = r.Domain.Graph.Dijkstra(src)
+		r.Domain.sp[src] = sp
+		r.Metrics.Inc(metrics.SPFRuns)
+	}
+	tree := r.Domain.Graph.SPTreeFromSP(sp, members)
+	now := r.Node.Net.Sched.Now()
+	e, _ := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	if !tree.InTree[r.self] {
+		return e // off-tree: entry with no oifs (packets dropped cheaply)
+	}
+	if pe := tree.ParentEdge[r.self]; pe >= 0 {
+		e.IIF = r.Domain.ifaceOnEdge(r.self, pe)
+	}
+	// Children: tree nodes whose parent is self.
+	for v := 0; v < r.Domain.Graph.N(); v++ {
+		if tree.InTree[v] && tree.Parent[v] == r.self {
+			e.AddOIF(r.Domain.ifaceOnEdge(r.self, tree.ParentEdge[v]), 1<<60)
+		}
+	}
+	// Local member LANs.
+	for idx, byGroup := range r.localMembers {
+		if byGroup[g] {
+			e.AddLocalOIF(r.Node.Ifaces[idx])
+		}
+	}
+	return e
+}

@@ -1,0 +1,307 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pim/internal/addr"
+	"pim/internal/packet"
+)
+
+// Handler consumes packets delivered to a node for one IP protocol number.
+// in is the interface the packet arrived on.
+type Handler interface {
+	HandlePacket(in *Iface, pkt *packet.Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(in *Iface, pkt *packet.Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(in *Iface, pkt *packet.Packet) { f(in, pkt) }
+
+// Node is a simulated router or host. Protocol stacks register per-protocol
+// handlers; packets with no handler are counted as dropped.
+type Node struct {
+	Net    *Network
+	ID     int
+	Name   string
+	Ifaces []*Iface
+
+	handlers     map[byte]Handler
+	onLinkChange []func(*Iface)
+}
+
+// Iface is one network attachment point of a node.
+type Iface struct {
+	Node  *Node
+	Index int // position within Node.Ifaces
+	Addr  addr.IP
+	Link  *Link
+	up    bool
+}
+
+// Up reports whether both the interface and its link are operational.
+func (i *Iface) Up() bool { return i.up && i.Link != nil && i.Link.up }
+
+// String names the interface for traces: "node/ifN".
+func (i *Iface) String() string { return fmt.Sprintf("%s/if%d", i.Node.Name, i.Index) }
+
+// Link joins two or more interfaces. Two interfaces make a point-to-point
+// link; three or more make a multi-access LAN on which every attached
+// interface hears every frame (the §3.7 prune-override behaviour depends on
+// this).
+type Link struct {
+	Net    *Network
+	ID     int
+	Delay  Time
+	Ifaces []*Iface
+	up     bool
+
+	// Bandwidth, when nonzero, is the link capacity in bytes per second:
+	// each frame occupies the transmitter for len/Bandwidth and later
+	// frames queue FIFO behind it. Zero means infinite capacity (pure
+	// propagation delay), the default. Finite bandwidth turns traffic
+	// concentration (Figure 1(c)/2(b)) into measurable queueing delay.
+	Bandwidth int64
+	// nextFree[iface] is when the transmitter side of the link frees up.
+	nextFree map[*Iface]Time
+	// MaxQueueDelay records the worst queueing delay any frame saw.
+	MaxQueueDelay Time
+}
+
+// IsLAN reports whether the link attaches more than two interfaces.
+func (l *Link) IsLAN() bool { return len(l.Ifaces) > 2 }
+
+// Up reports whether the link is operational.
+func (l *Link) Up() bool { return l.up }
+
+// TraceEvent describes one packet delivery for test and example hooks.
+type TraceEvent struct {
+	At   Time
+	From *Iface // transmitting interface
+	To   *Iface // receiving interface
+	Pkt  *packet.Packet
+}
+
+// Network owns the scheduler, nodes, and links of one simulation.
+type Network struct {
+	Sched *Scheduler
+	Nodes []*Node
+	Links []*Link
+	Stats Stats
+	// Trace, if non-nil, observes every packet delivery.
+	Trace func(TraceEvent)
+	// Loss, if non-nil, is consulted for every frame delivery; returning
+	// true drops the frame. Used by failure-injection tests to verify the
+	// soft-state robustness claims (§2): lost control messages must be
+	// recovered by the next periodic refresh, not retransmission.
+	Loss func(from, to *Iface, pkt *packet.Packet) bool
+
+	byAddr map[addr.IP]*Iface
+}
+
+// NewNetwork creates an empty network with a fresh scheduler.
+func NewNetwork() *Network {
+	return &Network{Sched: NewScheduler(), byAddr: map[addr.IP]*Iface{}}
+}
+
+// AddNode creates a node. Names must be unique only for readable traces.
+func (n *Network) AddNode(name string) *Node {
+	nd := &Node{Net: n, ID: len(n.Nodes), Name: name, handlers: map[byte]Handler{}}
+	n.Nodes = append(n.Nodes, nd)
+	return nd
+}
+
+// AddIface attaches a new interface with the given address to the node. The
+// interface starts up but unlinked; use Connect/ConnectLAN to join links.
+func (n *Network) AddIface(nd *Node, ip addr.IP) *Iface {
+	ifc := &Iface{Node: nd, Index: len(nd.Ifaces), Addr: ip, up: true}
+	nd.Ifaces = append(nd.Ifaces, ifc)
+	if ip != 0 {
+		n.byAddr[ip] = ifc
+	}
+	return ifc
+}
+
+// Connect joins exactly two interfaces with a point-to-point link.
+func (n *Network) Connect(a, b *Iface, delay Time) *Link {
+	return n.link(delay, a, b)
+}
+
+// ConnectLAN joins any number of interfaces on a shared multi-access link.
+func (n *Network) ConnectLAN(delay Time, ifaces ...*Iface) *Link {
+	return n.link(delay, ifaces...)
+}
+
+func (n *Network) link(delay Time, ifaces ...*Iface) *Link {
+	if len(ifaces) < 2 {
+		panic("netsim: link needs at least two interfaces")
+	}
+	if delay <= 0 {
+		delay = 1
+	}
+	l := &Link{Net: n, ID: len(n.Links), Delay: delay, up: true}
+	for _, ifc := range ifaces {
+		if ifc.Link != nil {
+			panic("netsim: interface already linked: " + ifc.String())
+		}
+		ifc.Link = l
+		l.Ifaces = append(l.Ifaces, ifc)
+	}
+	n.Links = append(n.Links, l)
+	return l
+}
+
+// SetLinkUp changes a link's operational state and notifies link-change
+// subscribers on every attached node (unicast routing reacts to this; PIM
+// then adapts per §3.8).
+func (n *Network) SetLinkUp(l *Link, up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	for _, ifc := range l.Ifaces {
+		for _, fn := range ifc.Node.onLinkChange {
+			fn(ifc)
+		}
+	}
+}
+
+// IfaceByAddr resolves an interface address.
+func (n *Network) IfaceByAddr(ip addr.IP) *Iface { return n.byAddr[ip] }
+
+// Handle registers h for an IP protocol number on the node.
+func (nd *Node) Handle(proto byte, h Handler) { nd.handlers[proto] = h }
+
+// OnLinkChange registers a callback invoked when any of the node's links
+// change operational state.
+func (nd *Node) OnLinkChange(fn func(*Iface)) {
+	nd.onLinkChange = append(nd.onLinkChange, fn)
+}
+
+// Addr returns the node's primary address (interface 0), or 0 if none.
+func (nd *Node) Addr() addr.IP {
+	if len(nd.Ifaces) == 0 {
+		return 0
+	}
+	return nd.Ifaces[0].Addr
+}
+
+// OwnsAddr reports whether ip is one of the node's interface addresses.
+func (nd *Node) OwnsAddr(ip addr.IP) bool {
+	for _, ifc := range nd.Ifaces {
+		if ifc.Addr == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// IfaceTo returns the node's interface on the same link as the neighbor
+// address, or nil.
+func (nd *Node) IfaceTo(neighbor addr.IP) *Iface {
+	for _, ifc := range nd.Ifaces {
+		if ifc.Link == nil {
+			continue
+		}
+		for _, peer := range ifc.Link.Ifaces {
+			if peer != ifc && peer.Addr == neighbor {
+				return ifc
+			}
+		}
+	}
+	return nil
+}
+
+// Send transmits pkt out the given interface. nextHop selects the receiving
+// interface on a LAN (the link-layer destination); pass 0 to deliver to all
+// other attached interfaces, which is what multicast and broadcast frames
+// do. On point-to-point links nextHop is ignored.
+//
+// The packet is marshalled to bytes here and unmarshalled at each receiver;
+// malformed packets panic (they indicate a protocol implementation bug, not
+// a runtime condition).
+func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
+	if out == nil || !out.Up() {
+		nd.Net.Stats.Drop(dropIfaceDown)
+		return
+	}
+	buf, err := pkt.Marshal()
+	if err != nil {
+		panic("netsim: marshal failed: " + err.Error())
+	}
+	link := out.Link
+	nd.Net.Stats.Transmit(link, pkt)
+	// Serialization and queueing under finite bandwidth.
+	var txDone Time
+	now := nd.Net.Sched.Now()
+	if link.Bandwidth > 0 {
+		if link.nextFree == nil {
+			link.nextFree = map[*Iface]Time{}
+		}
+		start := link.nextFree[out]
+		if start < now {
+			start = now
+		}
+		if q := start - now; q > link.MaxQueueDelay {
+			link.MaxQueueDelay = q
+		}
+		tx := Time(int64(pkt.Len()) * int64(Second) / link.Bandwidth)
+		if tx < 1 {
+			tx = 1
+		}
+		txDone = start + tx - now
+		link.nextFree[out] = start + tx
+	}
+	for _, dst := range link.Ifaces {
+		if dst == out {
+			continue
+		}
+		if link.IsLAN() && nextHop != 0 && dst.Addr != nextHop {
+			continue
+		}
+		dst := dst
+		frame := buf
+		nd.Net.Sched.After(txDone+link.Delay, func() {
+			nd.Net.deliver(out, dst, frame)
+		})
+	}
+}
+
+func (n *Network) deliver(from, to *Iface, frame []byte) {
+	if !to.Up() || !from.Up() {
+		n.Stats.Drop(dropLinkDown)
+		return
+	}
+	pkt, err := packet.Unmarshal(frame)
+	if err != nil {
+		n.Stats.Drop(dropMalformed)
+		return
+	}
+	if n.Loss != nil && n.Loss(from, to, pkt) {
+		n.Stats.Drop(dropInjectedLoss)
+		return
+	}
+	n.Stats.Receive(pkt)
+	if n.Trace != nil {
+		n.Trace(TraceEvent{At: n.Sched.Now(), From: from, To: to, Pkt: pkt})
+	}
+	h, ok := to.Node.handlers[pkt.Protocol]
+	if !ok {
+		n.Stats.Drop(dropNoHandler)
+		return
+	}
+	h.HandlePacket(to, pkt)
+}
+
+// LocalSend injects a locally originated packet into the node's own stack as
+// if it had arrived on the given interface; used for loopback-style delivery
+// (e.g. an RP processing its own register) without crossing a link.
+func (nd *Node) LocalSend(ifc *Iface, pkt *packet.Packet) {
+	h, ok := nd.handlers[pkt.Protocol]
+	if !ok {
+		nd.Net.Stats.Drop(dropNoHandler)
+		return
+	}
+	h.HandlePacket(ifc, pkt)
+}

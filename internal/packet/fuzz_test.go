@@ -1,0 +1,23 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUnmarshalNeverPanics: arbitrary wire bytes must decode or error,
+// never panic.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 5000; trial++ {
+		b := make([]byte, rng.Intn(128))
+		rng.Read(b)
+		if p, err := Unmarshal(b); err == nil {
+			// Random bytes essentially never satisfy the checksum; if one
+			// does, it must at least be self-consistent.
+			if p.Len() > len(b) {
+				t.Fatalf("decoded length %d beyond buffer %d", p.Len(), len(b))
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal: any accepted packet must re-marshal to an equivalent
+// decode (header fields and payload preserved).
+func FuzzUnmarshal(f *testing.F) {
+	p := New(0x0A000001, 0xE1000000, ProtoUDP, []byte("payload"))
+	raw, _ := p.Marshal()
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		raw, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted packet failed: %v", err)
+		}
+		q, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Src != p.Src || q.Dst != p.Dst || q.Protocol != p.Protocol ||
+			q.TTL != p.TTL || !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatal("round trip changed the packet")
+		}
+	})
+}

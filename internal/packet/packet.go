@@ -1,0 +1,160 @@
+// Package packet implements the IPv4-style datagram header used on every
+// simulated link. The codec is a real byte-level encoder/decoder (network
+// byte order, ones-complement header checksum, TTL) so the protocol stacks
+// above it exercise genuine marshal/unmarshal paths rather than passing Go
+// structs around.
+//
+// The layout is the classic 20-byte IPv4 header without options:
+//
+//	 0               1               2               3
+//	+-------+-------+---------------+-------------------------------+
+//	|Ver=4  | IHL=5 |      TOS      |          Total Length         |
+//	+-------+-------+---------------+-------------------------------+
+//	|         Identification        |          (flags/frag=0)       |
+//	+---------------+---------------+-------------------------------+
+//	|      TTL      |   Protocol    |        Header Checksum        |
+//	+---------------+---------------+-------------------------------+
+//	|                       Source Address                          |
+//	+----------------------------------------------------------------
+//	|                     Destination Address                       |
+//	+----------------------------------------------------------------
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pim/internal/addr"
+)
+
+// HeaderLen is the fixed encoded header size (no options).
+const HeaderLen = 20
+
+// IP protocol numbers used by the simulated stacks. IGMP and PIM use their
+// standard numbers; the remaining control protocols use simulator-local
+// numbers from the unassigned range (documented in DESIGN.md: the 1994 paper
+// carried PIM and DVMRP inside IGMP message types, we give each protocol its
+// own demux number instead).
+const (
+	ProtoIGMP    = 2
+	ProtoUDP     = 17 // application data payloads
+	ProtoPIM     = 103
+	ProtoDVMRP   = 200
+	ProtoCBT     = 201
+	ProtoRIPSim  = 202 // distance-vector unicast routing messages
+	ProtoLSSim   = 203 // link-state unicast routing messages
+	ProtoMOSPF   = 204 // group-membership LSA flooding
+	ProtoPIMData = 205 // PIM register-encapsulated data (outer header proto)
+)
+
+// DefaultTTL is the initial TTL for locally originated datagrams.
+const DefaultTTL = 64
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrBadVersion  = errors.New("packet: bad version/IHL")
+	ErrBadChecksum = errors.New("packet: bad header checksum")
+	ErrBadLength   = errors.New("packet: total length mismatch")
+)
+
+// Packet is a parsed datagram: header fields plus payload bytes.
+type Packet struct {
+	TOS      byte
+	ID       uint16
+	TTL      byte
+	Protocol byte
+	Src      addr.IP
+	Dst      addr.IP
+	Payload  []byte
+}
+
+// New builds a datagram with DefaultTTL.
+func New(src, dst addr.IP, proto byte, payload []byte) *Packet {
+	return &Packet{TTL: DefaultTTL, Protocol: proto, Src: src, Dst: dst, Payload: payload}
+}
+
+// Len returns the encoded length of the datagram.
+func (p *Packet) Len() int { return HeaderLen + len(p.Payload) }
+
+// Marshal encodes the datagram, computing the header checksum.
+func (p *Packet) Marshal() ([]byte, error) {
+	total := p.Len()
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("packet: payload too large (%d bytes)", len(p.Payload))
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | 5 // version 4, IHL 5 words
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	// flags/fragment offset stay zero: the simulator never fragments.
+	b[8] = p.TTL
+	b[9] = p.Protocol
+	binary.BigEndian.PutUint32(b[12:], uint32(p.Src))
+	binary.BigEndian.PutUint32(b[16:], uint32(p.Dst))
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:HeaderLen]))
+	copy(b[HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// Unmarshal decodes and validates a datagram. The returned packet's Payload
+// aliases b; callers that retain packets across buffer reuse must copy.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0] != 4<<4|5 {
+		return nil, ErrBadVersion
+	}
+	if Checksum(b[:HeaderLen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < HeaderLen || total > len(b) {
+		return nil, ErrBadLength
+	}
+	return &Packet{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      addr.IP(binary.BigEndian.Uint32(b[12:])),
+		Dst:      addr.IP(binary.BigEndian.Uint32(b[16:])),
+		Payload:  b[HeaderLen:total],
+	}, nil
+}
+
+// Forwarded returns a copy of p with the TTL decremented, or false if the
+// TTL is exhausted and the packet must be dropped.
+func (p *Packet) Forwarded() (*Packet, bool) {
+	if p.TTL <= 1 {
+		return nil, false
+	}
+	q := *p
+	q.TTL--
+	return &q, true
+}
+
+// Checksum computes the RFC 1071 ones-complement sum over b. Computing it
+// over a header whose checksum field holds the transmitted checksum yields 0
+// for an intact header.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for ; len(b) >= 2; b = b[2:] {
+		sum += uint32(b[0])<<8 | uint32(b[1])
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = sum>>16 + sum&0xFFFF
+	}
+	return ^uint16(sum)
+}
+
+// String renders a compact one-line summary for traces.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%v>%v proto=%d ttl=%d len=%d", p.Src, p.Dst, p.Protocol, p.TTL, p.Len())
+}

@@ -1,0 +1,188 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pim/internal/addr"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := New(addr.V4(10, 0, 0, 1), addr.V4(225, 0, 0, 7), ProtoPIM, []byte("join/prune payload"))
+	p.TOS = 0x10
+	p.ID = 4242
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Src != p.Src || q.Dst != p.Dst || q.Protocol != p.Protocol ||
+		q.TTL != p.TTL || q.TOS != p.TOS || q.ID != p.ID {
+		t.Fatalf("header mismatch: got %+v want %+v", q, p)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("payload mismatch: %q vs %q", q.Payload, p.Payload)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, tos, ttl, proto byte, id uint16, payload []byte) bool {
+		if len(payload) > 0xFFFF-HeaderLen {
+			payload = payload[:0xFFFF-HeaderLen]
+		}
+		p := &Packet{TOS: tos, ID: id, TTL: ttl, Protocol: proto,
+			Src: addr.IP(src), Dst: addr.IP(dst), Payload: payload}
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return q.TOS == p.TOS && q.ID == p.ID && q.TTL == p.TTL &&
+			q.Protocol == p.Protocol && q.Src == p.Src && q.Dst == p.Dst &&
+			bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, HeaderLen-1)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestUnmarshalBadVersion(t *testing.T) {
+	p := New(1, 2, ProtoUDP, nil)
+	b, _ := p.Marshal()
+	b[0] = 6 << 4 // IPv6-ish
+	if _, err := Unmarshal(b); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestUnmarshalCorruptionDetected(t *testing.T) {
+	p := New(addr.V4(10, 0, 0, 1), addr.V4(10, 0, 0, 2), ProtoUDP, []byte{1, 2, 3})
+	b, _ := p.Marshal()
+	// Flip each header bit in turn: every single-bit header corruption must
+	// be rejected (checksum, version, or length check).
+	for bit := 0; bit < HeaderLen*8; bit++ {
+		c := append([]byte(nil), b...)
+		c[bit/8] ^= 1 << (bit % 8)
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+}
+
+func TestUnmarshalLengthValidation(t *testing.T) {
+	p := New(1, 2, ProtoUDP, []byte{9, 9})
+	b, _ := p.Marshal()
+	// Total length larger than buffer: must fail even with fixed checksum.
+	c := append([]byte(nil), b...)
+	c[2], c[3] = 0xFF, 0xFF
+	c[10], c[11] = 0, 0
+	cs := Checksum(c[:HeaderLen])
+	c[10], c[11] = byte(cs>>8), byte(cs)
+	if _, err := Unmarshal(c); !errors.Is(err, ErrBadLength) {
+		t.Errorf("oversized total length: got %v, want ErrBadLength", err)
+	}
+}
+
+func TestUnmarshalTrailingBytesIgnored(t *testing.T) {
+	p := New(1, 2, ProtoUDP, []byte("abc"))
+	b, _ := p.Marshal()
+	b = append(b, 0xDE, 0xAD) // link padding
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(q.Payload) != "abc" {
+		t.Errorf("payload = %q, want abc (padding must be excluded)", q.Payload)
+	}
+}
+
+func TestMarshalTooLarge(t *testing.T) {
+	p := New(1, 2, ProtoUDP, make([]byte, 0x10000))
+	if _, err := p.Marshal(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestForwardedDecrementsTTL(t *testing.T) {
+	p := New(1, 2, ProtoUDP, nil)
+	p.TTL = 3
+	q, ok := p.Forwarded()
+	if !ok || q.TTL != 2 {
+		t.Fatalf("Forwarded: ok=%v ttl=%d", ok, q.TTL)
+	}
+	if p.TTL != 3 {
+		t.Error("Forwarded mutated the original")
+	}
+	p.TTL = 1
+	if _, ok := p.Forwarded(); ok {
+		t.Error("TTL 1 packet should not be forwardable")
+	}
+	p.TTL = 0
+	if _, ok := p.Forwarded(); ok {
+		t.Error("TTL 0 packet should not be forwardable")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 discussions: verify complement-sum-to-zero.
+	h := []byte{0x45, 0x00, 0x00, 0x30, 0x44, 0x22, 0x40, 0x00, 0x80, 0x06,
+		0x00, 0x00, 0x8c, 0x7c, 0x19, 0xac, 0xae, 0x24, 0x1e, 0x2b}
+	cs := Checksum(h)
+	h[10], h[11] = byte(cs>>8), byte(cs)
+	if Checksum(h) != 0 {
+		t.Error("checksum over checksummed header should be 0")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if Checksum([]byte{0xFF}) != ^uint16(0xFF00) {
+		t.Errorf("odd-length checksum wrong: %04x", Checksum([]byte{0xFF}))
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := New(addr.V4(10, 0, 0, 1), addr.V4(225, 0, 0, 1), ProtoPIM, []byte{1})
+	got := p.String()
+	want := "10.0.0.1>225.0.0.1 proto=103 ttl=64 len=21"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	payload := make([]byte, 512)
+	rand.New(rand.NewSource(1)).Read(payload)
+	p := New(addr.V4(10, 0, 0, 1), addr.V4(225, 0, 0, 7), ProtoUDP, payload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	p := New(addr.V4(10, 0, 0, 1), addr.V4(225, 0, 0, 7), ProtoUDP, make([]byte, 512))
+	buf, _ := p.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

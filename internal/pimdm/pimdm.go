@@ -1,0 +1,648 @@
+// Package pimdm implements PIM dense mode, the paper's companion protocol
+// (reference [13], discussed in §1.3 fn. 15 and §4): DVMRP-style
+// flood-and-prune that is independent of the unicast routing protocol — it
+// consumes the same unicast.Router interface as sparse mode — and uses PIM
+// message formats (join/prune with the shared LAN semantics, graft, and
+// assert for electing a single forwarder on multi-access subnets).
+//
+// The §4 interoperation discussion ("links should be configurable to
+// operate in dense mode or in sparse mode") is exercised by comparison
+// benchmarks that run dense and sparse mode over the same topologies and
+// measure where each wins.
+package pimdm
+
+import (
+	"sort"
+
+	"pim/internal/addr"
+	"pim/internal/metrics"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimmsg"
+	"pim/internal/unicast"
+)
+
+// Config carries the protocol parameters.
+type Config struct {
+	// PruneHoldTime bounds prune state before the branch grows back.
+	PruneHoldTime netsim.Time
+	// QueryInterval paces neighbor discovery (leaf detection + asserts).
+	QueryInterval netsim.Time
+	// PruneOverrideDelay is the LAN override window (shared with sparse
+	// mode's §3.7 semantics).
+	PruneOverrideDelay netsim.Time
+	// Scope restricts the router to a subset of its interfaces (nil = all).
+	// Border routers (internal/border) scope their dense-mode instance to
+	// the dense-region interfaces so floods and member advertisements stay
+	// inside the region (§4 interoperation).
+	Scope func(*netsim.Iface) bool
+}
+
+// Defaults.
+const (
+	DefaultPruneHoldTime      = 120 * netsim.Second
+	DefaultQueryInterval      = 30 * netsim.Second
+	DefaultPruneOverrideDelay = 3 * netsim.Second
+)
+
+const infiniteExpiry = netsim.Time(1) << 60
+
+// Router is one PIM dense-mode router instance.
+type Router struct {
+	Node    *netsim.Node
+	Cfg     Config
+	Unicast unicast.Router
+	MFIB    *mfib.Table
+	Metrics *metrics.Counters
+
+	neighbors      map[int]map[addr.IP]netsim.Time
+	members        map[int]map[addr.IP]bool
+	prunedUpstream map[mfib.Key]bool
+	// assertLoser[key][ifaceIndex] marks interfaces we lost an assert on.
+	assertLoser map[mfib.Key]map[int]bool
+
+	// Member-existence advertisement state (§4 dense/sparse interop):
+	// every dense-region router floods the groups it has members for, so
+	// border routers can join sparse-mode trees on the region's behalf.
+	adSeq     uint32
+	regionAds map[addr.IP]map[addr.IP]bool // origin -> groups
+	adSeqs    map[addr.IP]uint32
+	adSeen    map[addr.IP]netsim.Time // origin -> last advertisement
+	// OnRegionMembership fires when a group's region-wide member presence
+	// (local or advertised) toggles.
+	OnRegionMembership func(g addr.IP, present bool)
+	regionPresent      map[addr.IP]bool
+	// ExternalInterest, when set, reports that traffic from (s,g) is wanted
+	// outside this router's dense scope, suppressing upstream prunes. The
+	// border router (internal/border) wires it to the sparse side so the
+	// region keeps exporting source traffic toward the RP (§4).
+	ExternalInterest func(s, g addr.IP) bool
+}
+
+// New builds a dense-mode router.
+func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
+	if cfg.PruneHoldTime == 0 {
+		cfg.PruneHoldTime = DefaultPruneHoldTime
+	}
+	if cfg.QueryInterval == 0 {
+		cfg.QueryInterval = DefaultQueryInterval
+	}
+	if cfg.PruneOverrideDelay == 0 {
+		cfg.PruneOverrideDelay = DefaultPruneOverrideDelay
+	}
+	return &Router{
+		Node: nd, Cfg: cfg, Unicast: uni,
+		MFIB:           mfib.NewTable(),
+		Metrics:        metrics.New(),
+		neighbors:      map[int]map[addr.IP]netsim.Time{},
+		members:        map[int]map[addr.IP]bool{},
+		prunedUpstream: map[mfib.Key]bool{},
+		assertLoser:    map[mfib.Key]map[int]bool{},
+		regionAds:      map[addr.IP]map[addr.IP]bool{},
+		adSeqs:         map[addr.IP]uint32{},
+		adSeen:         map[addr.IP]netsim.Time{},
+		regionPresent:  map[addr.IP]bool{},
+	}
+}
+
+// inScope reports whether the router operates on the interface.
+func (r *Router) inScope(ifc *netsim.Iface) bool {
+	return r.Cfg.Scope == nil || r.Cfg.Scope(ifc)
+}
+
+// Start registers handlers and begins querying.
+func (r *Router) Start() {
+	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
+	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+	sched := r.Node.Net.Sched
+	var query func()
+	query = func() {
+		r.expireNeighbors()
+		r.expireMemberAds()
+		r.sendQueries()
+		r.originateMemberAd()
+		sched.After(r.Cfg.QueryInterval, query)
+	}
+	sched.After(0, query)
+}
+
+func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
+
+// StateCount returns the number of forwarding entries.
+func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// --- Membership ---
+
+// LocalJoin records a member and grafts pruned branches back.
+func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
+	byGroup := r.members[ifc.Index]
+	if byGroup == nil {
+		byGroup = map[addr.IP]bool{}
+		r.members[ifc.Index] = byGroup
+	}
+	byGroup[g] = true
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		e.AddLocalOIF(ifc)
+		if r.prunedUpstream[e.Key] {
+			r.sendGraft(e)
+			delete(r.prunedUpstream, e.Key)
+		}
+	})
+	r.originateMemberAd()
+	r.recomputeRegionPresence()
+}
+
+// LocalLeave removes a member; empty branches prune upstream.
+func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
+	if byGroup := r.members[ifc.Index]; byGroup != nil {
+		delete(byGroup, g)
+	}
+	now := r.now()
+	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
+		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
+			o.LocalMember = false
+			if !o.Live(now) {
+				e.RemoveOIF(ifc)
+			}
+		}
+		r.maybePruneUpstream(e)
+	})
+	r.originateMemberAd()
+	r.recomputeRegionPresence()
+}
+
+func (r *Router) hasMember(ifc *netsim.Iface, g addr.IP) bool {
+	byGroup := r.members[ifc.Index]
+	return byGroup != nil && byGroup[g]
+}
+
+// --- Neighbor discovery ---
+
+func (r *Router) sendQueries() {
+	body := (&pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}).Marshal()
+	payload := pimmsg.Envelope(pimmsg.TypeQuery, body)
+	for _, ifc := range r.Node.Ifaces {
+		if !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
+		pkt.TTL = 1
+		r.Node.Send(ifc, pkt, 0)
+		r.Metrics.Inc(metrics.CtrlQuery)
+	}
+}
+
+func (r *Router) expireNeighbors() {
+	now := r.now()
+	for _, byAddr := range r.neighbors {
+		for a, deadline := range byAddr {
+			if now > deadline {
+				delete(byAddr, a)
+			}
+		}
+	}
+}
+
+func (r *Router) isLeaf(ifc *netsim.Iface) bool {
+	now := r.now()
+	for _, deadline := range r.neighbors[ifc.Index] {
+		if now <= deadline {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Control messages ---
+
+func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
+	typ, body, err := pimmsg.Open(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case pimmsg.TypeQuery:
+		q, err := pimmsg.UnmarshalQuery(body)
+		if err != nil {
+			return
+		}
+		byAddr := r.neighbors[in.Index]
+		if byAddr == nil {
+			byAddr = map[addr.IP]netsim.Time{}
+			r.neighbors[in.Index] = byAddr
+		}
+		byAddr[pkt.Src] = r.now() + netsim.Time(q.HoldTime)*netsim.Second
+	case pimmsg.TypeJoinPrune:
+		r.handleJoinPrune(in, body)
+	case pimmsg.TypeGraft:
+		r.handleGraft(in, pkt.Src, body)
+	case pimmsg.TypeGraftAck:
+		// Loss-free simulator links: the ack needs no retransmission state.
+	case pimmsg.TypeAssert:
+		r.handleAssert(in, pkt.Src, body)
+	case pimmsg.TypeMemberAd:
+		r.handleMemberAd(in, body)
+	}
+}
+
+// --- Member-existence advertisements (§4 interop) ---
+
+func (r *Router) localGroups() []addr.IP {
+	set := map[addr.IP]bool{}
+	for _, byGroup := range r.members {
+		for g, ok := range byGroup {
+			if ok {
+				set[g] = true
+			}
+		}
+	}
+	out := make([]addr.IP, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r *Router) originateMemberAd() {
+	r.adSeq++
+	ad := &pimmsg.MemberAd{Origin: r.Node.Addr(), Seq: r.adSeq, Groups: r.localGroups()}
+	r.floodMemberAd(ad, nil)
+}
+
+func (r *Router) handleMemberAd(in *netsim.Iface, body []byte) {
+	ad, err := pimmsg.UnmarshalMemberAd(body)
+	if err != nil || ad.Origin == r.Node.Addr() {
+		return
+	}
+	if cur, ok := r.adSeqs[ad.Origin]; ok && int32(ad.Seq-cur) <= 0 {
+		return
+	}
+	r.adSeqs[ad.Origin] = ad.Seq
+	r.adSeen[ad.Origin] = r.now()
+	groups := map[addr.IP]bool{}
+	for _, g := range ad.Groups {
+		groups[g] = true
+	}
+	r.regionAds[ad.Origin] = groups
+	r.floodMemberAd(ad, in)
+	r.recomputeRegionPresence()
+}
+
+func (r *Router) floodMemberAd(ad *pimmsg.MemberAd, except *netsim.Iface) {
+	payload := pimmsg.Envelope(pimmsg.TypeMemberAd, ad.Marshal())
+	for _, ifc := range r.Node.Ifaces {
+		if ifc == except || !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
+			continue
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
+		pkt.TTL = 1
+		r.Node.Send(ifc, pkt, 0)
+	}
+}
+
+// expireMemberAds drops advertisements from routers that have gone silent
+// (soft state: a crashed member router must not pin the border to the
+// sparse tree forever).
+func (r *Router) expireMemberAds() {
+	now := r.now()
+	changed := false
+	for origin, seen := range r.adSeen {
+		if now-seen > 3*r.Cfg.QueryInterval {
+			delete(r.adSeen, origin)
+			delete(r.adSeqs, origin)
+			delete(r.regionAds, origin)
+			changed = true
+		}
+	}
+	if changed {
+		r.recomputeRegionPresence()
+	}
+}
+
+// RegionHasMembers reports whether any router in the region (including this
+// one) has advertised local members for g.
+func (r *Router) RegionHasMembers(g addr.IP) bool {
+	for _, byGroup := range r.members {
+		if byGroup[g] {
+			return true
+		}
+	}
+	for _, groups := range r.regionAds {
+		if groups[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// recomputeRegionPresence fires OnRegionMembership for groups whose
+// region-wide presence toggled.
+func (r *Router) recomputeRegionPresence() {
+	if r.OnRegionMembership == nil {
+		return
+	}
+	seen := map[addr.IP]bool{}
+	for _, byGroup := range r.members {
+		for g, ok := range byGroup {
+			if ok {
+				seen[g] = true
+			}
+		}
+	}
+	for _, groups := range r.regionAds {
+		for g := range groups {
+			seen[g] = true
+		}
+	}
+	for g := range seen {
+		if !r.regionPresent[g] {
+			r.regionPresent[g] = true
+			r.OnRegionMembership(g, true)
+		}
+	}
+	for g := range r.regionPresent {
+		if !seen[g] {
+			delete(r.regionPresent, g)
+			r.OnRegionMembership(g, false)
+		}
+	}
+}
+
+func (r *Router) handleJoinPrune(in *netsim.Iface, body []byte) {
+	m, err := pimmsg.UnmarshalJoinPrune(body)
+	if err != nil {
+		return
+	}
+	mine := m.UpstreamNeighbor == in.Addr
+	for _, grp := range m.Groups {
+		for _, a := range grp.Prunes {
+			e := r.MFIB.SG(a.Addr, grp.Group)
+			if e == nil {
+				continue
+			}
+			if mine {
+				r.schedulePrune(e, in, grp.Group)
+			} else if in.Link != nil && in.Link.IsLAN() {
+				// Overheard on the LAN: override if we still depend on it.
+				if e.IIF == in && !e.OIFEmpty(r.now()) {
+					r.sendJoinOverride(in, m.UpstreamNeighbor, grp.Group, a.Addr)
+				}
+			}
+		}
+		for _, a := range grp.Joins {
+			e := r.MFIB.SG(a.Addr, grp.Group)
+			if e == nil || !mine {
+				continue
+			}
+			// A join (override) cancels a pending prune and restores the oif.
+			e.AddOIF(in, infiniteExpiry)
+		}
+	}
+}
+
+func (r *Router) schedulePrune(e *mfib.Entry, in *netsim.Iface, g addr.IP) {
+	if r.hasMember(in, g) {
+		return
+	}
+	key := e.Key
+	apply := func() {
+		e.RemoveOIF(in)
+		r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+			// Grow back.
+			if cur := r.MFIB.Get(key); cur != nil && in.Up() && !r.assertLoser[key][in.Index] {
+				cur.AddOIF(in, infiniteExpiry)
+				delete(r.prunedUpstream, key)
+			}
+		})
+		r.maybePruneUpstream(e)
+	}
+	if in.Link != nil && in.Link.IsLAN() {
+		o := e.OIFs[in.Index]
+		if o == nil {
+			return
+		}
+		o.PrunePending = true
+		o.PruneDeadline = r.now() + r.Cfg.PruneOverrideDelay
+		r.Node.Net.Sched.After(r.Cfg.PruneOverrideDelay, func() {
+			cur := e.OIFs[in.Index]
+			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
+				apply()
+			}
+		})
+		return
+	}
+	apply()
+}
+
+func (r *Router) sendJoinOverride(out *netsim.Iface, upstream, g, s addr.IP) {
+	m := &pimmsg.JoinPrune{
+		UpstreamNeighbor: upstream,
+		HoldTime:         uint16(r.Cfg.PruneHoldTime / netsim.Second),
+		Groups:           []pimmsg.GroupRecord{{Group: g, Joins: []pimmsg.Addr{{Addr: s}}}},
+	}
+	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
+	pkt.TTL = 1
+	r.Node.Send(out, pkt, 0)
+	r.Metrics.Inc(metrics.CtrlJoinPrune)
+}
+
+func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, body []byte) {
+	m, err := pimmsg.UnmarshalJoinPrune(body)
+	if err != nil || m.UpstreamNeighbor != in.Addr {
+		return
+	}
+	// Ack hop-by-hop.
+	ack := packet.New(in.Addr, from, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeGraftAck, m.Marshal()))
+	ack.TTL = 1
+	r.Node.Send(in, ack, from)
+	for _, grp := range m.Groups {
+		for _, a := range grp.Joins {
+			e := r.MFIB.SG(a.Addr, grp.Group)
+			if e == nil {
+				continue
+			}
+			e.AddOIF(in, infiniteExpiry)
+			if r.prunedUpstream[e.Key] {
+				r.sendGraft(e)
+				delete(r.prunedUpstream, e.Key)
+			}
+		}
+	}
+}
+
+func (r *Router) sendGraft(e *mfib.Entry) {
+	if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
+		return
+	}
+	m := &pimmsg.JoinPrune{
+		UpstreamNeighbor: e.UpstreamNeighbor,
+		Groups: []pimmsg.GroupRecord{{
+			Group: e.Key.Group,
+			Joins: []pimmsg.Addr{{Addr: e.Key.Source}},
+		}},
+	}
+	pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeGraft, m.Marshal()))
+	pkt.TTL = 1
+	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+	r.Metrics.Inc(metrics.CtrlGraft)
+}
+
+func (r *Router) maybePruneUpstream(e *mfib.Entry) {
+	if !e.OIFEmpty(r.now()) || r.prunedUpstream[e.Key] {
+		return
+	}
+	if r.ExternalInterest != nil && r.ExternalInterest(e.Key.Source, e.Key.Group) {
+		return
+	}
+	if e.UpstreamNeighbor == 0 || e.IIF == nil || !e.IIF.Up() {
+		return
+	}
+	m := &pimmsg.JoinPrune{
+		UpstreamNeighbor: e.UpstreamNeighbor,
+		HoldTime:         uint16(r.Cfg.PruneHoldTime / netsim.Second),
+		Groups: []pimmsg.GroupRecord{{
+			Group:  e.Key.Group,
+			Prunes: []pimmsg.Addr{{Addr: e.Key.Source}},
+		}},
+	}
+	pkt := packet.New(e.IIF.Addr, addr.AllRouters, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
+	pkt.TTL = 1
+	r.Node.Send(e.IIF, pkt, 0)
+	r.Metrics.Inc(metrics.CtrlPrune)
+	r.prunedUpstream[e.Key] = true
+	key := e.Key
+	r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+		delete(r.prunedUpstream, key)
+	})
+}
+
+// --- Assert (LAN duplicate forwarder election) ---
+
+// handleAssert resolves a parallel-forwarder conflict: the router with the
+// lower metric to the source keeps the LAN oif; ties break to the higher
+// address.
+func (r *Router) handleAssert(in *netsim.Iface, from addr.IP, body []byte) {
+	a, err := pimmsg.UnmarshalAssert(body)
+	if err != nil {
+		return
+	}
+	e := r.MFIB.SG(a.Source, a.Group)
+	if e == nil {
+		return
+	}
+	o := e.OIFs[in.Index]
+	if o == nil || !o.Live(r.now()) {
+		return
+	}
+	my := r.metricTo(a.Source)
+	if my > int64(a.Metric) || (my == int64(a.Metric) && in.Addr < from) {
+		// We lose: stop forwarding onto this LAN until state rebuilds.
+		e.RemoveOIF(in)
+		key := e.Key
+		if r.assertLoser[key] == nil {
+			r.assertLoser[key] = map[int]bool{}
+		}
+		r.assertLoser[key][in.Index] = true
+		r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+			delete(r.assertLoser[key], in.Index)
+		})
+	}
+}
+
+func (r *Router) sendAssert(out *netsim.Iface, s, g addr.IP) {
+	a := &pimmsg.Assert{Group: g, Source: s, Metric: uint32(r.metricTo(s))}
+	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM,
+		pimmsg.Envelope(pimmsg.TypeAssert, a.Marshal()))
+	pkt.TTL = 1
+	r.Node.Send(out, pkt, 0)
+	r.Metrics.Inc(metrics.CtrlAssert)
+}
+
+func (r *Router) metricTo(s addr.IP) int64 {
+	rt, ok := r.Unicast.Lookup(s)
+	if !ok {
+		return 1 << 30
+	}
+	return rt.Metric
+}
+
+// --- Data plane ---
+
+func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
+	g := pkt.Dst
+	if !g.IsMulticast() || g.IsLinkLocalMulticast() {
+		return
+	}
+	s := pkt.Src
+	now := r.now()
+	srcLocal := in.Addr != 0 && unicast.LinkPrefix(in.Addr).Contains(s)
+	var iif *netsim.Iface
+	var upstream addr.IP
+	if !srcLocal {
+		rt, ok := r.Unicast.Lookup(s)
+		if !ok {
+			r.Metrics.Inc(metrics.DataDropped)
+			return
+		}
+		iif, upstream = rt.Iface, rt.NextHop
+		if in != iif {
+			// A data packet arriving on one of our outgoing interfaces
+			// means a parallel forwarder exists on that LAN: assert.
+			if e := r.MFIB.SG(s, g); e != nil && e.HasOIF(in, now) &&
+				in.Link != nil && in.Link.IsLAN() {
+				r.sendAssert(in, s, g)
+			}
+			r.Metrics.Inc(metrics.DataDropped)
+			return
+		}
+	} else {
+		iif = in
+	}
+	e := r.MFIB.SG(s, g)
+	if e == nil {
+		e, _ = r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+		e.IIF, e.UpstreamNeighbor = iif, upstream
+		if srcLocal {
+			e.UpstreamNeighbor = 0
+		}
+		for _, ifc := range r.Node.Ifaces {
+			if ifc == in || !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
+				continue
+			}
+			if r.isLeaf(ifc) {
+				if r.hasMember(ifc, g) {
+					e.AddLocalOIF(ifc)
+				}
+				continue
+			}
+			e.AddOIF(ifc, infiniteExpiry)
+		}
+	}
+	oifs := e.LiveOIFs(now, in)
+	if len(oifs) == 0 {
+		r.maybePruneUpstream(e)
+		return
+	}
+	fwd, ok := pkt.Forwarded()
+	if !ok {
+		return
+	}
+	for _, out := range oifs {
+		r.Node.Send(out, fwd, 0)
+		r.Metrics.Inc(metrics.DataForwarded)
+	}
+}
+
+// HandlePIMPacket is the exported PIM control entry point for border-router
+// multiplexing (internal/border).
+func (r *Router) HandlePIMPacket(in *netsim.Iface, pkt *packet.Packet) { r.handlePIM(in, pkt) }
+
+// HandleDataPacket is the exported data-plane entry point (see
+// HandlePIMPacket).
+func (r *Router) HandleDataPacket(in *netsim.Iface, pkt *packet.Packet) { r.handleData(in, pkt) }

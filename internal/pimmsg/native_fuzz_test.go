@@ -1,0 +1,50 @@
+package pimmsg
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+)
+
+type addrAlias = addr.IP
+
+// Native fuzz targets: `go test -fuzz=FuzzOpen ./internal/pimmsg` explores
+// the decoders; under plain `go test` the seed corpus below runs as unit
+// tests.
+
+func FuzzOpen(f *testing.F) {
+	m := &JoinPrune{UpstreamNeighbor: 1, HoldTime: 180,
+		Groups: []GroupRecord{{Group: 0xE1000000, Joins: []Addr{{Addr: 2, WC: true, RP: true}}}}}
+	f.Add(Envelope(TypeJoinPrune, m.Marshal()))
+	f.Add(Envelope(TypeRegister, (&Register{Inner: []byte{1, 2, 3}}).Marshal()))
+	f.Add(Envelope(TypeRPReach, (&RPReach{Group: 0xE1000000, RP: 9, HoldTime: 90}).Marshal()))
+	f.Add(Envelope(TypeMemberAd, (&MemberAd{Origin: 1, Seq: 2, Groups: []addrAlias{0xE1000000}}).Marshal()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, body, err := Open(b)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TypeJoinPrune, TypeGraft, TypeGraftAck:
+			if m, err := UnmarshalJoinPrune(body); err == nil {
+				// Re-encoding a decoded message must decode again.
+				if _, err := UnmarshalJoinPrune(m.Marshal()); err != nil {
+					t.Fatalf("re-encode failed: %v", err)
+				}
+			}
+		case TypeRegister:
+			_, _ = UnmarshalRegister(body)
+		case TypeRPReach:
+			_, _ = UnmarshalRPReach(body)
+		case TypeQuery:
+			_, _ = UnmarshalQuery(body)
+		case TypeAssert:
+			_, _ = UnmarshalAssert(body)
+		case TypeMemberAd:
+			_, _ = UnmarshalMemberAd(body)
+		case TypeRPReport:
+			_, _ = UnmarshalRPReport(body)
+		}
+	})
+}

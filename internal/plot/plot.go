@@ -1,0 +1,111 @@
+// Package plot renders small ASCII line charts for the experiment tools, so
+// `treestudy -plot` shows the Figure 2 curves directly in the terminal
+// without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Marker byte // plotted character, e.g. '*' or 'o'
+	Values []float64
+}
+
+// Chart renders the series over shared x labels. Height is the number of
+// plot rows (excluding axes); every series must have len(xs) values.
+func Chart(title string, xs []string, series []Series, height int) string {
+	if height < 2 {
+		height = 2
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if math.IsInf(min, 1) {
+		return title + "\n(no data)\n"
+	}
+	if max == min {
+		max = min + 1
+	}
+	// Column layout: each x position gets a fixed-width cell.
+	cell := 6
+	for _, x := range xs {
+		if len(x)+2 > cell {
+			cell = len(x) + 2
+		}
+	}
+	width := cell * len(xs)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		frac := (v - min) / (max - min)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r // row 0 is the top
+	}
+	for _, s := range series {
+		for i, v := range s.Values {
+			if i >= len(xs) {
+				break
+			}
+			col := i*cell + cell/2
+			r := row(v)
+			if grid[r][col] == ' ' || grid[r][col] == s.Marker {
+				grid[r][col] = s.Marker
+			} else {
+				grid[r][col] = '+' // overlapping series
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelW := 10
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = trimNum(max)
+		case height - 1:
+			label = trimNum(min)
+		case (height - 1) / 2:
+			label = trimNum(min + (max-min)/2)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", labelW, label, string(line))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labelW, "", strings.Repeat("-", width))
+	var xr strings.Builder
+	for _, x := range xs {
+		pad := cell - len(x)
+		left := pad/2 + pad%2
+		xr.WriteString(strings.Repeat(" ", left))
+		xr.WriteString(x)
+		xr.WriteString(strings.Repeat(" ", pad-left))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", labelW, "", xr.String())
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", labelW, "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

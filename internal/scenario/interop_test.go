@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/pimdm"
+	"pim/internal/topology"
+)
+
+// TestDeployInterop: a line internet with a dense tail — sparse 0-1,
+// border 2, dense 3-4. Members on both ends exchange traffic.
+func TestDeployInterop(t *testing.T) {
+	g := topology.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	sim := Build(g)
+	sparseHost := sim.AddHost(0)
+	denseHost := sim.AddHost(4)
+	sim.FinishUnicast(UseOracle)
+	group := addr.GroupForIndex(0)
+	rp := sim.RouterAddr(0)
+	dep := sim.DeployInterop(
+		core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}},
+		pimdm.Config{PruneHoldTime: 600 * netsim.Second},
+		map[int]bool{3: true, 4: true},
+	)
+	// Role assignment: 0,1 sparse; 2 border; 3,4 dense.
+	if dep.Sparse[0] == nil || dep.Sparse[1] == nil {
+		t.Fatal("routers 0/1 should be sparse")
+	}
+	if dep.Borders[2] == nil {
+		t.Fatal("router 2 should be a border router")
+	}
+	if dep.Dense[3] == nil || dep.Dense[4] == nil {
+		t.Fatal("routers 3/4 should be dense")
+	}
+	sim.Run(2 * netsim.Second)
+	sparseHost.Join(group)
+	denseHost.Join(group)
+	sim.Run(3 * netsim.Second)
+
+	// Dense-side member pulls sparse-side data.
+	for i := 0; i < 5; i++ {
+		SendData(sparseHost, group, 64)
+		sim.Run(netsim.Second)
+	}
+	if got := denseHost.Received[group]; got < 4 {
+		t.Fatalf("dense member got %d of 5 sparse packets", got)
+	}
+	// Sparse-side member hears the dense-region source.
+	for i := 0; i < 5; i++ {
+		SendData(denseHost, group, 64)
+		sim.Run(netsim.Second)
+	}
+	if got := sparseHost.Received[group]; got < 4 {
+		t.Fatalf("sparse member got %d of 5 dense packets", got)
+	}
+	if dep.TotalState() == 0 {
+		t.Error("no state anywhere")
+	}
+}
+
+// TestDeployInteropAllSparse degenerates to a plain PIM deployment when no
+// dense routers are marked.
+func TestDeployInteropAllSparse(t *testing.T) {
+	g := topology.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	sim := Build(g)
+	h := sim.AddHost(0)
+	sim.FinishUnicast(UseOracle)
+	group := addr.GroupForIndex(0)
+	dep := sim.DeployInterop(
+		core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}},
+		pimdm.Config{}, nil,
+	)
+	for i := range sim.Routers {
+		if dep.Sparse[i] == nil {
+			t.Fatalf("router %d not sparse in all-sparse deployment", i)
+		}
+	}
+	sim.Run(2 * netsim.Second)
+	h.Join(group)
+	sim.Run(2 * netsim.Second)
+	if dep.Sparse[1].MFIB.Wildcard(group) == nil {
+		t.Error("tree did not form")
+	}
+}

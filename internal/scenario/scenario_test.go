@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/topology"
+)
+
+func square() *topology.Graph {
+	g := topology.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 2)
+	return g
+}
+
+func TestBuildWiring(t *testing.T) {
+	g := square()
+	sim := Build(g)
+	if len(sim.Routers) != 4 || len(sim.EdgeLinks) != 4 {
+		t.Fatalf("routers=%d links=%d", len(sim.Routers), len(sim.EdgeLinks))
+	}
+	// Each router has one interface per incident edge, in edge order.
+	for i, nd := range sim.Routers {
+		if got, want := len(nd.Ifaces), g.Degree(i); got != want {
+			t.Errorf("router %d has %d ifaces, want %d", i, got, want)
+		}
+	}
+	// Link delays scale by DelayUnit.
+	if sim.EdgeLinks[1].Delay != 2*DelayUnit {
+		t.Errorf("edge 1 delay = %v", sim.EdgeLinks[1].Delay)
+	}
+	// Addressing: distinct /24 per link.
+	seen := map[addr.Prefix]bool{}
+	for _, l := range sim.EdgeLinks {
+		p := addr.MustPrefix(l.Ifaces[0].Addr, 24)
+		if seen[p] {
+			t.Errorf("duplicate link prefix %v", p)
+		}
+		seen[p] = true
+		for _, ifc := range l.Ifaces {
+			if !p.Contains(ifc.Addr) {
+				t.Errorf("iface %v outside its link prefix %v", ifc.Addr, p)
+			}
+		}
+	}
+}
+
+func TestAddHostCreatesLANOnceAndGrows(t *testing.T) {
+	sim := Build(square())
+	h1 := sim.AddHost(2)
+	h2 := sim.AddHost(2)
+	if sim.HostLANs[2] == nil {
+		t.Fatal("no host LAN")
+	}
+	if h1.Iface.Link != sim.HostLANs[2] || h2.Iface.Link != sim.HostLANs[2] {
+		t.Error("hosts not on the shared LAN")
+	}
+	if h1.Iface.Addr == h2.Iface.Addr {
+		t.Error("duplicate host addresses")
+	}
+	if !sim.HostLANs[2].IsLAN() {
+		t.Error("stub should be a true multi-access LAN")
+	}
+	if len(sim.Hosts[2]) != 2 {
+		t.Errorf("Hosts[2] = %d", len(sim.Hosts[2]))
+	}
+}
+
+func TestUnicastForAllModes(t *testing.T) {
+	for _, mode := range []UnicastMode{UseOracle, UseDV, UseLS} {
+		sim := Build(square())
+		sim.AddHost(0)
+		sim.AddHost(2)
+		sim.FinishUnicast(mode)
+		sim.Run(sim.ConvergenceTime())
+		uni := sim.UnicastFor(0)
+		if uni == nil {
+			t.Fatalf("mode %d: nil unicast view", mode)
+		}
+		if _, ok := uni.Lookup(HostLANAddr(2, 0)); !ok {
+			t.Errorf("mode %d: router 0 has no route to router 2's host LAN", mode)
+		}
+	}
+}
+
+func TestSendDataCarriesTimestamp(t *testing.T) {
+	sim := Build(square())
+	h := sim.AddHost(0)
+	sim.FinishUnicast(UseOracle)
+	var got *packet.Packet
+	sim.Routers[0].Handle(packet.ProtoUDP, netsim.HandlerFunc(
+		func(in *netsim.Iface, pkt *packet.Packet) { got = pkt }))
+	sim.Run(50 * netsim.Millisecond)
+	SendData(h, addr.GroupForIndex(0), 4) // below 8: padded
+	sim.Run(50 * netsim.Millisecond)
+	if got == nil {
+		t.Fatal("no packet at router")
+	}
+	if len(got.Payload) < 8 {
+		t.Fatalf("payload %d bytes", len(got.Payload))
+	}
+	d, ok := Latency(sim.Net.Sched.Now(), got)
+	if !ok || d <= 0 || d > 100*netsim.Millisecond {
+		t.Errorf("latency = %v, %v", d, ok)
+	}
+}
+
+func TestLatencyRejectsGarbage(t *testing.T) {
+	if _, ok := Latency(100, &packet.Packet{Payload: []byte{1, 2}}); ok {
+		t.Error("short payload accepted")
+	}
+	// Future timestamp: rejected.
+	p := &packet.Packet{Payload: []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}}
+	if _, ok := Latency(100, p); ok {
+		t.Error("future timestamp accepted")
+	}
+}
+
+// TestDeterminism: two identical simulations produce byte-identical
+// statistics — the property all experiment reproducibility rests on.
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, int) {
+		g := topology.New(5)
+		for i := 0; i < 4; i++ {
+			g.AddEdge(i, i+1, 1)
+		}
+		g.AddEdge(0, 4, 3)
+		sim := Build(g)
+		r := sim.AddHost(0)
+		s := sim.AddHost(3)
+		sim.FinishUnicast(UseOracle)
+		group := addr.GroupForIndex(0)
+		dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+		sim.Run(2 * netsim.Second)
+		r.Join(group)
+		sim.Run(2 * netsim.Second)
+		for i := 0; i < 10; i++ {
+			SendData(s, group, 100)
+			sim.Run(700 * netsim.Millisecond)
+		}
+		sim.Run(120 * netsim.Second)
+		return sim.Net.Stats.Totals.DataPackets + sim.Net.Stats.Totals.ControlPackets,
+			sim.Net.Stats.Totals.DataBytes + sim.Net.Stats.Totals.ControlBytes,
+			dep.TotalState()
+	}
+	p1, b1, s1 := run()
+	p2, b2, s2 := run()
+	if p1 != p2 || b1 != b2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)", p1, b1, s1, p2, b2, s2)
+	}
+	if p1 == 0 {
+		t.Fatal("empty run")
+	}
+}
+
+func TestDeploymentAggregates(t *testing.T) {
+	sim := Build(square())
+	h := sim.AddHost(0)
+	sim.FinishUnicast(UseOracle)
+	group := addr.GroupForIndex(0)
+	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	sim.Run(2 * netsim.Second)
+	h.Join(group)
+	sim.Run(2 * netsim.Second)
+	if dep.TotalState() == 0 {
+		t.Error("no aggregate state")
+	}
+	if dep.ControlMessages() == 0 {
+		t.Error("no aggregate control messages")
+	}
+}
+
+// TestGarbageTrafficNeverCrashesRouters blasts random payloads with every
+// protocol number at a running PIM deployment: routers must ignore or
+// error-count them, never panic, and the legitimate tree must keep working.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(31)) }
+
+func TestGarbageTrafficNeverCrashesRouters(t *testing.T) {
+	sim := Build(square())
+	h := sim.AddHost(0)
+	sender := sim.AddHost(2)
+	sim.FinishUnicast(UseOracle)
+	group := addr.GroupForIndex(0)
+	sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	sim.Run(2 * netsim.Second)
+	h.Join(group)
+	sim.Run(2 * netsim.Second)
+
+	rng := newTestRand()
+	protos := []byte{packet.ProtoIGMP, packet.ProtoPIM, packet.ProtoPIMData,
+		packet.ProtoUDP, packet.ProtoDVMRP, packet.ProtoCBT,
+		packet.ProtoRIPSim, packet.ProtoLSSim, packet.ProtoMOSPF}
+	for i := 0; i < 500; i++ {
+		payload := make([]byte, rng.Intn(48))
+		rng.Read(payload)
+		nd := sim.Routers[rng.Intn(len(sim.Routers))]
+		ifc := nd.Ifaces[rng.Intn(len(nd.Ifaces))]
+		dsts := []addr.IP{addr.AllRouters, group, ifc.Addr, addr.V4(1, 2, 3, 4)}
+		pkt := packet.New(addr.IP(rng.Uint32()), dsts[rng.Intn(len(dsts))],
+			protos[rng.Intn(len(protos))], payload)
+		pkt.TTL = byte(1 + rng.Intn(64))
+		nd.LocalSend(ifc, pkt)
+		sim.Run(10 * netsim.Millisecond)
+	}
+	// The tree still works after the garbage storm.
+	SendData(sender, group, 64)
+	sim.Run(netsim.Second)
+	if h.Received[group] == 0 {
+		t.Fatal("legitimate delivery broken after garbage traffic")
+	}
+}

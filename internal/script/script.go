@@ -1,0 +1,737 @@
+// Package script implements the scenario scripting language of cmd/pimscript:
+// small line-oriented text files that declare a topology, deploy a multicast
+// protocol, schedule joins/leaves/sends/link failures, run the simulation,
+// and assert on the outcome. Scripts double as executable protocol
+// documentation (see the scenarios/ directory) and as an acceptance-test
+// harness for protocol changes.
+//
+// Grammar (one statement per line, '#' comments):
+//
+//	topo random nodes=<n> degree=<f> [seed=<n>] [mindelay=<n>] [maxdelay=<n>]
+//	topo file <path>
+//	topo edges <a>-<b>[:<delay>] ...
+//	unicast oracle|dv|ls
+//	group <name> [rp <router>]          # rp doubles as the CBT core
+//	protocol pim-sm [spt=immediate|never|threshold] [aggregate]
+//	protocol pim-dm | dvmrp | cbt | mospf [prune=<dur>]
+//	host <name> <router>
+//	at <time> join <host> <group>
+//	at <time> leave <host> <group>
+//	at <time> send <host> <group> [count=<n>] [every=<dur>] [size=<n>]
+//	at <time> linkdown <edge> | linkup <edge>
+//	run <duration>
+//	expect <host> received <group> <op> <n>      # op: >= <= == != > <
+//	expect router <router> state <op> <n>
+//	expect links-with-data <op> <n>
+//
+// Routers are written r0, r1, ... (or bare indexes); durations use Go-like
+// suffixes (150ms, 2s, 1m).
+package script
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"pim/internal/addr"
+	"pim/internal/cbt"
+	"pim/internal/core"
+	"pim/internal/dvmrp"
+	"pim/internal/igmp"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimdm"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// Script is a parsed scenario.
+type Script struct {
+	stmts []stmt
+}
+
+type stmt struct {
+	line int
+	kind string
+	args []string
+	kv   map[string]string
+}
+
+func (st stmt) errf(format string, a ...interface{}) error {
+	return fmt.Errorf("line %d: %s", st.line, fmt.Sprintf(format, a...))
+}
+
+// Parse reads a scenario from text.
+func Parse(text string) (*Script, error) {
+	s := &Script{}
+	for i, raw := range strings.Split(text, "\n") {
+		line := i + 1
+		if idx := strings.IndexByte(raw, '#'); idx >= 0 {
+			raw = raw[:idx]
+		}
+		fields := strings.Fields(raw)
+		if len(fields) == 0 {
+			continue
+		}
+		st := stmt{line: line, kind: fields[0], kv: map[string]string{}}
+		for _, f := range fields[1:] {
+			if k, v, ok := strings.Cut(f, "="); ok && k != "" && st.kind != "expect" {
+				st.kv[k] = v
+			} else {
+				st.args = append(st.args, f)
+			}
+		}
+		switch st.kind {
+		case "topo", "unicast", "group", "protocol", "host", "at", "run", "expect":
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", line, st.kind)
+		}
+		s.stmts = append(s.stmts, st)
+	}
+	return s, nil
+}
+
+// ParseFile reads a scenario file.
+func ParseFile(path string) (*Script, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(string(b))
+}
+
+// Result reports a script run.
+type Result struct {
+	// Failures lists failed expectations.
+	Failures []string
+	// Log carries informational lines (deployment summary, counters).
+	Log []string
+	// Delivered maps "<host>/<group>" to reception counts.
+	Delivered map[string]int
+}
+
+// OK reports whether every expectation held.
+func (r *Result) OK() bool { return len(r.Failures) == 0 }
+
+type hostRef struct {
+	host   *igmp.Host
+	router int
+	// delaySum/delayN accumulate delivery latency per group for the
+	// mean-delay expectation.
+	delaySum map[addr.IP]netsim.Time
+	delayN   map[addr.IP]int64
+}
+
+type runner struct {
+	sim   *scenario.Sim
+	graph *topology.Graph
+
+	uniMode  scenario.UnicastMode
+	groups   map[string]addr.IP
+	groupRP  map[addr.IP][]int // group -> ordered RP/core router indexes
+	hosts    map[string]*hostRef
+	stateFn  func(router int) int
+	deployed bool
+
+	res *Result
+}
+
+// Run executes the script and returns its result.
+func (s *Script) Run() (*Result, error) {
+	r := &runner{
+		groups:  map[string]addr.IP{},
+		groupRP: map[addr.IP][]int{},
+		hosts:   map[string]*hostRef{},
+		res:     &Result{Delivered: map[string]int{}},
+	}
+	// Pass 1: structure (topology, unicast mode, groups, hosts) so the
+	// script order of declarations versus the protocol statement does not
+	// matter.
+	for _, st := range s.stmts {
+		var err error
+		switch st.kind {
+		case "topo":
+			err = r.doTopo(st)
+		case "unicast":
+			err = r.doUnicast(st)
+		case "group":
+			err = r.doGroup(st)
+		case "host":
+			err = r.doHost(st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: deployment, timed actions, runs, and expectations in order.
+	for _, st := range s.stmts {
+		var err error
+		switch st.kind {
+		case "protocol":
+			err = r.deploy(st)
+		case "at":
+			err = r.doAt(st)
+		case "run":
+			err = r.doRun(st)
+		case "expect":
+			err = r.doExpect(st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for name, h := range r.hosts {
+		for gname, g := range r.groups {
+			r.res.Delivered[name+"/"+gname] = h.host.Received[g]
+		}
+	}
+	return r.res, nil
+}
+
+func (r *runner) doTopo(st stmt) error {
+	if r.graph != nil {
+		return st.errf("duplicate topo")
+	}
+	if len(st.args) == 0 {
+		return st.errf("topo needs a form: random | file <path> | edges ...")
+	}
+	switch st.args[0] {
+	case "random":
+		nodes, err := st.intKV("nodes", 0)
+		if err != nil || nodes <= 0 {
+			return st.errf("topo random needs nodes=<n>")
+		}
+		degree, err := st.floatKV("degree", 4)
+		if err != nil {
+			return err
+		}
+		seed, err := st.intKV("seed", 1)
+		if err != nil {
+			return err
+		}
+		minD, err := st.intKV("mindelay", 1)
+		if err != nil {
+			return err
+		}
+		maxD, err := st.intKV("maxdelay", minD)
+		if err != nil {
+			return err
+		}
+		r.graph = topology.Random(topology.GenConfig{
+			Nodes: nodes, Degree: degree,
+			MinDelay: int64(minD), MaxDelay: int64(maxD),
+		}, rand.New(rand.NewSource(int64(seed))))
+	case "file":
+		if len(st.args) != 2 {
+			return st.errf("topo file needs a path")
+		}
+		f, err := os.Open(st.args[1])
+		if err != nil {
+			return st.errf("%v", err)
+		}
+		defer f.Close()
+		g, err := topology.ParseEdgeList(f)
+		if err != nil {
+			return st.errf("%v", err)
+		}
+		r.graph = g
+	case "edges":
+		type edge struct {
+			a, b int
+			d    int64
+		}
+		var edges []edge
+		maxNode := -1
+		for _, spec := range st.args[1:] {
+			delay := int64(1)
+			epart := spec
+			if ep, dp, ok := strings.Cut(spec, ":"); ok {
+				epart = ep
+				d, err := strconv.ParseInt(dp, 10, 64)
+				if err != nil || d <= 0 {
+					return st.errf("bad delay in %q", spec)
+				}
+				delay = d
+			}
+			as, bs, ok := strings.Cut(epart, "-")
+			if !ok {
+				return st.errf("bad edge %q (want a-b[:delay])", spec)
+			}
+			a, errA := strconv.Atoi(as)
+			b, errB := strconv.Atoi(bs)
+			if errA != nil || errB != nil || a < 0 || b < 0 || a == b {
+				return st.errf("bad edge %q", spec)
+			}
+			edges = append(edges, edge{a, b, delay})
+			if a > maxNode {
+				maxNode = a
+			}
+			if b > maxNode {
+				maxNode = b
+			}
+		}
+		if len(edges) == 0 {
+			return st.errf("topo edges needs at least one edge")
+		}
+		g := topology.New(maxNode + 1)
+		for _, e := range edges {
+			g.AddEdge(e.a, e.b, e.d)
+		}
+		r.graph = g
+	default:
+		return st.errf("unknown topo form %q", st.args[0])
+	}
+	r.sim = scenario.Build(r.graph)
+	return nil
+}
+
+func (r *runner) doUnicast(st stmt) error {
+	if len(st.args) != 1 {
+		return st.errf("unicast needs oracle|dv|ls")
+	}
+	switch st.args[0] {
+	case "oracle":
+		r.uniMode = scenario.UseOracle
+	case "dv":
+		r.uniMode = scenario.UseDV
+	case "ls":
+		r.uniMode = scenario.UseLS
+	default:
+		return st.errf("unknown unicast mode %q", st.args[0])
+	}
+	return nil
+}
+
+func (r *runner) doGroup(st stmt) error {
+	if len(st.args) < 1 {
+		return st.errf("group needs a name")
+	}
+	name := st.args[0]
+	if _, dup := r.groups[name]; dup {
+		return st.errf("duplicate group %q", name)
+	}
+	g := addr.GroupForIndex(len(r.groups))
+	r.groups[name] = g
+	if len(st.args) >= 3 && st.args[1] == "rp" {
+		for _, arg := range st.args[2:] {
+			idx, err := r.routerIndex(st, arg)
+			if err != nil {
+				return err
+			}
+			r.groupRP[g] = append(r.groupRP[g], idx)
+		}
+	} else if len(st.args) != 1 {
+		return st.errf("group syntax: group <name> [rp <router>...]")
+	}
+	return nil
+}
+
+func (r *runner) doHost(st stmt) error {
+	if r.sim == nil {
+		return st.errf("host before topo")
+	}
+	if len(st.args) != 2 {
+		return st.errf("host syntax: host <name> <router>")
+	}
+	name := st.args[0]
+	if _, dup := r.hosts[name]; dup {
+		return st.errf("duplicate host %q", name)
+	}
+	idx, err := r.routerIndex(st, st.args[1])
+	if err != nil {
+		return err
+	}
+	ref := &hostRef{
+		host: r.sim.AddHost(idx), router: idx,
+		delaySum: map[addr.IP]netsim.Time{}, delayN: map[addr.IP]int64{},
+	}
+	ref.host.OnData = func(g addr.IP, pkt *packet.Packet) {
+		if d, ok := scenario.Latency(r.sim.Net.Sched.Now(), pkt); ok {
+			ref.delaySum[g] += d
+			ref.delayN[g]++
+		}
+	}
+	r.hosts[name] = ref
+	return nil
+}
+
+func (r *runner) deploy(st stmt) error {
+	if r.sim == nil {
+		return st.errf("protocol before topo")
+	}
+	if r.deployed {
+		return st.errf("duplicate protocol statement")
+	}
+	if len(st.args) < 1 {
+		return st.errf("protocol needs a name")
+	}
+	r.sim.FinishUnicast(r.uniMode)
+	r.sim.Run(r.sim.ConvergenceTime())
+
+	rpMap := map[addr.IP][]addr.IP{}
+	coreMap := map[addr.IP]addr.IP{}
+	for _, g := range r.groups {
+		if idxs, ok := r.groupRP[g]; ok && len(idxs) > 0 {
+			for _, idx := range idxs {
+				rpMap[g] = append(rpMap[g], r.sim.RouterAddr(idx))
+			}
+			coreMap[g] = r.sim.RouterAddr(idxs[0]) // CBT uses one core
+		}
+	}
+	prune := 120 * netsim.Second
+	if v, ok := st.kv["prune"]; ok {
+		d, err := parseDuration(v)
+		if err != nil {
+			return st.errf("bad prune=%q", v)
+		}
+		prune = d
+	}
+	name := st.args[0]
+	switch name {
+	case "pim-sm":
+		cfg := core.Config{RPMapping: rpMap}
+		switch st.kv["spt"] {
+		case "", "immediate":
+			cfg.SPTPolicy = core.SwitchImmediate
+		case "never":
+			cfg.SPTPolicy = core.SwitchNever
+		case "threshold":
+			cfg.SPTPolicy = core.SwitchThreshold
+		default:
+			return st.errf("unknown spt=%q", st.kv["spt"])
+		}
+		for _, a := range st.args[1:] {
+			if a == "aggregate" {
+				cfg.AggregateSources = true
+			}
+		}
+		if v, ok := st.kv["dense"]; ok {
+			// Mixed sparse/dense internet (§4): dense=3,4 marks dense-mode
+			// routers; adjacent sparse routers become borders.
+			denseSet := map[int]bool{}
+			for _, part := range strings.Split(v, ",") {
+				idx, err := r.routerIndex(st, part)
+				if err != nil {
+					return err
+				}
+				denseSet[idx] = true
+			}
+			dep := r.sim.DeployInterop(cfg, pimdm.Config{PruneHoldTime: prune}, denseSet)
+			r.stateFn = func(i int) int {
+				switch {
+				case dep.Sparse[i] != nil:
+					return dep.Sparse[i].StateCount()
+				case dep.Dense[i] != nil:
+					return dep.Dense[i].StateCount()
+				default:
+					return dep.Borders[i].StateCount()
+				}
+			}
+			break
+		}
+		dep := r.sim.DeployPIM(cfg)
+		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+	case "pim-dm":
+		dep := r.sim.DeployPIMDM(pimdm.Config{PruneHoldTime: prune})
+		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+	case "dvmrp":
+		dep := r.sim.DeployDVMRP(dvmrp.Config{PruneLifetime: prune})
+		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+	case "cbt":
+		dep := r.sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
+		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+	case "mospf":
+		dep := r.sim.DeployMOSPF()
+		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+	default:
+		return st.errf("unknown protocol %q", name)
+	}
+	r.deployed = true
+	// Neighbor discovery before scripted events begin.
+	r.sim.Run(2 * netsim.Second)
+	r.res.Log = append(r.res.Log,
+		fmt.Sprintf("deployed %s on %d routers (%d links)", name, r.graph.N(), r.graph.M()))
+	return nil
+}
+
+// doAt schedules one timed action. Times are absolute script time measured
+// from deployment.
+func (r *runner) doAt(st stmt) error {
+	if !r.deployed {
+		return st.errf("at before protocol")
+	}
+	if len(st.args) < 2 {
+		return st.errf("at syntax: at <time> <action> ...")
+	}
+	when, err := parseDuration(st.args[0])
+	if err != nil {
+		return st.errf("bad time %q", st.args[0])
+	}
+	action := st.args[1]
+	rest := st.args[2:]
+	schedule := func(fn func()) {
+		r.sim.Net.Sched.At(r.sim.Net.Sched.Now()+when, fn)
+	}
+	switch action {
+	case "join", "leave":
+		if len(rest) != 2 {
+			return st.errf("%s syntax: at <t> %s <host> <group>", action, action)
+		}
+		h, g, err := r.hostGroup(st, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		if action == "join" {
+			rps := []addr.IP{}
+			for _, idx := range r.groupRP[g] {
+				rps = append(rps, r.sim.RouterAddr(idx))
+			}
+			schedule(func() { h.host.Join(g, rps...) })
+		} else {
+			schedule(func() { h.host.Leave(g) })
+		}
+	case "send":
+		if len(rest) != 2 {
+			return st.errf("send syntax: at <t> send <host> <group> [count= every= size=]")
+		}
+		h, g, err := r.hostGroup(st, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		count, err := st.intKV("count", 1)
+		if err != nil {
+			return err
+		}
+		size, err := st.intKV("size", 128)
+		if err != nil {
+			return err
+		}
+		every := netsim.Second
+		if v, ok := st.kv["every"]; ok {
+			every, err = parseDuration(v)
+			if err != nil {
+				return st.errf("bad every=%q", v)
+			}
+		}
+		schedule(func() {
+			sent := 0
+			var pump func()
+			pump = func() {
+				scenario.SendData(h.host, g, size)
+				sent++
+				if sent < count {
+					r.sim.Net.Sched.After(every, pump)
+				}
+			}
+			pump()
+		})
+	case "linkdown", "linkup":
+		if len(rest) != 1 {
+			return st.errf("%s syntax: at <t> %s <edge>", action, action)
+		}
+		edge, err := strconv.Atoi(rest[0])
+		if err != nil || edge < 0 || edge >= len(r.sim.EdgeLinks) {
+			return st.errf("bad edge %q", rest[0])
+		}
+		up := action == "linkup"
+		schedule(func() { r.sim.Net.SetLinkUp(r.sim.EdgeLinks[edge], up) })
+	default:
+		return st.errf("unknown action %q", action)
+	}
+	return nil
+}
+
+func (r *runner) doRun(st stmt) error {
+	if !r.deployed {
+		return st.errf("run before protocol")
+	}
+	if len(st.args) != 1 {
+		return st.errf("run syntax: run <duration>")
+	}
+	d, err := parseDuration(st.args[0])
+	if err != nil {
+		return st.errf("bad duration %q", st.args[0])
+	}
+	r.sim.Run(d)
+	return nil
+}
+
+func (r *runner) doExpect(st stmt) error {
+	if !r.deployed {
+		return st.errf("expect before protocol")
+	}
+	fail := func(format string, a ...interface{}) {
+		r.res.Failures = append(r.res.Failures,
+			fmt.Sprintf("line %d: %s", st.line, fmt.Sprintf(format, a...)))
+	}
+	a := st.args
+	switch {
+	case len(a) == 5 && a[1] == "received":
+		h, g, err := r.hostGroup(st, a[0], a[2])
+		if err != nil {
+			return err
+		}
+		want, op, err := opValue(st, a[3], a[4])
+		if err != nil {
+			return err
+		}
+		got := h.host.Received[g]
+		if !op(got, want) {
+			fail("%s received %s = %d, want %s %d", a[0], a[2], got, a[3], want)
+		}
+	case len(a) == 5 && a[0] == "router" && a[2] == "state":
+		idx, err := r.routerIndex(st, a[1])
+		if err != nil {
+			return err
+		}
+		want, op, err := opValue(st, a[3], a[4])
+		if err != nil {
+			return err
+		}
+		got := r.stateFn(idx)
+		if !op(got, want) {
+			fail("router %s state = %d, want %s %d", a[1], got, a[3], want)
+		}
+	case len(a) == 5 && a[1] == "mean-delay":
+		h, g, err := r.hostGroup(st, a[0], a[2])
+		if err != nil {
+			return err
+		}
+		wantD, err := parseDuration(a[4])
+		if err != nil {
+			return st.errf("bad duration %q", a[4])
+		}
+		if h.delayN[g] == 0 {
+			fail("%s mean-delay %s: nothing delivered", a[0], a[2])
+			break
+		}
+		got := h.delaySum[g] / netsim.Time(h.delayN[g])
+		ok := false
+		switch a[3] {
+		case "<=":
+			ok = got <= wantD
+		case ">=":
+			ok = got >= wantD
+		case "<":
+			ok = got < wantD
+		case ">":
+			ok = got > wantD
+		default:
+			return st.errf("bad operator %q for mean-delay", a[3])
+		}
+		if !ok {
+			fail("%s mean-delay %s = %v, want %s %v", a[0], a[2], got, a[3], wantD)
+		}
+	case len(a) == 3 && a[0] == "links-with-data":
+		want, op, err := opValue(st, a[1], a[2])
+		if err != nil {
+			return err
+		}
+		got := 0
+		for _, l := range r.sim.EdgeLinks {
+			if r.sim.Net.Stats.PerLink[l.ID].DataPackets > 0 {
+				got++
+			}
+		}
+		if !op(got, want) {
+			fail("links-with-data = %d, want %s %d", got, a[1], want)
+		}
+	default:
+		return st.errf("unknown expect form %v", a)
+	}
+	return nil
+}
+
+// --- helpers ---
+
+func (r *runner) routerIndex(st stmt, s string) (int, error) {
+	s = strings.TrimPrefix(s, "r")
+	idx, err := strconv.Atoi(s)
+	if err != nil || r.graph == nil || idx < 0 || idx >= r.graph.N() {
+		return 0, st.errf("bad router %q", s)
+	}
+	return idx, nil
+}
+
+func (r *runner) hostGroup(st stmt, hname, gname string) (*hostRef, addr.IP, error) {
+	h, ok := r.hosts[hname]
+	if !ok {
+		return nil, 0, st.errf("unknown host %q", hname)
+	}
+	g, ok := r.groups[gname]
+	if !ok {
+		return nil, 0, st.errf("unknown group %q", gname)
+	}
+	return h, g, nil
+}
+
+func (st stmt) intKV(key string, def int) (int, error) {
+	v, ok := st.kv[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, st.errf("bad %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func (st stmt) floatKV(key string, def float64) (float64, error) {
+	v, ok := st.kv[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, st.errf("bad %s=%q", key, v)
+	}
+	return f, nil
+}
+
+// parseDuration accepts 150ms / 2s / 3m / bare-seconds forms.
+func parseDuration(s string) (netsim.Time, error) {
+	mult := netsim.Second
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult = netsim.Millisecond
+		s = strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		s = strings.TrimSuffix(s, "s")
+	case strings.HasSuffix(s, "m"):
+		mult = 60 * netsim.Second
+		s = strings.TrimSuffix(s, "m")
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return netsim.Time(f * float64(mult)), nil
+}
+
+func opValue(st stmt, opStr, valStr string) (int, func(got, want int) bool, error) {
+	want, err := strconv.Atoi(valStr)
+	if err != nil {
+		return 0, nil, st.errf("bad value %q", valStr)
+	}
+	var op func(got, want int) bool
+	switch opStr {
+	case ">=":
+		op = func(g, w int) bool { return g >= w }
+	case "<=":
+		op = func(g, w int) bool { return g <= w }
+	case "==":
+		op = func(g, w int) bool { return g == w }
+	case "!=":
+		op = func(g, w int) bool { return g != w }
+	case ">":
+		op = func(g, w int) bool { return g > w }
+	case "<":
+		op = func(g, w int) bool { return g < w }
+	default:
+		return 0, nil, st.errf("bad operator %q", opStr)
+	}
+	return want, op, nil
+}

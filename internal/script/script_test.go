@@ -1,0 +1,316 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+const rendezvousScript = `
+# Figure 3 rendezvous as a script.
+topo edges 0-1 1-2 2-3
+unicast oracle
+group G0 rp r2
+protocol pim-sm
+host recv r0
+host send r3
+at 1s join recv G0
+at 3s send send G0 count=5 every=1s
+run 20s
+expect recv received G0 >= 4
+expect router r1 state >= 1
+expect links-with-data >= 3
+`
+
+func TestRendezvousScript(t *testing.T) {
+	s, err := Parse(rendezvousScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if res.Delivered["recv/G0"] < 4 {
+		t.Errorf("delivered map: %v", res.Delivered)
+	}
+	if len(res.Log) == 0 {
+		t.Error("no deployment log")
+	}
+}
+
+func TestFailedExpectationReported(t *testing.T) {
+	s, err := Parse(strings.Replace(rendezvousScript,
+		"expect recv received G0 >= 4",
+		"expect recv received G0 == 999", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("impossible expectation passed")
+	}
+	if !strings.Contains(res.Failures[0], "recv received G0") {
+		t.Errorf("failure text: %q", res.Failures[0])
+	}
+}
+
+func TestLinkFailureScript(t *testing.T) {
+	src := `
+topo edges 0-1 1-3 0-2:3 2-3:3
+unicast oracle
+group G0 rp r3
+protocol pim-sm spt=never
+host recv r0
+host send r3
+at 1s join recv G0
+at 3s send send G0 count=20 every=1s
+at 8s linkdown 0
+run 40s
+expect recv received G0 >= 15
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestAllProtocolsRunnable(t *testing.T) {
+	for _, proto := range []string{"pim-sm", "pim-sm spt=never", "pim-sm aggregate",
+		"pim-dm prune=300s", "dvmrp prune=300s", "cbt", "mospf"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			src := `
+topo edges 0-1 1-2
+unicast oracle
+group G0 rp r1
+protocol ` + proto + `
+host recv r0
+host send r2
+at 1s join recv G0
+at 3s send send G0 count=4 every=1s
+run 15s
+expect recv received G0 >= 3
+`
+			s, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("failures: %v", res.Failures)
+			}
+		})
+	}
+}
+
+func TestUnicastModesInScripts(t *testing.T) {
+	for _, mode := range []string{"oracle", "dv", "ls"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			src := `
+topo edges 0-1 1-2
+unicast ` + mode + `
+group G0 rp r1
+protocol pim-sm
+host recv r0
+host send r2
+at 1s join recv G0
+at 3s send send G0 count=4 every=1s
+run 15s
+expect recv received G0 >= 3
+`
+			s, err := Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("failures: %v", res.Failures)
+			}
+		})
+	}
+}
+
+func TestRandomTopoAndLeave(t *testing.T) {
+	src := `
+topo random nodes=20 degree=4 seed=5
+unicast oracle
+group G0 rp r0
+protocol pim-sm
+host a r3
+host b r17
+at 1s join a G0
+at 1s join b G0
+at 3s send a G0 count=3 every=1s
+at 10s leave b G0
+run 300s
+expect a received G0 >= 0
+expect router r3 state >= 1
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate\n",
+		"topo bogus\n",
+		"topo edges x-y\n",
+		"topo edges 0-0\n",
+		"topo edges 0-1:0\n",
+	}
+	for _, src := range cases {
+		if s, err := Parse(src); err == nil {
+			if _, err := s.Run(); err == nil {
+				t.Errorf("script %q ran without error", src)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []string{
+		"unicast bogus\n",
+		"host h r0\n", // host before topo
+		"topo edges 0-1\nprotocol nosuch\n",
+		"topo edges 0-1\ngroup G0\nprotocol pim-sm\nat 1s join nosuch G0\n",
+		"topo edges 0-1\nprotocol pim-sm\nexpect router r9 state >= 1\n",
+		"topo edges 0-1\nprotocol pim-sm\nrun 1x\n",
+		"topo edges 0-1\ngroup G0 rp r7\n",
+		"at 1s join h G0\n", // at before protocol
+	}
+	for _, src := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection also acceptable
+		}
+		if _, err := s.Run(); err == nil {
+			t.Errorf("script %q ran without error", src)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64 // microseconds
+	}{
+		{"150ms", 150_000},
+		{"2s", 2_000_000},
+		{"1m", 60_000_000},
+		{"3", 3_000_000},
+		{"0.5s", 500_000},
+	} {
+		got, err := parseDuration(tc.in)
+		if err != nil || int64(got) != tc.want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1s"} {
+		if _, err := parseDuration(bad); err == nil {
+			t.Errorf("parseDuration(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestInteropScript(t *testing.T) {
+	src := `
+# sparse 0-1, border 2, dense 3-4 (the §4 splice)
+topo edges 0-1 1-2 2-3 3-4
+unicast oracle
+group G0 rp r0
+protocol pim-sm dense=3,4 prune=300s
+host sparse r1
+host deep r4
+at 1s join deep G0
+at 4s send sparse G0 count=5 every=1s
+run 20s
+expect deep received G0 >= 4
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestMeanDelayExpectation(t *testing.T) {
+	src := `
+topo edges 0-1:5 1-2:5
+unicast oracle
+group G0 rp r1
+protocol pim-sm
+host recv r0
+host send r2
+at 1s join recv G0
+at 3s send send G0 count=5 every=1s
+run 15s
+expect recv mean-delay G0 <= 60ms
+expect recv mean-delay G0 > 5ms
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestMeanDelayNothingDelivered(t *testing.T) {
+	src := `
+topo edges 0-1
+unicast oracle
+group G0 rp r1
+protocol pim-sm
+host recv r0
+run 5s
+expect recv mean-delay G0 <= 1s
+`
+	s, _ := Parse(src)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("mean-delay over zero deliveries should fail the expectation")
+	}
+}

@@ -1,0 +1,226 @@
+package topology
+
+import "container/heap"
+
+// Inf is the distance reported for unreachable nodes.
+const Inf = int64(1) << 62
+
+// ShortestPaths holds single-source shortest path results: Dist[v] is the
+// total delay from the source to v, Parent[v] the predecessor node on one
+// shortest path (-1 for the source and unreachable nodes), and ParentEdge[v]
+// the index of the edge from Parent[v] to v (-1 likewise).
+type ShortestPaths struct {
+	Source     int
+	Dist       []int64
+	Parent     []int
+	ParentEdge []int
+}
+
+type spItem struct {
+	node int
+	dist int64
+}
+
+type spHeap []spItem
+
+func (h spHeap) Len() int            { return len(h) }
+func (h spHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spItem)) }
+func (h *spHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from src. Ties are broken
+// toward the lower-numbered parent node so results are deterministic, which
+// matters for reproducible RPF checks across routers.
+func (g *Graph) Dijkstra(src int) *ShortestPaths {
+	sp := &ShortestPaths{
+		Source:     src,
+		Dist:       make([]int64, g.n),
+		Parent:     make([]int, g.n),
+		ParentEdge: make([]int, g.n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = Inf
+		sp.Parent[i] = -1
+		sp.ParentEdge[i] = -1
+	}
+	sp.Dist[src] = 0
+	done := make([]bool, g.n)
+	h := &spHeap{{node: src}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(spItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, ei := range g.adj[v] {
+			e := g.edges[ei]
+			u := e.Other(v)
+			nd := sp.Dist[v] + e.Delay
+			if nd < sp.Dist[u] || (nd == sp.Dist[u] && sp.Parent[u] >= 0 && v < sp.Parent[u] && !done[u]) {
+				sp.Dist[u] = nd
+				sp.Parent[u] = v
+				sp.ParentEdge[u] = ei
+				heap.Push(h, spItem{node: u, dist: nd})
+			}
+		}
+	}
+	return sp
+}
+
+// PathTo returns the node sequence from the source to dst (inclusive), or
+// nil if dst is unreachable.
+func (sp *ShortestPaths) PathTo(dst int) []int {
+	if sp.Dist[dst] == Inf {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = sp.Parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AllPairs computes shortest-path distances between every node pair by
+// running Dijkstra from each node. Suitable for the 50-node graphs of the
+// Figure 2 experiments.
+func (g *Graph) AllPairs() [][]int64 {
+	d := make([][]int64, g.n)
+	for v := 0; v < g.n; v++ {
+		d[v] = g.Dijkstra(v).Dist
+	}
+	return d
+}
+
+// Tree is a rooted tree extracted from a graph: Parent[v] is v's parent node
+// (-1 for the root and for nodes not in the tree), ParentEdge[v] the graph
+// edge index used, and InTree[v] whether v belongs to the tree.
+type Tree struct {
+	Root       int
+	Parent     []int
+	ParentEdge []int
+	InTree     []bool
+	g          *Graph
+}
+
+// SPTree builds the shortest-path tree from root spanning the given members:
+// the union of one shortest path from root to each member. This is exactly
+// the distribution tree that per-source multicast (and CBT's core-rooted
+// tree) install. If members is nil the tree spans all reachable nodes.
+func (g *Graph) SPTree(root int, members []int) *Tree {
+	return g.SPTreeFromSP(g.Dijkstra(root), members)
+}
+
+// SPTreeFromSP is SPTree with a precomputed Dijkstra result, letting
+// callers that evaluate many member sets from the same root (Figure 2's
+// flow counting, MOSPF's per-source caches) amortize the search.
+func (g *Graph) SPTreeFromSP(sp *ShortestPaths, members []int) *Tree {
+	root := sp.Source
+	t := &Tree{
+		Root:       root,
+		Parent:     make([]int, g.n),
+		ParentEdge: make([]int, g.n),
+		InTree:     make([]bool, g.n),
+		g:          g,
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.ParentEdge[i] = -1
+	}
+	include := func(v int) {
+		for v != -1 && !t.InTree[v] {
+			t.InTree[v] = true
+			t.Parent[v] = sp.Parent[v]
+			t.ParentEdge[v] = sp.ParentEdge[v]
+			v = sp.Parent[v]
+		}
+	}
+	if members == nil {
+		for v := 0; v < g.n; v++ {
+			if sp.Dist[v] < Inf {
+				include(v)
+			}
+		}
+	} else {
+		include(root)
+		for _, m := range members {
+			if sp.Dist[m] < Inf {
+				include(m)
+			}
+		}
+	}
+	return t
+}
+
+// EdgeCount returns the number of edges in the tree.
+func (t *Tree) EdgeCount() int {
+	c := 0
+	for v := range t.Parent {
+		if t.InTree[v] && t.Parent[v] != -1 {
+			c++
+		}
+	}
+	return c
+}
+
+// EdgeIndexes returns the graph edge indexes composing the tree.
+func (t *Tree) EdgeIndexes() []int {
+	var out []int
+	for v := range t.ParentEdge {
+		if t.InTree[v] && t.ParentEdge[v] != -1 {
+			out = append(out, t.ParentEdge[v])
+		}
+	}
+	return out
+}
+
+// DistInTree returns the delay of the unique tree path between a and b, or
+// Inf if either is off-tree. Used by the Figure 2(a) delay measurement: the
+// delay a receiver sees from a sender through a shared tree.
+func (t *Tree) DistInTree(a, b int) int64 {
+	if !t.InTree[a] || !t.InTree[b] {
+		return Inf
+	}
+	// Walk both nodes to the root recording distances, then splice at the
+	// lowest common ancestor.
+	distUp := map[int]int64{}
+	var d int64
+	for v := a; v != -1; v = t.Parent[v] {
+		distUp[v] = d
+		if t.Parent[v] != -1 {
+			d += t.g.edges[t.ParentEdge[v]].Delay
+		}
+	}
+	d = 0
+	for v := b; v != -1; v = t.Parent[v] {
+		if up, ok := distUp[v]; ok {
+			return up + d
+		}
+		if t.Parent[v] != -1 {
+			d += t.g.edges[t.ParentEdge[v]].Delay
+		}
+	}
+	return Inf
+}
+
+// PathToRoot returns the node sequence from v up to the tree root.
+func (t *Tree) PathToRoot(v int) []int {
+	if !t.InTree[v] {
+		return nil
+	}
+	var out []int
+	for ; v != -1; v = t.Parent[v] {
+		out = append(out, v)
+	}
+	return out
+}

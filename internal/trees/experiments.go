@@ -1,0 +1,140 @@
+package trees
+
+import (
+	"math"
+	"math/rand"
+
+	"pim/internal/topology"
+)
+
+// Fig2aConfig parameterizes the Figure 2(a) sweep. The paper's run used 500
+// 50-node graphs per degree with 10-member groups; Trials scales that down
+// for quick runs (EXPERIMENTS.md records both).
+type Fig2aConfig struct {
+	Nodes     int
+	GroupSize int
+	Trials    int // graphs per node degree
+	Degrees   []float64
+	Seed      int64
+	// MinDelay/MaxDelay set the per-edge delay range (1/1 = hop count).
+	MinDelay, MaxDelay int64
+}
+
+// DefaultFig2a returns the paper's parameters with a reduced trial count.
+func DefaultFig2a() Fig2aConfig {
+	return Fig2aConfig{
+		Nodes: 50, GroupSize: 10, Trials: 100,
+		Degrees: []float64{3, 4, 5, 6, 7, 8},
+		Seed:    1994,
+	}
+}
+
+// Fig2aPoint is one plotted point: the mean and standard deviation of the
+// delay ratio at one node degree (the paper's error bars).
+type Fig2aPoint struct {
+	Degree    float64
+	MeanRatio float64
+	StdRatio  float64
+	MaxRatio  float64
+	Trials    int
+}
+
+// RunFig2a regenerates the Figure 2(a) series.
+func RunFig2a(cfg Fig2aConfig) []Fig2aPoint {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Fig2aPoint, 0, len(cfg.Degrees))
+	for _, deg := range cfg.Degrees {
+		var sum, sumSq, maxR float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			g := topology.Random(topology.GenConfig{
+				Nodes: cfg.Nodes, Degree: deg,
+				MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
+			}, rng)
+			sps := AllRootSP(g)
+			members := topology.PickDistinct(cfg.Nodes, cfg.GroupSize, rng)
+			r := DelayRatio(g, sps, members)
+			sum += r
+			sumSq += r * r
+			if r > maxR {
+				maxR = r
+			}
+		}
+		n := float64(cfg.Trials)
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, Fig2aPoint{
+			Degree: deg, MeanRatio: mean, StdRatio: math.Sqrt(variance),
+			MaxRatio: maxR, Trials: cfg.Trials,
+		})
+	}
+	return out
+}
+
+// Fig2bConfig parameterizes the Figure 2(b) sweep. Paper values: 50-node
+// networks, 300 groups of 40 members with 32 senders, 500 networks per
+// degree, averaged maximum per-link flow count.
+type Fig2bConfig struct {
+	Nodes     int
+	Groups    int
+	GroupSize int
+	Senders   int
+	Trials    int // networks per node degree
+	Degrees   []float64
+	Seed      int64
+	Core      CorePolicy
+}
+
+// DefaultFig2b returns the paper's parameters with a reduced trial count.
+func DefaultFig2b() Fig2bConfig {
+	return Fig2bConfig{
+		Nodes: 50, Groups: 300, GroupSize: 40, Senders: 32,
+		Trials: 20, Degrees: []float64{3, 4, 5, 6, 7, 8},
+		Seed: 1994, Core: CoreEccentricity,
+	}
+}
+
+// Fig2bPoint is one plotted point: the mean (over networks) of the maximum
+// per-link flow count for each tree type.
+type Fig2bPoint struct {
+	Degree  float64
+	SPTMax  float64
+	CBTMax  float64
+	Trials  int
+	CBTOver float64 // concentration factor CBTMax/SPTMax
+}
+
+// RunFig2b regenerates the Figure 2(b) series.
+func RunFig2b(cfg Fig2bConfig) []Fig2bPoint {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Fig2bPoint, 0, len(cfg.Degrees))
+	for _, deg := range cfg.Degrees {
+		var sptSum, cbtSum float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			g := topology.Random(topology.GenConfig{Nodes: cfg.Nodes, Degree: deg}, rng)
+			sps := AllRootSP(g)
+			groups := make([]Group, cfg.Groups)
+			for i := range groups {
+				groups[i] = Group{
+					Members: topology.PickDistinct(cfg.Nodes, cfg.GroupSize, rng),
+					Senders: cfg.Senders,
+				}
+			}
+			spt := make(FlowCounts, g.M())
+			AddSPTFlows(g, sps, groups, spt)
+			cbt := make(FlowCounts, g.M())
+			AddCBTFlows(g, sps, groups, cfg.Core, cbt)
+			sptSum += float64(spt.Max())
+			cbtSum += float64(cbt.Max())
+		}
+		n := float64(cfg.Trials)
+		p := Fig2bPoint{Degree: deg, SPTMax: sptSum / n, CBTMax: cbtSum / n, Trials: cfg.Trials}
+		if p.SPTMax > 0 {
+			p.CBTOver = p.CBTMax / p.SPTMax
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package trees implements the tree-quality analyses behind the paper's
+// Figure 2 (§1.3): the comparison of shortest-path trees (SPTs) against
+// optimal core-based ("center-based", after Wall [11]) shared trees on
+// random graphs, measuring
+//
+//   - Figure 2(a): the ratio of maximum intra-group delay over the optimal
+//     core-based tree to the maximum delay over shortest paths ("the
+//     maximum delays of core-based trees with optimal core placement are up
+//     to 1.4 times of the shortest-path trees"), and
+//   - Figure 2(b): traffic concentration — the maximum number of traffic
+//     flows carried by any single link when many multi-sender groups use
+//     shared trees versus per-source SPTs ("it is clear from this
+//     experiment that CBT exhibits greater traffic concentrations").
+//
+// The original data came from the USC simulator of Wei and Estrin [12];
+// this package reimplements the stated algorithms from the figure captions
+// (DESIGN.md §4).
+package trees
+
+import (
+	"math"
+
+	"pim/internal/topology"
+)
+
+// Group is one multicast group for the flow analyses: Members indexes graph
+// nodes; the first Senders of them also transmit (Figure 2(b): "300 active
+// groups all having 40 members, of which 32 members were also senders").
+type Group struct {
+	Members []int
+	Senders int
+}
+
+// AllRootSP precomputes single-source shortest paths from every node,
+// shared by the core search and the per-sender SPT construction.
+func AllRootSP(g *topology.Graph) []*topology.ShortestPaths {
+	out := make([]*topology.ShortestPaths, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = g.Dijkstra(v)
+	}
+	return out
+}
+
+// MaxPairShortestDelay is the max over ordered member pairs of the
+// shortest-path delay — the worst delay any member sees from any other
+// member when per-source SPTs deliver the traffic.
+func MaxPairShortestDelay(sps []*topology.ShortestPaths, members []int) int64 {
+	var max int64
+	for _, u := range members {
+		for _, v := range members {
+			if u == v {
+				continue
+			}
+			if d := sps[u].Dist[v]; d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// TreeMaxPairDelay is the max over member pairs of the delay through the
+// shared tree.
+func TreeMaxPairDelay(t *topology.Tree, members []int) int64 {
+	var max int64
+	for i, u := range members {
+		for _, v := range members[i+1:] {
+			if d := t.DistInTree(u, v); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// CorePolicy selects how the core router of a shared tree is placed.
+type CorePolicy int
+
+const (
+	// CorePairwiseOptimal tries every node as core and keeps the one whose
+	// tree minimizes the maximum member-pair delay — the "optimal core
+	// placement" of Figure 2(a). O(N) tree constructions per group.
+	CorePairwiseOptimal CorePolicy = iota
+	// CoreEccentricity picks the node minimizing the maximum shortest-path
+	// distance to any member (the classic graph center), a cheaper
+	// placement used for the large Figure 2(b) sweeps.
+	CoreEccentricity
+	// CoreRandomMember roots the tree at the first member — the naive
+	// placement used by the ablation benchmarks to show how much optimal
+	// placement buys.
+	CoreRandomMember
+)
+
+// CenterTree builds the core-based tree for the members under the given
+// placement policy, returning the tree, the chosen core, and the tree's
+// maximum member-pair delay.
+func CenterTree(g *topology.Graph, sps []*topology.ShortestPaths, members []int, policy CorePolicy) (*topology.Tree, int, int64) {
+	switch policy {
+	case CoreEccentricity:
+		core := centerByEccentricity(sps, members, g.N())
+		t := g.SPTreeFromSP(sps[core], members)
+		return t, core, TreeMaxPairDelay(t, members)
+	case CoreRandomMember:
+		core := members[0]
+		t := g.SPTreeFromSP(sps[core], members)
+		return t, core, TreeMaxPairDelay(t, members)
+	default: // CorePairwiseOptimal
+		bestDelay := int64(math.MaxInt64)
+		bestCore := -1
+		var bestTree *topology.Tree
+		for c := 0; c < g.N(); c++ {
+			t := g.SPTreeFromSP(sps[c], members)
+			d := TreeMaxPairDelay(t, members)
+			if d < bestDelay || (d == bestDelay && c < bestCore) {
+				bestDelay, bestCore, bestTree = d, c, t
+			}
+		}
+		return bestTree, bestCore, bestDelay
+	}
+}
+
+func centerByEccentricity(sps []*topology.ShortestPaths, members []int, n int) int {
+	best := -1
+	bestEcc := int64(math.MaxInt64)
+	for c := 0; c < n; c++ {
+		var ecc int64
+		for _, m := range members {
+			if d := sps[c].Dist[m]; d > ecc {
+				ecc = d
+			}
+		}
+		if ecc < bestEcc {
+			bestEcc, best = ecc, c
+		}
+	}
+	return best
+}
+
+// DelayRatio computes the Figure 2(a) metric for one group on one graph:
+// (optimal core-based tree max delay) / (shortest-path max delay).
+func DelayRatio(g *topology.Graph, sps []*topology.ShortestPaths, members []int) float64 {
+	spt := MaxPairShortestDelay(sps, members)
+	if spt == 0 {
+		return 1
+	}
+	_, _, cbt := CenterTree(g, sps, members, CorePairwiseOptimal)
+	return float64(cbt) / float64(spt)
+}
+
+// FlowCounts accumulates per-edge flow counts; index = graph edge index.
+type FlowCounts []int64
+
+// Max returns the largest per-link flow count — Figure 2(b)'s y axis.
+func (f FlowCounts) Max() int64 {
+	var max int64
+	for _, c := range f {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// AddSPTFlows adds, for each sender of each group, one flow on every edge
+// of that sender's shortest-path tree spanning the group members.
+func AddSPTFlows(g *topology.Graph, sps []*topology.ShortestPaths, groups []Group, counts FlowCounts) {
+	for _, grp := range groups {
+		for _, s := range grp.Members[:grp.Senders] {
+			t := g.SPTreeFromSP(sps[s], grp.Members)
+			for _, e := range t.EdgeIndexes() {
+				counts[e]++
+			}
+		}
+	}
+}
+
+// AddCBTFlows adds, for each group, Senders flows on every edge of the
+// group's shared tree: with a bidirectional center-based tree every
+// sender's traffic traverses the whole tree to reach the spread-out
+// membership.
+func AddCBTFlows(g *topology.Graph, sps []*topology.ShortestPaths, groups []Group, policy CorePolicy, counts FlowCounts) {
+	for _, grp := range groups {
+		t, _, _ := CenterTree(g, sps, grp.Members, policy)
+		for _, e := range t.EdgeIndexes() {
+			counts[e] += int64(grp.Senders)
+		}
+	}
+}

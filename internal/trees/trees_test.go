@@ -1,0 +1,208 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pim/internal/topology"
+)
+
+// lineGraph 0-1-2-3-4 with unit delays.
+func lineGraph() *topology.Graph {
+	g := topology.New(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestMaxPairShortestDelayLine(t *testing.T) {
+	g := lineGraph()
+	sps := AllRootSP(g)
+	if d := MaxPairShortestDelay(sps, []int{0, 4}); d != 4 {
+		t.Errorf("d = %d, want 4", d)
+	}
+	if d := MaxPairShortestDelay(sps, []int{1, 2, 3}); d != 2 {
+		t.Errorf("d = %d, want 2", d)
+	}
+	if d := MaxPairShortestDelay(sps, []int{2}); d != 0 {
+		t.Errorf("single member d = %d, want 0", d)
+	}
+}
+
+func TestCenterTreeOnLine(t *testing.T) {
+	g := lineGraph()
+	sps := AllRootSP(g)
+	members := []int{0, 4}
+	tree, core, d := CenterTree(g, sps, members, CorePairwiseOptimal)
+	// On a line any core yields tree delay 4 (the line itself).
+	if d != 4 {
+		t.Errorf("tree max delay = %d, want 4", d)
+	}
+	if !tree.InTree[0] || !tree.InTree[4] {
+		t.Error("members missing from tree")
+	}
+	if core < 0 || core > 4 {
+		t.Errorf("core = %d", core)
+	}
+}
+
+func TestDelayRatioNeverBelowOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.Random(topology.GenConfig{Nodes: 20, Degree: 4}, rng)
+		sps := AllRootSP(g)
+		members := topology.PickDistinct(20, 5, rng)
+		return DelayRatio(g, sps, members) >= 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalCoreBeatsNaivePlacement(t *testing.T) {
+	// Optimal pairwise placement can never be worse than rooting at the
+	// first member.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		g := topology.Random(topology.GenConfig{Nodes: 30, Degree: 4}, rng)
+		sps := AllRootSP(g)
+		members := topology.PickDistinct(30, 8, rng)
+		_, _, opt := CenterTree(g, sps, members, CorePairwiseOptimal)
+		_, _, naive := CenterTree(g, sps, members, CoreRandomMember)
+		if opt > naive {
+			t.Fatalf("optimal %d worse than naive %d", opt, naive)
+		}
+	}
+}
+
+func TestWallBound(t *testing.T) {
+	// Wall's theorem: the optimal center-based tree max delay is at most 2×
+	// the shortest-path max delay. Our optimal placement must respect it.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		g := topology.Random(topology.GenConfig{Nodes: 30, Degree: 4, MinDelay: 1, MaxDelay: 10}, rng)
+		sps := AllRootSP(g)
+		members := topology.PickDistinct(30, 6, rng)
+		r := DelayRatio(g, sps, members)
+		if r > 2.0+1e-9 {
+			t.Fatalf("trial %d: ratio %.3f exceeds Wall's bound of 2", trial, r)
+		}
+	}
+}
+
+func TestSPTFlowsStar(t *testing.T) {
+	// Star with center 0: each sender's SPT to members uses only the edges
+	// to the members.
+	g := topology.New(4)
+	e01 := g.AddEdge(0, 1, 1)
+	e02 := g.AddEdge(0, 2, 1)
+	e03 := g.AddEdge(0, 3, 1)
+	sps := AllRootSP(g)
+	groups := []Group{{Members: []int{1, 2, 3}, Senders: 2}} // 1 and 2 send
+	counts := make(FlowCounts, g.M())
+	AddSPTFlows(g, sps, groups, counts)
+	// Sender 1: tree edges {01,02,03}; sender 2: {01,02,03} too (members
+	// include the sender's own node which is already root).
+	if counts[e01] != 2 || counts[e02] != 2 || counts[e03] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+	if counts.Max() != 2 {
+		t.Errorf("max = %d", counts.Max())
+	}
+}
+
+func TestCBTFlowsCountSendersPerEdge(t *testing.T) {
+	g := lineGraph()
+	sps := AllRootSP(g)
+	groups := []Group{{Members: []int{0, 4}, Senders: 2}}
+	counts := make(FlowCounts, g.M())
+	AddCBTFlows(g, sps, groups, CorePairwiseOptimal, counts)
+	// The tree is the whole line; every edge carries both senders' flows.
+	for e, c := range counts {
+		if c != 2 {
+			t.Errorf("edge %d carries %d flows, want 2", e, c)
+		}
+	}
+}
+
+func TestCBTConcentratesMoreThanSPT(t *testing.T) {
+	// The Figure 2(b) claim on a moderate workload: CBT max-link flows
+	// should exceed SPT max-link flows on random graphs.
+	rng := rand.New(rand.NewSource(3))
+	higher := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		g := topology.Random(topology.GenConfig{Nodes: 30, Degree: 4}, rng)
+		sps := AllRootSP(g)
+		var groups []Group
+		for i := 0; i < 50; i++ {
+			groups = append(groups, Group{Members: topology.PickDistinct(30, 12, rng), Senders: 8})
+		}
+		spt := make(FlowCounts, g.M())
+		AddSPTFlows(g, sps, groups, spt)
+		cbt := make(FlowCounts, g.M())
+		AddCBTFlows(g, sps, groups, CoreEccentricity, cbt)
+		if cbt.Max() > spt.Max() {
+			higher++
+		}
+	}
+	if higher < trials*8/10 {
+		t.Errorf("CBT concentrated more in only %d/%d trials", higher, trials)
+	}
+}
+
+func TestRunFig2aShape(t *testing.T) {
+	cfg := DefaultFig2a()
+	cfg.Trials = 15
+	points := RunFig2a(cfg)
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.MeanRatio < 1.0 {
+			t.Errorf("degree %v: mean ratio %.3f < 1", p.Degree, p.MeanRatio)
+		}
+		if p.MeanRatio > 2.0 {
+			t.Errorf("degree %v: mean ratio %.3f violates Wall bound", p.Degree, p.MeanRatio)
+		}
+		if p.MaxRatio < p.MeanRatio {
+			t.Error("max below mean")
+		}
+	}
+	// The paper's qualitative shape: denser graphs show a larger gap
+	// between shared-tree and shortest-path delays.
+	if points[5].MeanRatio <= points[0].MeanRatio {
+		t.Errorf("ratio did not grow with degree: deg3=%.3f deg8=%.3f",
+			points[0].MeanRatio, points[5].MeanRatio)
+	}
+}
+
+func TestRunFig2bShape(t *testing.T) {
+	cfg := DefaultFig2b()
+	cfg.Trials = 2
+	cfg.Groups = 60
+	points := RunFig2b(cfg)
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CBTMax <= p.SPTMax {
+			t.Errorf("degree %v: CBT max %.1f not above SPT max %.1f",
+				p.Degree, p.CBTMax, p.SPTMax)
+		}
+	}
+}
+
+func BenchmarkDelayRatio50(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := topology.Random(topology.GenConfig{Nodes: 50, Degree: 6}, rng)
+	sps := AllRootSP(g)
+	members := topology.PickDistinct(50, 10, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DelayRatio(g, sps, members)
+	}
+}

@@ -1,0 +1,287 @@
+package unicast
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+)
+
+// DV is a RIP-like distance-vector unicast routing process for one router:
+// periodic full-table advertisements to each link, split horizon with
+// poisoned reverse, route hold timers, and triggered updates on link
+// failure. DVMRP (RFC 1075) extends exactly this kind of protocol; the paper
+// contrasts PIM's independence from it.
+type DV struct {
+	Node *netsim.Node
+	// Period is the advertisement interval; routes expire after 3×Period.
+	Period netsim.Time
+
+	table   *Table
+	learned map[addr.Prefix]*dvRoute
+	// poisoned holds withdrawn prefixes still advertised as unreachable
+	// (RIP garbage-collection state) until the recorded deadline, so bad
+	// news propagates in one advertisement instead of by timeout.
+	poisoned map[addr.Prefix]netsim.Time
+}
+
+type dvRoute struct {
+	route     Route
+	lastHeard netsim.Time
+}
+
+// DVDefaultPeriod mirrors RIP's 30-second advertisement interval.
+const DVDefaultPeriod = 30 * netsim.Second
+
+// NewDV attaches a distance-vector routing process to a node. Call Start
+// after all interfaces are wired.
+func NewDV(nd *netsim.Node) *DV {
+	return &DV{Node: nd, Period: DVDefaultPeriod, table: &Table{},
+		learned: map[addr.Prefix]*dvRoute{}, poisoned: map[addr.Prefix]netsim.Time{}}
+}
+
+// Table exposes the node's routing table (implements Router).
+func (d *DV) Table() *Table { return d.table }
+
+// Start installs connected routes, registers the message handler, and
+// begins periodic advertisement.
+func (d *DV) Start() {
+	d.installConnected()
+	d.Node.Handle(packet.ProtoRIPSim, netsim.HandlerFunc(d.handle))
+	d.Node.OnLinkChange(func(ifc *netsim.Iface) { d.linkChanged(ifc) })
+	sched := d.Node.Net.Sched
+	var tick func()
+	tick = func() {
+		d.expire()
+		d.advertise()
+		sched.After(d.Period, tick)
+	}
+	// First advertisement goes out immediately so cold-start convergence
+	// takes diameter×delay, not diameter×Period.
+	sched.After(0, tick)
+}
+
+func (d *DV) installConnected() {
+	changed := false
+	for _, ifc := range d.Node.Ifaces {
+		if ifc.Addr == 0 {
+			continue
+		}
+		p := LinkPrefix(ifc.Addr)
+		if ifc.Up() {
+			d.table.Set(p, Route{Iface: ifc, NextHop: 0, Metric: 0})
+			changed = true
+		}
+	}
+	if changed {
+		d.table.NotifyChanged()
+	}
+}
+
+// advertise sends the full table out every up interface, poisoning routes
+// learned over that same interface (split horizon with poisoned reverse).
+func (d *DV) advertise() {
+	for _, ifc := range d.Node.Ifaces {
+		if !ifc.Up() || ifc.Addr == 0 {
+			continue
+		}
+		var msg dvMessage
+		for _, p := range d.table.Prefixes() {
+			r, _ := d.table.Get(p)
+			metric := r.Metric
+			if r.Iface == ifc && r.NextHop != 0 {
+				metric = InfMetric // poisoned reverse
+			}
+			msg.Entries = append(msg.Entries, dvEntry{Prefix: p, Metric: metric})
+		}
+		for p := range d.poisoned {
+			if _, ok := d.table.Get(p); !ok {
+				msg.Entries = append(msg.Entries, dvEntry{Prefix: p, Metric: InfMetric})
+			}
+		}
+		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoRIPSim, msg.marshal())
+		pkt.TTL = 1
+		d.Node.Send(ifc, pkt, 0)
+	}
+}
+
+func (d *DV) handle(in *netsim.Iface, pkt *packet.Packet) {
+	var msg dvMessage
+	if err := msg.unmarshal(pkt.Payload); err != nil {
+		return
+	}
+	now := d.Node.Net.Sched.Now()
+	cost := int64(in.Link.Delay)
+	changed := false
+	for _, e := range msg.Entries {
+		metric := e.Metric
+		if metric < InfMetric {
+			metric += cost
+			if metric > InfMetric {
+				metric = InfMetric
+			}
+		}
+		// Never accept a route to one of our own connected prefixes.
+		if r, ok := d.table.Get(e.Prefix); ok && r.NextHop == 0 && r.Metric == 0 {
+			continue
+		}
+		cur, have := d.learned[e.Prefix]
+		switch {
+		case have && cur.route.NextHop == pkt.Src:
+			// Same next hop: always believe, including worse news.
+			cur.lastHeard = now
+			if metric >= InfMetric {
+				delete(d.learned, e.Prefix)
+				d.table.Delete(e.Prefix)
+				d.poison(e.Prefix)
+				changed = true
+			} else if cur.route.Metric != metric || cur.route.Iface != in {
+				cur.route.Metric = metric
+				cur.route.Iface = in
+				d.table.Set(e.Prefix, cur.route)
+				changed = true
+			}
+		case metric >= InfMetric:
+			// Poison for a route we use via someone else: ignore.
+		case !have || metric < cur.route.Metric:
+			nr := &dvRoute{route: Route{Iface: in, NextHop: pkt.Src, Metric: metric}, lastHeard: now}
+			d.learned[e.Prefix] = nr
+			d.table.Set(e.Prefix, nr.route)
+			delete(d.poisoned, e.Prefix)
+			changed = true
+		}
+	}
+	if changed {
+		d.table.NotifyChanged()
+		d.advertise() // triggered update
+	}
+}
+
+// poison schedules a prefix for unreachable advertisement until the garbage
+// collection deadline.
+func (d *DV) poison(p addr.Prefix) {
+	d.poisoned[p] = d.Node.Net.Sched.Now() + 3*d.Period
+}
+
+// expire drops learned routes not refreshed within 3×Period.
+func (d *DV) expire() {
+	now := d.Node.Net.Sched.Now()
+	changed := false
+	for p, r := range d.learned {
+		if now-r.lastHeard > 3*d.Period {
+			delete(d.learned, p)
+			d.table.Delete(p)
+			d.poison(p)
+			changed = true
+		}
+	}
+	for p, deadline := range d.poisoned {
+		if now > deadline {
+			delete(d.poisoned, p)
+		}
+	}
+	if changed {
+		d.table.NotifyChanged()
+	}
+}
+
+// linkChanged invalidates routes using a changed interface and fires a
+// triggered update.
+func (d *DV) linkChanged(ifc *netsim.Iface) {
+	changed := false
+	if !ifc.Up() {
+		for p, r := range d.learned {
+			if r.route.Iface == ifc {
+				delete(d.learned, p)
+				d.table.Delete(p)
+				d.poison(p)
+				changed = true
+			}
+		}
+		p := LinkPrefix(ifc.Addr)
+		if r, ok := d.table.Get(p); ok && r.NextHop == 0 {
+			d.table.Delete(p)
+			d.poison(p)
+			changed = true
+		}
+	} else {
+		d.installConnected()
+		changed = true
+	}
+	if changed {
+		d.table.NotifyChanged()
+		d.advertise() // triggered update
+	}
+}
+
+// dvMessage is the wire form of a distance-vector advertisement:
+//
+//	uint16 count, then per entry: uint32 prefix, uint8 len, uint32 metric
+//
+// with metric 0xFFFFFFFF meaning unreachable.
+type dvMessage struct {
+	Entries []dvEntry
+}
+
+type dvEntry struct {
+	Prefix addr.Prefix
+	Metric int64
+}
+
+const dvInfWire = 0xFFFFFFFF
+
+var errBadDV = errors.New("unicast: malformed DV message")
+
+func (m *dvMessage) marshal() []byte {
+	b := make([]byte, 2, 2+9*len(m.Entries))
+	binary.BigEndian.PutUint16(b, uint16(len(m.Entries)))
+	for _, e := range m.Entries {
+		var ent [9]byte
+		binary.BigEndian.PutUint32(ent[0:], uint32(e.Prefix.Addr))
+		ent[4] = byte(e.Prefix.Len)
+		w := uint32(dvInfWire)
+		if e.Metric < InfMetric {
+			if e.Metric > dvInfWire-1 {
+				w = dvInfWire - 1
+			} else {
+				w = uint32(e.Metric)
+			}
+		}
+		binary.BigEndian.PutUint32(ent[5:], w)
+		b = append(b, ent[:]...)
+	}
+	return b
+}
+
+func (m *dvMessage) unmarshal(b []byte) error {
+	if len(b) < 2 {
+		return errBadDV
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < 9*n {
+		return errBadDV
+	}
+	m.Entries = make([]dvEntry, n)
+	for i := 0; i < n; i++ {
+		ip := addr.IP(binary.BigEndian.Uint32(b))
+		l := int(b[4])
+		if l > 32 {
+			return errBadDV
+		}
+		w := binary.BigEndian.Uint32(b[5:])
+		metric := int64(w)
+		if w == dvInfWire {
+			metric = InfMetric
+		}
+		p, err := addr.NewPrefix(ip, l)
+		if err != nil {
+			return errBadDV
+		}
+		m.Entries[i] = dvEntry{Prefix: p, Metric: metric}
+		b = b[9:]
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package unicast provides the unicast routing substrate beneath the
+// multicast protocols. The paper's third design requirement (§2, "Routing
+// Protocol Independent") is that PIM consume unicast routing *tables*
+// without caring how they were computed; this package expresses that as the
+// Router interface and supplies three interchangeable implementations:
+//
+//   - Oracle: a static global-knowledge computation (instant convergence),
+//     the default substrate for protocol experiments;
+//   - DV: a RIP-like distance-vector protocol with split horizon and
+//     poisoned reverse, running over simulated message exchange;
+//   - LS: an OSPF-like link-state protocol flooding LSAs and running SPF.
+//
+// PIM runs identically over all three (asserted by integration tests),
+// demonstrating the protocol-independence claim.
+package unicast
+
+import (
+	"fmt"
+	"sort"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+)
+
+// InfMetric marks unreachable routes.
+const InfMetric = int64(1) << 40
+
+// Route is one forwarding decision: the outgoing interface, the next-hop
+// neighbor address (0 when the destination is directly connected), and the
+// path metric.
+type Route struct {
+	Iface   *netsim.Iface
+	NextHop addr.IP
+	Metric  int64
+}
+
+// Router is the protocol-independent lookup surface the multicast protocols
+// consume. Lookup performs a longest-prefix-match for dst; ok is false when
+// no route exists. OnChange registers a callback fired whenever any route
+// may have changed — PIM reacts per §3.8 by re-running its RPF checks.
+type Router interface {
+	Lookup(dst addr.IP) (Route, bool)
+	OnChange(func())
+}
+
+// tableEntry pairs a prefix with its route.
+type tableEntry struct {
+	prefix addr.Prefix
+	route  Route
+}
+
+// Table is a longest-prefix-match routing table. It is the concrete store
+// shared by all three Router implementations.
+type Table struct {
+	entries   []tableEntry // sorted by descending prefix length, then address
+	listeners []func()
+}
+
+// Set installs or replaces the route for a prefix.
+func (t *Table) Set(p addr.Prefix, r Route) {
+	for i := range t.entries {
+		if t.entries[i].prefix == p {
+			t.entries[i].route = r
+			return
+		}
+	}
+	t.entries = append(t.entries, tableEntry{prefix: p, route: r})
+	sort.Slice(t.entries, func(i, j int) bool {
+		if t.entries[i].prefix.Len != t.entries[j].prefix.Len {
+			return t.entries[i].prefix.Len > t.entries[j].prefix.Len
+		}
+		return t.entries[i].prefix.Addr < t.entries[j].prefix.Addr
+	})
+}
+
+// Delete removes the route for a prefix if present.
+func (t *Table) Delete(p addr.Prefix) {
+	for i := range t.entries {
+		if t.entries[i].prefix == p {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the exact-match route for a prefix.
+func (t *Table) Get(p addr.Prefix) (Route, bool) {
+	for i := range t.entries {
+		if t.entries[i].prefix == p {
+			return t.entries[i].route, true
+		}
+	}
+	return Route{}, false
+}
+
+// Lookup performs longest-prefix matching.
+func (t *Table) Lookup(dst addr.IP) (Route, bool) {
+	for i := range t.entries {
+		if t.entries[i].prefix.Contains(dst) && t.entries[i].route.Metric < InfMetric {
+			return t.entries[i].route, true
+		}
+	}
+	return Route{}, false
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Prefixes returns the installed prefixes, most-specific first.
+func (t *Table) Prefixes() []addr.Prefix {
+	out := make([]addr.Prefix, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.prefix
+	}
+	return out
+}
+
+// OnChange registers a route-change listener.
+func (t *Table) OnChange(fn func()) { t.listeners = append(t.listeners, fn) }
+
+// NotifyChanged fires the registered listeners. The routing protocol
+// implementations call this once per batch of changes.
+func (t *Table) NotifyChanged() {
+	for _, fn := range t.listeners {
+		fn()
+	}
+}
+
+// Replace swaps the whole table contents for the given entries (already
+// validated) and reports whether anything changed. Used by Oracle and LS
+// which recompute from scratch.
+func (t *Table) Replace(entries map[addr.Prefix]Route) bool {
+	if len(entries) == len(t.entries) {
+		same := true
+		for _, e := range t.entries {
+			r, ok := entries[e.prefix]
+			if !ok || r != e.route {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	t.entries = t.entries[:0]
+	for p, r := range entries {
+		t.entries = append(t.entries, tableEntry{prefix: p, route: r})
+	}
+	sort.Slice(t.entries, func(i, j int) bool {
+		if t.entries[i].prefix.Len != t.entries[j].prefix.Len {
+			return t.entries[i].prefix.Len > t.entries[j].prefix.Len
+		}
+		return t.entries[i].prefix.Addr < t.entries[j].prefix.Addr
+	})
+	return true
+}
+
+// String dumps the table for debugging.
+func (t *Table) String() string {
+	s := ""
+	for _, e := range t.entries {
+		s += fmt.Sprintf("%v via %v metric %d\n", e.prefix, e.route.NextHop, e.route.Metric)
+	}
+	return s
+}
+
+// LinkPrefix returns the conventional /24 subnet covering an interface
+// address: every simulated link is numbered inside its own /24 (see
+// internal/scenario), so an interface's connected prefix is derivable from
+// its address alone.
+func LinkPrefix(ip addr.IP) addr.Prefix { return addr.MustPrefix(ip, 24) }

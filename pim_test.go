@@ -1,0 +1,80 @@
+package pim_test
+
+import (
+	"testing"
+
+	"pim"
+)
+
+// TestQuickstart runs the doc-comment example end to end.
+func TestQuickstart(t *testing.T) {
+	g := pim.NewTopology(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	sim := pim.BuildSim(g)
+	receiver := sim.AddHost(0)
+	sender := sim.AddHost(3)
+	sim.FinishUnicast(pim.UseOracle)
+	group := pim.GroupAddress(0)
+	rp := sim.RouterAddr(2)
+	sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}})
+	sim.Run(2 * pim.Second)
+	receiver.Join(group)
+	sim.Run(2 * pim.Second)
+	pim.SendData(sender, group, 128)
+	sim.Run(pim.Second)
+	if receiver.Received[group] != 1 {
+		t.Fatalf("received = %d, want 1", receiver.Received[group])
+	}
+}
+
+func TestRandomTopologyHelper(t *testing.T) {
+	g := pim.RandomTopology(50, 4, 7)
+	if g.N() != 50 || !g.Connected() {
+		t.Fatalf("N=%d connected=%v", g.N(), g.Connected())
+	}
+	if got := g.AvgDegree(); got < 3.9 || got > 4.1 {
+		t.Errorf("avg degree = %v", got)
+	}
+}
+
+func TestGroupAndParse(t *testing.T) {
+	if !pim.GroupAddress(3).IsMulticast() {
+		t.Error("group address not multicast")
+	}
+	ip, err := pim.ParseIP("10.0.0.1")
+	if err != nil || ip.String() != "10.0.0.1" {
+		t.Errorf("ParseIP: %v %v", ip, err)
+	}
+}
+
+func TestFigure2FacadesRun(t *testing.T) {
+	cfgA := pim.DefaultFigure2a()
+	cfgA.Trials = 3
+	if pts := pim.RunFigure2a(cfgA); len(pts) != 6 {
+		t.Errorf("fig2a points = %d", len(pts))
+	}
+	cfgB := pim.DefaultFigure2b()
+	cfgB.Trials = 1
+	cfgB.Groups = 20
+	if pts := pim.RunFigure2b(cfgB); len(pts) != 6 {
+		t.Errorf("fig2b points = %d", len(pts))
+	}
+}
+
+func TestProtocolListedConstantsMatch(t *testing.T) {
+	all := pim.AllProtocols()
+	want := map[pim.Protocol]bool{
+		pim.ProtoPIMSM: true, pim.ProtoPIMSMShared: true, pim.ProtoCBT: true,
+		pim.ProtoDVMRP: true, pim.ProtoPIMDM: true, pim.ProtoMOSPF: true,
+	}
+	if len(all) != len(want) {
+		t.Fatalf("AllProtocols = %v", all)
+	}
+	for _, p := range all {
+		if !want[p] {
+			t.Errorf("unexpected protocol %q", p)
+		}
+	}
+}
