@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench fig2-ledger
+
+# check is the full gate: vet, build, race-enabled tests, and a short
+# benchmark smoke pass over the engine and hot-path benchmarks.
+check: vet build race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs one fast iteration of the perf-sensitive benchmarks so a
+# regression that breaks them (not just slows them) is caught by `make check`.
+bench-smoke:
+	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver' -benchtime 10x ./internal/topology/ ./internal/netsim/
+	$(GO) test -run XXX -bench 'BenchmarkEngineFig2a' -benchtime 1x .
+
+# bench is the full metric-reporting benchmark suite (EXPERIMENTS.md).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# fig2-ledger appends a wall-clock entry for the Figure 2 engine to
+# BENCH_fig2.json (see EXPERIMENTS.md "Running the evaluation in parallel").
+fig2-ledger:
+	$(GO) run ./cmd/pimbench -label $(or $(LABEL),run)

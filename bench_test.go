@@ -272,6 +272,51 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	b.ReportMetric(float64(sim.Net.Sched.Processed)/float64(b.N), "events/op")
 }
 
+// BenchmarkEngineFig2a measures the parallel experiment engine on the
+// Figure 2(a) workload: identical trial set at one worker versus all CPUs.
+// The sub-benchmark ns/op ratio is the engine's speedup (the output series
+// is bit-identical either way; TestFig2DeterministicAcrossWorkers pins that).
+func BenchmarkEngineFig2a(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := pim.DefaultFigure2a()
+			cfg.Trials = 30
+			cfg.Degrees = []float64{4}
+			cfg.Workers = tc.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pim.RunFigure2a(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFig2b is the same comparison on the heavier Figure 2(b)
+// workload (full flow-count accounting per trial).
+func BenchmarkEngineFig2b(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=all", 0}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := pim.DefaultFigure2b()
+			cfg.Trials = 4
+			cfg.Groups = 100
+			cfg.Degrees = []float64{4}
+			cfg.Workers = tc.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pim.RunFigure2b(cfg)
+			}
+		})
+	}
+}
+
 // BenchmarkScalingSenders regenerates the §1.2 sender-set growth series:
 // PIM state "require[s] enumeration of sources" and grows with the sender
 // count; CBT's single shared tree per group does not.

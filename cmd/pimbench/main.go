@@ -1,0 +1,141 @@
+// Command pimbench records the wall-clock trajectory of the Figure 2
+// experiment engine. It runs the default Figure 2(a) and 2(b) sweeps twice —
+// once pinned to a single worker and once across all CPUs — verifies the two
+// series are bit-identical, and appends one timestamped entry to a JSON
+// ledger (BENCH_fig2.json by default). Keeping the ledger in the repo gives
+// every optimization PR a before/after record against the same workload.
+//
+// Usage:
+//
+//	pimbench                        # append an entry to BENCH_fig2.json
+//	pimbench -label after-solver    # tag the entry
+//	pimbench -out /tmp/bench.json   # alternate ledger path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"pim"
+)
+
+// FigBench is the measurement of one figure's sweep.
+type FigBench struct {
+	Trials      int     `json:"trials"`
+	Degrees     int     `json:"degrees"`
+	Wall1Ms     float64 `json:"wall_ms_workers_1"`
+	WallAllMs   float64 `json:"wall_ms_workers_all"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"series_identical"`
+	FirstSeries any     `json:"first_point"`
+}
+
+// Entry is one appended ledger record.
+type Entry struct {
+	Label     string   `json:"label"`
+	Timestamp string   `json:"timestamp"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Fig2a     FigBench `json:"fig2a"`
+	Fig2b     FigBench `json:"fig2b"`
+}
+
+func main() {
+	label := flag.String("label", "run", "entry label (e.g. seed, after-solver)")
+	out := flag.String("out", "BENCH_fig2.json", "ledger file to append to")
+	trials2a := flag.Int("trials2a", 0, "Figure 2(a) trials per degree (0 = package default)")
+	trials2b := flag.Int("trials2b", 0, "Figure 2(b) trials per degree (0 = package default)")
+	flag.Parse()
+
+	entry := Entry{
+		Label:     *label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	{
+		cfg := pim.DefaultFigure2a()
+		if *trials2a > 0 {
+			cfg.Trials = *trials2a
+		}
+		cfg.Workers = 1
+		t0 := time.Now()
+		seq := pim.RunFigure2a(cfg)
+		wall1 := time.Since(t0)
+		cfg.Workers = 0
+		t0 = time.Now()
+		par := pim.RunFigure2a(cfg)
+		wallAll := time.Since(t0)
+		entry.Fig2a = FigBench{
+			Trials: cfg.Trials, Degrees: len(cfg.Degrees),
+			Wall1Ms:   float64(wall1.Microseconds()) / 1000,
+			WallAllMs: float64(wallAll.Microseconds()) / 1000,
+			Speedup:   float64(wall1) / float64(wallAll),
+			Identical: reflect.DeepEqual(seq, par),
+			FirstSeries: map[string]float64{
+				"degree": seq[0].Degree, "mean_ratio": seq[0].MeanRatio,
+			},
+		}
+		fmt.Printf("fig2a: %d trials × %d degrees  workers=1 %.0f ms  workers=all %.0f ms  speedup %.2fx  identical=%v\n",
+			cfg.Trials, len(cfg.Degrees), entry.Fig2a.Wall1Ms, entry.Fig2a.WallAllMs,
+			entry.Fig2a.Speedup, entry.Fig2a.Identical)
+	}
+
+	{
+		cfg := pim.DefaultFigure2b()
+		if *trials2b > 0 {
+			cfg.Trials = *trials2b
+		}
+		cfg.Workers = 1
+		t0 := time.Now()
+		seq := pim.RunFigure2b(cfg)
+		wall1 := time.Since(t0)
+		cfg.Workers = 0
+		t0 = time.Now()
+		par := pim.RunFigure2b(cfg)
+		wallAll := time.Since(t0)
+		entry.Fig2b = FigBench{
+			Trials: cfg.Trials, Degrees: len(cfg.Degrees),
+			Wall1Ms:   float64(wall1.Microseconds()) / 1000,
+			WallAllMs: float64(wallAll.Microseconds()) / 1000,
+			Speedup:   float64(wall1) / float64(wallAll),
+			Identical: reflect.DeepEqual(seq, par),
+			FirstSeries: map[string]float64{
+				"degree": seq[0].Degree, "spt_max": seq[0].SPTMax, "cbt_max": seq[0].CBTMax,
+			},
+		}
+		fmt.Printf("fig2b: %d trials × %d degrees  workers=1 %.0f ms  workers=all %.0f ms  speedup %.2fx  identical=%v\n",
+			cfg.Trials, len(cfg.Degrees), entry.Fig2b.Wall1Ms, entry.Fig2b.WallAllMs,
+			entry.Fig2b.Speedup, entry.Fig2b.Identical)
+	}
+
+	if !entry.Fig2a.Identical || !entry.Fig2b.Identical {
+		fmt.Fprintln(os.Stderr, "pimbench: parallel series diverged from sequential — not recording")
+		os.Exit(1)
+	}
+
+	var ledger []Entry
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entry)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q entry to %s (%d entries)\n", *label, *out, len(ledger))
+}

@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 1994, "random seed")
 	core := flag.String("core", "", "core placement for 2b: center (default) | optimal | member")
 	doPlot := flag.Bool("plot", false, "render an ASCII chart of the series")
+	workers := flag.Int("workers", 0, "trial worker pool (0 = all CPUs, 1 = sequential; output identical)")
 	flag.Parse()
 
 	switch *fig {
@@ -36,6 +37,7 @@ func main() {
 		cfg := pim.DefaultFigure2a()
 		cfg.Nodes = *nodes
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		if *trials > 0 {
 			cfg.Trials = *trials
 		}
@@ -69,6 +71,7 @@ func main() {
 		cfg.Groups = *groups
 		cfg.Senders = *senders
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		if *trials > 0 {
 			cfg.Trials = *trials
 		}

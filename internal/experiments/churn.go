@@ -7,6 +7,7 @@ import (
 	"pim/internal/core"
 	"pim/internal/igmp"
 	"pim/internal/netsim"
+	"pim/internal/parallel"
 	"pim/internal/scenario"
 	"pim/internal/topology"
 )
@@ -27,6 +28,9 @@ type ChurnConfig struct {
 	// Duration is the measured phase.
 	Duration netsim.Time
 	Seed     int64
+	// Workers bounds the RunChurnTrials worker pool: 0 = GOMAXPROCS,
+	// 1 = sequential. Trial results are identical for every value.
+	Workers int
 }
 
 // DefaultChurn returns laptop-scale defaults.
@@ -121,4 +125,18 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 	}
 	res.FinalState = dep.TotalState()
 	return res
+}
+
+// RunChurnTrials repeats the churn experiment over trials independent
+// topologies and workloads. Trial i runs with a seed derived from
+// (cfg.Seed, i), so each trial's randomness is a pure function of its index
+// and the slice is bit-identical for every cfg.Workers value.
+func RunChurnTrials(cfg ChurnConfig, trials int) []ChurnResult {
+	out := make([]ChurnResult, trials)
+	parallel.For(trials, cfg.Workers, func(i int) {
+		c := cfg
+		c.Seed = parallel.DeriveSeed(cfg.Seed, int64(i))
+		out[i] = RunChurn(c)
+	})
+	return out
 }

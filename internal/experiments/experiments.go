@@ -18,6 +18,7 @@ import (
 	"pim/internal/igmp"
 	"pim/internal/metrics"
 	"pim/internal/netsim"
+	"pim/internal/parallel"
 	"pim/internal/pimdm"
 	"pim/internal/scenario"
 	"pim/internal/topology"
@@ -88,6 +89,11 @@ type SparseConfig struct {
 	// PruneLifetime for the dense-mode protocols (short values expose the
 	// periodic-rebroadcast cost).
 	PruneLifetime netsim.Time
+	// Workers bounds the worker pool used when several protocol runs (or
+	// sweep points) execute for this config: 0 = GOMAXPROCS, 1 = sequential.
+	// Each run is an isolated simulation self-seeded from Seed, so results
+	// are identical for every value.
+	Workers int
 }
 
 // DefaultSparse returns a laptop-scale default comparable to the paper's
@@ -325,11 +331,14 @@ func sumCtrl(ms []*metrics.Counters) int64 {
 }
 
 // CompareSparse runs every protocol over the same topology/workload seed.
+// Runs are independent simulations (RunSparse re-seeds from cfg.Seed), so
+// they fan across cfg.Workers workers; the slice is ordered by protos
+// regardless of completion order.
 func CompareSparse(cfg SparseConfig, protos []Protocol) []Result {
-	out := make([]Result, 0, len(protos))
-	for _, p := range protos {
-		out = append(out, RunSparse(cfg, p))
-	}
+	out := make([]Result, len(protos))
+	parallel.For(len(protos), cfg.Workers, func(i int) {
+		out[i] = RunSparse(cfg, protos[i])
+	})
 	return out
 }
 

@@ -1,5 +1,7 @@
 package experiments
 
+import "pim/internal/parallel"
+
 // Scaling sweeps quantify the §1.2 overhead-growth axes: "the scalability
 // of a multicast protocol can be evaluated in terms of its overhead growth
 // with the size of the internet, size of groups, number of groups, size of
@@ -17,37 +19,39 @@ type ScalingPoint struct {
 	Results []Result
 }
 
+// runScaling is the shared sweep driver: every (axis value × protocol) pair
+// is an independent simulation, so the whole grid fans across base.Workers
+// workers in one flat work list instead of point-by-point. Each cell
+// self-seeds from its config, and cells land in a pre-sized grid slot, so
+// the output is identical for every worker count.
+func runScaling(base SparseConfig, xs []int, protos []Protocol, set func(*SparseConfig, int)) []ScalingPoint {
+	out := make([]ScalingPoint, len(xs))
+	for i, x := range xs {
+		out[i] = ScalingPoint{X: x, Results: make([]Result, len(protos))}
+	}
+	parallel.For(len(xs)*len(protos), base.Workers, func(k int) {
+		pi, pj := k/len(protos), k%len(protos)
+		cfg := base
+		cfg.Workers = 1 // the grid is the unit of parallelism, not the cell
+		set(&cfg, xs[pi])
+		out[pi].Results[pj] = RunSparse(cfg, protos[pj])
+	})
+	return out
+}
+
 // RunSenderScaling varies the per-group sender count.
 func RunSenderScaling(base SparseConfig, senderCounts []int, protos []Protocol) []ScalingPoint {
-	out := make([]ScalingPoint, 0, len(senderCounts))
-	for _, n := range senderCounts {
-		cfg := base
-		cfg.Senders = n
-		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
-	}
-	return out
+	return runScaling(base, senderCounts, protos, func(c *SparseConfig, n int) { c.Senders = n })
 }
 
 // RunGroupScaling varies the number of concurrently active groups.
 func RunGroupScaling(base SparseConfig, groupCounts []int, protos []Protocol) []ScalingPoint {
-	out := make([]ScalingPoint, 0, len(groupCounts))
-	for _, n := range groupCounts {
-		cfg := base
-		cfg.Groups = n
-		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
-	}
-	return out
+	return runScaling(base, groupCounts, protos, func(c *SparseConfig, n int) { c.Groups = n })
 }
 
 // RunMemberScaling varies the per-group receiver count.
 func RunMemberScaling(base SparseConfig, memberCounts []int, protos []Protocol) []ScalingPoint {
-	out := make([]ScalingPoint, 0, len(memberCounts))
-	for _, n := range memberCounts {
-		cfg := base
-		cfg.Members = n
-		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
-	}
-	return out
+	return runScaling(base, memberCounts, protos, func(c *SparseConfig, n int) { c.Members = n })
 }
 
 // RunSizeScaling varies the internet size (router count) at fixed degree —
@@ -55,11 +59,5 @@ func RunMemberScaling(base SparseConfig, memberCounts []int, protos []Protocol) 
 // tree size (diameter·members), not the internet size; flood-and-prune cost
 // tracks the internet size.
 func RunSizeScaling(base SparseConfig, nodeCounts []int, protos []Protocol) []ScalingPoint {
-	out := make([]ScalingPoint, 0, len(nodeCounts))
-	for _, n := range nodeCounts {
-		cfg := base
-		cfg.Nodes = n
-		out = append(out, ScalingPoint{X: n, Results: CompareSparse(cfg, protos)})
-	}
-	return out
+	return runScaling(base, nodeCounts, protos, func(c *SparseConfig, n int) { c.Nodes = n })
 }

@@ -40,6 +40,11 @@ type Domain struct {
 	// sp caches per-source Dijkstra results (the "forwarding cache"
 	// amortization MOSPF performs); invalidated on membership change.
 	sp map[int]*topology.ShortestPaths
+	// solver holds the reusable Dijkstra scratch buffers shared by every
+	// SPF run in the domain — membership churn triggers recomputation for
+	// each active source, and refilling warm buffers beats reallocating
+	// heap and distance arrays per run.
+	solver *topology.SPSolver
 }
 
 // NewDomain derives the router graph from the live links joining the given
@@ -70,6 +75,7 @@ func NewDomain(routers []*netsim.Node) *Domain {
 		}
 	}
 	d.sp = map[int]*topology.ShortestPaths{}
+	d.solver = d.Graph.NewSolver()
 	return d
 }
 
@@ -351,7 +357,7 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 	}
 	sp := r.Domain.sp[src]
 	if sp == nil {
-		sp = r.Domain.Graph.Dijkstra(src)
+		sp = r.Domain.solver.Solve(src)
 		r.Domain.sp[src] = sp
 		r.Metrics.Inc(metrics.SPFRuns)
 	}

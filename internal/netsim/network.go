@@ -27,7 +27,10 @@ type Node struct {
 	Name   string
 	Ifaces []*Iface
 
-	handlers     map[byte]Handler
+	// handlers is a flat demux table indexed by IP protocol number: the
+	// per-delivery lookup is one array load instead of a map probe, which
+	// matters because every packet crossing every link goes through it.
+	handlers     [256]Handler
 	onLinkChange []func(*Iface)
 }
 
@@ -107,7 +110,7 @@ func NewNetwork() *Network {
 
 // AddNode creates a node. Names must be unique only for readable traces.
 func (n *Network) AddNode(name string) *Node {
-	nd := &Node{Net: n, ID: len(n.Nodes), Name: name, handlers: map[byte]Handler{}}
+	nd := &Node{Net: n, ID: len(n.Nodes), Name: name}
 	n.Nodes = append(n.Nodes, nd)
 	return nd
 }
@@ -218,9 +221,13 @@ func (nd *Node) IfaceTo(neighbor addr.IP) *Iface {
 // other attached interfaces, which is what multicast and broadcast frames
 // do. On point-to-point links nextHop is ignored.
 //
-// The packet is marshalled to bytes here and unmarshalled at each receiver;
-// malformed packets panic (they indicate a protocol implementation bug, not
-// a runtime condition).
+// The packet is marshalled to bytes here and the frame unmarshalled once
+// when it comes off the link — one codec round trip per link crossing, the
+// same coverage as before, but a LAN frame heard by k stations no longer
+// decodes k times. Each receiving handler still gets its own Packet header
+// (payload bytes are shared, exactly as the per-receiver decode shared the
+// frame buffer). Malformed packets panic (they indicate a protocol
+// implementation bug, not a runtime condition).
 func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	if out == nil || !out.Up() {
 		nd.Net.Stats.Drop(dropIfaceDown)
@@ -231,10 +238,11 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 		panic("netsim: marshal failed: " + err.Error())
 	}
 	link := out.Link
-	nd.Net.Stats.Transmit(link, pkt)
+	net := nd.Net
+	net.Stats.Transmit(link, pkt)
 	// Serialization and queueing under finite bandwidth.
 	var txDone Time
-	now := nd.Net.Sched.Now()
+	now := net.Sched.Now()
 	if link.Bandwidth > 0 {
 		if link.nextFree == nil {
 			link.nextFree = map[*Iface]Time{}
@@ -253,31 +261,42 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 		txDone = start + tx - now
 		link.nextFree[out] = start + tx
 	}
-	for _, dst := range link.Ifaces {
-		if dst == out {
+	// One scheduler event per link crossing (not per receiver): the frame is
+	// decoded once at arrival and fanned to every station in attachment
+	// order, which is the order the per-receiver events fired in before.
+	net.Sched.Post(txDone+link.Delay, func() {
+		net.deliverFrame(out, link, buf, nextHop)
+	})
+}
+
+// deliverFrame takes one frame off the link: a single unmarshal, then
+// delivery to every eligible attached interface.
+func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop addr.IP) {
+	pkt, err := packet.Unmarshal(frame)
+	lan := link.IsLAN()
+	for _, to := range link.Ifaces {
+		if to == from {
 			continue
 		}
-		if link.IsLAN() && nextHop != 0 && dst.Addr != nextHop {
+		if lan && nextHop != 0 && to.Addr != nextHop {
 			continue
 		}
-		dst := dst
-		frame := buf
-		nd.Net.Sched.After(txDone+link.Delay, func() {
-			nd.Net.deliver(out, dst, frame)
-		})
+		if !to.Up() || !from.Up() {
+			n.Stats.Drop(dropLinkDown)
+			continue
+		}
+		if err != nil {
+			n.Stats.Drop(dropMalformed)
+			continue
+		}
+		// Per-receiver header copy: a handler mutating its view (TTL etc.)
+		// must not leak into the next station's delivery.
+		cp := *pkt
+		n.deliver(from, to, &cp)
 	}
 }
 
-func (n *Network) deliver(from, to *Iface, frame []byte) {
-	if !to.Up() || !from.Up() {
-		n.Stats.Drop(dropLinkDown)
-		return
-	}
-	pkt, err := packet.Unmarshal(frame)
-	if err != nil {
-		n.Stats.Drop(dropMalformed)
-		return
-	}
+func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
 	if n.Loss != nil && n.Loss(from, to, pkt) {
 		n.Stats.Drop(dropInjectedLoss)
 		return
@@ -286,8 +305,8 @@ func (n *Network) deliver(from, to *Iface, frame []byte) {
 	if n.Trace != nil {
 		n.Trace(TraceEvent{At: n.Sched.Now(), From: from, To: to, Pkt: pkt})
 	}
-	h, ok := to.Node.handlers[pkt.Protocol]
-	if !ok {
+	h := to.Node.handlers[pkt.Protocol]
+	if h == nil {
 		n.Stats.Drop(dropNoHandler)
 		return
 	}
@@ -298,8 +317,8 @@ func (n *Network) deliver(from, to *Iface, frame []byte) {
 // if it had arrived on the given interface; used for loopback-style delivery
 // (e.g. an RP processing its own register) without crossing a link.
 func (nd *Node) LocalSend(ifc *Iface, pkt *packet.Packet) {
-	h, ok := nd.handlers[pkt.Protocol]
-	if !ok {
+	h := nd.handlers[pkt.Protocol]
+	if h == nil {
 		nd.Net.Stats.Drop(dropNoHandler)
 		return
 	}

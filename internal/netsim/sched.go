@@ -10,8 +10,6 @@
 // receiver, so the codecs are exercised on the true data path.
 package netsim
 
-import "container/heap"
-
 // Time is simulated time in microseconds since the start of the run.
 type Time int64
 
@@ -27,21 +25,37 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Timer is a handle to a scheduled callback. The zero value is not valid;
 // timers are created by Scheduler.After/At.
+//
+// Timer objects are deliberately never pooled: a protocol may keep a handle
+// long after the callback fired (Stop on a fired timer must keep returning
+// false), so recycling a live pointer would let a stale Stop cancel an
+// unrelated future event. The allocation-free path is Scheduler.Post, which
+// schedules straight into the pooled event heap with no handle at all —
+// that is what the packet-delivery hot path uses.
 type Timer struct {
+	s       *Scheduler
 	at      Time
-	seq     uint64
-	fn      func()
 	stopped bool
 	fired   bool
 }
 
 // Stop cancels the timer. It reports whether the cancellation prevented the
 // callback (false if the timer already fired or was already stopped).
+// Stopped entries stay in the heap until their deadline or until they exceed
+// half the heap, whichever comes first; then a compaction sweep reclaims
+// them (long churn runs park thousands of cancelled soft-state timers, and
+// unbounded growth here was a leak).
 func (t *Timer) Stop() bool {
 	if t.fired || t.stopped {
 		return false
 	}
 	t.stopped = true
+	if s := t.s; s != nil {
+		s.nstopped++
+		if s.nstopped*2 > len(s.heap) {
+			s.compact()
+		}
+	}
 	return true
 }
 
@@ -51,32 +65,34 @@ func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 // When returns the time the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among equal times: determinism
+// event is one heap entry. Entries are values in a reusable backing array —
+// scheduling does not allocate beyond amortized slice growth. tm is nil for
+// the fire-and-forget Post path and points at the caller's handle for
+// After/At.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	tm  *Timer
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+// before orders events by (time, scheduling order): a strict total order, so
+// the execution sequence is identical no matter how the heap happens to be
+// laid out — the determinism the parallel experiment engine asserts on.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
 }
 
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant fire in scheduling order.
 type Scheduler struct {
-	now  Time
-	seq  uint64
-	heap timerHeap
+	now      Time
+	seq      uint64
+	heap     []event
+	nstopped int // stopped timers still occupying heap slots
 	// Processed counts events executed, for run-length guards and stats.
 	Processed int64
 }
@@ -105,23 +121,39 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
+	tm := &Timer{s: s, at: t}
 	s.seq++
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.heap, tm)
+	s.push(event{at: t, seq: s.seq, fn: fn, tm: tm})
 	return tm
+}
+
+// Post schedules fn to run d from now (clamped like After) without
+// allocating a cancellable Timer handle. This is the fast path for
+// fire-and-forget work — packet deliveries, periodic experiment pumps — and
+// costs no per-event allocation: the event record lives in the heap's
+// reusable backing array.
+func (s *Scheduler) Post(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	s.push(event{at: s.now + d, seq: s.seq, fn: fn})
 }
 
 // Step executes the next event. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
-		tm := heap.Pop(&s.heap).(*Timer)
-		if tm.stopped {
-			continue
+		ev := s.pop()
+		if ev.tm != nil {
+			if ev.tm.stopped {
+				s.nstopped--
+				continue
+			}
+			ev.tm.fired = true
 		}
-		s.now = tm.at
-		tm.fired = true
+		s.now = ev.at
 		s.Processed++
-		tm.fn()
+		ev.fn()
 		return true
 	}
 	return false
@@ -133,8 +165,9 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	for len(s.heap) > 0 {
 		// Peek.
 		next := s.heap[0]
-		if next.stopped {
-			heap.Pop(&s.heap)
+		if next.tm != nil && next.tm.stopped {
+			s.pop()
+			s.nstopped--
 			continue
 		}
 		if next.at > deadline {
@@ -158,4 +191,71 @@ func (s *Scheduler) Run(maxEvents int64) int64 {
 		}
 	}
 	return n
+}
+
+// compact removes every stopped entry from the heap in one sweep and
+// restores the heap property. Ordering is untouched: (at, seq) is a total
+// order, so re-heapifying the surviving events cannot change the pop
+// sequence.
+func (s *Scheduler) compact() {
+	live := s.heap[:0]
+	for _, ev := range s.heap {
+		if ev.tm != nil && ev.tm.stopped {
+			continue
+		}
+		live = append(live, ev)
+	}
+	// Zero the tail so dropped closures and timers are collectable.
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = event{}
+	}
+	s.heap = live
+	s.nstopped = 0
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.down(i)
+	}
+}
+
+func (s *Scheduler) push(ev event) {
+	s.heap = append(s.heap, ev)
+	j := len(s.heap) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !s.heap[j].before(s.heap[i]) {
+			break
+		}
+		s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+		j = i
+	}
+}
+
+func (s *Scheduler) pop() event {
+	h := s.heap
+	n := len(h) - 1
+	ev := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the closure for GC
+	s.heap = h[:n]
+	s.down(0)
+	return ev
+}
+
+func (s *Scheduler) down(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].before(h[j1]) {
+			j = j2
+		}
+		if !h[j].before(h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

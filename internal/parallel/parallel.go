@@ -1,0 +1,97 @@
+// Package parallel is the experiment engine's worker pool: it fans fully
+// independent, seeded trials out across CPUs while keeping every result
+// bit-identical to a sequential run.
+//
+// The repo's evaluation numbers (Figure 2(a)/(b), the §1.2 sparse-overhead
+// ledger, the scaling and churn sweeps) all come from loops of independent
+// trials. Two rules make those loops safe to parallelize without changing a
+// single output bit:
+//
+//  1. Each trial owns a private rand.Rand seeded by DeriveSeed from the
+//     experiment seed and the trial's coordinates, never a shared stream, so
+//     a trial's randomness does not depend on which trials ran before it.
+//  2. Each trial writes only its own result slot (For hands the caller the
+//     index), and any reduction over the slots happens sequentially after
+//     the pool drains.
+//
+// Under those rules the worker count and the OS schedule are unobservable:
+// Workers=1 and Workers=N produce the same bytes (asserted by the
+// determinism regression tests in internal/trees and internal/experiments).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n itself if positive, otherwise
+// GOMAXPROCS (the "0 = use every CPU" convention of the experiment configs).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using at most Workers(workers)
+// concurrent goroutines. fn must be safe to call concurrently and should
+// write its result only to slot i of a caller-owned slice. With workers==1
+// (or n<=1) everything runs inline on the calling goroutine.
+func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker's pool index (0..Workers(workers)-1)
+// passed to fn, so callers can give each worker reusable scratch space (for
+// example one topology.SPSolver per worker) without locking.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// DeriveSeed mixes an experiment base seed with a trial's coordinates (for
+// example degree index and trial number) into an independent per-trial seed.
+// The mix is SplitMix64, so nearby coordinates produce uncorrelated seeds;
+// the result depends only on (base, stream), never on execution order.
+func DeriveSeed(base int64, stream ...int64) int64 {
+	x := mix64(uint64(base) + 0x9E3779B97F4A7C15)
+	for _, s := range stream {
+		x = mix64(x ^ mix64(uint64(s)+0x9E3779B97F4A7C15))
+	}
+	return int64(x)
+}
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -4,8 +4,17 @@ import (
 	"math"
 	"math/rand"
 
+	"pim/internal/parallel"
 	"pim/internal/topology"
 )
+
+// The Figure 2 sweeps are loops of fully independent trials: each trial
+// generates its own random graph and group and reduces to one number. The
+// engine below fans trials across a bounded worker pool with per-trial
+// derived seeds (parallel.DeriveSeed over degree index and trial number), so
+// a trial's randomness is a pure function of its coordinates and the series
+// is bit-identical for every Workers value — asserted by
+// TestFig2DeterministicAcrossWorkers.
 
 // Fig2aConfig parameterizes the Figure 2(a) sweep. The paper's run used 500
 // 50-node graphs per degree with 10-member groups; Trials scales that down
@@ -18,6 +27,9 @@ type Fig2aConfig struct {
 	Seed      int64
 	// MinDelay/MaxDelay set the per-edge delay range (1/1 = hop count).
 	MinDelay, MaxDelay int64
+	// Workers bounds the trial worker pool: 0 = GOMAXPROCS, 1 = sequential.
+	// The results are identical for every value.
+	Workers int
 }
 
 // DefaultFig2a returns the paper's parameters with a reduced trial count.
@@ -41,18 +53,25 @@ type Fig2aPoint struct {
 
 // RunFig2a regenerates the Figure 2(a) series.
 func RunFig2a(cfg Fig2aConfig) []Fig2aPoint {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := make([]Fig2aPoint, 0, len(cfg.Degrees))
-	for _, deg := range cfg.Degrees {
-		var sum, sumSq, maxR float64
-		for trial := 0; trial < cfg.Trials; trial++ {
+	ratios := make([]float64, cfg.Trials)
+	for di, deg := range cfg.Degrees {
+		deg := deg
+		di := int64(di)
+		parallel.For(cfg.Trials, cfg.Workers, func(trial int) {
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, di, int64(trial))))
 			g := topology.Random(topology.GenConfig{
 				Nodes: cfg.Nodes, Degree: deg,
 				MinDelay: cfg.MinDelay, MaxDelay: cfg.MaxDelay,
 			}, rng)
 			sps := AllRootSP(g)
 			members := topology.PickDistinct(cfg.Nodes, cfg.GroupSize, rng)
-			r := DelayRatio(g, sps, members)
+			ratios[trial] = DelayRatio(g, sps, members)
+		})
+		// Sequential reduction in trial order keeps the floating-point sums
+		// independent of the worker schedule.
+		var sum, sumSq, maxR float64
+		for _, r := range ratios {
 			sum += r
 			sumSq += r * r
 			if r > maxR {
@@ -85,6 +104,9 @@ type Fig2bConfig struct {
 	Degrees   []float64
 	Seed      int64
 	Core      CorePolicy
+	// Workers bounds the trial worker pool: 0 = GOMAXPROCS, 1 = sequential.
+	// The results are identical for every value.
+	Workers int
 }
 
 // DefaultFig2b returns the paper's parameters with a reduced trial count.
@@ -108,11 +130,14 @@ type Fig2bPoint struct {
 
 // RunFig2b regenerates the Figure 2(b) series.
 func RunFig2b(cfg Fig2bConfig) []Fig2bPoint {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := make([]Fig2bPoint, 0, len(cfg.Degrees))
-	for _, deg := range cfg.Degrees {
-		var sptSum, cbtSum float64
-		for trial := 0; trial < cfg.Trials; trial++ {
+	sptMax := make([]float64, cfg.Trials)
+	cbtMax := make([]float64, cfg.Trials)
+	for di, deg := range cfg.Degrees {
+		deg := deg
+		di := int64(di)
+		parallel.For(cfg.Trials, cfg.Workers, func(trial int) {
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(cfg.Seed, di, int64(trial))))
 			g := topology.Random(topology.GenConfig{Nodes: cfg.Nodes, Degree: deg}, rng)
 			sps := AllRootSP(g)
 			groups := make([]Group, cfg.Groups)
@@ -126,8 +151,13 @@ func RunFig2b(cfg Fig2bConfig) []Fig2bPoint {
 			AddSPTFlows(g, sps, groups, spt)
 			cbt := make(FlowCounts, g.M())
 			AddCBTFlows(g, sps, groups, cfg.Core, cbt)
-			sptSum += float64(spt.Max())
-			cbtSum += float64(cbt.Max())
+			sptMax[trial] = float64(spt.Max())
+			cbtMax[trial] = float64(cbt.Max())
+		})
+		var sptSum, cbtSum float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			sptSum += sptMax[trial]
+			cbtSum += cbtMax[trial]
 		}
 		n := float64(cfg.Trials)
 		p := Fig2bPoint{Degree: deg, SPTMax: sptSum / n, CBTMax: cbtSum / n, Trials: cfg.Trials}

@@ -32,11 +32,13 @@ type Group struct {
 }
 
 // AllRootSP precomputes single-source shortest paths from every node,
-// shared by the core search and the per-sender SPT construction.
+// shared by the core search and the per-sender SPT construction. One solver
+// serves all roots so the scratch state (visited marks, heap) is paid once.
 func AllRootSP(g *topology.Graph) []*topology.ShortestPaths {
 	out := make([]*topology.ShortestPaths, g.N())
+	solver := g.NewSolver()
 	for v := 0; v < g.N(); v++ {
-		out[v] = g.Dijkstra(v)
+		out[v] = solver.Solve(v)
 	}
 	return out
 }
@@ -107,12 +109,15 @@ func CenterTree(g *topology.Graph, sps []*topology.ShortestPaths, members []int,
 	default: // CorePairwiseOptimal
 		bestDelay := int64(math.MaxInt64)
 		bestCore := -1
-		var bestTree *topology.Tree
+		// Two tree buffers flip between "current candidate" and "best so
+		// far", so the N-core search allocates at most two trees total.
+		var bestTree, scratch *topology.Tree
 		for c := 0; c < g.N(); c++ {
-			t := g.SPTreeFromSP(sps[c], members)
-			d := TreeMaxPairDelay(t, members)
+			scratch = g.SPTreeInto(scratch, sps[c], members)
+			d := TreeMaxPairDelay(scratch, members)
 			if d < bestDelay || (d == bestDelay && c < bestCore) {
-				bestDelay, bestCore, bestTree = d, c, t
+				bestDelay, bestCore = d, c
+				bestTree, scratch = scratch, bestTree
 			}
 		}
 		return bestTree, bestCore, bestDelay
@@ -164,11 +169,14 @@ func (f FlowCounts) Max() int64 {
 // AddSPTFlows adds, for each sender of each group, one flow on every edge
 // of that sender's shortest-path tree spanning the group members.
 func AddSPTFlows(g *topology.Graph, sps []*topology.ShortestPaths, groups []Group, counts FlowCounts) {
+	var t *topology.Tree
 	for _, grp := range groups {
 		for _, s := range grp.Members[:grp.Senders] {
-			t := g.SPTreeFromSP(sps[s], grp.Members)
-			for _, e := range t.EdgeIndexes() {
-				counts[e]++
+			t = g.SPTreeInto(t, sps[s], grp.Members)
+			for v, e := range t.ParentEdge {
+				if e != -1 && t.InTree[v] {
+					counts[e]++
+				}
 			}
 		}
 	}
@@ -181,8 +189,10 @@ func AddSPTFlows(g *topology.Graph, sps []*topology.ShortestPaths, groups []Grou
 func AddCBTFlows(g *topology.Graph, sps []*topology.ShortestPaths, groups []Group, policy CorePolicy, counts FlowCounts) {
 	for _, grp := range groups {
 		t, _, _ := CenterTree(g, sps, grp.Members, policy)
-		for _, e := range t.EdgeIndexes() {
-			counts[e] += int64(grp.Senders)
+		for v, e := range t.ParentEdge {
+			if e != -1 && t.InTree[v] {
+				counts[e] += int64(grp.Senders)
+			}
 		}
 	}
 }

@@ -187,7 +187,8 @@ const (
 
 // RunFigure2a regenerates the paper's Figure 2(a) series: the ratio of
 // optimal core-based tree maximum delay to shortest-path maximum delay
-// across node degrees.
+// across node degrees. Trials fan across cfg.Workers workers (0 =
+// GOMAXPROCS); the series is bit-identical for every worker count.
 func RunFigure2a(cfg Fig2aConfig) []Fig2aPoint { return trees.RunFig2a(cfg) }
 
 // DefaultFigure2a returns the paper's Figure 2(a) parameters (50 nodes,
@@ -196,6 +197,8 @@ func DefaultFigure2a() Fig2aConfig { return trees.DefaultFig2a() }
 
 // RunFigure2b regenerates the paper's Figure 2(b) series: maximum per-link
 // traffic flows under per-source SPTs versus center-based shared trees.
+// Trials fan across cfg.Workers workers (0 = GOMAXPROCS); the series is
+// bit-identical for every worker count.
 func RunFigure2b(cfg Fig2bConfig) []Fig2bPoint { return trees.RunFig2b(cfg) }
 
 // DefaultFigure2b returns the paper's Figure 2(b) parameters (300 groups of
@@ -210,7 +213,8 @@ func RunSparseOverhead(cfg SparseConfig, p Protocol) OverheadResult {
 }
 
 // CompareSparseOverhead runs several protocols over the identical topology
-// and workload.
+// and workload. The per-protocol runs fan across cfg.Workers workers (0 =
+// GOMAXPROCS); the ledger is bit-identical for every worker count.
 func CompareSparseOverhead(cfg SparseConfig, ps []Protocol) []OverheadResult {
 	return experiments.CompareSparse(cfg, ps)
 }
@@ -285,6 +289,12 @@ func DefaultChurnConfig() ChurnConfig { return experiments.DefaultChurn() }
 
 // RunChurn measures the control cost of membership dynamics.
 func RunChurn(cfg ChurnConfig) ChurnResult { return experiments.RunChurn(cfg) }
+
+// RunChurnTrials repeats the churn experiment over independent topologies
+// with per-trial derived seeds, fanned across cfg.Workers workers.
+func RunChurnTrials(cfg ChurnConfig, trials int) []ChurnResult {
+	return experiments.RunChurnTrials(cfg, trials)
+}
 
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
