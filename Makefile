@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fig2-ledger
+.PHONY: check build vet test race bench-smoke bench fig2-ledger dataplane-ledger
 
 # check is the full gate: vet, build, race-enabled tests, and a short
 # benchmark smoke pass over the engine and hot-path benchmarks.
@@ -23,6 +23,10 @@ race:
 bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver' -benchtime 10x ./internal/topology/ ./internal/netsim/
 	$(GO) test -run XXX -bench 'BenchmarkEngineFig2a' -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkLPM(Trie|Linear)256' -benchtime 10x ./internal/unicast/
+	$(GO) test -run XXX -bench 'BenchmarkRPF(CacheHit|Uncached)' -benchtime 10x ./internal/rpf/
+	$(GO) test -run XXX -bench 'BenchmarkFanout(Compiled|Reference)' -benchtime 10x ./internal/mfib/
+	$(GO) test -run XXX -bench 'BenchmarkDataplane(Shared|Dense)(Fast|Ref)' -benchtime 1x ./internal/experiments/
 
 # bench is the full metric-reporting benchmark suite (EXPERIMENTS.md).
 bench:
@@ -32,3 +36,9 @@ bench:
 # BENCH_fig2.json (see EXPERIMENTS.md "Running the evaluation in parallel").
 fig2-ledger:
 	$(GO) run ./cmd/pimbench -label $(or $(LABEL),run)
+
+# dataplane-ledger appends a forwarding fast-path entry to
+# BENCH_dataplane.json; recording is refused if the fast path's packet
+# traces diverge from the reference path's (see EXPERIMENTS.md).
+dataplane-ledger:
+	$(GO) run ./cmd/pimbench -dataplane -label $(or $(LABEL),run)

@@ -10,6 +10,12 @@
 //	pimbench                        # append an entry to BENCH_fig2.json
 //	pimbench -label after-solver    # tag the entry
 //	pimbench -out /tmp/bench.json   # alternate ledger path
+//
+// With -dataplane it instead runs the forwarding fast-path benchmark
+// (reference linear-scan/per-packet path vs trie LPM + RPF cache + compiled
+// MFIB fan-out) and appends to BENCH_dataplane.json. The entry is recorded
+// only if the two paths produced bit-identical packet delivery traces in
+// every phase.
 package main
 
 import (
@@ -45,12 +51,36 @@ type Entry struct {
 	Fig2b     FigBench `json:"fig2b"`
 }
 
+// DataplaneEntry is one appended record of the data-plane ledger.
+type DataplaneEntry struct {
+	Label     string              `json:"label"`
+	Timestamp string              `json:"timestamp"`
+	GoVersion string              `json:"go_version"`
+	NumCPU    int                 `json:"num_cpu"`
+	Result    pim.DataplaneResult `json:"result"`
+}
+
 func main() {
 	label := flag.String("label", "run", "entry label (e.g. seed, after-solver)")
-	out := flag.String("out", "BENCH_fig2.json", "ledger file to append to")
+	out := flag.String("out", "", "ledger file to append to (default BENCH_fig2.json, or BENCH_dataplane.json with -dataplane)")
 	trials2a := flag.Int("trials2a", 0, "Figure 2(a) trials per degree (0 = package default)")
 	trials2b := flag.Int("trials2b", 0, "Figure 2(b) trials per degree (0 = package default)")
+	dataplane := flag.Bool("dataplane", false, "run the forwarding fast-path benchmark instead of the Figure 2 sweeps")
+	hops := flag.Int("hops", 0, "dataplane chain length (0 = package default)")
+	packets := flag.Int("packets", 0, "dataplane measured packets (0 = package default)")
+	fillers := flag.Int("fillers", 0, "dataplane filler routes per unicast table (0 = package default)")
 	flag.Parse()
+
+	if *dataplane {
+		if *out == "" {
+			*out = "BENCH_dataplane.json"
+		}
+		runDataplane(*label, *out, *hops, *packets, *fillers)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_fig2.json"
+	}
 
 	entry := Entry{
 		Label:     *label,
@@ -138,4 +168,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("appended %q entry to %s (%d entries)\n", *label, *out, len(ledger))
+}
+
+// runDataplane executes the forwarding fast-path benchmark and appends it to
+// the dataplane ledger — refusing to record anything if the fast path's
+// packet delivery trace diverged from the reference path's in any phase.
+func runDataplane(label, out string, hops, packets, fillers int) {
+	cfg := pim.DefaultDataplaneConfig()
+	if hops > 0 {
+		cfg.Hops = hops
+	}
+	if packets > 0 {
+		cfg.Packets = packets
+	}
+	if fillers > 0 {
+		cfg.FillerRoutes = fillers
+	}
+	res := pim.RunDataplane(cfg)
+	for _, p := range res.Phases {
+		fmt.Printf("dataplane %-6s  ref %8.1f ms  fast %8.1f ms  speedup %5.2fx  identical=%v  delivered=%d crossings=%d\n",
+			p.Name, p.RefMs, p.FastMs, p.Speedup, p.Identical, p.Delivered, p.Crossings)
+	}
+	if !res.AllIdentical {
+		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
+		os.Exit(1)
+	}
+	entry := DataplaneEntry{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Result:    res,
+	}
+	var ledger []DataplaneEntry
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entry)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q entry to %s (%d entries, overall speedup %.2fx)\n",
+		label, out, len(ledger), res.Speedup)
 }

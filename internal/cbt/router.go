@@ -5,6 +5,7 @@ import (
 	"pim/internal/metrics"
 	"pim/internal/netsim"
 	"pim/internal/packet"
+	"pim/internal/rpf"
 	"pim/internal/unicast"
 )
 
@@ -52,6 +53,10 @@ type Router struct {
 	Unicast unicast.Router
 	Metrics *metrics.Counters
 
+	// rpfc memoizes lookups toward cores (off-tree senders resolve the
+	// core per data packet), invalidated by unicast table generation.
+	rpfc *rpf.Cache
+
 	groups map[addr.IP]*groupState
 }
 
@@ -68,6 +73,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		rpfc:    rpf.New(uni),
 		Metrics: metrics.New(),
 		groups:  map[addr.IP]*groupState{},
 	}
@@ -160,7 +166,7 @@ func (r *Router) maybeQuit(g addr.IP, st *groupState) {
 // sendJoinReq transmits (and schedules retransmission of) the join request
 // toward the core.
 func (r *Router) sendJoinReq(g addr.IP, st *groupState) {
-	if rt, ok := r.Unicast.Lookup(st.core); ok {
+	if rt, ok := r.rpfc.Lookup(st.core); ok {
 		nextHop := rt.NextHop
 		if nextHop == 0 {
 			nextHop = st.core
@@ -324,7 +330,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 			return
 		}
 		// Relay toward the core until an on-tree router takes over.
-		rt, ok := r.Unicast.Lookup(core)
+		rt, ok := r.rpfc.Lookup(core)
 		if !ok || rt.Iface == in {
 			r.Metrics.Inc(metrics.DataDropped)
 			return

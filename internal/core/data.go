@@ -59,7 +59,7 @@ func (r *Router) senderSide(in *netsim.Iface, s, g addr.IP, pkt *packet.Packet) 
 			r.rpAcceptSource(r.sourceKey(s), g, in)
 			continue
 		}
-		rt, ok := r.Unicast.Lookup(rp)
+		rt, ok := r.rpfc.Lookup(rp)
 		if !ok {
 			continue
 		}
@@ -130,41 +130,20 @@ func (r *Router) forwardData(in *netsim.Iface, pkt *packet.Packet) {
 }
 
 // sharedOIFs is the (*,G) outgoing list minus effective negative-cache
-// prunes for s.
+// prunes for s (§3.3 fn. 11). The computation lives in internal/mfib so
+// the compiled fast path and the reference path share one implementation.
 func (r *Router) sharedOIFs(wc *mfib.Entry, s addr.IP, except *netsim.Iface) []*netsim.Iface {
-	now := r.now()
-	rpt := r.MFIB.SGRpt(s, wc.Key.Group)
-	var out []*netsim.Iface
-	for _, ifc := range wc.LiveOIFs(now, except) {
-		if rpt != nil {
-			if o := rpt.OIFs[ifc.Index]; o != nil && o.Live(now) && !o.PrunePending {
-				continue // pruned for this source (§3.3 fn. 11)
-			}
-		}
-		out = append(out, ifc)
-	}
-	return out
+	return mfib.SharedForward(wc, r.MFIB.SGRpt(s, wc.Key.Group), r.now(), except)
 }
 
 // unionOIFs is the (S,G) list united with the inherited shared-tree list —
 // the race-free equivalent of §3.3's copy-at-creation (DESIGN.md §4).
 func (r *Router) unionOIFs(sg, wc *mfib.Entry, s addr.IP, except *netsim.Iface) []*netsim.Iface {
-	now := r.now()
-	out := sg.LiveOIFs(now, except)
-	if wc == nil {
-		return out
+	var rpt *mfib.Entry
+	if wc != nil {
+		rpt = r.MFIB.SGRpt(s, wc.Key.Group)
 	}
-	have := map[int]bool{}
-	for _, ifc := range out {
-		have[ifc.Index] = true
-	}
-	for _, ifc := range r.sharedOIFs(wc, s, except) {
-		if !have[ifc.Index] && ifc != sg.IIF {
-			out = append(out, ifc)
-			have[ifc.Index] = true
-		}
-	}
-	return out
+	return mfib.UnionForward(sg, wc, rpt, r.now(), except)
 }
 
 // emit transmits the packet over each outgoing interface with a TTL

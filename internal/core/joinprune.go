@@ -49,6 +49,7 @@ func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 			return
 		}
 		o.LocalMember = false
+		e.Touch()
 		if !o.Live(now) {
 			e.RemoveOIF(ifc)
 		}
@@ -102,9 +103,11 @@ func (r *Router) setUpstream(e *mfib.Entry, target addr.IP) {
 	iif, up, ok := r.rpf(target)
 	if !ok {
 		e.IIF, e.UpstreamNeighbor = nil, 0
+		e.Touch()
 		return
 	}
 	e.IIF, e.UpstreamNeighbor = iif, up
+	e.Touch()
 }
 
 // upstreamTarget returns the address an entry's joins/prunes chase: the RP
@@ -494,6 +497,7 @@ func (r *Router) scheduleOIFPrune(e *mfib.Entry, o *mfib.OIF, in *netsim.Iface, 
 	now := r.now()
 	o.PrunePending = true
 	o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
+	e.Touch()
 	r.sched().After(r.Cfg.PruneOverrideDelay, func() {
 		cur := e.OIFs[in.Index]
 		if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
@@ -522,10 +526,12 @@ func (r *Router) pruneSourceOnShared(in *netsim.Iface, g, s addr.IP, hold netsim
 		// join with the RP bit cancels it via cancelNegativeCache.
 		o.PrunePending = true
 		o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
+		rpt.Touch()
 		r.sched().After(r.Cfg.PruneOverrideDelay, func() {
 			cur := rpt.OIFs[in.Index]
 			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
 				o.PrunePending = false
+				rpt.Touch()
 				r.propagateRptPrune(g, s, rpt, wc)
 			}
 		})

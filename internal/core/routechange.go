@@ -29,6 +29,7 @@ func (r *Router) routesChanged() {
 		}
 		oldIIF, oldUp := e.IIF, e.UpstreamNeighbor
 		e.IIF, e.UpstreamNeighbor = newIIF, newUp
+		e.Touch()
 
 		// Negative caches just follow the new shared-tree interface; their
 		// prune refreshes flow along the new path on the next cycle.

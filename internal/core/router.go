@@ -9,6 +9,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
+	"pim/internal/rpf"
 	"pim/internal/unicast"
 )
 
@@ -19,6 +20,10 @@ type Router struct {
 	Unicast unicast.Router
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
+
+	// rpfc memoizes Unicast lookups for the per-packet paths (RPF checks,
+	// register targeting, unicast relay), invalidated by table generation.
+	rpfc *rpf.Cache
 
 	// rpMap holds group -> ordered RP candidates (config plus host RPMap
 	// messages); currentRP tracks which candidate the receiver side of this
@@ -61,6 +66,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 		Node:         nd,
 		Cfg:          cfg,
 		Unicast:      uni,
+		rpfc:         rpf.New(uni),
 		MFIB:         mfib.NewTable(),
 		Metrics:      metrics.New(),
 		rpMap:        map[addr.IP][]addr.IP{},
@@ -197,7 +203,7 @@ func (r *Router) rpf(target addr.IP) (iif *netsim.Iface, upstream addr.IP, ok bo
 	if r.Node.OwnsAddr(target) {
 		return nil, 0, true
 	}
-	rt, ok := r.Unicast.Lookup(target)
+	rt, ok := r.rpfc.Lookup(target)
 	if !ok {
 		return nil, 0, false
 	}
@@ -318,7 +324,7 @@ func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
 
 // forwardUnicast relays a unicast packet one hop along the unicast route.
 func (r *Router) forwardUnicast(pkt *packet.Packet) {
-	rt, ok := r.Unicast.Lookup(pkt.Dst)
+	rt, ok := r.rpfc.Lookup(pkt.Dst)
 	if !ok {
 		return
 	}

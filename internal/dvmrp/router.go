@@ -6,6 +6,7 @@ import (
 	"pim/internal/mfib"
 	"pim/internal/netsim"
 	"pim/internal/packet"
+	"pim/internal/rpf"
 	"pim/internal/unicast"
 )
 
@@ -37,6 +38,10 @@ type Router struct {
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
 
+	// rpfc memoizes the per-packet reverse-path lookup, invalidated by
+	// unicast table generation.
+	rpfc *rpf.Cache
+
 	// neighbors[ifaceIndex][addr] = expiry; learned from probes.
 	neighbors map[int]map[addr.IP]netsim.Time
 	// members[ifaceIndex][group] = true; local membership from IGMP.
@@ -56,6 +61,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		rpfc:           rpf.New(uni),
 		MFIB:           mfib.NewTable(),
 		Metrics:        metrics.New(),
 		neighbors:      map[int]map[addr.IP]netsim.Time{},
@@ -119,6 +125,7 @@ func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 		}
 		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
 			o.LocalMember = false
+			e.Touch()
 			if !o.Live(now) {
 				e.RemoveOIF(ifc)
 			}
@@ -287,7 +294,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	var iif *netsim.Iface
 	var upstream addr.IP
 	if !srcLocal {
-		rt, ok := r.Unicast.Lookup(s)
+		rt, ok := r.rpfc.Lookup(s)
 		if !ok {
 			r.Metrics.Inc(metrics.DataDropped)
 			return
@@ -323,7 +330,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 			e.AddOIF(ifc, infiniteExpiry)
 		}
 	}
-	oifs := e.LiveOIFs(now, in)
+	oifs := e.ForwardOIFs(now, in)
 	if len(oifs) == 0 {
 		r.maybePruneUpstream(e)
 		return

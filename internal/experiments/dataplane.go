@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"time"
+
+	"pim/internal/addr"
+	"pim/internal/core"
+	"pim/internal/fastpath"
+	"pim/internal/igmp"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimdm"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+	"pim/internal/unicast"
+)
+
+// The data-plane benchmark drives steady-state forwarding down an N-hop
+// chain — the workload where the per-packet path (LPM for RPF checks,
+// outgoing-interface list construction) dominates — once over the reference
+// path and once over the fast path (trie LPM + generation-stamped RPF cache
+// + compiled MFIB fan-out; see internal/fastpath). Both runs use identical
+// seeds and schedules, so their packet delivery traces must be bit
+// identical; cmd/pimbench refuses to record a ledger entry otherwise.
+//
+// Three phases cover the distinct per-packet code paths:
+//
+//   - shared: PIM-SM pinned to the RP tree (§3.2 shared-tree forwarding,
+//     negative-cache subtraction on every hop);
+//   - spt: PIM-SM with immediate SPT switching (§3.3), exercising the
+//     (S,G)∪shared union rule of §3.5;
+//   - dense: PIM-DM broadcast-and-prune steady state, where every hop
+//     RPF-checks every packet against the unicast table.
+
+// DataplaneConfig parameterizes the N-hop forwarding benchmark.
+type DataplaneConfig struct {
+	// Hops is the chain length (routers). The source hangs off the
+	// highest-index router so reference-path linear scans traverse a
+	// realistic share of the table.
+	Hops int
+	// Packets sent in the measured phase, PacketGap apart.
+	Packets   int
+	PacketGap netsim.Time
+	// Payload is the data packet payload size in bytes.
+	Payload int
+	// FillerRoutes pads every router's unicast table with this many inert
+	// /24s, modelling the backbone-scale tables the paper's wide-area
+	// setting implies. They sit below the scenario address plan so per-packet
+	// RPF lookups must consider them; the multicast traffic never targets
+	// them, so forwarding behaviour is unchanged on either path.
+	FillerRoutes int
+}
+
+// DefaultDataplane returns the ledger workload: long enough for steady
+// state to dominate, short enough for bench-smoke. The chain length stays
+// under packet.DefaultTTL (64) so measured packets reach the far receiver.
+func DefaultDataplane() DataplaneConfig {
+	return DataplaneConfig{
+		Hops: 56, Packets: 2000, PacketGap: 10 * netsim.Millisecond,
+		Payload: 16, FillerRoutes: 1024,
+	}
+}
+
+// DeliveryEvent is one packet arrival at a member host — the unit of the
+// trace-equivalence gate. Sent carries the origination timestamp stamped
+// into the payload, so the tuple pins source, path delay, and ordering.
+type DeliveryEvent struct {
+	At   netsim.Time
+	Host int
+	Src  addr.IP
+	Sent netsim.Time
+}
+
+// DataplaneRun is one phase executed on one path.
+type DataplaneRun struct {
+	WallMs    float64
+	Delivered int
+	// DataCrossings counts data-packet link crossings (per-hop forwarding
+	// work actually performed).
+	DataCrossings int64
+	Trace         []DeliveryEvent
+}
+
+// DataplanePhase compares the two paths on one protocol phase.
+type DataplanePhase struct {
+	Name      string  `json:"name"`
+	RefMs     float64 `json:"ref_ms"`
+	FastMs    float64 `json:"fast_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"traces_identical"`
+	Delivered int     `json:"delivered"`
+	Crossings int64   `json:"data_crossings"`
+}
+
+// DataplaneResult is the full benchmark outcome. Speedup is the headline:
+// total reference wall time over total fast-path wall time across all
+// phases. The per-phase numbers decompose it — the RPF-per-hop dense phase
+// shows the full trie+cache win, while the PIM-SM phases bound it, since
+// established shared/shortest-path trees forward from precomputed state by
+// design (§3.5) and only the fan-out compilation is left to save.
+type DataplaneResult struct {
+	Hops    int              `json:"hops"`
+	Packets int              `json:"packets"`
+	Fillers int              `json:"filler_routes"`
+	Phases  []DataplanePhase `json:"phases"`
+	// AllIdentical gates ledger recording in cmd/pimbench.
+	AllIdentical bool `json:"all_identical"`
+	// Speedup is total reference wall time / total fast wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// dataplanePhases names the benchmark phases in execution order.
+var dataplanePhases = []string{"shared", "spt", "dense"}
+
+// RunDataplane executes every phase on both paths and restores the
+// fast-path switch to its prior setting.
+func RunDataplane(cfg DataplaneConfig) DataplaneResult {
+	prev := fastpath.Set(true)
+	defer fastpath.Set(prev)
+	res := DataplaneResult{
+		Hops: cfg.Hops, Packets: cfg.Packets, Fillers: cfg.FillerRoutes,
+		AllIdentical: true,
+	}
+	var refTotal, fastTotal float64
+	for _, name := range dataplanePhases {
+		fastpath.Set(false)
+		ref := runDataplaneOnce(cfg, name)
+		fastpath.Set(true)
+		fast := runDataplaneOnce(cfg, name)
+		p := DataplanePhase{
+			Name:      name,
+			RefMs:     ref.WallMs,
+			FastMs:    fast.WallMs,
+			Speedup:   ref.WallMs / fast.WallMs,
+			Identical: tracesEqual(ref.Trace, fast.Trace) && ref.Delivered == fast.Delivered && ref.DataCrossings == fast.DataCrossings,
+			Delivered: fast.Delivered,
+			Crossings: fast.DataCrossings,
+		}
+		res.Phases = append(res.Phases, p)
+		if !p.Identical {
+			res.AllIdentical = false
+		}
+		refTotal += ref.WallMs
+		fastTotal += fast.WallMs
+	}
+	if fastTotal > 0 {
+		res.Speedup = refTotal / fastTotal
+	}
+	return res
+}
+
+func tracesEqual(a, b []DeliveryEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runDataplaneOnce builds a fresh chain simulation, establishes the phase's
+// distribution tree, then times the measured send window. Setup and warmup
+// are excluded from the wall clock: the benchmark isolates steady-state
+// per-packet cost.
+func runDataplaneOnce(cfg DataplaneConfig, phase string) DataplaneRun {
+	h := cfg.Hops
+	g := topology.New(h)
+	for i := 0; i < h-1; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	sim := scenario.Build(g)
+	// Source behind the last router; receivers behind the first and middle
+	// routers, so packets traverse the full chain and fork once.
+	src := sim.AddHost(h - 1)
+	receivers := []*igmp.Host{sim.AddHost(0), sim.AddHost(h / 2)}
+	sim.FinishUnicast(scenario.UseOracle)
+	installFillerRoutes(sim, cfg.FillerRoutes)
+
+	group := addr.GroupForIndex(0)
+	switch phase {
+	case "shared":
+		sim.DeployPIM(core.Config{
+			RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
+			SPTPolicy: core.SwitchNever,
+		})
+	case "spt":
+		sim.DeployPIM(core.Config{
+			RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
+		})
+	case "dense":
+		sim.DeployPIMDM(pimdm.Config{})
+	default:
+		panic("experiments: unknown dataplane phase " + phase)
+	}
+
+	sim.Run(2 * netsim.Second)
+	for _, r := range receivers {
+		r.Join(group)
+	}
+	sim.Run(30 * netsim.Second)
+	// Prime the trees (registers, SPT switches, dense-mode prunes) so the
+	// measured window is pure steady state.
+	for i := 0; i < 5; i++ {
+		scenario.SendData(src, group, cfg.Payload)
+		sim.Run(netsim.Second)
+	}
+	sim.Run(10 * netsim.Second)
+
+	run := DataplaneRun{}
+	// Baseline the per-host counters so Delivered covers only the measured
+	// window, not the priming packets.
+	primed := make([]int, len(receivers))
+	for hi, r := range receivers {
+		hi, r := hi, r
+		primed[hi] = r.Received[group]
+		r.OnData = func(grp addr.IP, pkt *packet.Packet) {
+			if grp != group {
+				return
+			}
+			ev := DeliveryEvent{At: sim.Net.Sched.Now(), Host: hi, Src: pkt.Src}
+			if lat, ok := scenario.Latency(ev.At, pkt); ok {
+				ev.Sent = ev.At - lat
+			}
+			run.Trace = append(run.Trace, ev)
+		}
+	}
+	sim.Net.Stats.Reset()
+	for i := 0; i < cfg.Packets; i++ {
+		sim.Net.Sched.After(netsim.Time(i)*cfg.PacketGap, func() {
+			scenario.SendData(src, group, cfg.Payload)
+		})
+	}
+	t0 := time.Now()
+	sim.Run(netsim.Time(cfg.Packets)*cfg.PacketGap + 10*netsim.Second)
+	run.WallMs = float64(time.Since(t0).Microseconds()) / 1000
+
+	for hi, r := range receivers {
+		run.Delivered += r.Received[group] - primed[hi]
+		r.OnData = nil
+	}
+	run.DataCrossings = sim.Net.Stats.Totals.DataPackets
+	return run
+}
+
+// installFillerRoutes pads every router's table with n inert /24s under
+// 10.(1..99).x — below the scenario's 10.100 host LANs and 10.200 backbone
+// links, so they are covered by every real lookup's scan range but never
+// selected. The oracle only recomputes tables on link changes, which this
+// benchmark has none of, so the padding persists through the run.
+func installFillerRoutes(sim *scenario.Sim, n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range sim.Routers {
+		tb, ok := sim.UnicastFor(i).(*unicast.Table)
+		if !ok {
+			return
+		}
+		var via *netsim.Iface
+		for _, ifc := range sim.Routers[i].Ifaces {
+			if ifc.Up() && ifc.Addr != 0 {
+				via = ifc
+				break
+			}
+		}
+		for j := 0; j < n; j++ {
+			p := addr.Prefix{Addr: addr.V4(10, byte(1+j/200), byte(j%200), 0), Len: 24}
+			tb.Set(p, unicast.Route{Iface: via, Metric: 1})
+		}
+		tb.NotifyChanged()
+	}
+}

@@ -1,0 +1,33 @@
+// Package fastpath holds the single switch selecting between the
+// forwarding-plane fast path and the reference path.
+//
+// Fast path (the default): the unicast table answers longest-prefix matches
+// from an 8-bit-stride multibit trie, RPF results are served from the
+// generation-stamped cache in internal/rpf, and MFIB entries reuse compiled
+// fan-out slices (internal/mfib.Plan). Reference path: the original linear
+// prefix scan, uncached RPF resolution, and per-packet outgoing-interface
+// list construction.
+//
+// Both paths must produce bit-identical forwarding behaviour — correctness
+// is anchored to the paper's §3.8 route-change semantics (a unicast routing
+// change must be reflected by the very next lookup), enforced by the
+// differential tests in internal/unicast and internal/mfib and by the
+// trace-equivalence gate in cmd/pimbench. The switch exists so the
+// equivalence can be checked end to end and so BENCH_dataplane.json records
+// an honest before/after.
+package fastpath
+
+import "sync/atomic"
+
+// enabled defaults to true: the fast path is the production configuration.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether the fast path is active.
+func Enabled() bool { return enabled.Load() }
+
+// Set selects the fast path (true) or the reference path (false) and
+// returns the previous setting. Benchmarks and differential tests flip it;
+// nothing else should.
+func Set(on bool) (prev bool) { return enabled.Swap(on) }

@@ -81,7 +81,22 @@ type Entry struct {
 	// another router's identical join postpones this entry's own periodic
 	// refresh until the recorded time.
 	SuppressedUntil netsim.Time
+	// gen is the entry's mutation generation; plans compiled against this
+	// entry (plan.go) revalidate with one compare. Every method mutating
+	// forwarding-relevant state bumps it; code mutating OIF fields or IIF
+	// directly must call Touch.
+	gen uint64
+	// plans holds the compiled fan-out slices derived from this entry.
+	plans []plan
 }
+
+// Touch invalidates any compiled plan depending on this entry. Mutating
+// methods call it internally; callers flipping OIF fields (LocalMember,
+// PrunePending, ...) or IIF in place must call it themselves.
+func (e *Entry) Touch() { e.gen++ }
+
+// Gen returns the entry's mutation generation.
+func (e *Entry) Gen() uint64 { return e.gen }
 
 // NewEntry builds an empty entry.
 func NewEntry(k Key, now netsim.Time) *Entry {
@@ -101,6 +116,7 @@ func (e *Entry) AddOIF(ifc *netsim.Iface, expires netsim.Time) *OIF {
 	}
 	o.PrunePending = false
 	e.DeleteAt = 0
+	e.Touch()
 	return o
 }
 
@@ -114,11 +130,15 @@ func (e *Entry) AddLocalOIF(ifc *netsim.Iface) *OIF {
 	o.LocalMember = true
 	o.PrunePending = false
 	e.DeleteAt = 0
+	e.Touch()
 	return o
 }
 
 // RemoveOIF drops an interface from the list.
-func (e *Entry) RemoveOIF(ifc *netsim.Iface) { delete(e.OIFs, ifc.Index) }
+func (e *Entry) RemoveOIF(ifc *netsim.Iface) {
+	delete(e.OIFs, ifc.Index)
+	e.Touch()
+}
 
 // HasOIF reports whether the interface is currently in the live list.
 func (e *Entry) HasOIF(ifc *netsim.Iface, now netsim.Time) bool {
@@ -256,6 +276,7 @@ func (t *Table) Sweep(now netsim.Time) []*Entry {
 		for idx, o := range e.OIFs {
 			if !o.LocalMember && now > o.Expires {
 				delete(e.OIFs, idx)
+				e.Touch()
 			}
 		}
 		if e.DeleteAt != 0 && now >= e.DeleteAt {

@@ -1,0 +1,199 @@
+package mfib
+
+import (
+	"pim/internal/fastpath"
+	"pim/internal/netsim"
+)
+
+// This file compiles §3.5 forwarding decisions into flat fan-out slices.
+//
+// The reference data plane recomputes the outgoing-interface list per
+// packet: walk the OIFs map, test per-oif timers, subtract the (S,G)RP-bit
+// negative cache, sort — all allocating. In steady state nothing in that
+// computation changes between packets, so the fast path caches the result
+// as a plan: the compiled slice plus everything needed to prove it is still
+// current. A plan is valid while
+//
+//   - each dependency entry is the same object at the same generation
+//     (every OIF/IIF mutation bumps the owning entry's generation via
+//     Touch, and entry replacement changes the pointer), and
+//   - simulated time has not passed validUntil, the earliest future oif
+//     expiry among the dependencies (timer-driven liveness changes are the
+//     one way a list changes with no mutation).
+//
+// Compilation calls the same reference functions the slow path uses, so the
+// two paths are structurally identical — same interfaces, same order — which
+// is what the differential tests and the pimbench trace-equivalence gate
+// verify end to end.
+
+// Plan kinds: a plain entry list (§3.6 oif timers folded in), the shared
+// tree minus the negative cache (§3.3 fn. 11), and the SPT∪shared union
+// used after an iif-matching (S,G) packet (§3.5, DESIGN.md §4).
+const (
+	planSelf = int8(iota)
+	planShared
+	planUnion
+)
+
+// maxTime is "no timer-driven invalidation pending".
+const maxTime = netsim.Time(1) << 62
+
+// planDep pins one dependency entry at the generation it was compiled at.
+// A nil entry is itself a valid dependency state ("no negative cache
+// existed"): its later appearance changes the plan host, so the stale slot
+// is never consulted.
+type planDep struct {
+	e   *Entry
+	gen uint64
+}
+
+func (d planDep) valid(e *Entry) bool { return d.e == e && (e == nil || d.gen == e.gen) }
+
+// plan is one compiled fan-out. Entries hold a small slice of them, one per
+// (kind, arrival interface) pair seen; a router's entry is consulted with
+// at most a couple of distinct arrival interfaces, so linear search wins
+// over a map and stays allocation-free.
+type plan struct {
+	kind       int8
+	except     *netsim.Iface
+	out        []*netsim.Iface
+	validUntil netsim.Time
+	deps       [3]planDep
+}
+
+// compile (re)builds the fan-out slice in place, reusing its capacity.
+func (p *plan) compile(d0, d1, d2 *Entry, now netsim.Time) {
+	var list []*netsim.Iface
+	switch p.kind {
+	case planSelf:
+		list = d0.LiveOIFs(now, p.except)
+	case planShared:
+		list = sharedList(d0, d1, now, p.except)
+	case planUnion:
+		list = unionList(d0, d1, d2, now, p.except)
+	}
+	p.out = append(p.out[:0], list...)
+	u := maxTime
+	u = minFutureExpiry(d0, now, u)
+	u = minFutureExpiry(d1, now, u)
+	u = minFutureExpiry(d2, now, u)
+	p.validUntil = u
+	p.deps[0] = dep(d0)
+	p.deps[1] = dep(d1)
+	p.deps[2] = dep(d2)
+}
+
+func dep(e *Entry) planDep {
+	if e == nil {
+		return planDep{}
+	}
+	return planDep{e: e, gen: e.gen}
+}
+
+// minFutureExpiry folds an entry's join-timer horizon into the plan
+// validity: the earliest not-yet-passed expiry of a non-local oif is the
+// first instant the compiled list could change without any mutation (an
+// already-expired oif can only re-enter via AddOIF, which bumps the
+// generation).
+func minFutureExpiry(e *Entry, now, until netsim.Time) netsim.Time {
+	if e == nil {
+		return until
+	}
+	for _, o := range e.OIFs {
+		if !o.LocalMember && o.Expires >= now && o.Expires < until {
+			until = o.Expires
+		}
+	}
+	return until
+}
+
+// lookupPlan finds or creates the plan for (kind, except) on e, recompiling
+// if stale, and returns its fan-out slice. Callers must treat the slice as
+// read-only and must not hold it across entry mutations.
+func (e *Entry) lookupPlan(kind int8, except *netsim.Iface, d0, d1, d2 *Entry, now netsim.Time) []*netsim.Iface {
+	for i := range e.plans {
+		p := &e.plans[i]
+		if p.kind != kind || p.except != except {
+			continue
+		}
+		if now > p.validUntil ||
+			!p.deps[0].valid(d0) || !p.deps[1].valid(d1) || !p.deps[2].valid(d2) {
+			p.compile(d0, d1, d2, now)
+		}
+		return p.out
+	}
+	e.plans = append(e.plans, plan{kind: kind, except: except})
+	p := &e.plans[len(e.plans)-1]
+	p.compile(d0, d1, d2, now)
+	return p.out
+}
+
+// ForwardOIFs is the fast-path equivalent of LiveOIFs: the entry's live
+// outgoing interfaces excluding the arrival interface, served from a
+// compiled plan when valid.
+func (e *Entry) ForwardOIFs(now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	if !fastpath.Enabled() {
+		return e.LiveOIFs(now, except)
+	}
+	return e.lookupPlan(planSelf, except, e, nil, nil, now)
+}
+
+// SharedForward is the §3.5 shared-tree fan-out: the (*,G) live list minus
+// the interfaces the (S,G)RP-bit negative cache effectively prunes for this
+// source. rpt may be nil. The plan lives on the rpt entry when one exists
+// (its lifetime bounds the subtraction's) and on wc otherwise.
+func SharedForward(wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	if !fastpath.Enabled() {
+		return sharedList(wc, rpt, now, except)
+	}
+	host := wc
+	if rpt != nil {
+		host = rpt
+	}
+	return host.lookupPlan(planShared, except, wc, rpt, nil, now)
+}
+
+// UnionForward is the (S,G)∪shared fan-out used when a packet passes the
+// (S,G) iif check: the SPT list united with the inherited shared-tree list
+// (§3.3's copy-at-creation, done race-free at forwarding time — DESIGN.md
+// §4). wc and rpt may be nil.
+func UnionForward(sg, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	if !fastpath.Enabled() {
+		return unionList(sg, wc, rpt, now, except)
+	}
+	return sg.lookupPlan(planUnion, except, sg, wc, rpt, now)
+}
+
+// sharedList is the reference shared-tree computation (moved here from
+// internal/core so both paths share one implementation).
+func sharedList(wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	var out []*netsim.Iface
+	for _, ifc := range wc.LiveOIFs(now, except) {
+		if rpt != nil {
+			if o := rpt.OIFs[ifc.Index]; o != nil && o.Live(now) && !o.PrunePending {
+				continue // pruned for this source (§3.3 fn. 11)
+			}
+		}
+		out = append(out, ifc)
+	}
+	return out
+}
+
+// unionList is the reference SPT∪shared computation.
+func unionList(sg, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	out := sg.LiveOIFs(now, except)
+	if wc == nil {
+		return out
+	}
+	have := map[int]bool{}
+	for _, ifc := range out {
+		have[ifc.Index] = true
+	}
+	for _, ifc := range sharedList(wc, rpt, now, except) {
+		if !have[ifc.Index] && ifc != sg.IIF {
+			out = append(out, ifc)
+			have[ifc.Index] = true
+		}
+	}
+	return out
+}

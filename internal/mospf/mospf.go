@@ -335,7 +335,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	if !ok {
 		return
 	}
-	for _, out := range e.LiveOIFs(now, in) {
+	for _, out := range e.ForwardOIFs(now, in) {
 		r.Node.Send(out, fwd, 0)
 		r.Metrics.Inc(metrics.DataForwarded)
 	}
@@ -369,6 +369,7 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 	}
 	if pe := tree.ParentEdge[r.self]; pe >= 0 {
 		e.IIF = r.Domain.ifaceOnEdge(r.self, pe)
+		e.Touch()
 	}
 	// Children: tree nodes whose parent is self.
 	for v := 0; v < r.Domain.Graph.N(); v++ {

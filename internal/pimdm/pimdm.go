@@ -20,6 +20,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
+	"pim/internal/rpf"
 	"pim/internal/unicast"
 )
 
@@ -55,6 +56,10 @@ type Router struct {
 	Unicast unicast.Router
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
+
+	// rpfc memoizes per-packet reverse-path lookups (dense mode RPF-checks
+	// every data packet), invalidated by unicast table generation.
+	rpfc *rpf.Cache
 
 	neighbors      map[int]map[addr.IP]netsim.Time
 	members        map[int]map[addr.IP]bool
@@ -93,6 +98,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		rpfc:           rpf.New(uni),
 		MFIB:           mfib.NewTable(),
 		Metrics:        metrics.New(),
 		neighbors:      map[int]map[addr.IP]netsim.Time{},
@@ -162,6 +168,7 @@ func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
 		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
 			o.LocalMember = false
+			e.Touch()
 			if !o.Live(now) {
 				e.RemoveOIF(ifc)
 			}
@@ -425,6 +432,7 @@ func (r *Router) schedulePrune(e *mfib.Entry, in *netsim.Iface, g addr.IP) {
 		}
 		o.PrunePending = true
 		o.PruneDeadline = r.now() + r.Cfg.PruneOverrideDelay
+		e.Touch()
 		r.Node.Net.Sched.After(r.Cfg.PruneOverrideDelay, func() {
 			cur := e.OIFs[in.Index]
 			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
@@ -565,7 +573,7 @@ func (r *Router) sendAssert(out *netsim.Iface, s, g addr.IP) {
 }
 
 func (r *Router) metricTo(s addr.IP) int64 {
-	rt, ok := r.Unicast.Lookup(s)
+	rt, ok := r.rpfc.Lookup(s)
 	if !ok {
 		return 1 << 30
 	}
@@ -585,7 +593,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	var iif *netsim.Iface
 	var upstream addr.IP
 	if !srcLocal {
-		rt, ok := r.Unicast.Lookup(s)
+		rt, ok := r.rpfc.Lookup(s)
 		if !ok {
 			r.Metrics.Inc(metrics.DataDropped)
 			return
@@ -624,7 +632,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 			e.AddOIF(ifc, infiniteExpiry)
 		}
 	}
-	oifs := e.LiveOIFs(now, in)
+	oifs := e.ForwardOIFs(now, in)
 	if len(oifs) == 0 {
 		r.maybePruneUpstream(e)
 		return

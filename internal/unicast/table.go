@@ -16,9 +16,11 @@ package unicast
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"pim/internal/addr"
+	"pim/internal/fastpath"
 	"pim/internal/netsim"
 )
 
@@ -37,10 +39,14 @@ type Route struct {
 // Router is the protocol-independent lookup surface the multicast protocols
 // consume. Lookup performs a longest-prefix-match for dst; ok is false when
 // no route exists. OnChange registers a callback fired whenever any route
-// may have changed — PIM reacts per §3.8 by re-running its RPF checks.
+// may have changed — PIM reacts per §3.8 by re-running its RPF checks. Gen
+// returns a monotonically increasing generation counter bumped on every
+// route mutation; cached derivations of the table (internal/rpf) revalidate
+// with one integer compare instead of a fresh lookup.
 type Router interface {
 	Lookup(dst addr.IP) (Route, bool)
 	OnChange(func())
+	Gen() uint64
 }
 
 // tableEntry pairs a prefix with its route.
@@ -49,52 +55,98 @@ type tableEntry struct {
 	route  Route
 }
 
+// entryLess orders entries by descending prefix length, then address — the
+// scan order that makes the linear reference lookup a longest-prefix match.
+func entryLess(a, b tableEntry) bool {
+	if a.prefix.Len != b.prefix.Len {
+		return a.prefix.Len > b.prefix.Len
+	}
+	return a.prefix.Addr < b.prefix.Addr
+}
+
 // Table is a longest-prefix-match routing table. It is the concrete store
-// shared by all three Router implementations.
+// shared by all three Router implementations. The sorted entry slice is the
+// authoritative store (and the reference lookup path); the multibit trie is
+// the fast path derived from it (see trie.go).
 type Table struct {
 	entries   []tableEntry // sorted by descending prefix length, then address
 	listeners []func()
+	trie      lpmTrie
+	gen       uint64
 }
 
-// Set installs or replaces the route for a prefix.
+// find locates the entry with exactly prefix p via binary search, returning
+// its index and whether it is present; absent, the index is the insertion
+// point that keeps the slice sorted.
+func (t *Table) find(p addr.Prefix) (int, bool) {
+	probe := tableEntry{prefix: p}
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return !entryLess(t.entries[i], probe)
+	})
+	return i, i < len(t.entries) && t.entries[i].prefix == p
+}
+
+// Set installs or replaces the route for a prefix, inserting in sorted
+// position (the table stays sorted without re-sorting, so a convergence
+// storm of n inserts costs O(n²) moves worst case instead of n full sorts).
 func (t *Table) Set(p addr.Prefix, r Route) {
-	for i := range t.entries {
-		if t.entries[i].prefix == p {
-			t.entries[i].route = r
-			return
+	t.gen++
+	i, ok := t.find(p)
+	if ok {
+		t.entries[i].route = r
+	} else {
+		t.entries = slices.Insert(t.entries, i, tableEntry{prefix: p, route: r})
+	}
+	if !t.trie.dirty {
+		if r.Metric < InfMetric {
+			t.trie.insert(p, r)
+		} else if ok {
+			// A reachable route may have been overwritten by an
+			// unreachable one: the expansion must be recomputed.
+			t.trie.dirty = true
 		}
 	}
-	t.entries = append(t.entries, tableEntry{prefix: p, route: r})
-	sort.Slice(t.entries, func(i, j int) bool {
-		if t.entries[i].prefix.Len != t.entries[j].prefix.Len {
-			return t.entries[i].prefix.Len > t.entries[j].prefix.Len
-		}
-		return t.entries[i].prefix.Addr < t.entries[j].prefix.Addr
-	})
 }
 
 // Delete removes the route for a prefix if present.
 func (t *Table) Delete(p addr.Prefix) {
-	for i := range t.entries {
-		if t.entries[i].prefix == p {
-			t.entries = append(t.entries[:i], t.entries[i+1:]...)
-			return
-		}
+	i, ok := t.find(p)
+	if !ok {
+		return
 	}
+	t.gen++
+	t.entries = slices.Delete(t.entries, i, i+1)
+	t.trie.dirty = true
 }
 
-// Get returns the exact-match route for a prefix.
+// Get returns the exact-match route for a prefix. Unreachable routes
+// (metric ≥ InfMetric) report ok=false, matching Lookup's view that they do
+// not exist; the raw entry is still held for the routing protocols' own
+// bookkeeping via Prefixes.
 func (t *Table) Get(p addr.Prefix) (Route, bool) {
-	for i := range t.entries {
-		if t.entries[i].prefix == p {
-			return t.entries[i].route, true
-		}
+	if i, ok := t.find(p); ok && t.entries[i].route.Metric < InfMetric {
+		return t.entries[i].route, true
 	}
 	return Route{}, false
 }
 
-// Lookup performs longest-prefix matching.
+// Lookup performs longest-prefix matching. The fast path answers from the
+// multibit trie (allocation-free once warm); the reference path is the
+// original linear scan, kept both as the differential-testing oracle and as
+// the behaviour benchmarked against in BENCH_dataplane.json.
 func (t *Table) Lookup(dst addr.IP) (Route, bool) {
+	if !fastpath.Enabled() {
+		return t.lookupLinear(dst)
+	}
+	if t.trie.dirty || t.trie.root == nil {
+		t.trie.rebuild(t.entries)
+	}
+	return t.trie.lookup(dst)
+}
+
+// lookupLinear is the reference longest-prefix match: first containing
+// prefix in (length desc, address asc) order whose route is reachable.
+func (t *Table) lookupLinear(dst addr.IP) (Route, bool) {
 	for i := range t.entries {
 		if t.entries[i].prefix.Contains(dst) && t.entries[i].route.Metric < InfMetric {
 			return t.entries[i].route, true
@@ -115,12 +167,19 @@ func (t *Table) Prefixes() []addr.Prefix {
 	return out
 }
 
+// Gen returns the table's generation counter: it increases on every Set,
+// Delete, Replace, and NotifyChanged, so any cached derivation carrying the
+// generation it was computed at can detect staleness with one compare
+// (§3.8: route changes must be reflected by the next RPF check).
+func (t *Table) Gen() uint64 { return t.gen }
+
 // OnChange registers a route-change listener.
 func (t *Table) OnChange(fn func()) { t.listeners = append(t.listeners, fn) }
 
 // NotifyChanged fires the registered listeners. The routing protocol
 // implementations call this once per batch of changes.
 func (t *Table) NotifyChanged() {
+	t.gen++
 	for _, fn := range t.listeners {
 		fn()
 	}
@@ -143,16 +202,21 @@ func (t *Table) Replace(entries map[addr.Prefix]Route) bool {
 			return false
 		}
 	}
+	t.gen++
 	t.entries = t.entries[:0]
 	for p, r := range entries {
 		t.entries = append(t.entries, tableEntry{prefix: p, route: r})
 	}
-	sort.Slice(t.entries, func(i, j int) bool {
-		if t.entries[i].prefix.Len != t.entries[j].prefix.Len {
-			return t.entries[i].prefix.Len > t.entries[j].prefix.Len
+	slices.SortFunc(t.entries, func(a, b tableEntry) int {
+		if entryLess(a, b) {
+			return -1
 		}
-		return t.entries[i].prefix.Addr < t.entries[j].prefix.Addr
+		if entryLess(b, a) {
+			return 1
+		}
+		return 0
 	})
+	t.trie.dirty = true
 	return true
 }
 

@@ -296,6 +296,26 @@ func RunChurnTrials(cfg ChurnConfig, trials int) []ChurnResult {
 	return experiments.RunChurnTrials(cfg, trials)
 }
 
+// Data-plane fast-path benchmark (trie LPM, generation-stamped RPF cache,
+// compiled MFIB fan-out — see DESIGN.md "Forwarding fast path").
+type (
+	// DataplaneConfig parameterizes the N-hop forwarding benchmark.
+	DataplaneConfig = experiments.DataplaneConfig
+	// DataplaneResult compares reference and fast paths per phase.
+	DataplaneResult = experiments.DataplaneResult
+	// DataplanePhase is one phase's before/after measurement.
+	DataplanePhase = experiments.DataplanePhase
+)
+
+// DefaultDataplaneConfig returns the ledger workload for the data-plane
+// benchmark.
+func DefaultDataplaneConfig() DataplaneConfig { return experiments.DefaultDataplane() }
+
+// RunDataplane times steady-state forwarding over the reference path and the
+// fast path on identical workloads, verifying the delivery traces are bit
+// identical.
+func RunDataplane(cfg DataplaneConfig) DataplaneResult { return experiments.RunDataplane(cfg) }
+
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
 
