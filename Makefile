@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fig2-ledger dataplane-ledger
+.PHONY: check build vet test race bench-smoke bench fig2-ledger dataplane-ledger recovery-ledger
 
 # check is the full gate: vet, build, race-enabled tests, and a short
 # benchmark smoke pass over the engine and hot-path benchmarks.
@@ -42,3 +42,9 @@ fig2-ledger:
 # traces diverge from the reference path's (see EXPERIMENTS.md).
 dataplane-ledger:
 	$(GO) run ./cmd/pimbench -dataplane -label $(or $(LABEL),run)
+
+# recovery-ledger appends a fault-recovery matrix entry to
+# BENCH_recovery.json; recording is refused if any cell's fast-path delivery
+# trace diverges from the reference path's (see EXPERIMENTS.md).
+recovery-ledger:
+	$(GO) run ./cmd/pimbench -recovery -label $(or $(LABEL),run)

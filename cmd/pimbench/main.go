@@ -16,6 +16,10 @@
 // MFIB fan-out) and appends to BENCH_dataplane.json. The entry is recorded
 // only if the two paths produced bit-identical packet delivery traces in
 // every phase.
+//
+// With -recovery it runs the fault-recovery matrix (every protocol through
+// control-plane loss, link flap, and router crash/restart) and appends to
+// BENCH_recovery.json, under the same trace-equivalence gate.
 package main
 
 import (
@@ -60,6 +64,15 @@ type DataplaneEntry struct {
 	Result    pim.DataplaneResult `json:"result"`
 }
 
+// RecoveryEntry is one appended record of the fault-recovery ledger.
+type RecoveryEntry struct {
+	Label     string             `json:"label"`
+	Timestamp string             `json:"timestamp"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Result    pim.RecoveryResult `json:"result"`
+}
+
 func main() {
 	label := flag.String("label", "run", "entry label (e.g. seed, after-solver)")
 	out := flag.String("out", "", "ledger file to append to (default BENCH_fig2.json, or BENCH_dataplane.json with -dataplane)")
@@ -69,6 +82,7 @@ func main() {
 	hops := flag.Int("hops", 0, "dataplane chain length (0 = package default)")
 	packets := flag.Int("packets", 0, "dataplane measured packets (0 = package default)")
 	fillers := flag.Int("fillers", 0, "dataplane filler routes per unicast table (0 = package default)")
+	recovery := flag.Bool("recovery", false, "run the fault-recovery matrix instead of the Figure 2 sweeps")
 	flag.Parse()
 
 	if *dataplane {
@@ -76,6 +90,13 @@ func main() {
 			*out = "BENCH_dataplane.json"
 		}
 		runDataplane(*label, *out, *hops, *packets, *fillers)
+		return
+	}
+	if *recovery {
+		if *out == "" {
+			*out = "BENCH_recovery.json"
+		}
+		runRecovery(*label, *out)
 		return
 	}
 	if *out == "" {
@@ -219,4 +240,49 @@ func runDataplane(label, out string, hops, packets, fillers int) {
 	}
 	fmt.Printf("appended %q entry to %s (%d entries, overall speedup %.2fx)\n",
 		label, out, len(ledger), res.Speedup)
+}
+
+// runRecovery executes the fault-recovery matrix and appends it to the
+// recovery ledger — refusing to record anything if any cell's fast-path
+// delivery trace diverged from the reference path's.
+func runRecovery(label, out string) {
+	res := pim.RunRecovery(pim.DefaultRecoveryConfig())
+	for _, c := range res.Cells {
+		rec := "   never"
+		if c.Recovered {
+			rec = fmt.Sprintf("%7.2fs", c.RecoverySec)
+		}
+		fmt.Printf("recovery %-13s %-7s %s  ctrl=%4d  residual=%3d  delivered=%4d  identical=%v\n",
+			c.Protocol, c.Fault, rec, c.CtrlMessages, c.ResidualState, c.Delivered, c.Identical)
+	}
+	if !res.AllIdentical {
+		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
+		os.Exit(1)
+	}
+	entry := RecoveryEntry{
+		Label:     label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Result:    res,
+	}
+	var ledger []RecoveryEntry
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entry)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q entry to %s (%d entries, all recovered=%v)\n",
+		label, out, len(ledger), res.AllRecovered)
 }

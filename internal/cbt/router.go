@@ -19,12 +19,22 @@ type Config struct {
 	// JoinRetry is the JOIN-REQUEST retransmission interval until the ack
 	// arrives (CBT's explicit hop-by-hop reliability).
 	JoinRetry netsim.Time
+	// AckRetry is the JOIN-ACK retransmission interval: the parent re-sends
+	// an unconfirmed ack with doubling backoff up to maxAckRetries times,
+	// until the child's first echo confirms it joined. Together with the
+	// child's JoinRetry this makes the handshake survive loss in either
+	// direction.
+	AckRetry netsim.Time
 }
 
 // Defaults.
 const (
 	DefaultEchoInterval = 30 * netsim.Second
 	DefaultJoinRetry    = 5 * netsim.Second
+	DefaultAckRetry     = 2 * netsim.Second
+	// maxAckRetries bounds ack retransmissions; past that the child's own
+	// join-request retry recovers the handshake.
+	maxAckRetries = 3
 )
 
 // groupState is this router's node on one group's bidirectional tree.
@@ -58,6 +68,27 @@ type Router struct {
 	rpfc *rpf.Cache
 
 	groups map[addr.IP]*groupState
+	// pendingAcks holds join-ack retransmission state per (group, child).
+	pendingAcks map[ackKey]*pendingAck
+
+	started bool
+	// epoch invalidates scheduled closures across Stop/Restart (see
+	// core.Router): timer bodies fire only under the epoch they were
+	// scheduled in.
+	epoch uint64
+}
+
+// ackKey identifies one downstream child awaiting ack confirmation.
+type ackKey struct {
+	group addr.IP
+	ifIdx int
+	child addr.IP
+}
+
+// pendingAck tracks one join-ack awaiting confirmation from the child.
+type pendingAck struct {
+	timer    *netsim.Timer
+	attempts int
 }
 
 // New builds a CBT router.
@@ -68,28 +99,79 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	if cfg.JoinRetry == 0 {
 		cfg.JoinRetry = DefaultJoinRetry
 	}
+	if cfg.AckRetry == 0 {
+		cfg.AckRetry = DefaultAckRetry
+	}
 	if cfg.CoreMapping == nil {
 		cfg.CoreMapping = map[addr.IP]addr.IP{}
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
-		rpfc:    rpf.New(uni),
-		Metrics: metrics.New(),
-		groups:  map[addr.IP]*groupState{},
+		rpfc:        rpf.New(uni),
+		Metrics:     metrics.New(),
+		groups:      map[addr.IP]*groupState{},
+		pendingAcks: map[ackKey]*pendingAck{},
 	}
 }
 
 // Start registers handlers and begins keepalives.
 func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
 	r.Node.Handle(packet.ProtoCBT, netsim.HandlerFunc(r.handleCtrl))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
-	sched := r.Node.Net.Sched
 	var echo func()
 	echo = func() {
 		r.keepalive()
-		sched.After(r.Cfg.EchoInterval, echo)
+		r.after(r.Cfg.EchoInterval, echo)
 	}
-	sched.After(0, echo)
+	r.after(0, echo)
+}
+
+// Stop detaches the router and discards all soft state: every group's tree
+// attachment (parent, children, members) and all join/ack retransmission
+// timers. Scheduled closures die via the epoch bump. Neighbors detect the
+// loss through silence — the parent stops answering echoes and children
+// eventually flush.
+func (r *Router) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.epoch++
+	r.Node.Handle(packet.ProtoCBT, nil)
+	r.Node.Handle(packet.ProtoUDP, nil)
+	for _, st := range r.groups {
+		if st.joinTimer != nil {
+			st.joinTimer.Stop()
+		}
+	}
+	for _, p := range r.pendingAcks {
+		p.timer.Stop()
+	}
+	r.rpfc = rpf.New(r.Unicast)
+	r.groups = map[addr.IP]*groupState{}
+	r.pendingAcks = map[ackKey]*pendingAck{}
+}
+
+// Restart brings a stopped router back empty; tree state rebuilds from
+// local rejoins and downstream join-requests.
+func (r *Router) Restart() {
+	r.Stop()
+	r.Start()
+}
+
+// after schedules fn under the current epoch: a Stop/Restart before the
+// timer fires makes the closure a no-op.
+func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
+	ep := r.epoch
+	return r.Node.Net.Sched.After(d, func() {
+		if r.epoch == ep {
+			fn()
+		}
+	})
 }
 
 func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
@@ -180,7 +262,7 @@ func (r *Router) sendJoinReq(g addr.IP, st *groupState) {
 	if st.joinTimer != nil {
 		st.joinTimer.Stop()
 	}
-	st.joinTimer = r.Node.Net.Sched.After(r.Cfg.JoinRetry, func() {
+	st.joinTimer = r.after(r.Cfg.JoinRetry, func() {
 		if cur := r.groups[g]; cur == st && !st.onTree {
 			r.sendJoinReq(g, st) // explicit reliability: retransmit until acked
 		}
@@ -198,6 +280,7 @@ func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
 	case TypeJoinAck:
 		r.handleJoinAck(in, m)
 	case TypeQuit:
+		r.cancelAckRetry(m.Group, in.Index, pkt.Src)
 		if st := r.groups[m.Group]; st != nil {
 			if set := st.children[in.Index]; set != nil {
 				delete(set, pkt.Src)
@@ -208,6 +291,8 @@ func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
 			r.maybeQuit(m.Group, st)
 		}
 	case TypeEchoReq:
+		// The child echoing proves it received our join-ack.
+		r.cancelAckRetry(m.Group, in.Index, pkt.Src)
 		if st := r.groups[m.Group]; st != nil && st.onTree && st.children[in.Index][pkt.Src] {
 			r.sendTo(in, pkt.Src, &Message{Type: TypeEchoReply, Group: m.Group})
 			r.Metrics.Inc(metrics.CtrlCBTEcho)
@@ -229,8 +314,7 @@ func (r *Router) handleJoinReq(in *netsim.Iface, from addr.IP, m *Message) {
 	if st.onTree || r.Node.OwnsAddr(m.Core) {
 		st.onTree = true
 		addToSet(st.children, in.Index, from)
-		r.sendTo(in, from, &Message{Type: TypeJoinAck, Group: m.Group, Core: m.Core})
-		r.Metrics.Inc(metrics.CtrlCBTAck)
+		r.sendJoinAck(m.Group, in, from, m.Core)
 		return
 	}
 	// Transit router: remember the requester, forward toward the core.
@@ -255,11 +339,57 @@ func (r *Router) handleJoinAck(in *netsim.Iface, m *Message) {
 		ifc := r.Node.Ifaces[idx]
 		for child := range set {
 			addToSet(st.children, idx, child)
-			r.sendTo(ifc, child, &Message{Type: TypeJoinAck, Group: m.Group, Core: st.core})
-			r.Metrics.Inc(metrics.CtrlCBTAck)
+			r.sendJoinAck(m.Group, ifc, child, st.core)
 		}
 	}
 	st.pending = map[int]map[addr.IP]bool{}
+}
+
+// sendJoinAck transmits a join-ack and arms its retransmission: an ack lost
+// on the wire would leave the child retrying join-requests for a full
+// JoinRetry period, so the parent re-sends it with doubling backoff until
+// the child's first echo (or quit) confirms receipt, bounded at
+// maxAckRetries attempts.
+func (r *Router) sendJoinAck(g addr.IP, ifc *netsim.Iface, child addr.IP, core addr.IP) {
+	r.sendTo(ifc, child, &Message{Type: TypeJoinAck, Group: g, Core: core})
+	r.Metrics.Inc(metrics.CtrlCBTAck)
+	r.armAckRetry(g, ifc, child, 0)
+}
+
+func (r *Router) armAckRetry(g addr.IP, ifc *netsim.Iface, child addr.IP, attempts int) {
+	key := ackKey{group: g, ifIdx: ifc.Index, child: child}
+	if prev := r.pendingAcks[key]; prev != nil {
+		prev.timer.Stop()
+	}
+	if attempts >= maxAckRetries {
+		delete(r.pendingAcks, key)
+		return
+	}
+	p := &pendingAck{attempts: attempts}
+	p.timer = r.after(r.Cfg.AckRetry<<uint(attempts), func() {
+		if r.pendingAcks[key] != p {
+			return
+		}
+		st := r.groups[g]
+		if st == nil || !st.onTree || !st.children[ifc.Index][child] {
+			delete(r.pendingAcks, key)
+			return
+		}
+		r.sendTo(ifc, child, &Message{Type: TypeJoinAck, Group: g, Core: st.core})
+		r.Metrics.Inc(metrics.CtrlCBTAck)
+		r.armAckRetry(g, ifc, child, attempts+1)
+	})
+	r.pendingAcks[key] = p
+}
+
+// cancelAckRetry clears ack-retransmission state once the child is known to
+// have processed the ack (echoed) or left (quit).
+func (r *Router) cancelAckRetry(g addr.IP, ifIdx int, child addr.IP) {
+	key := ackKey{group: g, ifIdx: ifIdx, child: child}
+	if p := r.pendingAcks[key]; p != nil {
+		p.timer.Stop()
+		delete(r.pendingAcks, key)
+	}
 }
 
 // --- Keepalive and failure recovery ---

@@ -69,7 +69,7 @@ func (r *Router) armRPTimer(g addr.IP) {
 	if tm := r.rpTimer[g]; tm != nil {
 		tm.Stop()
 	}
-	r.rpTimer[g] = r.sched().After(3*r.Cfg.RPReachInterval, func() { r.rpFailover(g) })
+	r.rpTimer[g] = r.after(3*r.Cfg.RPReachInterval, func() { r.rpFailover(g) })
 }
 
 // --- Sending ---
@@ -134,6 +134,11 @@ func (r *Router) periodicRefresh() {
 		prunes []pimmsg.Addr
 	}
 	batches := map[dest]map[addr.IP]*record{}
+	// Transmission order must not depend on map iteration: the simulation
+	// is deterministic, and under injected loss the draw sequence is
+	// consumed in delivery order. Destinations are emitted in the order the
+	// (MFIB-sorted) walk first produced them.
+	var order []dest
 	add := func(ifc *netsim.Iface, up addr.IP, g addr.IP, a pimmsg.Addr, prune bool) {
 		if ifc == nil || up == 0 || !ifc.Up() {
 			return
@@ -141,6 +146,7 @@ func (r *Router) periodicRefresh() {
 		d := dest{iface: ifc, upstream: up}
 		if batches[d] == nil {
 			batches[d] = map[addr.IP]*record{}
+			order = append(order, d)
 		}
 		rec := batches[d][g]
 		if rec == nil {
@@ -191,9 +197,9 @@ func (r *Router) periodicRefresh() {
 		}
 	})
 
-	for d, groups := range batches {
+	for _, d := range order {
 		m := &pimmsg.JoinPrune{UpstreamNeighbor: d.upstream, HoldTime: r.Cfg.holdTimeSeconds()}
-		for g, rec := range groups {
+		for g, rec := range batches[d] {
 			m.Groups = append(m.Groups, pimmsg.GroupRecord{Group: g, Joins: rec.joins, Prunes: rec.prunes})
 		}
 		sortGroups(m.Groups)
@@ -498,7 +504,7 @@ func (r *Router) scheduleOIFPrune(e *mfib.Entry, o *mfib.OIF, in *netsim.Iface, 
 	o.PrunePending = true
 	o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
 	e.Touch()
-	r.sched().After(r.Cfg.PruneOverrideDelay, func() {
+	r.after(r.Cfg.PruneOverrideDelay, func() {
 		cur := e.OIFs[in.Index]
 		if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
 			apply()
@@ -527,7 +533,7 @@ func (r *Router) pruneSourceOnShared(in *netsim.Iface, g, s addr.IP, hold netsim
 		o.PrunePending = true
 		o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
 		rpt.Touch()
-		r.sched().After(r.Cfg.PruneOverrideDelay, func() {
+		r.after(r.Cfg.PruneOverrideDelay, func() {
 			cur := rpt.OIFs[in.Index]
 			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
 				o.PrunePending = false

@@ -46,6 +46,15 @@ type Router struct {
 	learnedRP    map[addr.IP]learnedMapping
 
 	started bool
+	// epoch invalidates scheduled closures across Stop/Restart: every timer
+	// body is wrapped to fire only if the epoch it was scheduled under is
+	// still current, so a crashed incarnation's callbacks become inert
+	// instead of mutating the fresh state of the next one.
+	epoch uint64
+	// onChangeHooked: Unicast.OnChange registration is append-only, so the
+	// callback is installed once and gated on started instead of being
+	// re-registered per Start.
+	onChangeHooked bool
 }
 
 // learnedMapping is a cached group→RP mapping from an RP-report.
@@ -92,35 +101,94 @@ func (r *Router) Start() {
 	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoPIMData, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
-	r.Unicast.OnChange(func() { r.routesChanged() })
+	if !r.onChangeHooked {
+		r.onChangeHooked = true
+		r.Unicast.OnChange(func() {
+			if r.started {
+				r.routesChanged()
+			}
+		})
+	}
 
-	sched := r.sched()
 	var refresh func()
 	refresh = func() {
 		r.maintain()
 		r.periodicRefresh()
-		sched.After(r.Cfg.JoinPruneInterval, refresh)
+		r.after(r.Cfg.JoinPruneInterval, refresh)
 	}
 	// Deterministic per-router phase offset: desynchronized refreshes give
 	// §3.7 join suppression a chance to work on shared LANs.
 	offset := netsim.Time(uint64(r.Node.ID)*1000003) % (r.Cfg.JoinPruneInterval / 2)
-	sched.After(offset, refresh)
+	r.after(offset, refresh)
 
 	var query func()
 	query = func() {
 		r.expireNeighbors()
 		r.sendQueries()
-		sched.After(r.Cfg.QueryInterval, query)
+		r.after(r.Cfg.QueryInterval, query)
 	}
-	sched.After(0, query)
+	r.after(0, query)
 
 	var rpBeacon func()
 	rpBeacon = func() {
 		r.originateRPReach()
 		r.originateRPReport()
-		sched.After(r.Cfg.RPReachInterval, rpBeacon)
+		r.after(r.Cfg.RPReachInterval, rpBeacon)
 	}
-	sched.After(0, rpBeacon)
+	r.after(0, rpBeacon)
+}
+
+// Stop detaches the router from its node and discards every piece of soft
+// state: MFIB entries, neighbor liveness, joined-RP choices, learned
+// RP-report mappings, SPT counters, and all pending timers. Scheduled
+// closures from this incarnation are invalidated by the epoch bump, so none
+// of them can touch the fresh maps. Static configuration, the metrics
+// ledger, and the RP-report sequence number survive — resetting the
+// sequence number would make peers discard the next incarnation's reports
+// as replays.
+func (r *Router) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.epoch++
+	r.Node.Handle(packet.ProtoPIM, nil)
+	r.Node.Handle(packet.ProtoPIMData, nil)
+	r.Node.Handle(packet.ProtoUDP, nil)
+	for _, t := range r.rpTimer {
+		t.Stop()
+	}
+	r.rpfc = rpf.New(r.Unicast)
+	r.MFIB = mfib.NewTable()
+	r.rpMap = map[addr.IP][]addr.IP{}
+	r.currentRP = map[addr.IP]addr.IP{}
+	r.rpTimer = map[addr.IP]*netsim.Timer{}
+	r.neighbors = map[int]map[addr.IP]netsim.Time{}
+	r.sptCount = map[mfib.Key]*sptCounter{}
+	r.rpReportSeqs = map[addr.IP]uint32{}
+	r.learnedRP = map[addr.IP]learnedMapping{}
+	for g, rps := range r.Cfg.RPMapping {
+		r.rpMap[g] = append([]addr.IP(nil), rps...)
+	}
+}
+
+// Restart brings a stopped router back with no memory of its previous
+// incarnation beyond static configuration: handlers re-register and state
+// is rebuilt purely from periodic soft-state refresh (§2, §3.8).
+func (r *Router) Restart() {
+	r.Stop()
+	r.Start()
+}
+
+// after schedules fn under the current epoch: if the router is stopped or
+// restarted before the timer fires, the closure is a no-op.
+func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
+	ep := r.epoch
+	return r.sched().After(d, func() {
+		if r.epoch == ep {
+			fn()
+		}
+	})
 }
 
 func (r *Router) sched() *netsim.Scheduler { return r.Node.Net.Sched }
@@ -342,6 +410,23 @@ func (r *Router) forwardUnicast(pkt *packet.Packet) {
 // StateCount returns the number of multicast forwarding entries — the
 // "state" axis of the paper's overhead comparison.
 func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// NeighborCount returns the number of live PIM neighbor entries across all
+// interfaces — the recovery tests' stale-neighbor probe: after a peer's
+// crash and hold-time expiry it must drop, and after the peer's restart it
+// must return to the interface's true degree.
+func (r *Router) NeighborCount() int {
+	now := r.now()
+	n := 0
+	for _, byAddr := range r.neighbors {
+		for _, deadline := range byAddr {
+			if now <= deadline {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // HandlePIMPacket is the exported PIM control entry point, used by border
 // routers (internal/border) that multiplex sparse- and dense-mode protocol

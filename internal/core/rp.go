@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"pim/internal/addr"
 	"pim/internal/metrics"
 	"pim/internal/mfib"
@@ -124,7 +126,16 @@ func (r *Router) originateRPReport() {
 			}
 		}
 	}
-	for rp, groups := range served {
+	// Flood in sorted order: report content and emission sequence must not
+	// depend on map iteration (deterministic simulation).
+	rps := make([]addr.IP, 0, len(served))
+	for rp := range served {
+		rps = append(rps, rp)
+	}
+	slices.Sort(rps)
+	for _, rp := range rps {
+		groups := served[rp]
+		slices.Sort(groups)
 		r.rpReportSeq++
 		rep := &pimmsg.RPReport{RP: rp, Seq: r.rpReportSeq, Groups: groups}
 		r.floodRPReport(rep, nil)

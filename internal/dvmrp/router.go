@@ -18,6 +18,11 @@ type Config struct {
 	// ProbeInterval paces neighbor probes; an interface with no probing
 	// neighbor is a leaf subnet subject to truncated broadcast.
 	ProbeInterval netsim.Time
+	// GraftRetry is the initial graft retransmission interval: grafts are
+	// acknowledged, and an unacked graft is re-sent with doubling backoff
+	// (capped at 8x) until the ack arrives or the branch stops wanting
+	// traffic.
+	GraftRetry netsim.Time
 }
 
 // Defaults. RFC 1075 uses ~2 hours for prunes; experiments scale it down so
@@ -25,6 +30,7 @@ type Config struct {
 const (
 	DefaultPruneLifetime = 120 * netsim.Second
 	DefaultProbeInterval = 30 * netsim.Second
+	DefaultGraftRetry    = 3 * netsim.Second
 )
 
 // infiniteExpiry keeps default-on oifs alive until explicitly pruned.
@@ -49,6 +55,20 @@ type Router struct {
 	// prunedUpstream[key] = true when we sent a prune toward the source and
 	// have not grafted back.
 	prunedUpstream map[mfib.Key]bool
+	// pendingGrafts holds the retransmission state of unacked grafts.
+	pendingGrafts map[mfib.Key]*pendingGraft
+
+	started bool
+	// epoch invalidates scheduled closures across Stop/Restart (see
+	// core.Router): timer bodies fire only under the epoch they were
+	// scheduled in.
+	epoch uint64
+}
+
+// pendingGraft tracks one unacked graft awaiting retransmission.
+type pendingGraft struct {
+	timer   *netsim.Timer
+	backoff netsim.Time
 }
 
 // New builds a DVMRP router.
@@ -59,6 +79,9 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.GraftRetry == 0 {
+		cfg.GraftRetry = DefaultGraftRetry
+	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
 		rpfc:           rpf.New(uni),
@@ -67,27 +90,86 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 		neighbors:      map[int]map[addr.IP]netsim.Time{},
 		members:        map[int]map[addr.IP]bool{},
 		prunedUpstream: map[mfib.Key]bool{},
+		pendingGrafts:  map[mfib.Key]*pendingGraft{},
 	}
 }
 
 // Start registers handlers and begins probing.
 func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
 	r.Node.Handle(packet.ProtoDVMRP, netsim.HandlerFunc(r.handleCtrl))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
-	sched := r.Node.Net.Sched
 	var probe func()
 	probe = func() {
 		r.expireNeighbors()
 		r.sendProbes()
-		sched.After(r.Cfg.ProbeInterval, probe)
+		r.after(r.Cfg.ProbeInterval, probe)
 	}
-	sched.After(0, probe)
+	r.after(0, probe)
+}
+
+// Stop detaches the router and discards all soft state: forwarding entries,
+// neighbor liveness, local membership, prune markers, and graft
+// retransmission timers. Scheduled closures die via the epoch bump.
+func (r *Router) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.epoch++
+	r.Node.Handle(packet.ProtoDVMRP, nil)
+	r.Node.Handle(packet.ProtoUDP, nil)
+	for _, p := range r.pendingGrafts {
+		p.timer.Stop()
+	}
+	r.rpfc = rpf.New(r.Unicast)
+	r.MFIB = mfib.NewTable()
+	r.neighbors = map[int]map[addr.IP]netsim.Time{}
+	r.members = map[int]map[addr.IP]bool{}
+	r.prunedUpstream = map[mfib.Key]bool{}
+	r.pendingGrafts = map[mfib.Key]*pendingGraft{}
+}
+
+// Restart brings a stopped router back empty; broadcast-and-prune state
+// rebuilds from the data packets themselves.
+func (r *Router) Restart() {
+	r.Stop()
+	r.Start()
+}
+
+// after schedules fn under the current epoch: a Stop/Restart before the
+// timer fires makes the closure a no-op.
+func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
+	ep := r.epoch
+	return r.Node.Net.Sched.After(d, func() {
+		if r.epoch == ep {
+			fn()
+		}
+	})
 }
 
 func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
 
 // StateCount returns the number of multicast forwarding entries.
 func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// NeighborCount returns the number of live DVMRP neighbor entries across
+// all interfaces — the recovery tests' stale-neighbor probe.
+func (r *Router) NeighborCount() int {
+	now := r.now()
+	n := 0
+	for _, byAddr := range r.neighbors {
+		for _, deadline := range byAddr {
+			if now <= deadline {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // --- Membership (from IGMP) ---
 
@@ -196,9 +278,12 @@ func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
 	case TypeGraft:
 		r.handleGraft(in, pkt.Src, m)
 	case TypeGraftAck:
-		// Reliability bookkeeping: the graft reached upstream. With the
-		// simulator's loss-free links no retransmission state is needed;
-		// the ack is counted for the overhead ledger.
+		// The graft reached upstream: cancel its retransmission timer.
+		key := mfib.Key{Source: m.Source, Group: m.Group}
+		if p := r.pendingGrafts[key]; p != nil {
+			p.timer.Stop()
+			delete(r.pendingGrafts, key)
+		}
 	}
 }
 
@@ -215,7 +300,7 @@ func (r *Router) handlePrune(in *netsim.Iface, m *Message) {
 	e.RemoveOIF(in)
 	lifetime := netsim.Time(m.Lifetime) * netsim.Second
 	key := e.Key
-	r.Node.Net.Sched.After(lifetime, func() {
+	r.after(lifetime, func() {
 		// Grow back (§1.1): the branch resumes broadcast until re-pruned.
 		if cur := r.MFIB.Get(key); cur != nil && in.Up() {
 			cur.AddOIF(in, infiniteExpiry)
@@ -259,7 +344,7 @@ func (r *Router) maybePruneUpstream(e *mfib.Entry) {
 	// Self grow-back: after the advertised lifetime upstream resumes
 	// sending, so clear the pruned marker and let data re-populate.
 	key := e.Key
-	r.Node.Net.Sched.After(r.Cfg.PruneLifetime, func() {
+	r.after(r.Cfg.PruneLifetime, func() {
 		delete(r.prunedUpstream, key)
 	})
 }
@@ -277,7 +362,41 @@ func (r *Router) sendCtrlUpstream(e *mfib.Entry, typ byte, lifetime uint16) {
 		r.Metrics.Inc(metrics.CtrlPrune)
 	case TypeGraft:
 		r.Metrics.Inc(metrics.CtrlGraft)
+		// Grafts are acknowledged: arm retransmission until the ack lands
+		// or the branch no longer wants traffic.
+		r.armGraftRetry(e.Key, r.Cfg.GraftRetry)
 	}
+}
+
+func (r *Router) armGraftRetry(key mfib.Key, backoff netsim.Time) {
+	if prev := r.pendingGrafts[key]; prev != nil {
+		prev.timer.Stop()
+	}
+	p := &pendingGraft{backoff: backoff}
+	p.timer = r.after(backoff, func() {
+		if r.pendingGrafts[key] != p {
+			return
+		}
+		delete(r.pendingGrafts, key)
+		e := r.MFIB.Get(key)
+		if e == nil || e.OIFEmpty(r.now()) {
+			return
+		}
+		if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
+			return
+		}
+		m := &Message{Type: TypeGraft, Source: key.Source, Group: key.Group}
+		pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, m.Marshal())
+		pkt.TTL = 1
+		r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+		r.Metrics.Inc(metrics.CtrlGraft)
+		next := p.backoff * 2
+		if max := 8 * r.Cfg.GraftRetry; next > max {
+			next = max
+		}
+		r.armGraftRetry(key, next)
+	})
+	r.pendingGrafts[key] = p
 }
 
 // --- Data plane: truncated RPF broadcast (§1.1) ---

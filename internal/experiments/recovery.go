@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"pim/internal/addr"
+	"pim/internal/cbt"
+	"pim/internal/core"
+	"pim/internal/dvmrp"
+	"pim/internal/fastpath"
+	"pim/internal/faults"
+	"pim/internal/igmp"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/parallel"
+	"pim/internal/pimdm"
+	"pim/internal/scenario"
+	"pim/internal/topology"
+)
+
+// The recovery experiment measures the paper's robustness claim (§2, §3.8)
+// head on: all protocol state is timer-refreshed soft state, so the network
+// should converge back to correct delivery after lost control messages, link
+// failures, and router crashes — with no reliability machinery beyond
+// periodic refresh (plus the few acknowledged messages: dense-mode grafts
+// and CBT's join handshake).
+//
+// The harness runs every protocol through a fixed fault matrix on a small
+// diamond topology with a bypass path, and reports for each cell:
+//
+//   - recovery time: the gap between the fault (or the membership change it
+//     interferes with) and the first packet delivered past it;
+//   - control messages spent converging (link crossings in that window);
+//   - residual state: entries still installed at the end of the run beyond
+//     the pre-fault baseline — stale state a soft-state protocol must shed.
+//
+// Every cell runs twice, once on the reference forwarding path and once on
+// the fast path, with identical seeds; the delivery traces must match
+// bit-for-bit or cmd/pimbench refuses to record the run. Fault injection is
+// deterministic (internal/faults), so the matrix is also reproducible across
+// any Workers setting.
+
+// Recovery fault kinds.
+const (
+	FaultLoss0  = "loss0"  // control cell: membership change, no loss
+	FaultLoss5  = "loss5"  // 5% control-plane loss network-wide
+	FaultLoss20 = "loss20" // 20% control-plane loss network-wide
+	FaultFlap   = "flap"   // the tree's transit link flaps down/up
+	FaultCrash  = "crash"  // mid-tree router fail-stops, later restarts
+)
+
+// RecoveryFaults lists the fault matrix columns in report order.
+func RecoveryFaults() []string {
+	return []string{FaultLoss0, FaultLoss5, FaultLoss20, FaultFlap, FaultCrash}
+}
+
+// RecoveryProtocols lists the matrix rows: every protocol, sparse and dense.
+func RecoveryProtocols() []Protocol {
+	return []Protocol{PIMSM, PIMDM, DVMRP, CBT, MOSPF}
+}
+
+// RecoveryConfig parameterizes the fault-recovery matrix.
+type RecoveryConfig struct {
+	Seed int64
+	// Senders emit one packet per PacketInterval for the whole run.
+	PacketInterval netsim.Time
+	// FaultAt is when the fault hits steady state; RestartAt revives the
+	// crashed router; JoinAt is when the late receiver joins under loss;
+	// End bounds the run.
+	FaultAt   netsim.Time
+	RestartAt netsim.Time
+	JoinAt    netsim.Time
+	End       netsim.Time
+	// Workers bounds the pool running matrix cells; every cell is an
+	// isolated simulation seeded from Seed and the cell index, so results
+	// are identical for every value.
+	Workers int
+}
+
+// DefaultRecovery returns the ledger workload.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		Seed:           42,
+		PacketInterval: 2 * netsim.Second,
+		FaultAt:        60 * netsim.Second,
+		RestartAt:      90 * netsim.Second,
+		JoinAt:         70 * netsim.Second,
+		End:            240 * netsim.Second,
+	}
+}
+
+// RecoveryCell is one (protocol, fault) outcome.
+type RecoveryCell struct {
+	Protocol Protocol `json:"protocol"`
+	Fault    string   `json:"fault"`
+	// Recovered reports whether delivery resumed before End; RecoverySec is
+	// the simulated seconds from the recovery window's start (the fault, or
+	// the late join it interferes with) to the first delivery past it.
+	Recovered   bool    `json:"recovered"`
+	RecoverySec float64 `json:"recovery_sec"`
+	// CtrlMessages counts control link crossings in the recovery window.
+	CtrlMessages int64 `json:"ctrl_messages"`
+	// ResidualState is TotalState(End) − TotalState(just before the fault):
+	// state beyond the pre-fault baseline still installed at the end.
+	ResidualState int `json:"residual_state"`
+	// Delivered counts member-host deliveries over the whole run.
+	Delivered int `json:"delivered"`
+	// Identical gates the ledger: reference and fast-path delivery traces
+	// must match exactly.
+	Identical bool `json:"traces_identical"`
+}
+
+// RecoveryResult is the full matrix.
+type RecoveryResult struct {
+	Cells []RecoveryCell `json:"cells"`
+	// AllIdentical gates ledger recording in cmd/pimbench.
+	AllIdentical bool `json:"all_identical"`
+	// AllRecovered reports whether every cell saw delivery resume.
+	AllRecovered bool `json:"all_recovered"`
+}
+
+// recoveryRun is one cell executed on one forwarding path.
+type recoveryRun struct {
+	trace     []DeliveryEvent
+	recovery  netsim.Time // -1 when delivery never resumed
+	ctrl      int64
+	residual  int
+	delivered int
+}
+
+// RunRecovery executes the full protocol × fault matrix, each cell on both
+// forwarding paths, and restores the fast-path switch to its prior setting.
+//
+// The fast-path switch is process-global, so the matrix runs as two
+// sequential sweeps — every cell on the reference path, then every cell on
+// the fast path — with the switch toggled only between sweeps. Within a
+// sweep the cells are isolated simulations and fan across cfg.Workers.
+func RunRecovery(cfg RecoveryConfig) RecoveryResult {
+	protos := RecoveryProtocols()
+	kinds := RecoveryFaults()
+	n := len(protos) * len(kinds)
+	res := RecoveryResult{
+		Cells:        make([]RecoveryCell, n),
+		AllIdentical: true,
+		AllRecovered: true,
+	}
+	sweep := func(fast bool) []recoveryRun {
+		prev := fastpath.Set(fast)
+		defer fastpath.Set(prev)
+		runs := make([]recoveryRun, n)
+		parallel.For(n, cfg.Workers, func(i int) {
+			runs[i] = runRecoveryOnce(cfg, protos[i/len(kinds)], kinds[i%len(kinds)],
+				parallel.DeriveSeed(cfg.Seed, int64(i)))
+		})
+		return runs
+	}
+	refs := sweep(false)
+	fasts := sweep(true)
+	for i := range res.Cells {
+		ref, fast := refs[i], fasts[i]
+		c := RecoveryCell{
+			Protocol:      protos[i/len(kinds)],
+			Fault:         kinds[i%len(kinds)],
+			Recovered:     fast.recovery >= 0,
+			CtrlMessages:  fast.ctrl,
+			ResidualState: fast.residual,
+			Delivered:     fast.delivered,
+			Identical: tracesEqual(ref.trace, fast.trace) &&
+				ref.recovery == fast.recovery && ref.residual == fast.residual,
+		}
+		if c.Recovered {
+			c.RecoverySec = float64(fast.recovery) / float64(netsim.Second)
+		}
+		res.Cells[i] = c
+		if !c.Identical {
+			res.AllIdentical = false
+		}
+		if !c.Recovered {
+			res.AllRecovered = false
+		}
+	}
+	return res
+}
+
+// recoveryTimings shrinks the soft-state refresh clocks so recovery happens
+// within a four-minute run: join/prune and LSA refresh at 20 s, neighbor
+// discovery and keepalives at 10 s, prune state at 60 s.
+const (
+	recoveryRefresh   = 20 * netsim.Second
+	recoveryHello     = 10 * netsim.Second
+	recoveryPruneHold = 60 * netsim.Second
+)
+
+// deployRecovery starts proto on sim with the shrunk recovery clocks.
+// Group state anchors (RP, core) sit at router `anchor`. IGMP is shrunk the
+// same way — the querier tick re-reads its fields, so setting them after
+// deployment takes effect from the next query.
+func deployRecovery(sim *scenario.Sim, proto Protocol, group addr.IP, anchor int) scenario.Deployment {
+	var dep scenario.Deployment
+	var queriers []*igmp.Querier
+	switch proto {
+	case PIMSM, PIMSMShared:
+		pcfg := core.Config{
+			RPMapping:         map[addr.IP][]addr.IP{group: {sim.RouterAddr(anchor)}},
+			JoinPruneInterval: recoveryRefresh,
+			QueryInterval:     recoveryHello,
+			RPReachInterval:   recoveryRefresh,
+		}
+		if proto == PIMSMShared {
+			pcfg.SPTPolicy = core.SwitchNever
+		}
+		d := sim.DeployPIM(pcfg)
+		dep, queriers = d, d.Queriers
+	case PIMDM:
+		d := sim.DeployPIMDM(pimdm.Config{
+			PruneHoldTime: recoveryPruneHold,
+			QueryInterval: recoveryHello,
+		})
+		dep, queriers = d, d.Queriers
+	case DVMRP:
+		d := sim.DeployDVMRP(dvmrp.Config{
+			PruneLifetime: recoveryPruneHold,
+			ProbeInterval: recoveryHello,
+		})
+		dep, queriers = d, d.Queriers
+	case CBT:
+		d := sim.DeployCBT(cbt.Config{
+			CoreMapping:  map[addr.IP]addr.IP{group: sim.RouterAddr(anchor)},
+			EchoInterval: recoveryHello,
+		})
+		dep, queriers = d, d.Queriers
+	case MOSPF:
+		d := sim.DeployMOSPF()
+		// Event-driven LSAs alone cannot survive a crash (the restarted
+		// router missed them); enable periodic re-origination, which needs a
+		// restart since DeployMOSPF already started the engines. Nothing has
+		// happened yet at deploy time, so the restart is a clean re-arm.
+		for _, r := range d.Routers {
+			r.RefreshInterval = recoveryRefresh
+			r.Restart()
+		}
+		dep, queriers = d, d.Queriers
+	default:
+		panic("experiments: unknown recovery protocol " + string(proto))
+	}
+	for _, q := range queriers {
+		q.QueryInterval = recoveryHello
+		q.HoldTime = 3 * recoveryHello
+	}
+	return dep
+}
+
+// runRecoveryOnce builds the diamond, deploys the protocol, injects the
+// fault, and extracts the cell metrics on one forwarding path.
+//
+// Topology (edge weights in delay units):
+//
+//	r0 --1-- r1 --1-- r2 --1-- r3      source behind r0
+//	          \                /       receiver A behind r3 (joins early)
+//	           2-- r4 --2-----+        receiver B behind r4 (joins late
+//	                                   under loss; early otherwise)
+//
+// The r1–r4–r3 detour is the bypass: when r2 crashes or the r2–r3 link
+// flaps, unicast reroutes over it and the multicast tree must follow from
+// soft-state refresh alone. The RP / CBT core is r3, so A's delivery always
+// crosses the faulted transit.
+// recoverySim builds the diamond with the three hosts attached and the
+// oracle unicast substrate finished.
+func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
+	g := topology.New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1) // EdgeLinks[2]: the flap target
+	g.AddEdge(1, 4, 2)
+	g.AddEdge(4, 3, 2)
+	sim = scenario.Build(g)
+	src = sim.AddHost(0)
+	recvA = sim.AddHost(3)
+	recvB = sim.AddHost(4)
+	sim.FinishUnicast(scenario.UseOracle)
+	return sim, src, recvA, recvB
+}
+
+func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64) recoveryRun {
+	sim, src, recvA, recvB := recoverySim()
+	group := addr.GroupForIndex(0)
+	dep := deployRecovery(sim, proto, group, 3)
+	in := faults.New(sim.Net, seed)
+
+	// The recovery window starts at the event whose repair we time: the
+	// late join for the loss cells, the fault itself otherwise.
+	lossKind := kind == FaultLoss0 || kind == FaultLoss5 || kind == FaultLoss20
+	windowStart := cfg.FaultAt
+	if lossKind {
+		windowStart = cfg.JoinAt
+	}
+
+	run := recoveryRun{recovery: -1}
+	var ctrlAtStart int64
+	hosts := []*igmp.Host{recvA, recvB}
+	for hi, h := range hosts {
+		hi, h := hi, h
+		h.OnData = func(grp addr.IP, pkt *packet.Packet) {
+			if grp != group {
+				return
+			}
+			ev := DeliveryEvent{At: sim.Net.Sched.Now(), Host: hi, Src: pkt.Src}
+			if lat, ok := scenario.Latency(ev.At, pkt); ok {
+				ev.Sent = ev.At - lat
+			}
+			run.trace = append(run.trace, ev)
+			if run.recovery >= 0 {
+				return
+			}
+			// Loss cells recover when the late joiner (B) hears anything;
+			// topology cells when A receives a packet sent after the fault
+			// (pre-fault packets in flight don't count).
+			if lossKind {
+				if hi == 1 && ev.At >= cfg.JoinAt {
+					run.recovery = ev.At - cfg.JoinAt
+					run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
+				}
+			} else if hi == 0 && ev.Sent >= cfg.FaultAt {
+				run.recovery = ev.At - cfg.FaultAt
+				run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
+			}
+		}
+	}
+
+	sched := sim.Net.Sched
+	// Steady state: A (and, outside the loss cells, B) joins early.
+	sched.At(2*netsim.Second, func() { recvA.Join(group) })
+	if lossKind {
+		sched.At(cfg.JoinAt, func() { recvB.Join(group) })
+	} else {
+		sched.At(2*netsim.Second, func() { recvB.Join(group) })
+	}
+
+	// Constant-rate sender for the whole run.
+	for t := netsim.Time(0); t < cfg.End; t += cfg.PacketInterval {
+		at := 5*netsim.Second + t
+		if at >= cfg.End {
+			break
+		}
+		sched.At(at, func() { scenario.SendData(src, group, 64) })
+	}
+
+	// Pre-fault baseline, then the fault itself.
+	var stateAtFault int
+	sched.At(cfg.FaultAt-netsim.Second, func() { stateAtFault = dep.TotalState() })
+	sched.At(windowStart, func() { ctrlAtStart = sim.Net.Stats.Totals.ControlPackets })
+	switch kind {
+	case FaultLoss0:
+		// Control cell: the membership change alone.
+	case FaultLoss5:
+		sched.At(cfg.FaultAt, func() { in.SetBernoulli(nil, 0.05, faults.ControlOnly) })
+	case FaultLoss20:
+		sched.At(cfg.FaultAt, func() { in.SetBernoulli(nil, 0.20, faults.ControlOnly) })
+	case FaultFlap:
+		// Three down/up cycles on the tree's transit link starting at the
+		// fault: down 15 s, up 15 s.
+		in.Flap(sim.EdgeLinks[2], cfg.FaultAt, 15*netsim.Second, 15*netsim.Second, 3)
+	case FaultCrash:
+		sched.At(cfg.FaultAt, func() { dep.Crash(2) })
+		sched.At(cfg.RestartAt, func() { dep.Restart(2) })
+	default:
+		panic("experiments: unknown recovery fault " + kind)
+	}
+
+	sim.Run(cfg.End)
+
+	if run.recovery < 0 {
+		run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
+	}
+	run.residual = dep.TotalState() - stateAtFault
+	run.delivered = recvA.Received[group] + recvB.Received[group]
+	for _, h := range hosts {
+		h.OnData = nil
+	}
+	return run
+}

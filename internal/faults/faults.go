@@ -1,0 +1,250 @@
+// Package faults is the fault-injection layer over the netsim substrate: it
+// composes deterministic, seedable fault models — per-link Bernoulli and
+// burst (Gilbert two-state) loss, scheduled link flapping, network
+// partition/heal, and fail-stop router crash/restart — onto a running
+// simulation.
+//
+// The paper's robustness claim (§2, §3.8) is that PIM keeps only
+// timer-refreshed soft state and therefore survives lost control messages,
+// link failures, and router restarts without any reliability machinery. The
+// recovery experiment (internal/experiments/recovery.go) and the scenario
+// verbs (internal/script: loss/flap/crash/restart/partition/heal) drive the
+// protocols through exactly those faults using this package.
+//
+// Determinism: one Injector owns one rand stream seeded at construction.
+// Loss decisions are consumed per frame delivery in scheduler order, which
+// is itself deterministic, so a run with a given seed is bit-reproducible —
+// the property the Workers-independence and fastpath-equivalence gates
+// assert on.
+package faults
+
+import (
+	"math/rand"
+
+	"pim/internal/netsim"
+	"pim/internal/packet"
+)
+
+// Class selects which packets a loss model applies to, using the control /
+// data split of the paper's overhead ledger (netsim.IsData).
+type Class int
+
+// Loss classes.
+const (
+	All Class = iota
+	ControlOnly
+	DataOnly
+)
+
+func (c Class) matches(proto byte) bool {
+	switch c {
+	case ControlOnly:
+		return !netsim.IsData(proto)
+	case DataOnly:
+		return netsim.IsData(proto)
+	default:
+		return true
+	}
+}
+
+// GilbertParams parameterizes the two-state burst-loss model: the channel
+// alternates between a good and a bad state with the given per-packet
+// transition probabilities, dropping packets at LossGood / LossBad in the
+// respective states. Classic bursty links have small PGoodBad, larger
+// PBadGood, LossGood ~ 0, LossBad near 1.
+type GilbertParams struct {
+	PGoodBad float64 // P(good -> bad) evaluated per consulted packet
+	PBadGood float64 // P(bad -> good)
+	LossGood float64 // drop probability in the good state
+	LossBad  float64 // drop probability in the bad state
+}
+
+// lossModel is one installed loss process (per link or global).
+type lossModel struct {
+	class Class
+	// bernoulli rate when gilbert is nil.
+	rate    float64
+	gilbert *GilbertParams
+	bad     bool // gilbert channel state
+}
+
+func (m *lossModel) drop(rng *rand.Rand, proto byte) bool {
+	if !m.class.matches(proto) {
+		return false
+	}
+	if m.gilbert == nil {
+		return m.rate > 0 && rng.Float64() < m.rate
+	}
+	// Advance the channel, then sample the state's loss rate.
+	if m.bad {
+		if rng.Float64() < m.gilbert.PBadGood {
+			m.bad = false
+		}
+	} else if rng.Float64() < m.gilbert.PGoodBad {
+		m.bad = true
+	}
+	p := m.gilbert.LossGood
+	if m.bad {
+		p = m.gilbert.LossBad
+	}
+	return p > 0 && rng.Float64() < p
+}
+
+// Lifecycle is the crash/restart surface of a protocol engine (implemented
+// by the five multicast engines and the IGMP querier). Stop detaches the
+// instance and discards all of its soft state; Restart brings it back empty,
+// to be rebuilt purely from periodic refresh.
+type Lifecycle interface {
+	Stop()
+	Restart()
+}
+
+// Injector owns the fault state of one simulation. Construct with New; all
+// mutators may be called at any simulated time (typically from scheduled
+// events).
+type Injector struct {
+	Net *netsim.Network
+	rng *rand.Rand
+
+	// prev chains a pre-existing Network.Loss hook: the injector composes
+	// onto it rather than replacing it.
+	prev func(from, to *netsim.Iface, pkt *packet.Packet) bool
+
+	perLink map[*netsim.Link]*lossModel
+	global  *lossModel
+
+	// partitioned remembers the links Partition took down, so Heal can
+	// restore exactly that set.
+	partitioned []*netsim.Link
+}
+
+// New installs a fault injector on the network, composing with any loss hook
+// already present (the previous hook is consulted first).
+func New(net *netsim.Network, seed int64) *Injector {
+	in := &Injector{
+		Net:     net,
+		rng:     rand.New(rand.NewSource(seed)),
+		prev:    net.Loss,
+		perLink: map[*netsim.Link]*lossModel{},
+	}
+	net.Loss = in.loss
+	return in
+}
+
+func (in *Injector) loss(from, to *netsim.Iface, pkt *packet.Packet) bool {
+	if in.prev != nil && in.prev(from, to, pkt) {
+		return true
+	}
+	if m := in.perLink[from.Link]; m != nil && m.drop(in.rng, pkt.Protocol) {
+		return true
+	}
+	if in.global != nil && in.global.drop(in.rng, pkt.Protocol) {
+		return true
+	}
+	return false
+}
+
+// SetBernoulli installs independent per-packet loss at the given rate on one
+// link (or on every link when l is nil), replacing any model already on that
+// scope. Rate 0 removes the model.
+func (in *Injector) SetBernoulli(l *netsim.Link, rate float64, class Class) {
+	m := &lossModel{class: class, rate: rate}
+	if rate <= 0 {
+		m = nil
+	}
+	if l == nil {
+		in.global = m
+		return
+	}
+	if m == nil {
+		delete(in.perLink, l)
+		return
+	}
+	in.perLink[l] = m
+}
+
+// SetGilbert installs the two-state burst-loss model on one link (or every
+// link when l is nil), replacing any model already on that scope.
+func (in *Injector) SetGilbert(l *netsim.Link, p GilbertParams, class Class) {
+	m := &lossModel{class: class, gilbert: &p}
+	if l == nil {
+		in.global = m
+		return
+	}
+	in.perLink[l] = m
+}
+
+// ClearLoss removes every installed loss model. Scheduled flaps and an
+// active partition are unaffected.
+func (in *Injector) ClearLoss() {
+	in.global = nil
+	in.perLink = map[*netsim.Link]*lossModel{}
+}
+
+// Flap schedules cycles of link down/up starting at `first` from now: the
+// link goes down for downFor, comes back up for upFor, repeated `cycles`
+// times (ending up). Cycles <= 0 schedules nothing.
+func (in *Injector) Flap(l *netsim.Link, first, downFor, upFor netsim.Time, cycles int) {
+	sched := in.Net.Sched
+	at := first
+	for c := 0; c < cycles; c++ {
+		sched.After(at, func() { in.Net.SetLinkUp(l, false) })
+		sched.After(at+downFor, func() { in.Net.SetLinkUp(l, true) })
+		at += downFor + upFor
+	}
+}
+
+// Partition takes the given cut set of links down at once, splitting the
+// network; Heal restores them. A second Partition before Heal extends the
+// remembered set.
+func (in *Injector) Partition(links ...*netsim.Link) {
+	for _, l := range links {
+		if l.Up() {
+			in.Net.SetLinkUp(l, false)
+			in.partitioned = append(in.partitioned, l)
+		}
+	}
+}
+
+// Heal brings every partitioned link back up.
+func (in *Injector) Heal() {
+	for _, l := range in.partitioned {
+		in.Net.SetLinkUp(l, true)
+	}
+	in.partitioned = nil
+}
+
+// CrashRouter fail-stops a router: every interface of the node goes down
+// (neighbors see the loss through unicast routing, per §3.8) and every
+// engine running on it is stopped, discarding all protocol soft state.
+// Package-level because crashing needs no loss state — an Injector is not
+// required to kill a router.
+func CrashRouter(net *netsim.Network, nd *netsim.Node, engines ...Lifecycle) {
+	for _, e := range engines {
+		e.Stop()
+	}
+	for _, ifc := range nd.Ifaces {
+		net.SetIfaceUp(ifc, false)
+	}
+}
+
+// RestartRouter brings a crashed router back: interfaces come up and every
+// engine restarts empty, rebuilding purely from soft-state refresh.
+func RestartRouter(net *netsim.Network, nd *netsim.Node, engines ...Lifecycle) {
+	for _, ifc := range nd.Ifaces {
+		net.SetIfaceUp(ifc, true)
+	}
+	for _, e := range engines {
+		e.Restart()
+	}
+}
+
+// CrashRouter is the Injector convenience form of the package function.
+func (in *Injector) CrashRouter(nd *netsim.Node, engines ...Lifecycle) {
+	CrashRouter(in.Net, nd, engines...)
+}
+
+// RestartRouter is the Injector convenience form of the package function.
+func (in *Injector) RestartRouter(nd *netsim.Node, engines ...Lifecycle) {
+	RestartRouter(in.Net, nd, engines...)
+}

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+)
+
+// twoNodes wires a-b with a point-to-point link and a counting UDP handler
+// on b.
+func twoNodes(t *testing.T) (*netsim.Network, *netsim.Node, *netsim.Node, *netsim.Link, *int) {
+	t.Helper()
+	n := netsim.NewNetwork()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	ai := n.AddIface(a, addr.V4(10, 0, 0, 1))
+	bi := n.AddIface(b, addr.V4(10, 0, 0, 2))
+	l := n.Connect(ai, bi, netsim.Millisecond)
+	got := 0
+	b.Handle(packet.ProtoUDP, netsim.HandlerFunc(func(in *netsim.Iface, pkt *packet.Packet) { got++ }))
+	b.Handle(packet.ProtoPIM, netsim.HandlerFunc(func(in *netsim.Iface, pkt *packet.Packet) { got++ }))
+	return n, a, b, l, &got
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	n, a, _, l, got := twoNodes(t)
+	in := New(n, 42)
+	in.SetBernoulli(l, 0.5, All)
+	const N = 2000
+	for i := 0; i < N; i++ {
+		pkt := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+		a.Send(a.Ifaces[0], pkt, 0)
+	}
+	n.Sched.RunUntil(netsim.Second)
+	if *got < N*4/10 || *got > N*6/10 {
+		t.Fatalf("50%% loss delivered %d of %d", *got, N)
+	}
+	if n.Stats.Drops[netsim.DropInjectedLoss] != int64(N-*got) {
+		t.Fatalf("drop ledger %v inconsistent with delivered %d", n.Stats.DropsByName(), *got)
+	}
+}
+
+func TestBernoulliDeterministicAcrossRuns(t *testing.T) {
+	run := func() int {
+		n, a, _, l, got := twoNodes(t)
+		in := New(n, 7)
+		in.SetBernoulli(l, 0.3, All)
+		for i := 0; i < 500; i++ {
+			pkt := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+			a.Send(a.Ifaces[0], pkt, 0)
+		}
+		n.Sched.RunUntil(netsim.Second)
+		return *got
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed delivered %d then %d packets", a, b)
+	}
+}
+
+func TestClassFilterControlOnly(t *testing.T) {
+	n, a, _, l, got := twoNodes(t)
+	in := New(n, 1)
+	in.SetBernoulli(l, 1.0, ControlOnly) // drop ALL control
+	for i := 0; i < 10; i++ {
+		u := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+		a.Send(a.Ifaces[0], u, 0)
+		c := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoPIM, make([]byte, 8))
+		a.Send(a.Ifaces[0], c, 0)
+	}
+	n.Sched.RunUntil(netsim.Second)
+	if *got != 10 {
+		t.Fatalf("expected the 10 data packets to survive control-only loss, got %d", *got)
+	}
+}
+
+func TestGilbertBurstsAndRecovers(t *testing.T) {
+	n, a, _, l, got := twoNodes(t)
+	in := New(n, 99)
+	// Hard two-state: long good runs, lossy bad bursts.
+	in.SetGilbert(l, GilbertParams{PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0, LossBad: 1}, All)
+	const N = 3000
+	for i := 0; i < N; i++ {
+		pkt := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+		a.Send(a.Ifaces[0], pkt, 0)
+	}
+	n.Sched.RunUntil(netsim.Second)
+	// Stationary bad-state probability is 0.05/(0.05+0.3) ≈ 14%; allow slack.
+	if *got < N*7/10 || *got >= N {
+		t.Fatalf("gilbert delivered %d of %d, expected bursty partial loss", *got, N)
+	}
+}
+
+func TestClearLoss(t *testing.T) {
+	n, a, _, l, got := twoNodes(t)
+	in := New(n, 3)
+	in.SetBernoulli(l, 1.0, All)
+	in.SetBernoulli(nil, 1.0, All)
+	in.ClearLoss()
+	pkt := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+	a.Send(a.Ifaces[0], pkt, 0)
+	n.Sched.RunUntil(netsim.Second)
+	if *got != 1 {
+		t.Fatalf("ClearLoss left loss active: delivered %d", *got)
+	}
+}
+
+func TestLossHookChaining(t *testing.T) {
+	n, a, _, _, got := twoNodes(t)
+	dropAll := true
+	n.Loss = func(from, to *netsim.Iface, pkt *packet.Packet) bool { return dropAll }
+	New(n, 5) // no models installed; must still honor the previous hook
+	pkt := packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8))
+	a.Send(a.Ifaces[0], pkt, 0)
+	n.Sched.RunUntil(netsim.Second)
+	if *got != 0 {
+		t.Fatal("injector did not chain the pre-existing loss hook")
+	}
+	dropAll = false
+	a.Send(a.Ifaces[0], packet.New(a.Ifaces[0].Addr, addr.V4(10, 0, 0, 2), packet.ProtoUDP, make([]byte, 8)), 0)
+	n.Sched.RunUntil(2 * netsim.Second)
+	if *got != 1 {
+		t.Fatal("chained hook blocked delivery after being disabled")
+	}
+}
+
+func TestFlapSchedulesDownUpCycles(t *testing.T) {
+	n, _, _, l, _ := twoNodes(t)
+	in := New(n, 1)
+	in.Flap(l, netsim.Second, netsim.Second, netsim.Second, 2)
+	type sample struct {
+		at netsim.Time
+		up bool
+	}
+	var samples []sample
+	for _, at := range []netsim.Time{500 * netsim.Millisecond, 1500 * netsim.Millisecond,
+		2500 * netsim.Millisecond, 3500 * netsim.Millisecond, 4500 * netsim.Millisecond} {
+		at := at
+		n.Sched.At(at, func() { samples = append(samples, sample{at, l.Up()}) })
+	}
+	n.Sched.RunUntil(5 * netsim.Second)
+	want := []bool{true, false, true, false, true}
+	for i, s := range samples {
+		if s.up != want[i] {
+			t.Fatalf("at %v link up=%v, want %v", s.at, s.up, want[i])
+		}
+	}
+}
+
+func TestPartitionHeal(t *testing.T) {
+	n, _, _, l, _ := twoNodes(t)
+	in := New(n, 1)
+	in.Partition(l)
+	if l.Up() {
+		t.Fatal("partition left link up")
+	}
+	in.Heal()
+	if !l.Up() {
+		t.Fatal("heal did not restore link")
+	}
+	if in.partitioned != nil {
+		t.Fatal("heal did not clear the partitioned set")
+	}
+}
+
+// stubEngine counts lifecycle transitions.
+type stubEngine struct{ stops, restarts int }
+
+func (s *stubEngine) Stop()    { s.stops++ }
+func (s *stubEngine) Restart() { s.restarts++ }
+
+func TestCrashRestartRouter(t *testing.T) {
+	n, a, _, _, _ := twoNodes(t)
+	eng := &stubEngine{}
+	CrashRouter(n, a, eng)
+	if eng.stops != 1 {
+		t.Fatalf("engine stopped %d times", eng.stops)
+	}
+	for _, ifc := range a.Ifaces {
+		if ifc.Up() {
+			t.Fatalf("%v still up after crash", ifc)
+		}
+	}
+	RestartRouter(n, a, eng)
+	if eng.restarts != 1 {
+		t.Fatalf("engine restarted %d times", eng.restarts)
+	}
+	for _, ifc := range a.Ifaces {
+		if !ifc.Up() {
+			t.Fatalf("%v still down after restart", ifc)
+		}
+	}
+}

@@ -30,6 +30,10 @@ type Querier struct {
 
 	// members[ifaceIndex][group] = expiry time.
 	members map[int]map[addr.IP]netsim.Time
+
+	started bool
+	// epoch invalidates the query tick across Stop/Restart.
+	epoch uint64
 }
 
 // NewQuerier attaches the router side of IGMP to a node.
@@ -44,15 +48,44 @@ func NewQuerier(nd *netsim.Node) *Querier {
 
 // Start registers the IGMP handler and begins periodic querying.
 func (q *Querier) Start() {
+	if q.started {
+		return
+	}
+	q.started = true
 	q.Node.Handle(packet.ProtoIGMP, netsim.HandlerFunc(q.handle))
 	sched := q.Node.Net.Sched
+	ep := q.epoch
 	var tick func()
 	tick = func() {
+		if q.epoch != ep {
+			return
+		}
 		q.expire()
 		q.query()
 		sched.After(q.QueryInterval, tick)
 	}
 	sched.After(0, tick)
+}
+
+// Stop detaches the querier and forgets all learned membership. The OnLeave
+// callback is deliberately not fired for the discarded groups: a crash takes
+// the routing protocol down with it, and the restarted instance re-learns
+// membership from host reports to its immediate re-query.
+func (q *Querier) Stop() {
+	if !q.started {
+		return
+	}
+	q.started = false
+	q.epoch++
+	q.Node.Handle(packet.ProtoIGMP, nil)
+	q.members = map[int]map[addr.IP]netsim.Time{}
+}
+
+// Restart brings a stopped querier back empty; the immediate query triggers
+// host re-reports that rebuild membership and re-fire OnJoin.
+func (q *Querier) Restart() {
+	q.Stop()
+	q.Start()
 }
 
 func (q *Querier) query() {

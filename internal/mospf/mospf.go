@@ -146,14 +146,31 @@ type Router struct {
 	Metrics *metrics.Counters
 	MFIB    *mfib.Table // (S,G) forwarding cache
 
+	// RefreshInterval, when nonzero, re-originates this router's membership
+	// LSA periodically. Base MOSPF floods only on change; periodic
+	// re-origination is what lets the domain recover membership lost to a
+	// crashed router or a partitioned flood, so the fault experiments enable
+	// it. Zero (the default) keeps the event-driven-only behaviour — and the
+	// LSA counts — of the existing overhead ledgers. Set before Start.
+	RefreshInterval netsim.Time
+
 	self int // index in the domain
-	seq  uint32
+	// seq is this router's LSA sequence number. It survives Stop/Restart:
+	// peers' databases never expire old sequence numbers, so an instance
+	// restarting from zero would have its post-restart LSAs discarded as
+	// stale forever.
+	seq uint32
 	// membership[origin][group]: the domain-wide membership database every
 	// router stores (the §1.1 scaling cost).
 	membership map[uint32]map[addr.IP]bool
 	seqs       map[uint32]uint32
 	// localMembers[ifaceIndex][group] from IGMP.
 	localMembers map[int]map[addr.IP]bool
+
+	started bool
+	// epoch invalidates scheduled closures across Stop/Restart (see
+	// core.Router).
+	epoch uint64
 }
 
 // New builds an MOSPF router within a domain.
@@ -169,10 +186,61 @@ func New(nd *netsim.Node, d *Domain) *Router {
 	}
 }
 
-// Start registers handlers.
+// Start registers handlers and, when RefreshInterval is set, begins
+// periodic LSA re-origination.
 func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
 	r.Node.Handle(packet.ProtoMOSPF, netsim.HandlerFunc(r.handleLSA))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
+	if r.RefreshInterval > 0 {
+		var refresh func()
+		refresh = func() {
+			r.originate()
+			r.after(r.RefreshInterval, refresh)
+		}
+		r.after(0, refresh)
+	}
+}
+
+// Stop detaches the router and discards its soft state: the forwarding
+// cache, the stored domain-wide membership database, peer sequence numbers,
+// and local membership. The router's own LSA sequence number is kept (see
+// its field comment). The shared Domain Dijkstra cache is also dropped so
+// no tree computed with the dead router's membership view survives.
+func (r *Router) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.epoch++
+	r.Node.Handle(packet.ProtoMOSPF, nil)
+	r.Node.Handle(packet.ProtoUDP, nil)
+	r.MFIB = mfib.NewTable()
+	r.membership = map[uint32]map[addr.IP]bool{}
+	r.seqs = map[uint32]uint32{}
+	r.localMembers = map[int]map[addr.IP]bool{}
+	r.Domain.sp = map[int]*topology.ShortestPaths{}
+}
+
+// Restart brings a stopped router back empty; with RefreshInterval set the
+// domain's databases reconverge from periodic re-origination.
+func (r *Router) Restart() {
+	r.Stop()
+	r.Start()
+}
+
+// after schedules fn under the current epoch: a Stop/Restart before the
+// timer fires makes the closure a no-op.
+func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
+	ep := r.epoch
+	return r.Node.Net.Sched.After(d, func() {
+		if r.epoch == ep {
+			fn()
+		}
+	})
 }
 
 // StateCount returns forwarding cache entries plus stored membership rows —

@@ -183,7 +183,7 @@ func TestNoHandlerDrops(t *testing.T) {
 	n, a, _ := buildPair(t, 1)
 	a.Send(a.Ifaces[0], packet.New(1, 2, packet.ProtoUDP, nil), 0)
 	n.Sched.Run(0)
-	if n.Stats.Drops[dropNoHandler] != 1 {
+	if n.Stats.Drops[DropNoHandler] != 1 {
 		t.Errorf("drops = %v", n.Stats.Drops)
 	}
 }
@@ -249,7 +249,7 @@ func TestLinkDownBlocksDelivery(t *testing.T) {
 	if got != 0 {
 		t.Error("delivery over down link")
 	}
-	if n.Stats.Drops[dropIfaceDown] != 1 {
+	if n.Stats.Drops[DropIfaceDown] != 1 {
 		t.Errorf("drops = %v", n.Stats.Drops)
 	}
 }
@@ -369,7 +369,7 @@ func TestLossInjection(t *testing.T) {
 	if got != 0 {
 		t.Fatal("frame survived injected loss")
 	}
-	if n.Stats.Drops[dropInjectedLoss] != 1 {
+	if n.Stats.Drops[DropInjectedLoss] != 1 {
 		t.Errorf("drops = %v", n.Stats.Drops)
 	}
 	drop = false
@@ -420,5 +420,155 @@ func TestInfiniteBandwidthUnchanged(t *testing.T) {
 	n.Sched.Run(0)
 	if len(arrivals) != 2 || arrivals[0] != 5*Millisecond || arrivals[1] != 5*Millisecond {
 		t.Errorf("arrivals = %v, want both at 5ms", arrivals)
+	}
+}
+
+// TestLANSetLinkUpNotifiesAllStations covers link down/up on a multi-access
+// (>2-iface) link: every attached node's subscribers fire, in attachment
+// order, exactly once per state change.
+func TestLANSetLinkUpNotifiesAllStations(t *testing.T) {
+	n := NewNetwork()
+	var ifaces []*Iface
+	var fired []string
+	for _, name := range []string{"r1", "r2", "r3", "r4"} {
+		nd := n.AddNode(name)
+		ifc := n.AddIface(nd, addr.V4(10, 1, 0, byte(len(ifaces)+1)))
+		ifaces = append(ifaces, ifc)
+		name := name
+		nd.OnLinkChange(func(in *Iface) { fired = append(fired, name) })
+	}
+	lan := n.ConnectLAN(1*Millisecond, ifaces...)
+
+	n.SetLinkUp(lan, false)
+	want := []string{"r1", "r2", "r3", "r4"}
+	if len(fired) != len(want) {
+		t.Fatalf("down fired %v, want one callback per station", fired)
+	}
+	for i, name := range want {
+		if fired[i] != name {
+			t.Fatalf("down firing order %v, want attachment order %v", fired, want)
+		}
+	}
+	// Delivery is blocked while down, for every station.
+	got := 0
+	for _, ifc := range ifaces[1:] {
+		ifc.Node.Handle(packet.ProtoPIM, HandlerFunc(func(in *Iface, pkt *packet.Packet) { got++ }))
+	}
+	src := ifaces[0]
+	src.Node.Send(src, packet.New(src.Addr, addr.AllRouters, packet.ProtoPIM, []byte{1}), 0)
+	n.Sched.Run(0)
+	if got != 0 {
+		t.Fatalf("%d stations heard a frame on a down LAN", got)
+	}
+
+	fired = nil
+	n.SetLinkUp(lan, true)
+	n.SetLinkUp(lan, true) // no-op: already up
+	if len(fired) != len(want) {
+		t.Fatalf("up fired %v, want one callback per station", fired)
+	}
+	src.Node.Send(src, packet.New(src.Addr, addr.AllRouters, packet.ProtoPIM, []byte{1}), 0)
+	n.Sched.Run(0)
+	if got != 3 {
+		t.Fatalf("restored LAN delivered to %d stations, want 3", got)
+	}
+}
+
+// TestOnLinkChangeFiringOrderPerNode covers multiple subscribers on one
+// node: they fire in registration order.
+func TestOnLinkChangeFiringOrderPerNode(t *testing.T) {
+	n, a, _ := buildPair(t, 1)
+	var order []int
+	a.OnLinkChange(func(*Iface) { order = append(order, 1) })
+	a.OnLinkChange(func(*Iface) { order = append(order, 2) })
+	a.OnLinkChange(func(*Iface) { order = append(order, 3) })
+	n.SetLinkUp(n.Links[0], false)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("subscribers fired in order %v, want registration order", order)
+	}
+}
+
+// TestSetIfaceUp covers the fail-stop router model: one station's interface
+// goes down, the link and the other stations stay up, and every node on the
+// link is notified (unicast routing must route around the dead station).
+func TestSetIfaceUp(t *testing.T) {
+	n := NewNetwork()
+	var ifaces []*Iface
+	fired := map[string]int{}
+	for _, name := range []string{"r1", "r2", "r3"} {
+		nd := n.AddNode(name)
+		ifc := n.AddIface(nd, addr.V4(10, 1, 0, byte(len(ifaces)+1)))
+		ifaces = append(ifaces, ifc)
+		name := name
+		nd.OnLinkChange(func(*Iface) { fired[name]++ })
+	}
+	lan := n.ConnectLAN(1*Millisecond, ifaces...)
+
+	n.SetIfaceUp(ifaces[1], false)
+	if lan.Up() != true {
+		t.Fatal("iface-down took the whole link down")
+	}
+	if ifaces[1].Up() {
+		t.Fatal("iface still up")
+	}
+	for _, name := range []string{"r1", "r2", "r3"} {
+		if fired[name] != 1 {
+			t.Fatalf("link-change notifications %v, want 1 per station", fired)
+		}
+	}
+	n.SetIfaceUp(ifaces[1], false) // no-op: already down
+	if fired["r1"] != 1 {
+		t.Fatal("no-op SetIfaceUp fired callbacks")
+	}
+
+	// The dead station neither receives...
+	got := map[string]int{}
+	for i, ifc := range ifaces {
+		name := []string{"r1", "r2", "r3"}[i]
+		ifc.Node.Handle(packet.ProtoPIM, HandlerFunc(func(in *Iface, pkt *packet.Packet) { got[name]++ }))
+	}
+	src := ifaces[0]
+	src.Node.Send(src, packet.New(src.Addr, addr.AllRouters, packet.ProtoPIM, []byte{1}), 0)
+	n.Sched.Run(0)
+	if got["r2"] != 0 || got["r3"] != 1 {
+		t.Fatalf("delivery with r2 down: %v, want only r3", got)
+	}
+	// ...nor transmits.
+	dead := ifaces[1]
+	dead.Node.Send(dead, packet.New(dead.Addr, addr.AllRouters, packet.ProtoPIM, []byte{1}), 0)
+	n.Sched.Run(0)
+	if got["r1"] != 0 || got["r3"] != 1 {
+		t.Fatalf("dead iface transmitted: %v", got)
+	}
+
+	n.SetIfaceUp(ifaces[1], true)
+	src.Node.Send(src, packet.New(src.Addr, addr.AllRouters, packet.ProtoPIM, []byte{1}), 0)
+	n.Sched.Run(0)
+	if got["r2"] != 1 {
+		t.Fatalf("restored iface did not receive: %v", got)
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	cases := map[DropReason]string{
+		DropIfaceDown:    "dropIfaceDown",
+		DropLinkDown:     "dropLinkDown",
+		DropMalformed:    "dropMalformed",
+		DropNoHandler:    "dropNoHandler",
+		DropInjectedLoss: "dropInjectedLoss",
+		DropReason(99):   "dropUnknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("DropReason(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+	var s Stats
+	s.Drop(DropLinkDown)
+	s.Drop(DropLinkDown)
+	s.Drop(DropInjectedLoss)
+	byName := s.DropsByName()
+	if len(byName) != 2 || byName["dropLinkDown"] != 2 || byName["dropInjectedLoss"] != 1 {
+		t.Errorf("DropsByName() = %v", byName)
 	}
 }

@@ -170,6 +170,29 @@ func (n *Network) SetLinkUp(l *Link, up bool) {
 	}
 }
 
+// SetIfaceUp changes one interface's operational state and notifies
+// link-change subscribers on every node sharing its link. This is the
+// fail-stop router model of the fault-injection layer (internal/faults): a
+// crashed router's interfaces all go down while the links — and, on a LAN,
+// the other stations — stay up.
+func (n *Network) SetIfaceUp(ifc *Iface, up bool) {
+	if ifc.up == up {
+		return
+	}
+	ifc.up = up
+	if ifc.Link == nil {
+		for _, fn := range ifc.Node.onLinkChange {
+			fn(ifc)
+		}
+		return
+	}
+	for _, peer := range ifc.Link.Ifaces {
+		for _, fn := range peer.Node.onLinkChange {
+			fn(peer)
+		}
+	}
+}
+
 // IfaceByAddr resolves an interface address.
 func (n *Network) IfaceByAddr(ip addr.IP) *Iface { return n.byAddr[ip] }
 
@@ -230,7 +253,7 @@ func (nd *Node) IfaceTo(neighbor addr.IP) *Iface {
 // implementation bug, not a runtime condition).
 func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	if out == nil || !out.Up() {
-		nd.Net.Stats.Drop(dropIfaceDown)
+		nd.Net.Stats.Drop(DropIfaceDown)
 		return
 	}
 	buf, err := pkt.Marshal()
@@ -282,11 +305,11 @@ func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop ad
 			continue
 		}
 		if !to.Up() || !from.Up() {
-			n.Stats.Drop(dropLinkDown)
+			n.Stats.Drop(DropLinkDown)
 			continue
 		}
 		if err != nil {
-			n.Stats.Drop(dropMalformed)
+			n.Stats.Drop(DropMalformed)
 			continue
 		}
 		// Per-receiver header copy: a handler mutating its view (TTL etc.)
@@ -298,7 +321,7 @@ func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop ad
 
 func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
 	if n.Loss != nil && n.Loss(from, to, pkt) {
-		n.Stats.Drop(dropInjectedLoss)
+		n.Stats.Drop(DropInjectedLoss)
 		return
 	}
 	n.Stats.Receive(pkt)
@@ -307,7 +330,7 @@ func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
 	}
 	h := to.Node.handlers[pkt.Protocol]
 	if h == nil {
-		n.Stats.Drop(dropNoHandler)
+		n.Stats.Drop(DropNoHandler)
 		return
 	}
 	h.HandlePacket(to, pkt)
@@ -319,7 +342,7 @@ func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
 func (nd *Node) LocalSend(ifc *Iface, pkt *packet.Packet) {
 	h := nd.handlers[pkt.Protocol]
 	if h == nil {
-		nd.Net.Stats.Drop(dropNoHandler)
+		nd.Net.Stats.Drop(DropNoHandler)
 		return
 	}
 	h.HandlePacket(ifc, pkt)

@@ -9,15 +9,37 @@ import "pim/internal/packet"
 // State counts come from the protocol implementations themselves (see
 // internal/metrics.Collector).
 
+// DropReason classifies why a frame was not delivered. The fault-injection
+// experiments report drop ledgers by name, so the reasons are exported and
+// printable.
+type DropReason int
+
 // Drop reasons.
 const (
-	dropIfaceDown = iota
-	dropLinkDown
-	dropMalformed
-	dropNoHandler
-	dropInjectedLoss
-	numDropReasons
+	DropIfaceDown DropReason = iota
+	DropLinkDown
+	DropMalformed
+	DropNoHandler
+	DropInjectedLoss
+	NumDropReasons
 )
+
+// dropNames indexes DropReason to its report label.
+var dropNames = [NumDropReasons]string{
+	DropIfaceDown:    "dropIfaceDown",
+	DropLinkDown:     "dropLinkDown",
+	DropMalformed:    "dropMalformed",
+	DropNoHandler:    "dropNoHandler",
+	DropInjectedLoss: "dropInjectedLoss",
+}
+
+// String names the drop reason for reports and test failures.
+func (d DropReason) String() string {
+	if d < 0 || d >= NumDropReasons {
+		return "dropUnknown"
+	}
+	return dropNames[d]
+}
 
 // LinkStats counts traffic over a single link.
 type LinkStats struct {
@@ -33,7 +55,7 @@ type Stats struct {
 	Totals  LinkStats
 	// Received counts packets successfully delivered to a handler's node.
 	Received int64
-	Drops    [numDropReasons]int64
+	Drops    [NumDropReasons]int64
 }
 
 // IsData classifies a protocol number as data-plane. Application payloads
@@ -68,7 +90,7 @@ func (s *Stats) Transmit(l *Link, pkt *packet.Packet) {
 func (s *Stats) Receive(pkt *packet.Packet) { s.Received++ }
 
 // Drop records a dropped frame.
-func (s *Stats) Drop(reason int) { s.Drops[reason]++ }
+func (s *Stats) Drop(reason DropReason) { s.Drops[reason]++ }
 
 // Dropped returns the total frames dropped for any reason.
 func (s *Stats) Dropped() int64 {
@@ -77,6 +99,18 @@ func (s *Stats) Dropped() int64 {
 		t += d
 	}
 	return t
+}
+
+// DropsByName returns the nonzero drop counters labeled by reason name, the
+// form experiment ledgers and failure messages report.
+func (s *Stats) DropsByName() map[string]int64 {
+	out := map[string]int64{}
+	for r, n := range s.Drops {
+		if n != 0 {
+			out[DropReason(r).String()] = n
+		}
+	}
+	return out
 }
 
 // LinksCarryingData returns how many links carried at least one data packet

@@ -33,6 +33,11 @@ type Config struct {
 	// PruneOverrideDelay is the LAN override window (shared with sparse
 	// mode's §3.7 semantics).
 	PruneOverrideDelay netsim.Time
+	// GraftRetry is the initial graft retransmission interval: grafts are
+	// the one acknowledged (hence reliable) message in dense mode, so an
+	// unacked graft is retransmitted with doubling backoff (capped at 8x)
+	// until the ack arrives or the entry no longer wants traffic.
+	GraftRetry netsim.Time
 	// Scope restricts the router to a subset of its interfaces (nil = all).
 	// Border routers (internal/border) scope their dense-mode instance to
 	// the dense-region interfaces so floods and member advertisements stay
@@ -45,6 +50,7 @@ const (
 	DefaultPruneHoldTime      = 120 * netsim.Second
 	DefaultQueryInterval      = 30 * netsim.Second
 	DefaultPruneOverrideDelay = 3 * netsim.Second
+	DefaultGraftRetry         = 3 * netsim.Second
 )
 
 const infiniteExpiry = netsim.Time(1) << 60
@@ -66,6 +72,14 @@ type Router struct {
 	prunedUpstream map[mfib.Key]bool
 	// assertLoser[key][ifaceIndex] marks interfaces we lost an assert on.
 	assertLoser map[mfib.Key]map[int]bool
+	// pendingGrafts holds the retransmission state of unacked grafts.
+	pendingGrafts map[mfib.Key]*pendingGraft
+
+	started bool
+	// epoch invalidates scheduled closures across Stop/Restart (see
+	// core.Router): timer bodies fire only under the epoch they were
+	// scheduled in.
+	epoch uint64
 
 	// Member-existence advertisement state (§4 dense/sparse interop):
 	// every dense-region router floods the groups it has members for, so
@@ -96,6 +110,9 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	if cfg.PruneOverrideDelay == 0 {
 		cfg.PruneOverrideDelay = DefaultPruneOverrideDelay
 	}
+	if cfg.GraftRetry == 0 {
+		cfg.GraftRetry = DefaultGraftRetry
+	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
 		rpfc:           rpf.New(uni),
@@ -105,6 +122,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 		members:        map[int]map[addr.IP]bool{},
 		prunedUpstream: map[mfib.Key]bool{},
 		assertLoser:    map[mfib.Key]map[int]bool{},
+		pendingGrafts:  map[mfib.Key]*pendingGraft{},
 		regionAds:      map[addr.IP]map[addr.IP]bool{},
 		adSeqs:         map[addr.IP]uint32{},
 		adSeen:         map[addr.IP]netsim.Time{},
@@ -119,24 +137,90 @@ func (r *Router) inScope(ifc *netsim.Iface) bool {
 
 // Start registers handlers and begins querying.
 func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
 	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
-	sched := r.Node.Net.Sched
 	var query func()
 	query = func() {
 		r.expireNeighbors()
 		r.expireMemberAds()
 		r.sendQueries()
 		r.originateMemberAd()
-		sched.After(r.Cfg.QueryInterval, query)
+		r.after(r.Cfg.QueryInterval, query)
 	}
-	sched.After(0, query)
+	r.after(0, query)
+}
+
+// Stop detaches the router and discards all soft state: forwarding entries,
+// neighbor liveness, local membership, prune/assert/graft timers, and the
+// region membership-advertisement cache. The advertisement sequence number
+// survives — peers compare it with signed wraparound and would discard a
+// restarted router's advertisements if it restarted from zero.
+func (r *Router) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.epoch++
+	r.Node.Handle(packet.ProtoPIM, nil)
+	r.Node.Handle(packet.ProtoUDP, nil)
+	for _, p := range r.pendingGrafts {
+		p.timer.Stop()
+	}
+	r.rpfc = rpf.New(r.Unicast)
+	r.MFIB = mfib.NewTable()
+	r.neighbors = map[int]map[addr.IP]netsim.Time{}
+	r.members = map[int]map[addr.IP]bool{}
+	r.prunedUpstream = map[mfib.Key]bool{}
+	r.assertLoser = map[mfib.Key]map[int]bool{}
+	r.pendingGrafts = map[mfib.Key]*pendingGraft{}
+	r.regionAds = map[addr.IP]map[addr.IP]bool{}
+	r.adSeqs = map[addr.IP]uint32{}
+	r.adSeen = map[addr.IP]netsim.Time{}
+	r.regionPresent = map[addr.IP]bool{}
+}
+
+// Restart brings a stopped router back empty, rebuilding purely from
+// soft-state refresh (flood-and-prune re-learns forwarding state from the
+// data packets themselves).
+func (r *Router) Restart() {
+	r.Stop()
+	r.Start()
+}
+
+// after schedules fn under the current epoch: a Stop/Restart before the
+// timer fires makes the closure a no-op.
+func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
+	ep := r.epoch
+	return r.Node.Net.Sched.After(d, func() {
+		if r.epoch == ep {
+			fn()
+		}
+	})
 }
 
 func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
 
 // StateCount returns the number of forwarding entries.
 func (r *Router) StateCount() int { return r.MFIB.Len() }
+
+// NeighborCount returns the number of live PIM neighbor entries across all
+// interfaces — the recovery tests' stale-neighbor probe.
+func (r *Router) NeighborCount() int {
+	now := r.now()
+	n := 0
+	for _, byAddr := range r.neighbors {
+		for _, deadline := range byAddr {
+			if now <= deadline {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // --- Membership ---
 
@@ -245,7 +329,7 @@ func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
 	case pimmsg.TypeGraft:
 		r.handleGraft(in, pkt.Src, body)
 	case pimmsg.TypeGraftAck:
-		// Loss-free simulator links: the ack needs no retransmission state.
+		r.handleGraftAck(in, body)
 	case pimmsg.TypeAssert:
 		r.handleAssert(in, pkt.Src, body)
 	case pimmsg.TypeMemberAd:
@@ -416,7 +500,7 @@ func (r *Router) schedulePrune(e *mfib.Entry, in *netsim.Iface, g addr.IP) {
 	key := e.Key
 	apply := func() {
 		e.RemoveOIF(in)
-		r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+		r.after(r.Cfg.PruneHoldTime, func() {
 			// Grow back.
 			if cur := r.MFIB.Get(key); cur != nil && in.Up() && !r.assertLoser[key][in.Index] {
 				cur.AddOIF(in, infiniteExpiry)
@@ -433,7 +517,7 @@ func (r *Router) schedulePrune(e *mfib.Entry, in *netsim.Iface, g addr.IP) {
 		o.PrunePending = true
 		o.PruneDeadline = r.now() + r.Cfg.PruneOverrideDelay
 		e.Touch()
-		r.Node.Net.Sched.After(r.Cfg.PruneOverrideDelay, func() {
+		r.after(r.Cfg.PruneOverrideDelay, func() {
 			cur := e.OIFs[in.Index]
 			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
 				apply()
@@ -482,9 +566,25 @@ func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, body []byte) {
 	}
 }
 
+// pendingGraft tracks one unacked graft awaiting retransmission.
+type pendingGraft struct {
+	timer   *netsim.Timer
+	backoff netsim.Time
+}
+
+// sendGraft transmits a graft and arms retransmission: the graft is the one
+// acknowledged message in dense mode, re-sent with doubling backoff until
+// the upstream acks it (handleGraftAck) or the entry stops wanting traffic.
 func (r *Router) sendGraft(e *mfib.Entry) {
-	if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
+	if !r.transmitGraft(e) {
 		return
+	}
+	r.armGraftRetry(e.Key, r.Cfg.GraftRetry)
+}
+
+func (r *Router) transmitGraft(e *mfib.Entry) bool {
+	if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
+		return false
 	}
 	m := &pimmsg.JoinPrune{
 		UpstreamNeighbor: e.UpstreamNeighbor,
@@ -498,6 +598,52 @@ func (r *Router) sendGraft(e *mfib.Entry) {
 	pkt.TTL = 1
 	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
 	r.Metrics.Inc(metrics.CtrlGraft)
+	return true
+}
+
+func (r *Router) armGraftRetry(key mfib.Key, backoff netsim.Time) {
+	if prev := r.pendingGrafts[key]; prev != nil {
+		prev.timer.Stop()
+	}
+	p := &pendingGraft{backoff: backoff}
+	p.timer = r.after(backoff, func() {
+		if r.pendingGrafts[key] != p {
+			return
+		}
+		e := r.MFIB.Get(key)
+		if e == nil || e.OIFEmpty(r.now()) {
+			delete(r.pendingGrafts, key)
+			return
+		}
+		if !r.transmitGraft(e) {
+			delete(r.pendingGrafts, key)
+			return
+		}
+		next := p.backoff * 2
+		if max := 8 * r.Cfg.GraftRetry; next > max {
+			next = max
+		}
+		r.armGraftRetry(key, next)
+	})
+	r.pendingGrafts[key] = p
+}
+
+// handleGraftAck clears retransmission state for every (S,G) the upstream
+// echoed back in the ack.
+func (r *Router) handleGraftAck(in *netsim.Iface, body []byte) {
+	m, err := pimmsg.UnmarshalJoinPrune(body)
+	if err != nil {
+		return
+	}
+	for _, grp := range m.Groups {
+		for _, a := range grp.Joins {
+			key := mfib.Key{Source: a.Addr, Group: grp.Group}
+			if p := r.pendingGrafts[key]; p != nil {
+				p.timer.Stop()
+				delete(r.pendingGrafts, key)
+			}
+		}
+	}
 }
 
 func (r *Router) maybePruneUpstream(e *mfib.Entry) {
@@ -525,7 +671,7 @@ func (r *Router) maybePruneUpstream(e *mfib.Entry) {
 	r.Metrics.Inc(metrics.CtrlPrune)
 	r.prunedUpstream[e.Key] = true
 	key := e.Key
-	r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+	r.after(r.Cfg.PruneHoldTime, func() {
 		delete(r.prunedUpstream, key)
 	})
 }
@@ -557,7 +703,7 @@ func (r *Router) handleAssert(in *netsim.Iface, from addr.IP, body []byte) {
 			r.assertLoser[key] = map[int]bool{}
 		}
 		r.assertLoser[key][in.Index] = true
-		r.Node.Net.Sched.After(r.Cfg.PruneHoldTime, func() {
+		r.after(r.Cfg.PruneHoldTime, func() {
 			delete(r.assertLoser[key], in.Index)
 		})
 	}

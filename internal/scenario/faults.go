@@ -1,0 +1,68 @@
+package scenario
+
+import "pim/internal/faults"
+
+// Deployment is the crash/restart surface every protocol deployment shares:
+// the fault layer (internal/faults, internal/script, the recovery
+// experiment) kills and revives routers through it without knowing which
+// protocol is running.
+type Deployment interface {
+	// Crash fail-stops router i: all interfaces down, engine and IGMP
+	// querier stopped with their soft state discarded.
+	Crash(i int)
+	// Restart revives router i empty; state rebuilds from soft-state
+	// refresh only.
+	Restart(i int)
+	// TotalState sums forwarding/tree/membership entries across routers.
+	TotalState() int
+}
+
+// Crash fail-stops router i (see Deployment).
+func (d *PIMDeployment) Crash(i int) {
+	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Restart revives router i (see Deployment).
+func (d *PIMDeployment) Restart(i int) {
+	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Crash fail-stops router i (see Deployment).
+func (d *PIMDMDeployment) Crash(i int) {
+	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Restart revives router i (see Deployment).
+func (d *PIMDMDeployment) Restart(i int) {
+	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Crash fail-stops router i (see Deployment).
+func (d *DVMRPDeployment) Crash(i int) {
+	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Restart revives router i (see Deployment).
+func (d *DVMRPDeployment) Restart(i int) {
+	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Crash fail-stops router i (see Deployment).
+func (d *CBTDeployment) Crash(i int) {
+	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Restart revives router i (see Deployment).
+func (d *CBTDeployment) Restart(i int) {
+	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Crash fail-stops router i (see Deployment).
+func (d *MOSPFDeployment) Crash(i int) {
+	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}
+
+// Restart revives router i (see Deployment).
+func (d *MOSPFDeployment) Restart(i int) {
+	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+}

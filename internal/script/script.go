@@ -19,6 +19,10 @@
 //	at <time> leave <host> <group>
 //	at <time> send <host> <group> [count=<n>] [every=<dur>] [size=<n>]
 //	at <time> linkdown <edge> | linkup <edge>
+//	at <time> loss <edge>|all <rate> [control|data]   # Bernoulli loss; rate 0 clears
+//	at <time> flap <edge> [down=<dur>] [up=<dur>] [cycles=<n>]
+//	at <time> crash <router> | restart <router>
+//	at <time> partition <edge> ... | heal
 //	run <duration>
 //	expect <host> received <group> <op> <n>      # op: >= <= == != > <
 //	expect router <router> state <op> <n>
@@ -39,6 +43,7 @@ import (
 	"pim/internal/cbt"
 	"pim/internal/core"
 	"pim/internal/dvmrp"
+	"pim/internal/faults"
 	"pim/internal/igmp"
 	"pim/internal/netsim"
 	"pim/internal/packet"
@@ -134,8 +139,22 @@ type runner struct {
 	hosts    map[string]*hostRef
 	stateFn  func(router int) int
 	deployed bool
+	// dep is the uniform crash/restart surface; nil for the mixed
+	// sparse/dense deployment, which has no whole-router lifecycle.
+	dep scenario.Deployment
+	// inj is the lazily created fault injector (loss/flap/partition verbs).
+	inj *faults.Injector
 
 	res *Result
+}
+
+// injector returns the script's fault injector, installing it on first use.
+// The seed is fixed: script runs are reproducible documents.
+func (r *runner) injector() *faults.Injector {
+	if r.inj == nil {
+		r.inj = faults.New(r.sim.Net, 1)
+	}
+	return r.inj
 }
 
 // Run executes the script and returns its result.
@@ -433,18 +452,23 @@ func (r *runner) deploy(st stmt) error {
 		}
 		dep := r.sim.DeployPIM(cfg)
 		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+		r.dep = dep
 	case "pim-dm":
 		dep := r.sim.DeployPIMDM(pimdm.Config{PruneHoldTime: prune})
 		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+		r.dep = dep
 	case "dvmrp":
 		dep := r.sim.DeployDVMRP(dvmrp.Config{PruneLifetime: prune})
 		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+		r.dep = dep
 	case "cbt":
 		dep := r.sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
 		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+		r.dep = dep
 	case "mospf":
 		dep := r.sim.DeployMOSPF()
 		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
+		r.dep = dep
 	default:
 		return st.errf("unknown protocol %q", name)
 	}
@@ -531,12 +555,101 @@ func (r *runner) doAt(st stmt) error {
 		if len(rest) != 1 {
 			return st.errf("%s syntax: at <t> %s <edge>", action, action)
 		}
-		edge, err := strconv.Atoi(rest[0])
-		if err != nil || edge < 0 || edge >= len(r.sim.EdgeLinks) {
-			return st.errf("bad edge %q", rest[0])
+		link, err := r.edgeLink(st, rest[0])
+		if err != nil {
+			return err
 		}
 		up := action == "linkup"
-		schedule(func() { r.sim.Net.SetLinkUp(r.sim.EdgeLinks[edge], up) })
+		schedule(func() { r.sim.Net.SetLinkUp(link, up) })
+	case "loss":
+		if len(rest) != 2 && len(rest) != 3 {
+			return st.errf("loss syntax: at <t> loss <edge>|all <rate> [control|data]")
+		}
+		var link *netsim.Link
+		if rest[0] != "all" {
+			var err error
+			if link, err = r.edgeLink(st, rest[0]); err != nil {
+				return err
+			}
+		}
+		rate, err := strconv.ParseFloat(rest[1], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return st.errf("bad loss rate %q (want 0..1)", rest[1])
+		}
+		class := faults.All
+		if len(rest) == 3 {
+			switch rest[2] {
+			case "control":
+				class = faults.ControlOnly
+			case "data":
+				class = faults.DataOnly
+			default:
+				return st.errf("bad loss class %q (want control|data)", rest[2])
+			}
+		}
+		in := r.injector()
+		schedule(func() { in.SetBernoulli(link, rate, class) })
+	case "flap":
+		if len(rest) != 1 {
+			return st.errf("flap syntax: at <t> flap <edge> [down=<dur>] [up=<dur>] [cycles=<n>]")
+		}
+		link, err := r.edgeLink(st, rest[0])
+		if err != nil {
+			return err
+		}
+		down, up := 5*netsim.Second, 5*netsim.Second
+		if v, ok := st.kv["down"]; ok {
+			if down, err = parseDuration(v); err != nil {
+				return st.errf("bad down=%q", v)
+			}
+		}
+		if v, ok := st.kv["up"]; ok {
+			if up, err = parseDuration(v); err != nil {
+				return st.errf("bad up=%q", v)
+			}
+		}
+		cycles, err := st.intKV("cycles", 1)
+		if err != nil {
+			return err
+		}
+		in := r.injector()
+		schedule(func() { in.Flap(link, 0, down, up, cycles) })
+	case "crash", "restart":
+		if len(rest) != 1 {
+			return st.errf("%s syntax: at <t> %s <router>", action, action)
+		}
+		idx, err := r.routerIndex(st, rest[0])
+		if err != nil {
+			return err
+		}
+		if r.dep == nil {
+			return st.errf("%s is not supported for this deployment", action)
+		}
+		if action == "crash" {
+			schedule(func() { r.dep.Crash(idx) })
+		} else {
+			schedule(func() { r.dep.Restart(idx) })
+		}
+	case "partition":
+		if len(rest) == 0 {
+			return st.errf("partition syntax: at <t> partition <edge> ...")
+		}
+		var links []*netsim.Link
+		for _, spec := range rest {
+			link, err := r.edgeLink(st, spec)
+			if err != nil {
+				return err
+			}
+			links = append(links, link)
+		}
+		in := r.injector()
+		schedule(func() { in.Partition(links...) })
+	case "heal":
+		if len(rest) != 0 {
+			return st.errf("heal syntax: at <t> heal")
+		}
+		in := r.injector()
+		schedule(func() { in.Heal() })
 	default:
 		return st.errf("unknown action %q", action)
 	}
@@ -653,6 +766,15 @@ func (r *runner) routerIndex(st stmt, s string) (int, error) {
 		return 0, st.errf("bad router %q", s)
 	}
 	return idx, nil
+}
+
+// edgeLink resolves a backbone edge index to its link.
+func (r *runner) edgeLink(st stmt, s string) (*netsim.Link, error) {
+	edge, err := strconv.Atoi(s)
+	if err != nil || edge < 0 || edge >= len(r.sim.EdgeLinks) {
+		return nil, st.errf("bad edge %q", s)
+	}
+	return r.sim.EdgeLinks[edge], nil
 }
 
 func (r *runner) hostGroup(st stmt, hname, gname string) (*hostRef, addr.IP, error) {

@@ -314,3 +314,132 @@ expect recv mean-delay G0 <= 1s
 		t.Fatal("mean-delay over zero deliveries should fail the expectation")
 	}
 }
+
+func TestFaultVerbsScript(t *testing.T) {
+	src := `
+# Crash the mid-chain router under light control loss; delivery must
+# resume after the restart with state rebuilt from refresh.
+topo edges 0-1 1-2 2-3 1-4:2 4-3:2
+unicast oracle
+group G0 rp r3
+protocol pim-sm
+host send r0
+host recv r3
+at 1s join recv G0
+at 3s send recv G0 count=1       # non-member source exercises register path too
+at 3s send send G0 count=120 every=1s
+at 10s loss all 0.05 control
+at 30s crash r2
+at 60s restart r2
+at 80s loss all 0 control
+run 200s
+expect recv received G0 >= 60
+expect router r2 state >= 1
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestPartitionHealScript(t *testing.T) {
+	src := `
+topo edges 0-1 1-2
+unicast oracle
+group G0 rp r2
+protocol pim-dm
+host send r0
+host recv r2
+at 1s join recv G0
+at 3s send send G0 count=60 every=1s
+at 10s partition 1
+at 40s heal
+run 120s
+expect recv received G0 >= 25
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	// The 30s cut must actually have cost traffic.
+	if res.Delivered["recv/G0"] >= 60 {
+		t.Errorf("partition lost no packets: %v", res.Delivered)
+	}
+}
+
+func TestFlapVerbScript(t *testing.T) {
+	src := `
+topo edges 0-1 1-2 0-2:5
+unicast oracle
+group G0 rp r2
+protocol dvmrp
+host send r0
+host recv r2
+at 1s join recv G0
+at 3s send send G0 count=90 every=1s
+at 20s flap 1 down=5s up=5s cycles=3
+run 120s
+expect recv received G0 >= 50
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestFaultVerbErrors(t *testing.T) {
+	cases := []string{
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s loss 9 0.5\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s loss all 2.0\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s loss all 0.5 bogus\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s flap 9\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s crash r9\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s partition\n",
+		"topo edges 0-1\ngroup G0 rp r1\nprotocol pim-sm\nat 1s heal now\n",
+		"topo edges 0-1 1-2\ngroup G0 rp r1\nprotocol pim-sm dense=2\nat 1s crash r1\n",
+	}
+	for _, src := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := s.Run(); err == nil {
+			t.Errorf("script %q ran without error", src)
+		}
+	}
+}
+
+func TestPartitionScenarioFile(t *testing.T) {
+	s, err := ParseFile("../../scenarios/partition.pim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}

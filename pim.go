@@ -316,6 +316,27 @@ func DefaultDataplaneConfig() DataplaneConfig { return experiments.DefaultDatapl
 // identical.
 func RunDataplane(cfg DataplaneConfig) DataplaneResult { return experiments.RunDataplane(cfg) }
 
+// Fault-recovery experiment (router crash/restart, lossy links, soft-state
+// convergence — see DESIGN.md "Fault plane").
+type (
+	// RecoveryConfig parameterizes the fault-recovery matrix.
+	RecoveryConfig = experiments.RecoveryConfig
+	// RecoveryResult is the full protocol × fault matrix outcome.
+	RecoveryResult = experiments.RecoveryResult
+	// RecoveryCell is one (protocol, fault) cell.
+	RecoveryCell = experiments.RecoveryCell
+)
+
+// DefaultRecoveryConfig returns the ledger workload for the fault-recovery
+// matrix.
+func DefaultRecoveryConfig() RecoveryConfig { return experiments.DefaultRecovery() }
+
+// RunRecovery drives every protocol through the fault matrix (control-plane
+// loss, link flap, router crash/restart) and measures recovery time, control
+// overhead, and residual state, verifying reference and fast-path delivery
+// traces are bit identical in every cell.
+func RunRecovery(cfg RecoveryConfig) RecoveryResult { return experiments.RunRecovery(cfg) }
+
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
 
