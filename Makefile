@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fig2-ledger dataplane-ledger recovery-ledger
+.PHONY: check build vet test race bench-smoke telemetry-smoke bench fig2-ledger dataplane-ledger recovery-ledger
 
-# check is the full gate: vet, build, race-enabled tests, and a short
-# benchmark smoke pass over the engine and hot-path benchmarks.
-check: vet build race bench-smoke
+# check is the full gate: vet, build, race-enabled tests (the -race pass
+# covers internal/telemetry and internal/experiments along with everything
+# else), a short benchmark smoke pass, and the telemetry/invariant smoke.
+check: vet build race bench-smoke telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,13 @@ bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkRPF(CacheHit|Uncached)' -benchtime 10x ./internal/rpf/
 	$(GO) test -run XXX -bench 'BenchmarkFanout(Compiled|Reference)' -benchtime 10x ./internal/mfib/
 	$(GO) test -run XXX -bench 'BenchmarkDataplane(Shared|Dense)(Fast|Ref)' -benchtime 1x ./internal/experiments/
+
+# telemetry-smoke runs a fault scenario under the online invariant checker
+# (DESIGN.md §10) and the focused telemetry/experiments race tests — a fast
+# end-to-end pass over the telemetry plane.
+telemetry-smoke:
+	$(GO) run ./cmd/pimscript -check scenarios/rpfailover.pim
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/script/
 
 # bench is the full metric-reporting benchmark suite (EXPERIMENTS.md).
 bench:

@@ -20,6 +20,11 @@
 // With -recovery it runs the fault-recovery matrix (every protocol through
 // control-plane loss, link flap, and router crash/restart) and appends to
 // BENCH_recovery.json, under the same trace-equivalence gate.
+//
+// With -telemetry <file> it runs the PIM-SM crash/restart recovery cell with
+// the telemetry sampler attached and writes the per-router counter curves
+// (control messages, state entries, deliveries, drops per 5 s bucket) as
+// JSON to the file, then exits without touching any ledger.
 package main
 
 import (
@@ -83,8 +88,13 @@ func main() {
 	packets := flag.Int("packets", 0, "dataplane measured packets (0 = package default)")
 	fillers := flag.Int("fillers", 0, "dataplane filler routes per unicast table (0 = package default)")
 	recovery := flag.Bool("recovery", false, "run the fault-recovery matrix instead of the Figure 2 sweeps")
+	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
 	flag.Parse()
 
+	if *telemetryOut != "" {
+		runTelemetry(*telemetryOut)
+		return
+	}
 	if *dataplane {
 		if *out == "" {
 			*out = "BENCH_dataplane.json"
@@ -189,6 +199,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("appended %q entry to %s (%d entries)\n", *label, *out, len(ledger))
+}
+
+// runTelemetry runs the PIM-SM crash/restart recovery cell with the
+// time-series sampler attached and dumps the per-router counter curves.
+func runTelemetry(out string) {
+	smp := pim.RecoveryTelemetry(pim.DefaultRecoveryConfig(), pim.ProtoPIMSM, pim.FaultCrash, 5*pim.Second)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := smp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote pim-sm/crash telemetry curves to %s\n", out)
 }
 
 // runDataplane executes the forwarding fast-path benchmark and appends it to

@@ -16,13 +16,15 @@ import (
 	"sort"
 
 	"pim/internal/script"
+	"pim/internal/telemetry"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print deployment logs and delivery counts")
+	check := flag.Bool("check", false, "attach the online invariant checker; violations fail the run")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pimscript [-v] <script.pim> ...")
+		fmt.Fprintln(os.Stderr, "usage: pimscript [-v] [-check] <script.pim> ...")
 		os.Exit(2)
 	}
 	failed := 0
@@ -33,19 +35,34 @@ func main() {
 			failed++
 			continue
 		}
-		res, err := s.Run()
+		var res *script.Result
+		var chk *telemetry.Checker
+		if *check {
+			res, chk, err = s.RunChecked()
+		} else {
+			res, err = s.Run()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			failed++
 			continue
 		}
-		if res.OK() {
+		violations := 0
+		if chk != nil {
+			violations = len(chk.Violations())
+		}
+		if res.OK() && violations == 0 {
 			fmt.Printf("PASS %s\n", path)
 		} else {
 			failed++
 			fmt.Printf("FAIL %s\n", path)
 			for _, f := range res.Failures {
 				fmt.Printf("     %s\n", f)
+			}
+			if chk != nil {
+				for _, v := range chk.Violations() {
+					fmt.Printf("     invariant: %s\n", v)
+				}
 			}
 		}
 		if *verbose {

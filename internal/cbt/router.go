@@ -6,6 +6,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/rpf"
+	"pim/internal/telemetry"
 	"pim/internal/unicast"
 )
 
@@ -25,6 +26,9 @@ type Config struct {
 	// child's JoinRetry this makes the handshake survive loss in either
 	// direction.
 	AckRetry netsim.Time
+	// Telemetry, when non-nil, receives the router's event stream. Nil keeps
+	// every emit site a single predictable branch (zero-cost disabled).
+	Telemetry *telemetry.Bus
 }
 
 // Defaults.
@@ -62,6 +66,9 @@ type Router struct {
 	Cfg     Config
 	Unicast unicast.Router
 	Metrics *metrics.Counters
+
+	// tel is the telemetry sink (nil when disabled).
+	tel *telemetry.Bus
 
 	// rpfc memoizes lookups toward cores (off-tree senders resolve the
 	// core per data packet), invalidated by unicast table generation.
@@ -107,6 +114,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		tel:         cfg.Telemetry,
 		rpfc:        rpf.New(uni),
 		Metrics:     metrics.New(),
 		groups:      map[addr.IP]*groupState{},
@@ -120,6 +128,12 @@ func (r *Router) Start() {
 		return
 	}
 	r.started = true
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochStart, Router: r.Node.ID,
+			Iface: -1, Epoch: r.epoch, Value: int64(len(r.groups)),
+		})
+	}
 	r.Node.Handle(packet.ProtoCBT, netsim.HandlerFunc(r.handleCtrl))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
 	var echo func()
@@ -140,6 +154,12 @@ func (r *Router) Stop() {
 		return
 	}
 	r.started = false
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochEnd, Router: r.Node.ID,
+			Iface: -1, Epoch: r.epoch,
+		})
+	}
 	r.epoch++
 	r.Node.Handle(packet.ProtoCBT, nil)
 	r.Node.Handle(packet.ProtoUDP, nil)
@@ -169,6 +189,12 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
 	return r.Node.Net.Sched.After(d, func() {
 		if r.epoch == ep {
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.TimerFire, Router: r.Node.ID,
+					Iface: -1, Epoch: ep,
+				})
+			}
 			fn()
 		}
 	})
@@ -196,8 +222,28 @@ func (r *Router) state(g addr.IP) *groupState {
 			pending:   map[int]map[addr.IP]bool{},
 		}
 		r.groups[g] = st
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.EntryCreate, Router: r.Node.ID,
+				Iface: -1, Epoch: r.epoch, Group: g, Value: telemetry.EntryWC,
+			})
+		}
 	}
 	return st
+}
+
+// dropState removes a group's tree entry and publishes its expiry.
+func (r *Router) dropState(g addr.IP) {
+	if _, ok := r.groups[g]; !ok {
+		return
+	}
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EntryExpire, Router: r.Node.ID,
+			Iface: -1, Epoch: r.epoch, Group: g, Value: telemetry.EntryWC,
+		})
+	}
+	delete(r.groups, g)
 }
 
 // --- Membership ---
@@ -236,11 +282,17 @@ func (r *Router) maybeQuit(g addr.IP, st *groupState) {
 	}
 	if st.onTree && st.parentAddr != 0 && st.parentIf != nil && st.parentIf.Up() {
 		r.sendTo(st.parentIf, st.parentAddr, &Message{Type: TypeQuit, Group: g})
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.PruneSend, Router: r.Node.ID,
+				Iface: st.parentIf.Index, Epoch: r.epoch, Group: g,
+			})
+		}
 	}
 	if st.joinTimer != nil {
 		st.joinTimer.Stop()
 	}
-	delete(r.groups, g)
+	r.dropState(g)
 }
 
 // --- Tree construction ---
@@ -256,6 +308,12 @@ func (r *Router) sendJoinReq(g addr.IP, st *groupState) {
 		st.parentIf, st.parentAddr = rt.Iface, nextHop
 		r.sendTo(rt.Iface, nextHop, &Message{Type: TypeJoinReq, Group: g, Core: st.core})
 		r.Metrics.Inc(metrics.CtrlCBTJoin)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.JoinPruneSend, Router: r.Node.ID,
+				Iface: rt.Iface.Index, Epoch: r.epoch, Group: g, Value: 1,
+			})
+		}
 	}
 	// Arm the retry even when the core is momentarily unreachable: the
 	// request repeats until the handshake completes.
@@ -433,7 +491,7 @@ func (r *Router) flush(g addr.IP) {
 	if st.joinTimer != nil {
 		st.joinTimer.Stop()
 	}
-	delete(r.groups, g)
+	r.dropState(g)
 	if len(members) > 0 && !r.Node.OwnsAddr(st.core) {
 		ns := r.state(g)
 		ns.memberIfs = members
@@ -457,12 +515,24 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		core, ok := r.Cfg.CoreMapping[g]
 		if !ok {
 			r.Metrics.Inc(metrics.DataNoState)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.NoState, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: pkt.Src, Group: g,
+				})
+			}
 			return
 		}
 		// Relay toward the core until an on-tree router takes over.
 		rt, ok := r.rpfc.Lookup(core)
 		if !ok || rt.Iface == in {
 			r.Metrics.Inc(metrics.DataDropped)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.RPFDrop, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: pkt.Src, Group: g,
+				})
+			}
 			return
 		}
 		fwd, live := pkt.Forwarded()
@@ -475,6 +545,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		}
 		r.Node.Send(rt.Iface, fwd, nextHop)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: rt.Iface.Index, Epoch: r.epoch, Source: pkt.Src, Group: g,
+			})
+		}
 		return
 	}
 	// On-tree dissemination: loop safety comes from the tree structure —
@@ -489,6 +565,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		}
 		r.Node.Send(ifc, fwd, nextHop)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: ifc.Index, Epoch: r.epoch, Source: pkt.Src, Group: g,
+			})
+		}
 	}
 	if st.parentIf != nil && st.parentAddr != 0 {
 		send(st.parentIf, st.parentAddr)

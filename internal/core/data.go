@@ -7,6 +7,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
+	"pim/internal/telemetry"
 	"pim/internal/unicast"
 )
 
@@ -80,6 +81,12 @@ func (r *Router) senderSide(in *netsim.Iface, s, g addr.IP, pkt *packet.Packet) 
 		}
 		r.Node.Send(rt.Iface, reg, nextHop)
 		r.Metrics.Inc(metrics.CtrlRegister)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.RegisterSend, Router: r.Node.ID,
+				Iface: rt.Iface.Index, Epoch: r.epoch, Source: r.sourceKey(s), Group: g,
+			})
+		}
 	}
 }
 
@@ -96,6 +103,12 @@ func (r *Router) forwardData(in *netsim.Iface, pkt *packet.Packet) {
 				// §3.5 exception 2: first packet arriving on the SPT
 				// interface completes the transition...
 				sg.SPTBit = true
+				if r.tel != nil {
+					r.tel.Publish(telemetry.Event{
+						At: r.now(), Kind: telemetry.SPTSwitch, Router: r.Node.ID,
+						Iface: -1, Epoch: r.epoch, Source: s, Group: g, Value: 1,
+					})
+				}
 				// ...and §3.3: prune the source off the shared tree if the
 				// two trees diverge here.
 				if wc != nil && sg.IIF != wc.IIF {
@@ -103,30 +116,52 @@ func (r *Router) forwardData(in *netsim.Iface, pkt *packet.Packet) {
 						[]pimmsg.Addr{{Addr: s, RP: true}})
 				}
 			}
-			r.emit(pkt, in, r.unionOIFs(sg, wc, s, in))
+			r.emit(pkt, in, r.unionOIFs(sg, wc, s, in), false)
 			return
 		}
 		if !sg.SPTBit && wc != nil && (in == wc.IIF || wc.IIF == nil) {
 			// §3.5 exception 1: during the transition the packet is
 			// forwarded according to (*,G).
-			r.emit(pkt, in, r.sharedOIFs(wc, s, in))
+			r.emit(pkt, in, r.sharedOIFs(wc, s, in), true)
 			return
 		}
 		r.Metrics.Inc(metrics.DataDropped)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.RPFDrop, Router: r.Node.ID,
+				Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+			})
+		}
 		return
 	}
 
 	if wc != nil {
 		atRP := wc.IIF == nil
 		if in == wc.IIF || atRP {
-			r.emit(pkt, in, r.sharedOIFs(wc, s, in))
+			r.emit(pkt, in, r.sharedOIFs(wc, s, in), true)
 			r.considerSPTSwitch(in, s, g, wc)
 			return
 		}
 		r.Metrics.Inc(metrics.DataDropped)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.RPFDrop, Router: r.Node.ID,
+				Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+			})
+		}
 		return
 	}
 	r.Metrics.Inc(metrics.DataNoState)
+	if r.tel != nil {
+		iface := -1
+		if in != nil {
+			iface = in.Index
+		}
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.NoState, Router: r.Node.ID,
+			Iface: iface, Epoch: r.epoch, Source: s, Group: g,
+		})
+	}
 }
 
 // sharedOIFs is the (*,G) outgoing list minus effective negative-cache
@@ -147,8 +182,10 @@ func (r *Router) unionOIFs(sg, wc *mfib.Entry, s addr.IP, except *netsim.Iface) 
 }
 
 // emit transmits the packet over each outgoing interface with a TTL
-// decrement.
-func (r *Router) emit(pkt *packet.Packet, in *netsim.Iface, oifs []*netsim.Iface) {
+// decrement. shared marks forwarding off the (*,G) list — the list
+// negative-cache subtraction applies to — so the invariant checker can
+// assert no pruned interface appears in the fan-out.
+func (r *Router) emit(pkt *packet.Packet, in *netsim.Iface, oifs []*netsim.Iface, shared bool) {
 	if len(oifs) == 0 {
 		return
 	}
@@ -162,6 +199,17 @@ func (r *Router) emit(pkt *packet.Packet, in *netsim.Iface, oifs []*netsim.Iface
 		}
 		r.Node.Send(out, fwd, 0)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.tel != nil {
+			var sharedFlag int64
+			if shared {
+				sharedFlag = 1
+			}
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: out.Index, Epoch: r.epoch,
+				Source: r.sourceKey(pkt.Src), Group: pkt.Dst, Value: sharedFlag,
+			})
+		}
 	}
 }
 
@@ -214,13 +262,23 @@ func (r *Router) initiateSPTSwitch(s, g addr.IP, wc *mfib.Entry) {
 	if !ok || up == 0 {
 		return // no route toward the source, or it is directly connected
 	}
-	sg, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	sg, created := r.upsert(mfib.Key{Source: s, Group: g}, now)
 	if !created {
 		return
 	}
 	sg.RP = wc.RP
 	sg.IIF, sg.UpstreamNeighbor = iif, up
 	sg.SPTBit = false
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: now, Kind: telemetry.IIFSet, Router: r.Node.ID, Iface: iif.Index,
+			Epoch: r.epoch, Source: s, Group: g, Value: entryKind(sg.Key),
+		})
+		r.tel.Publish(telemetry.Event{
+			At: now, Kind: telemetry.SPTSwitch, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Source: s, Group: g, Value: 0,
+		})
+	}
 	// "All local shared tree branches are replicated in the new shortest
 	// path tree" (§3.3): the local-member interfaces move over; downstream
 	// join-driven branches keep receiving through the inherited shared

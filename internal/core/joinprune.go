@@ -7,6 +7,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
+	"pim/internal/telemetry"
 )
 
 // --- Local membership (§3.1) ---
@@ -24,7 +25,7 @@ func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
 		return
 	}
 	now := r.now()
-	wc, created := r.MFIB.Upsert(mfib.Key{Group: g, RPBit: true}, now)
+	wc, created := r.upsert(mfib.Key{Group: g, RPBit: true}, now)
 	wc.AddLocalOIF(ifc)
 	if created {
 		wc.RP = rp
@@ -95,6 +96,12 @@ func (r *Router) transmitJoinPrune(out *netsim.Iface, m *pimmsg.JoinPrune) {
 	pkt.TTL = 1
 	r.Node.Send(out, pkt, 0)
 	r.Metrics.Inc(metrics.CtrlJoinPrune)
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.JoinPruneSend, Router: r.Node.ID,
+			Iface: out.Index, Epoch: r.epoch, Value: int64(len(m.Groups)),
+		})
+	}
 }
 
 // setUpstream resolves and installs the RPF interface and upstream neighbor
@@ -102,12 +109,20 @@ func (r *Router) transmitJoinPrune(out *netsim.Iface, m *pimmsg.JoinPrune) {
 func (r *Router) setUpstream(e *mfib.Entry, target addr.IP) {
 	iif, up, ok := r.rpf(target)
 	if !ok {
-		e.IIF, e.UpstreamNeighbor = nil, 0
-		e.Touch()
-		return
+		iif, up = nil, 0
 	}
 	e.IIF, e.UpstreamNeighbor = iif, up
 	e.Touch()
+	if r.tel != nil {
+		idx := -1
+		if iif != nil {
+			idx = iif.Index
+		}
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.IIFSet, Router: r.Node.ID, Iface: idx,
+			Epoch: r.epoch, Source: target, Group: e.Key.Group, Value: entryKind(e.Key),
+		})
+	}
 }
 
 // upstreamTarget returns the address an entry's joins/prunes chase: the RP
@@ -316,7 +331,16 @@ func (r *Router) checkEmptyOIF(e *mfib.Entry) {
 // period.
 func (r *Router) maintain() {
 	now := r.now()
-	r.MFIB.Sweep(now)
+	swept := r.MFIB.Sweep(now)
+	if r.tel != nil {
+		for _, e := range swept {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.EntryExpire, Router: r.Node.ID, Iface: -1,
+				Epoch: r.epoch, Source: e.Key.Source, Group: e.Key.Group,
+				Value: entryKind(e.Key),
+			})
+		}
+	}
 	// Negative caches with no live pruned interface have no reason to
 	// exist; their upstream copies expire the same way.
 	var dead []mfib.Key
@@ -332,7 +356,7 @@ func (r *Router) maintain() {
 		}
 	})
 	for _, k := range dead {
-		r.MFIB.Delete(k)
+		r.deleteEntry(k)
 	}
 }
 
@@ -354,6 +378,12 @@ func (r *Router) handleJoinPrune(in *netsim.Iface, body []byte) {
 }
 
 func (r *Router) processJoinPrune(in *netsim.Iface, m *pimmsg.JoinPrune) {
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.JoinPruneRecv, Router: r.Node.ID,
+			Iface: in.Index, Epoch: r.epoch, Value: int64(len(m.Groups)),
+		})
+	}
 	hold := netsim.Time(m.HoldTime) * netsim.Second
 	for _, grp := range m.Groups {
 		g := grp.Group
@@ -384,7 +414,7 @@ func (r *Router) processJoinPrune(in *netsim.Iface, m *pimmsg.JoinPrune) {
 // WC and RP bits (§3.2).
 func (r *Router) joinShared(in *netsim.Iface, g, rp addr.IP, hold netsim.Time) {
 	now := r.now()
-	wc, created := r.MFIB.Upsert(mfib.Key{Group: g, RPBit: true}, now)
+	wc, created := r.upsert(mfib.Key{Group: g, RPBit: true}, now)
 	if created {
 		wc.RP = rp
 		if _, ok := r.rpMap[g]; !ok {
@@ -423,7 +453,7 @@ func (r *Router) joinShared(in *netsim.Iface, g, rp addr.IP, hold netsim.Time) {
 // joinSPT installs/refreshes (S,G) shortest-path state (§3.3).
 func (r *Router) joinSPT(in *netsim.Iface, g, s addr.IP, hold netsim.Time) {
 	now := r.now()
-	sg, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	sg, created := r.upsert(mfib.Key{Source: s, Group: g}, now)
 	if created {
 		if rp, ok := r.rpFor(g); ok {
 			sg.RP = rp
@@ -450,7 +480,7 @@ func (r *Router) cancelNegativeCache(in *netsim.Iface, g, s addr.IP) {
 	}
 	rpt.RemoveOIF(in)
 	if rpt.OIFEmpty(r.now()) {
-		r.MFIB.Delete(rpt.Key)
+		r.deleteEntry(rpt.Key)
 		// Propagate the cancellation so upstream negative caches clear
 		// promptly rather than waiting for expiry.
 		if wc := r.MFIB.Wildcard(g); wc != nil {
@@ -521,7 +551,7 @@ func (r *Router) pruneSourceOnShared(in *netsim.Iface, g, s addr.IP, hold netsim
 	if wc == nil || !wc.HasOIF(in, now) {
 		return
 	}
-	rpt, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g, RPBit: true}, now)
+	rpt, created := r.upsert(mfib.Key{Source: s, Group: g, RPBit: true}, now)
 	if created {
 		rpt.RP = wc.RP
 		rpt.IIF, rpt.UpstreamNeighbor = wc.IIF, wc.UpstreamNeighbor

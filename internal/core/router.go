@@ -10,6 +10,7 @@ import (
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
 	"pim/internal/rpf"
+	"pim/internal/telemetry"
 	"pim/internal/unicast"
 )
 
@@ -20,6 +21,10 @@ type Router struct {
 	Unicast unicast.Router
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
+
+	// tel is the telemetry bus from Config.Telemetry; nil disables all
+	// publication (every emit site is a single nil-check branch).
+	tel *telemetry.Bus
 
 	// rpfc memoizes Unicast lookups for the per-packet paths (RPF checks,
 	// register targeting, unicast relay), invalidated by table generation.
@@ -75,6 +80,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 		Node:         nd,
 		Cfg:          cfg,
 		Unicast:      uni,
+		tel:          cfg.Telemetry,
 		rpfc:         rpf.New(uni),
 		MFIB:         mfib.NewTable(),
 		Metrics:      metrics.New(),
@@ -98,6 +104,12 @@ func (r *Router) Start() {
 		return
 	}
 	r.started = true
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochStart, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoPIMData, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
@@ -151,6 +163,12 @@ func (r *Router) Stop() {
 		return
 	}
 	r.started = false
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochEnd, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.epoch++
 	r.Node.Handle(packet.ProtoPIM, nil)
 	r.Node.Handle(packet.ProtoPIMData, nil)
@@ -186,6 +204,15 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
 	return r.sched().After(d, func() {
 		if r.epoch == ep {
+			// Published past the guard: the event records a timer body that
+			// actually executed, carrying the epoch it was armed under, so
+			// the invariant checker can assert no dead incarnation ever acts.
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.TimerFire, Router: r.Node.ID,
+					Iface: -1, Epoch: ep,
+				})
+			}
 			fn()
 		}
 	})
@@ -313,15 +340,27 @@ func (r *Router) handleQuery(in *netsim.Iface, src addr.IP, body []byte) {
 		byAddr = map[addr.IP]netsim.Time{}
 		r.neighbors[in.Index] = byAddr
 	}
+	if _, known := byAddr[src]; !known && r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.NeighborUp, Router: r.Node.ID,
+			Iface: in.Index, Epoch: r.epoch, Source: src,
+		})
+	}
 	byAddr[src] = r.now() + netsim.Time(q.HoldTime)*netsim.Second
 }
 
 func (r *Router) expireNeighbors() {
 	now := r.now()
-	for _, byAddr := range r.neighbors {
+	for idx, byAddr := range r.neighbors {
 		for a, deadline := range byAddr {
 			if now > deadline {
 				delete(byAddr, a)
+				if r.tel != nil {
+					r.tel.Publish(telemetry.Event{
+						At: now, Kind: telemetry.NeighborDown, Router: r.Node.ID,
+						Iface: idx, Epoch: r.epoch, Source: a,
+					})
+				}
 			}
 		}
 	}

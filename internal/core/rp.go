@@ -9,6 +9,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
+	"pim/internal/telemetry"
 )
 
 // handleRegister is the RP side of the rendezvous (§3): decapsulate the
@@ -39,7 +40,7 @@ func (r *Router) handleRegister(in *netsim.Iface, outer *packet.Packet, body []b
 		return
 	}
 	if wc := r.MFIB.Wildcard(g); wc != nil {
-		r.emit(inner, nil, r.sharedOIFs(wc, r.sourceKey(inner.Src), nil))
+		r.emit(inner, nil, r.sharedOIFs(wc, r.sourceKey(inner.Src), nil), true)
 	}
 }
 
@@ -48,7 +49,7 @@ func (r *Router) handleRegister(in *netsim.Iface, outer *packet.Packet, body []b
 // connected on when the RP is also the source's DR, nil otherwise.
 func (r *Router) rpAcceptSource(s, g addr.IP, via *netsim.Iface) {
 	now := r.now()
-	sg, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	sg, created := r.upsert(mfib.Key{Source: s, Group: g}, now)
 	if !created {
 		return
 	}
@@ -206,7 +207,13 @@ func (r *Router) rpFailover(g addr.IP) {
 	if len(localIfaces) == 0 {
 		return // transit-only state: soft-state expiry handles it
 	}
-	r.MFIB.Delete(old.Key)
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.RPFailover, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Source: next, Group: g,
+		})
+	}
+	r.deleteEntry(old.Key)
 	// Also drop negative caches tied to the old tree.
 	var stale []mfib.Key
 	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
@@ -215,11 +222,11 @@ func (r *Router) rpFailover(g addr.IP) {
 		}
 	})
 	for _, k := range stale {
-		r.MFIB.Delete(k)
+		r.deleteEntry(k)
 	}
 	r.currentRP[g] = next
 	now := r.now()
-	wc, _ := r.MFIB.Upsert(mfib.Key{Group: g, RPBit: true}, now)
+	wc, _ := r.upsert(mfib.Key{Group: g, RPBit: true}, now)
 	wc.RP = next
 	r.setUpstream(wc, next)
 	for _, ifc := range localIfaces {

@@ -7,6 +7,7 @@ import (
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/rpf"
+	"pim/internal/telemetry"
 	"pim/internal/unicast"
 )
 
@@ -23,6 +24,9 @@ type Config struct {
 	// (capped at 8x) until the ack arrives or the branch stops wanting
 	// traffic.
 	GraftRetry netsim.Time
+	// Telemetry, when non-nil, receives structured events for every state
+	// transition (see internal/telemetry).
+	Telemetry *telemetry.Bus
 }
 
 // Defaults. RFC 1075 uses ~2 hours for prunes; experiments scale it down so
@@ -43,6 +47,10 @@ type Router struct {
 	Unicast unicast.Router
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
+
+	// tel is the telemetry bus from Config.Telemetry; nil disables all
+	// publication.
+	tel *telemetry.Bus
 
 	// rpfc memoizes the per-packet reverse-path lookup, invalidated by
 	// unicast table generation.
@@ -84,6 +92,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		tel:            cfg.Telemetry,
 		rpfc:           rpf.New(uni),
 		MFIB:           mfib.NewTable(),
 		Metrics:        metrics.New(),
@@ -100,6 +109,12 @@ func (r *Router) Start() {
 		return
 	}
 	r.started = true
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochStart, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.Node.Handle(packet.ProtoDVMRP, netsim.HandlerFunc(r.handleCtrl))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
 	var probe func()
@@ -119,6 +134,12 @@ func (r *Router) Stop() {
 		return
 	}
 	r.started = false
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochEnd, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.epoch++
 	r.Node.Handle(packet.ProtoDVMRP, nil)
 	r.Node.Handle(packet.ProtoUDP, nil)
@@ -146,6 +167,14 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
 	return r.Node.Net.Sched.After(d, func() {
 		if r.epoch == ep {
+			// Published past the epoch guard so the event records a timer
+			// body that actually ran (see core.Router.after).
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.TimerFire, Router: r.Node.ID,
+					Iface: -1, Epoch: ep,
+				})
+			}
 			fn()
 		}
 	})
@@ -360,8 +389,22 @@ func (r *Router) sendCtrlUpstream(e *mfib.Entry, typ byte, lifetime uint16) {
 	switch typ {
 	case TypePrune:
 		r.Metrics.Inc(metrics.CtrlPrune)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.PruneSend, Router: r.Node.ID,
+				Iface: e.IIF.Index, Epoch: r.epoch,
+				Source: e.Key.Source, Group: e.Key.Group,
+			})
+		}
 	case TypeGraft:
 		r.Metrics.Inc(metrics.CtrlGraft)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.GraftSend, Router: r.Node.ID,
+				Iface: e.IIF.Index, Epoch: r.epoch,
+				Source: e.Key.Source, Group: e.Key.Group,
+			})
+		}
 		// Grafts are acknowledged: arm retransmission until the ack lands
 		// or the branch no longer wants traffic.
 		r.armGraftRetry(e.Key, r.Cfg.GraftRetry)
@@ -390,6 +433,13 @@ func (r *Router) armGraftRetry(key mfib.Key, backoff netsim.Time) {
 		pkt.TTL = 1
 		r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
 		r.Metrics.Inc(metrics.CtrlGraft)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: r.now(), Kind: telemetry.GraftSend, Router: r.Node.ID,
+				Iface: e.IIF.Index, Epoch: r.epoch,
+				Source: key.Source, Group: key.Group,
+			})
+		}
 		next := p.backoff * 2
 		if max := 8 * r.Cfg.GraftRetry; next > max {
 			next = max
@@ -416,11 +466,23 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		rt, ok := r.rpfc.Lookup(s)
 		if !ok {
 			r.Metrics.Inc(metrics.DataDropped)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.NoState, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+				})
+			}
 			return
 		}
 		iif, upstream = rt.Iface, rt.NextHop
 		if in != iif {
 			r.Metrics.Inc(metrics.DataDropped)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.RPFDrop, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+				})
+			}
 			return
 		}
 	} else {
@@ -435,6 +497,19 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		e.IIF, e.UpstreamNeighbor = iif, upstream
 		if srcLocal {
 			e.UpstreamNeighbor = 0
+		}
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.EntryCreate, Router: r.Node.ID, Iface: -1,
+				Epoch: r.epoch, Source: s, Group: g, Value: telemetry.EntrySG,
+			})
+			if !srcLocal {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.IIFSet, Router: r.Node.ID,
+					Iface: iif.Index, Epoch: r.epoch, Source: s, Group: g,
+					Value: telemetry.EntrySG,
+				})
+			}
 		}
 		for _, ifc := range r.Node.Ifaces {
 			if ifc == in || !ifc.Up() || ifc.Addr == 0 {
@@ -461,5 +536,11 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	for _, out := range oifs {
 		r.Node.Send(out, fwd, 0)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: out.Index, Epoch: r.epoch, Source: s, Group: g,
+			})
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"pim/internal/core"
 	"pim/internal/fastpath"
 	"pim/internal/igmp"
+	"pim/internal/metrics"
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/pimdm"
@@ -78,7 +79,11 @@ type DataplaneRun struct {
 	// DataCrossings counts data-packet link crossings (per-hop forwarding
 	// work actually performed).
 	DataCrossings int64
-	Trace         []DeliveryEvent
+	// Forwarded sums the routers' data.forwarded counters over the measured
+	// window — the router-side view of the same work, reset per pass so it
+	// spans exactly what DataCrossings spans.
+	Forwarded int64
+	Trace     []DeliveryEvent
 }
 
 // DataplanePhase compares the two paths on one protocol phase.
@@ -90,6 +95,7 @@ type DataplanePhase struct {
 	Identical bool    `json:"traces_identical"`
 	Delivered int     `json:"delivered"`
 	Crossings int64   `json:"data_crossings"`
+	Forwarded int64   `json:"data_forwarded"`
 }
 
 // DataplaneResult is the full benchmark outcome. Speedup is the headline:
@@ -128,13 +134,15 @@ func RunDataplane(cfg DataplaneConfig) DataplaneResult {
 		fastpath.Set(true)
 		fast := runDataplaneOnce(cfg, name)
 		p := DataplanePhase{
-			Name:      name,
-			RefMs:     ref.WallMs,
-			FastMs:    fast.WallMs,
-			Speedup:   ref.WallMs / fast.WallMs,
-			Identical: tracesEqual(ref.Trace, fast.Trace) && ref.Delivered == fast.Delivered && ref.DataCrossings == fast.DataCrossings,
+			Name:    name,
+			RefMs:   ref.WallMs,
+			FastMs:  fast.WallMs,
+			Speedup: ref.WallMs / fast.WallMs,
+			Identical: tracesEqual(ref.Trace, fast.Trace) && ref.Delivered == fast.Delivered &&
+				ref.DataCrossings == fast.DataCrossings && ref.Forwarded == fast.Forwarded,
 			Delivered: fast.Delivered,
 			Crossings: fast.DataCrossings,
+			Forwarded: fast.Forwarded,
 		}
 		res.Phases = append(res.Phases, p)
 		if !p.Identical {
@@ -180,18 +188,28 @@ func runDataplaneOnce(cfg DataplaneConfig, phase string) DataplaneRun {
 	installFillerRoutes(sim, cfg.FillerRoutes)
 
 	group := addr.GroupForIndex(0)
+	var routerCounters []*metrics.Counters
 	switch phase {
 	case "shared":
-		sim.DeployPIM(core.Config{
+		d := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 			RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
 			SPTPolicy: core.SwitchNever,
-		})
+		})).(*scenario.PIMDeployment)
+		for _, r := range d.Routers {
+			routerCounters = append(routerCounters, r.Metrics)
+		}
 	case "spt":
-		sim.DeployPIM(core.Config{
+		d := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 			RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
-		})
+		})).(*scenario.PIMDeployment)
+		for _, r := range d.Routers {
+			routerCounters = append(routerCounters, r.Metrics)
+		}
 	case "dense":
-		sim.DeployPIMDM(pimdm.Config{})
+		d := sim.Deploy(scenario.DenseMode, scenario.WithDenseConfig(pimdm.Config{})).(*scenario.PIMDMDeployment)
+		for _, r := range d.Routers {
+			routerCounters = append(routerCounters, r.Metrics)
+		}
 	default:
 		panic("experiments: unknown dataplane phase " + phase)
 	}
@@ -227,7 +245,13 @@ func runDataplaneOnce(cfg DataplaneConfig, phase string) DataplaneRun {
 			run.Trace = append(run.Trace, ev)
 		}
 	}
+	// Reset both halves of the overhead ledger together: link stats and the
+	// routers' counters must cover exactly the measured window, or the
+	// router-side numbers silently include warmup and priming traffic.
 	sim.Net.Stats.Reset()
+	for _, c := range routerCounters {
+		c.Reset()
+	}
 	for i := 0; i < cfg.Packets; i++ {
 		sim.Net.Sched.After(netsim.Time(i)*cfg.PacketGap, func() {
 			scenario.SendData(src, group, cfg.Payload)
@@ -242,6 +266,9 @@ func runDataplaneOnce(cfg DataplaneConfig, phase string) DataplaneRun {
 		r.OnData = nil
 	}
 	run.DataCrossings = sim.Net.Stats.Totals.DataPackets
+	for _, c := range routerCounters {
+		run.Forwarded += c.Get(metrics.DataForwarded)
+	}
 	return run
 }
 

@@ -70,3 +70,20 @@ func TestDataplaneDeliversToBothReceivers(t *testing.T) {
 		}
 	}
 }
+
+// TestDataplaneCountersCoverMeasuredWindow pins the per-pass counter reset:
+// router metrics are zeroed alongside netsim.Stats at the measured window's
+// start, so in register-free steady state every data link crossing is either
+// the source host's own emission (one per packet) or a counted router
+// forward — exactly. If the reset were dropped, Forwarded would also include
+// the tree-priming packets and overshoot this identity.
+func TestDataplaneCountersCoverMeasuredWindow(t *testing.T) {
+	cfg := smallDataplane()
+	res := RunDataplane(cfg)
+	for _, p := range res.Phases {
+		if want := p.Crossings - int64(cfg.Packets); p.Forwarded != want {
+			t.Errorf("phase %s: router forwards = %d, want crossings−sends = %d",
+				p.Name, p.Forwarded, want)
+		}
+	}
+}

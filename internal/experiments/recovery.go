@@ -9,10 +9,10 @@ import (
 	"pim/internal/faults"
 	"pim/internal/igmp"
 	"pim/internal/netsim"
-	"pim/internal/packet"
 	"pim/internal/parallel"
 	"pim/internal/pimdm"
 	"pim/internal/scenario"
+	"pim/internal/telemetry"
 	"pim/internal/topology"
 )
 
@@ -27,16 +27,20 @@ import (
 // diamond topology with a bypass path, and reports for each cell:
 //
 //   - recovery time: the gap between the fault (or the membership change it
-//     interferes with) and the first packet delivered past it;
+//     interferes with) and the first packet delivered past it, detected by a
+//     telemetry.ConvergenceProbe on the deployment's event bus;
 //   - control messages spent converging (link crossings in that window);
 //   - residual state: entries still installed at the end of the run beyond
-//     the pre-fault baseline — stale state a soft-state protocol must shed.
+//     the pre-fault baseline — stale state a soft-state protocol must shed;
+//   - tree quiet time: how long the multicast forwarding state had been
+//     mutation-free when the run ended (the probe's stabilization signal).
 //
 // Every cell runs twice, once on the reference forwarding path and once on
 // the fast path, with identical seeds; the delivery traces must match
 // bit-for-bit or cmd/pimbench refuses to record the run. Fault injection is
 // deterministic (internal/faults), so the matrix is also reproducible across
-// any Workers setting.
+// any Workers setting. With Checked set, every cell additionally runs under
+// the online §3.8 invariant checker and surfaces any violations.
 
 // Recovery fault kinds.
 const (
@@ -73,6 +77,9 @@ type RecoveryConfig struct {
 	// isolated simulation seeded from Seed and the cell index, so results
 	// are identical for every value.
 	Workers int
+	// Checked attaches the online invariant checker to every cell; any
+	// §3.8 contract violation surfaces on the cell.
+	Checked bool
 }
 
 // DefaultRecovery returns the ledger workload.
@@ -103,9 +110,16 @@ type RecoveryCell struct {
 	ResidualState int `json:"residual_state"`
 	// Delivered counts member-host deliveries over the whole run.
 	Delivered int `json:"delivered"`
+	// TreeQuietSec is how long the forwarding state had gone without a
+	// mutation (entry create/expire, iif change) when the run ended — the
+	// convergence probe's tree-stabilization measure.
+	TreeQuietSec float64 `json:"tree_quiet_sec"`
 	// Identical gates the ledger: reference and fast-path delivery traces
 	// must match exactly.
 	Identical bool `json:"traces_identical"`
+	// Violations lists online invariant-checker findings (Checked runs
+	// only; empty means the cell upheld every §3.8 contract).
+	Violations []string `json:"violations,omitempty"`
 }
 
 // RecoveryResult is the full matrix.
@@ -119,11 +133,13 @@ type RecoveryResult struct {
 
 // recoveryRun is one cell executed on one forwarding path.
 type recoveryRun struct {
-	trace     []DeliveryEvent
-	recovery  netsim.Time // -1 when delivery never resumed
-	ctrl      int64
-	residual  int
-	delivered int
+	trace      []DeliveryEvent
+	recovery   netsim.Time // -1 when delivery never resumed
+	ctrl       int64
+	residual   int
+	delivered  int
+	treeQuiet  netsim.Time
+	violations []string
 }
 
 // RunRecovery executes the full protocol × fault matrix, each cell on both
@@ -148,7 +164,7 @@ func RunRecovery(cfg RecoveryConfig) RecoveryResult {
 		runs := make([]recoveryRun, n)
 		parallel.For(n, cfg.Workers, func(i int) {
 			runs[i] = runRecoveryOnce(cfg, protos[i/len(kinds)], kinds[i%len(kinds)],
-				parallel.DeriveSeed(cfg.Seed, int64(i)))
+				parallel.DeriveSeed(cfg.Seed, int64(i)), nil)
 		})
 		return runs
 	}
@@ -163,8 +179,13 @@ func RunRecovery(cfg RecoveryConfig) RecoveryResult {
 			CtrlMessages:  fast.ctrl,
 			ResidualState: fast.residual,
 			Delivered:     fast.delivered,
+			TreeQuietSec:  float64(fast.treeQuiet) / float64(netsim.Second),
 			Identical: tracesEqual(ref.trace, fast.trace) &&
 				ref.recovery == fast.recovery && ref.residual == fast.residual,
+			Violations: fast.violations,
+		}
+		for _, v := range ref.violations {
+			c.Violations = append(c.Violations, "ref-path: "+v)
 		}
 		if c.Recovered {
 			c.RecoverySec = float64(fast.recovery) / float64(netsim.Second)
@@ -189,13 +210,23 @@ const (
 	recoveryPruneHold = 60 * netsim.Second
 )
 
-// deployRecovery starts proto on sim with the shrunk recovery clocks.
-// Group state anchors (RP, core) sit at router `anchor`. IGMP is shrunk the
-// same way — the querier tick re-reads its fields, so setting them after
-// deployment takes effect from the next query.
-func deployRecovery(sim *scenario.Sim, proto Protocol, group addr.IP, anchor int) scenario.Deployment {
-	var dep scenario.Deployment
-	var queriers []*igmp.Querier
+// Receiver sites by attached-router index, the key Deliver telemetry events
+// carry: A behind r3 (joins early), B behind r4 (joins late under loss).
+const (
+	recvARouter = 3
+	recvBRouter = 4
+)
+
+// deployRecovery starts proto on sim through the Deploy façade with the
+// shrunk recovery clocks. Group state anchors (RP, core) sit at router
+// `anchor`; IGMP is shrunk the same way via WithIGMPTimers, and MOSPF gets
+// periodic LSA re-origination (event-driven LSAs alone cannot survive a
+// crash — the restarted router missed them). Extra options (telemetry bus,
+// invariant checker) are appended by the caller.
+func deployRecovery(sim *scenario.Sim, proto Protocol, group addr.IP, anchor int, extra ...scenario.DeployOption) scenario.Deployment {
+	opts := append([]scenario.DeployOption{
+		scenario.WithIGMPTimers(recoveryHello, 3*recoveryHello),
+	}, extra...)
 	switch proto {
 	case PIMSM, PIMSMShared:
 		pcfg := core.Config{
@@ -207,45 +238,27 @@ func deployRecovery(sim *scenario.Sim, proto Protocol, group addr.IP, anchor int
 		if proto == PIMSMShared {
 			pcfg.SPTPolicy = core.SwitchNever
 		}
-		d := sim.DeployPIM(pcfg)
-		dep, queriers = d, d.Queriers
+		return sim.Deploy(scenario.SparseMode, append(opts, scenario.WithCoreConfig(pcfg))...)
 	case PIMDM:
-		d := sim.DeployPIMDM(pimdm.Config{
+		return sim.Deploy(scenario.DenseMode, append(opts, scenario.WithDenseConfig(pimdm.Config{
 			PruneHoldTime: recoveryPruneHold,
 			QueryInterval: recoveryHello,
-		})
-		dep, queriers = d, d.Queriers
+		}))...)
 	case DVMRP:
-		d := sim.DeployDVMRP(dvmrp.Config{
+		return sim.Deploy(scenario.DVMRPMode, append(opts, scenario.WithDVMRPConfig(dvmrp.Config{
 			PruneLifetime: recoveryPruneHold,
 			ProbeInterval: recoveryHello,
-		})
-		dep, queriers = d, d.Queriers
+		}))...)
 	case CBT:
-		d := sim.DeployCBT(cbt.Config{
+		return sim.Deploy(scenario.CBTMode, append(opts, scenario.WithCBTConfig(cbt.Config{
 			CoreMapping:  map[addr.IP]addr.IP{group: sim.RouterAddr(anchor)},
 			EchoInterval: recoveryHello,
-		})
-		dep, queriers = d, d.Queriers
+		}))...)
 	case MOSPF:
-		d := sim.DeployMOSPF()
-		// Event-driven LSAs alone cannot survive a crash (the restarted
-		// router missed them); enable periodic re-origination, which needs a
-		// restart since DeployMOSPF already started the engines. Nothing has
-		// happened yet at deploy time, so the restart is a clean re-arm.
-		for _, r := range d.Routers {
-			r.RefreshInterval = recoveryRefresh
-			r.Restart()
-		}
-		dep, queriers = d, d.Queriers
+		return sim.Deploy(scenario.MOSPFMode, append(opts, scenario.WithMOSPFRefresh(recoveryRefresh))...)
 	default:
 		panic("experiments: unknown recovery protocol " + string(proto))
 	}
-	for _, q := range queriers {
-		q.QueryInterval = recoveryHello
-		q.HoldTime = 3 * recoveryHello
-	}
-	return dep
 }
 
 // runRecoveryOnce builds the diamond, deploys the protocol, injects the
@@ -273,16 +286,44 @@ func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
 	g.AddEdge(4, 3, 2)
 	sim = scenario.Build(g)
 	src = sim.AddHost(0)
-	recvA = sim.AddHost(3)
-	recvB = sim.AddHost(4)
+	recvA = sim.AddHost(recvARouter)
+	recvB = sim.AddHost(recvBRouter)
 	sim.FinishUnicast(scenario.UseOracle)
 	return sim, src, recvA, recvB
 }
 
-func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64) recoveryRun {
+// RecoveryTelemetry runs one recovery cell with a time-series sampler on the
+// deployment's event bus and returns the sampler for dumping — the per-router
+// counter curves cmd/pimbench writes with -telemetry. The cell runs on
+// whichever forwarding path is currently enabled, seeded exactly like the
+// matrix's first cell.
+func RecoveryTelemetry(cfg RecoveryConfig, proto Protocol, kind string, interval netsim.Time) *telemetry.Sampler {
+	var smp *telemetry.Sampler
+	runRecoveryOnce(cfg, proto, kind, parallel.DeriveSeed(cfg.Seed, 0),
+		func(b *telemetry.Bus) { smp = telemetry.NewSampler(b, interval) })
+	return smp
+}
+
+// runRecoveryOnce executes one cell; tap, when non-nil, may subscribe extra
+// consumers to the cell's event bus before the protocol deploys.
+func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64, tap func(*telemetry.Bus)) recoveryRun {
 	sim, src, recvA, recvB := recoverySim()
 	group := addr.GroupForIndex(0)
-	dep := deployRecovery(sim, proto, group, 3)
+
+	// Every cell runs with the event bus attached: the convergence probe
+	// reads recovery off Deliver events, and (when Checked) the invariant
+	// checker audits the same stream. The probe subscribes first so its
+	// delivery log is current when later subscribers query it.
+	bus := telemetry.NewBus()
+	probe := telemetry.NewConvergenceProbe(bus)
+	if tap != nil {
+		tap(bus)
+	}
+	opts := []scenario.DeployOption{scenario.WithTelemetry(bus)}
+	if cfg.Checked {
+		opts = append(opts, scenario.WithInvariantChecker())
+	}
+	dep := deployRecovery(sim, proto, group, 3, opts...)
 	in := faults.New(sim.Net, seed)
 
 	// The recovery window starts at the event whose repair we time: the
@@ -295,35 +336,43 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 
 	run := recoveryRun{recovery: -1}
 	var ctrlAtStart int64
-	hosts := []*igmp.Host{recvA, recvB}
-	for hi, h := range hosts {
-		hi, h := hi, h
-		h.OnData = func(grp addr.IP, pkt *packet.Packet) {
-			if grp != group {
-				return
-			}
-			ev := DeliveryEvent{At: sim.Net.Sched.Now(), Host: hi, Src: pkt.Src}
-			if lat, ok := scenario.Latency(ev.At, pkt); ok {
-				ev.Sent = ev.At - lat
-			}
-			run.trace = append(run.trace, ev)
-			if run.recovery >= 0 {
-				return
-			}
-			// Loss cells recover when the late joiner (B) hears anything;
-			// topology cells when A receives a packet sent after the fault
-			// (pre-fault packets in flight don't count).
-			if lossKind {
-				if hi == 1 && ev.At >= cfg.JoinAt {
-					run.recovery = ev.At - cfg.JoinAt
-					run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
-				}
-			} else if hi == 0 && ev.Sent >= cfg.FaultAt {
-				run.recovery = ev.At - cfg.FaultAt
+	bus.Subscribe(func(ev telemetry.Event) {
+		if ev.Kind != telemetry.Deliver || ev.Group != group {
+			return
+		}
+		var hi int
+		switch ev.Router {
+		case recvARouter:
+			hi = 0
+		case recvBRouter:
+			hi = 1
+		default:
+			return
+		}
+		de := DeliveryEvent{At: ev.At, Host: hi, Src: ev.Source}
+		if ev.Value >= 0 {
+			de.Sent = netsim.Time(ev.Value)
+		}
+		run.trace = append(run.trace, de)
+		if run.recovery >= 0 {
+			return
+		}
+		// Loss cells recover when the late joiner (B) hears anything;
+		// topology cells when A receives a packet sent after the fault
+		// (pre-fault packets in flight don't count). The probe has already
+		// observed this event, so asking it on every delivery pins the
+		// recovery instant — and the control snapshot — to the exact
+		// delivery that proves the repaired tree.
+		if lossKind {
+			if at, ok := probe.FirstDeliveryAt(recvBRouter, cfg.JoinAt); ok {
+				run.recovery = at - cfg.JoinAt
 				run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
 			}
+		} else if at, ok := probe.FirstDeliverySentAfter(recvARouter, cfg.FaultAt); ok {
+			run.recovery = at - cfg.FaultAt
+			run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
 		}
-	}
+	})
 
 	sched := sim.Net.Sched
 	// Steady state: A (and, outside the loss cells, B) joins early.
@@ -372,8 +421,14 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 	}
 	run.residual = dep.TotalState() - stateAtFault
 	run.delivered = recvA.Received[group] + recvB.Received[group]
-	for _, h := range hosts {
-		h.OnData = nil
+	run.treeQuiet = cfg.End
+	if at, ok := probe.LastTreeMutation(); ok {
+		run.treeQuiet = cfg.End - at
+	}
+	if chk := dep.Checker(); chk != nil {
+		for _, v := range chk.Violations() {
+			run.violations = append(run.violations, v.String())
+		}
 	}
 	return run
 }

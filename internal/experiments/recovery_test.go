@@ -45,6 +45,25 @@ func TestRecoveryMatrix(t *testing.T) {
 	}
 }
 
+// TestRecoveryMatrixChecked reruns the matrix with the online invariant
+// checker attached to every cell: lost control messages, link flaps, and
+// crash/restart cycles must not produce a dead-epoch timer fire, an
+// RPF-inconsistent iif, a negative-cache leak, or a dirty restart — on
+// either forwarding path.
+func TestRecoveryMatrixChecked(t *testing.T) {
+	cfg := shortRecovery()
+	cfg.Checked = true
+	if testing.Short() {
+		cfg.Workers = 1
+	}
+	res := RunRecovery(cfg)
+	for _, c := range res.Cells {
+		for _, v := range c.Violations {
+			t.Errorf("%s/%s: invariant violation: %s", c.Protocol, c.Fault, v)
+		}
+	}
+}
+
 // engineProbes extracts per-router state and neighbor probes from a
 // deployment. neighbors is nil for the protocols that keep no neighbor
 // liveness table (CBT tracks per-group children, MOSPF uses the domain).

@@ -4,6 +4,7 @@ import (
 	"pim/internal/addr"
 	"pim/internal/netsim"
 	"pim/internal/packet"
+	"pim/internal/telemetry"
 )
 
 // Default protocol timing (scaled paper/RFC values).
@@ -27,6 +28,10 @@ type Querier struct {
 	OnLeave func(ifc *netsim.Iface, group addr.IP)
 	// OnRPMap fires when a host pushes a group→RP mapping.
 	OnRPMap func(group addr.IP, rps []addr.IP)
+
+	// Telemetry, when non-nil, receives MemberJoin/MemberLeave and lifecycle
+	// events. Set before Start.
+	Telemetry *telemetry.Bus
 
 	// members[ifaceIndex][group] = expiry time.
 	members map[int]map[addr.IP]netsim.Time
@@ -52,6 +57,12 @@ func (q *Querier) Start() {
 		return
 	}
 	q.started = true
+	if q.Telemetry != nil {
+		q.Telemetry.Publish(telemetry.Event{
+			At: q.Node.Net.Sched.Now(), Kind: telemetry.EpochStart,
+			Router: q.Node.ID, Iface: -1, Epoch: q.epoch, Value: int64(q.memberCount()),
+		})
+	}
 	q.Node.Handle(packet.ProtoIGMP, netsim.HandlerFunc(q.handle))
 	sched := q.Node.Net.Sched
 	ep := q.epoch
@@ -59,6 +70,12 @@ func (q *Querier) Start() {
 	tick = func() {
 		if q.epoch != ep {
 			return
+		}
+		if q.Telemetry != nil {
+			q.Telemetry.Publish(telemetry.Event{
+				At: sched.Now(), Kind: telemetry.TimerFire,
+				Router: q.Node.ID, Iface: -1, Epoch: ep,
+			})
 		}
 		q.expire()
 		q.query()
@@ -76,9 +93,25 @@ func (q *Querier) Stop() {
 		return
 	}
 	q.started = false
+	if q.Telemetry != nil {
+		q.Telemetry.Publish(telemetry.Event{
+			At: q.Node.Net.Sched.Now(), Kind: telemetry.EpochEnd,
+			Router: q.Node.ID, Iface: -1, Epoch: q.epoch,
+		})
+	}
 	q.epoch++
 	q.Node.Handle(packet.ProtoIGMP, nil)
 	q.members = map[int]map[addr.IP]netsim.Time{}
+}
+
+// memberCount returns the total number of (interface, group) membership
+// entries — the querier's learned-state size for the restart invariant.
+func (q *Querier) memberCount() int {
+	n := 0
+	for _, byGroup := range q.members {
+		n += len(byGroup)
+	}
+	return n
 }
 
 // Restart brings a stopped querier back empty; the immediate query triggers
@@ -133,8 +166,16 @@ func (q *Querier) noteMember(in *netsim.Iface, g addr.IP) {
 	}
 	_, had := byGroup[g]
 	byGroup[g] = q.Node.Net.Sched.Now() + q.HoldTime
-	if !had && q.OnJoin != nil {
-		q.OnJoin(in, g)
+	if !had {
+		if q.Telemetry != nil {
+			q.Telemetry.Publish(telemetry.Event{
+				At: q.Node.Net.Sched.Now(), Kind: telemetry.MemberJoin,
+				Router: q.Node.ID, Iface: in.Index, Epoch: q.epoch, Group: g,
+			})
+		}
+		if q.OnJoin != nil {
+			q.OnJoin(in, g)
+		}
 	}
 }
 
@@ -145,6 +186,12 @@ func (q *Querier) dropMember(in *netsim.Iface, g addr.IP) {
 	}
 	if _, had := byGroup[g]; had {
 		delete(byGroup, g)
+		if q.Telemetry != nil {
+			q.Telemetry.Publish(telemetry.Event{
+				At: q.Node.Net.Sched.Now(), Kind: telemetry.MemberLeave,
+				Router: q.Node.ID, Iface: in.Index, Epoch: q.epoch, Group: g,
+			})
+		}
 		if q.OnLeave != nil {
 			q.OnLeave(in, g)
 		}
@@ -157,6 +204,12 @@ func (q *Querier) expire() {
 		for g, deadline := range byGroup {
 			if now > deadline {
 				delete(byGroup, g)
+				if q.Telemetry != nil {
+					q.Telemetry.Publish(telemetry.Event{
+						At: now, Kind: telemetry.MemberLeave,
+						Router: q.Node.ID, Iface: idx, Epoch: q.epoch, Group: g,
+					})
+				}
 				if q.OnLeave != nil && idx < len(q.Node.Ifaces) {
 					q.OnLeave(q.Node.Ifaces[idx], g)
 				}

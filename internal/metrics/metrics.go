@@ -52,6 +52,15 @@ func (c *Counters) Names() []string {
 	return out
 }
 
+// Reset zeroes every counter. Benchmark harnesses call it at the start of a
+// measured window so counters cover the same span as netsim.Stats.Reset().
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	clear(c.m)
+}
+
 // Merge adds other's counters into c.
 func (c *Counters) Merge(other *Counters) {
 	if c == nil || other == nil {

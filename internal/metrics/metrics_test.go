@@ -42,6 +42,24 @@ func TestCountersNilSafe(t *testing.T) {
 	}
 	c.Merge(New())
 	New().Merge(nil)
+	c.Reset()
+}
+
+func TestCountersReset(t *testing.T) {
+	c := New()
+	c.Add("a", 3)
+	c.Inc("b")
+	c.Reset()
+	if c.Get("a") != 0 || c.Get("b") != 0 {
+		t.Errorf("Reset left a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if len(c.Names()) != 0 {
+		t.Errorf("Reset left names %v", c.Names())
+	}
+	c.Inc("a")
+	if c.Get("a") != 1 {
+		t.Error("counter unusable after Reset")
+	}
 }
 
 func TestCountersString(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"pim/internal/mfib"
 	"pim/internal/netsim"
 	"pim/internal/packet"
+	"pim/internal/telemetry"
 	"pim/internal/topology"
 	"pim/internal/unicast"
 )
@@ -154,6 +155,10 @@ type Router struct {
 	// LSA counts — of the existing overhead ledgers. Set before Start.
 	RefreshInterval netsim.Time
 
+	// Telemetry, when non-nil, receives LSA-flood, cache and lifecycle
+	// events. Set before Start; nil keeps every emit site a single branch.
+	Telemetry *telemetry.Bus
+
 	self int // index in the domain
 	// seq is this router's LSA sequence number. It survives Stop/Restart:
 	// peers' databases never expire old sequence numbers, so an instance
@@ -193,6 +198,12 @@ func (r *Router) Start() {
 		return
 	}
 	r.started = true
+	if r.Telemetry != nil {
+		r.Telemetry.Publish(telemetry.Event{
+			At: r.Node.Net.Sched.Now(), Kind: telemetry.EpochStart,
+			Router: r.Node.ID, Iface: -1, Epoch: r.epoch, Value: int64(r.StateCount()),
+		})
+	}
 	r.Node.Handle(packet.ProtoMOSPF, netsim.HandlerFunc(r.handleLSA))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
 	if r.RefreshInterval > 0 {
@@ -215,6 +226,12 @@ func (r *Router) Stop() {
 		return
 	}
 	r.started = false
+	if r.Telemetry != nil {
+		r.Telemetry.Publish(telemetry.Event{
+			At: r.Node.Net.Sched.Now(), Kind: telemetry.EpochEnd,
+			Router: r.Node.ID, Iface: -1, Epoch: r.epoch,
+		})
+	}
 	r.epoch++
 	r.Node.Handle(packet.ProtoMOSPF, nil)
 	r.Node.Handle(packet.ProtoUDP, nil)
@@ -238,6 +255,12 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
 	return r.Node.Net.Sched.After(d, func() {
 		if r.epoch == ep {
+			if r.Telemetry != nil {
+				r.Telemetry.Publish(telemetry.Event{
+					At: r.Node.Net.Sched.Now(), Kind: telemetry.TimerFire,
+					Router: r.Node.ID, Iface: -1, Epoch: ep,
+				})
+			}
 			fn()
 		}
 	})
@@ -329,6 +352,16 @@ func (r *Router) install(lsa *membershipLSA) {
 	r.membership[lsa.Origin] = groups
 	// Membership changed: drop cached trees (they will be recomputed on
 	// the next data packet) and any shared Dijkstra cache.
+	if r.Telemetry != nil {
+		now := r.Node.Net.Sched.Now()
+		r.MFIB.ForEach(func(e *mfib.Entry) {
+			r.Telemetry.Publish(telemetry.Event{
+				At: now, Kind: telemetry.EntryExpire, Router: r.Node.ID,
+				Iface: -1, Epoch: r.epoch, Source: e.Key.Source, Group: e.Key.Group,
+				Value: telemetry.EntrySG,
+			})
+		})
+	}
 	r.MFIB = mfib.NewTable()
 	r.Domain.sp = map[int]*topology.ShortestPaths{}
 }
@@ -343,6 +376,13 @@ func (r *Router) flood(lsa *membershipLSA, except *netsim.Iface) {
 		pkt.TTL = 1
 		r.Node.Send(ifc, pkt, 0)
 		r.Metrics.Inc(metrics.CtrlLSA)
+		if r.Telemetry != nil {
+			r.Telemetry.Publish(telemetry.Event{
+				At: r.Node.Net.Sched.Now(), Kind: telemetry.LSAFlood,
+				Router: r.Node.ID, Iface: ifc.Index, Epoch: r.epoch,
+				Value: int64(len(lsa.Groups)),
+			})
+		}
 	}
 }
 
@@ -390,12 +430,26 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		e = r.computeEntry(s, g)
 		if e == nil {
 			r.Metrics.Inc(metrics.DataNoState)
+			if r.Telemetry != nil {
+				r.Telemetry.Publish(telemetry.Event{
+					At: r.Node.Net.Sched.Now(), Kind: telemetry.NoState,
+					Router: r.Node.ID, Iface: in.Index, Epoch: r.epoch,
+					Source: s, Group: g,
+				})
+			}
 			return
 		}
 	}
 	srcLocal := in.Addr != 0 && unicast.LinkPrefix(in.Addr).Contains(s)
 	if e.IIF != nil && in != e.IIF && !srcLocal {
 		r.Metrics.Inc(metrics.DataDropped)
+		if r.Telemetry != nil {
+			r.Telemetry.Publish(telemetry.Event{
+				At: r.Node.Net.Sched.Now(), Kind: telemetry.RPFDrop,
+				Router: r.Node.ID, Iface: in.Index, Epoch: r.epoch,
+				Source: s, Group: g,
+			})
+		}
 		return
 	}
 	now := r.Node.Net.Sched.Now()
@@ -406,6 +460,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	for _, out := range e.ForwardOIFs(now, in) {
 		r.Node.Send(out, fwd, 0)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.Telemetry != nil {
+			r.Telemetry.Publish(telemetry.Event{
+				At: now, Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: out.Index, Epoch: r.epoch, Source: s, Group: g,
+			})
+		}
 	}
 }
 
@@ -420,7 +480,14 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 	if len(members) == 0 {
 		// Negative cache: remember that this source/group pair has no
 		// members so each packet does not recompute.
-		e, _ := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, r.Node.Net.Sched.Now())
+		e, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, r.Node.Net.Sched.Now())
+		if created && r.Telemetry != nil {
+			r.Telemetry.Publish(telemetry.Event{
+				At: r.Node.Net.Sched.Now(), Kind: telemetry.EntryCreate,
+				Router: r.Node.ID, Iface: -1, Epoch: r.epoch,
+				Source: s, Group: g, Value: telemetry.EntrySG,
+			})
+		}
 		return e
 	}
 	sp := r.Domain.sp[src]
@@ -431,7 +498,13 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 	}
 	tree := r.Domain.Graph.SPTreeFromSP(sp, members)
 	now := r.Node.Net.Sched.Now()
-	e, _ := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	e, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
+	if created && r.Telemetry != nil {
+		r.Telemetry.Publish(telemetry.Event{
+			At: now, Kind: telemetry.EntryCreate, Router: r.Node.ID,
+			Iface: -1, Epoch: r.epoch, Source: s, Group: g, Value: telemetry.EntrySG,
+		})
+	}
 	if !tree.InTree[r.self] {
 		return e // off-tree: entry with no oifs (packets dropped cheaply)
 	}

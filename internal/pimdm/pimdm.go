@@ -21,6 +21,7 @@ import (
 	"pim/internal/packet"
 	"pim/internal/pimmsg"
 	"pim/internal/rpf"
+	"pim/internal/telemetry"
 	"pim/internal/unicast"
 )
 
@@ -43,6 +44,9 @@ type Config struct {
 	// the dense-region interfaces so floods and member advertisements stay
 	// inside the region (§4 interoperation).
 	Scope func(*netsim.Iface) bool
+	// Telemetry, when non-nil, receives structured events for every state
+	// transition (see internal/telemetry).
+	Telemetry *telemetry.Bus
 }
 
 // Defaults.
@@ -62,6 +66,10 @@ type Router struct {
 	Unicast unicast.Router
 	MFIB    *mfib.Table
 	Metrics *metrics.Counters
+
+	// tel is the telemetry bus from Config.Telemetry; nil disables all
+	// publication.
+	tel *telemetry.Bus
 
 	// rpfc memoizes per-packet reverse-path lookups (dense mode RPF-checks
 	// every data packet), invalidated by unicast table generation.
@@ -115,6 +123,7 @@ func New(nd *netsim.Node, cfg Config, uni unicast.Router) *Router {
 	}
 	return &Router{
 		Node: nd, Cfg: cfg, Unicast: uni,
+		tel:            cfg.Telemetry,
 		rpfc:           rpf.New(uni),
 		MFIB:           mfib.NewTable(),
 		Metrics:        metrics.New(),
@@ -141,6 +150,12 @@ func (r *Router) Start() {
 		return
 	}
 	r.started = true
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochStart, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.Node.Handle(packet.ProtoPIM, netsim.HandlerFunc(r.handlePIM))
 	r.Node.Handle(packet.ProtoUDP, netsim.HandlerFunc(r.handleData))
 	var query func()
@@ -164,6 +179,12 @@ func (r *Router) Stop() {
 		return
 	}
 	r.started = false
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.EpochEnd, Router: r.Node.ID, Iface: -1,
+			Epoch: r.epoch, Value: int64(r.MFIB.Len()),
+		})
+	}
 	r.epoch++
 	r.Node.Handle(packet.ProtoPIM, nil)
 	r.Node.Handle(packet.ProtoUDP, nil)
@@ -197,6 +218,14 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
 	return r.Node.Net.Sched.After(d, func() {
 		if r.epoch == ep {
+			// Published past the epoch guard so the event records a timer
+			// body that actually ran (see core.Router.after).
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: r.now(), Kind: telemetry.TimerFire, Router: r.Node.ID,
+					Iface: -1, Epoch: ep,
+				})
+			}
 			fn()
 		}
 	})
@@ -539,6 +568,12 @@ func (r *Router) sendJoinOverride(out *netsim.Iface, upstream, g, s addr.IP) {
 	pkt.TTL = 1
 	r.Node.Send(out, pkt, 0)
 	r.Metrics.Inc(metrics.CtrlJoinPrune)
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.JoinPruneSend, Router: r.Node.ID,
+			Iface: out.Index, Epoch: r.epoch, Source: s, Group: g, Value: 1,
+		})
+	}
 }
 
 func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, body []byte) {
@@ -598,6 +633,13 @@ func (r *Router) transmitGraft(e *mfib.Entry) bool {
 	pkt.TTL = 1
 	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
 	r.Metrics.Inc(metrics.CtrlGraft)
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.GraftSend, Router: r.Node.ID,
+			Iface: e.IIF.Index, Epoch: r.epoch,
+			Source: e.Key.Source, Group: e.Key.Group,
+		})
+	}
 	return true
 }
 
@@ -669,6 +711,13 @@ func (r *Router) maybePruneUpstream(e *mfib.Entry) {
 	pkt.TTL = 1
 	r.Node.Send(e.IIF, pkt, 0)
 	r.Metrics.Inc(metrics.CtrlPrune)
+	if r.tel != nil {
+		r.tel.Publish(telemetry.Event{
+			At: r.now(), Kind: telemetry.PruneSend, Router: r.Node.ID,
+			Iface: e.IIF.Index, Epoch: r.epoch,
+			Source: e.Key.Source, Group: e.Key.Group,
+		})
+	}
 	r.prunedUpstream[e.Key] = true
 	key := e.Key
 	r.after(r.Cfg.PruneHoldTime, func() {
@@ -742,6 +791,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		rt, ok := r.rpfc.Lookup(s)
 		if !ok {
 			r.Metrics.Inc(metrics.DataDropped)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.NoState, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+				})
+			}
 			return
 		}
 		iif, upstream = rt.Iface, rt.NextHop
@@ -753,6 +808,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 				r.sendAssert(in, s, g)
 			}
 			r.Metrics.Inc(metrics.DataDropped)
+			if r.tel != nil {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.RPFDrop, Router: r.Node.ID,
+					Iface: in.Index, Epoch: r.epoch, Source: s, Group: g,
+				})
+			}
 			return
 		}
 	} else {
@@ -764,6 +825,19 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		e.IIF, e.UpstreamNeighbor = iif, upstream
 		if srcLocal {
 			e.UpstreamNeighbor = 0
+		}
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.EntryCreate, Router: r.Node.ID, Iface: -1,
+				Epoch: r.epoch, Source: s, Group: g, Value: telemetry.EntrySG,
+			})
+			if !srcLocal {
+				r.tel.Publish(telemetry.Event{
+					At: now, Kind: telemetry.IIFSet, Router: r.Node.ID,
+					Iface: iif.Index, Epoch: r.epoch, Source: s, Group: g,
+					Value: telemetry.EntrySG,
+				})
+			}
 		}
 		for _, ifc := range r.Node.Ifaces {
 			if ifc == in || !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
@@ -790,6 +864,12 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	for _, out := range oifs {
 		r.Node.Send(out, fwd, 0)
 		r.Metrics.Inc(metrics.DataForwarded)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.DataForward, Router: r.Node.ID,
+				Iface: out.Index, Epoch: r.epoch, Source: s, Group: g,
+			})
+		}
 	}
 }
 

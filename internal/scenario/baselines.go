@@ -1,36 +1,26 @@
 package scenario
 
 import (
-	"pim/internal/addr"
 	"pim/internal/cbt"
 	"pim/internal/dvmrp"
 	"pim/internal/igmp"
 	"pim/internal/mospf"
-	"pim/internal/netsim"
 	"pim/internal/pimdm"
 )
 
 // DVMRPDeployment is a DVMRP baseline instance on every router of a Sim.
 type DVMRPDeployment struct {
+	deploymentBase
 	Sim      *Sim
 	Routers  []*dvmrp.Router
 	Queriers []*igmp.Querier
 }
 
 // DeployDVMRP starts DVMRP plus IGMP on every router.
+//
+// Deprecated: use Deploy(DVMRPMode, WithDVMRPConfig(cfg)).
 func (s *Sim) DeployDVMRP(cfg dvmrp.Config) *DVMRPDeployment {
-	d := &DVMRPDeployment{Sim: s}
-	for i, nd := range s.Routers {
-		r := dvmrp.New(nd, cfg, s.UnicastFor(i))
-		q := igmp.NewQuerier(nd)
-		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
-		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
-		r.Start()
-		q.Start()
-		d.Routers = append(d.Routers, r)
-		d.Queriers = append(d.Queriers, q)
-	}
-	return d
+	return s.deployDVMRP(&DeployOptions{DVMRP: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums forwarding entries across all routers.
@@ -44,25 +34,17 @@ func (d *DVMRPDeployment) TotalState() int {
 
 // CBTDeployment is a CBT baseline instance on every router of a Sim.
 type CBTDeployment struct {
+	deploymentBase
 	Sim      *Sim
 	Routers  []*cbt.Router
 	Queriers []*igmp.Querier
 }
 
 // DeployCBT starts CBT plus IGMP on every router.
+//
+// Deprecated: use Deploy(CBTMode, WithCBTConfig(cfg)).
 func (s *Sim) DeployCBT(cfg cbt.Config) *CBTDeployment {
-	d := &CBTDeployment{Sim: s}
-	for i, nd := range s.Routers {
-		r := cbt.New(nd, cfg, s.UnicastFor(i))
-		q := igmp.NewQuerier(nd)
-		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
-		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
-		r.Start()
-		q.Start()
-		d.Routers = append(d.Routers, r)
-		d.Queriers = append(d.Queriers, q)
-	}
-	return d
+	return s.deployCBT(&DeployOptions{CBT: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums per-group tree entries across all routers.
@@ -76,6 +58,7 @@ func (d *CBTDeployment) TotalState() int {
 
 // MOSPFDeployment is an MOSPF baseline instance on every router of a Sim.
 type MOSPFDeployment struct {
+	deploymentBase
 	Sim      *Sim
 	Domain   *mospf.Domain
 	Routers  []*mospf.Router
@@ -84,20 +67,10 @@ type MOSPFDeployment struct {
 
 // DeployMOSPF starts MOSPF plus IGMP on every router. MOSPF carries its own
 // topology view (the shared Domain), so FinishUnicast is not required.
+//
+// Deprecated: use Deploy(MOSPFMode).
 func (s *Sim) DeployMOSPF() *MOSPFDeployment {
-	dom := mospf.NewDomain(s.Routers)
-	d := &MOSPFDeployment{Sim: s, Domain: dom}
-	for _, nd := range s.Routers {
-		r := mospf.New(nd, dom)
-		q := igmp.NewQuerier(nd)
-		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
-		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
-		r.Start()
-		q.Start()
-		d.Routers = append(d.Routers, r)
-		d.Queriers = append(d.Queriers, q)
-	}
-	return d
+	return s.deployMOSPF(&DeployOptions{})
 }
 
 // TotalState sums cache entries and stored membership rows.
@@ -111,25 +84,17 @@ func (d *MOSPFDeployment) TotalState() int {
 
 // PIMDMDeployment is a PIM dense-mode instance on every router of a Sim.
 type PIMDMDeployment struct {
+	deploymentBase
 	Sim      *Sim
 	Routers  []*pimdm.Router
 	Queriers []*igmp.Querier
 }
 
 // DeployPIMDM starts PIM dense mode plus IGMP on every router.
+//
+// Deprecated: use Deploy(DenseMode, WithDenseConfig(cfg)).
 func (s *Sim) DeployPIMDM(cfg pimdm.Config) *PIMDMDeployment {
-	d := &PIMDMDeployment{Sim: s}
-	for i, nd := range s.Routers {
-		r := pimdm.New(nd, cfg, s.UnicastFor(i))
-		q := igmp.NewQuerier(nd)
-		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
-		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
-		r.Start()
-		q.Start()
-		d.Routers = append(d.Routers, r)
-		d.Queriers = append(d.Queriers, q)
-	}
-	return d
+	return s.deployDense(&DeployOptions{Dense: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums forwarding entries across all routers.

@@ -1,0 +1,385 @@
+package scenario
+
+import (
+	"pim/internal/addr"
+	"pim/internal/cbt"
+	"pim/internal/core"
+	"pim/internal/dvmrp"
+	"pim/internal/igmp"
+	"pim/internal/mospf"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/pimdm"
+	"pim/internal/telemetry"
+)
+
+// Protocol selects which multicast engine Deploy runs on every router.
+type Protocol int
+
+const (
+	// SparseMode deploys PIM sparse mode (the paper's contribution, §3).
+	SparseMode Protocol = iota
+	// DenseMode deploys PIM dense mode (companion protocol [13]).
+	DenseMode
+	// DVMRPMode deploys the DVMRP flood-and-prune baseline [4].
+	DVMRPMode
+	// CBTMode deploys the Core Based Trees baseline [10].
+	CBTMode
+	// MOSPFMode deploys the MOSPF link-state baseline [3].
+	MOSPFMode
+)
+
+// String names the protocol for reports.
+func (p Protocol) String() string {
+	switch p {
+	case SparseMode:
+		return "pim-sm"
+	case DenseMode:
+		return "pim-dm"
+	case DVMRPMode:
+		return "dvmrp"
+	case CBTMode:
+		return "cbt"
+	case MOSPFMode:
+		return "mospf"
+	}
+	return "unknown"
+}
+
+// DeployOptions collects every deployment parameter. Zero value is a usable
+// default; callers normally mutate it through DeployOption functions.
+type DeployOptions struct {
+	// Core / Dense / DVMRP / CBT are the per-engine configurations; only
+	// the one matching the deployed Protocol is consulted.
+	Core  core.Config
+	Dense pimdm.Config
+	DVMRP dvmrp.Config
+	CBT   cbt.Config
+
+	// Telemetry, when non-nil, is wired into every engine, every IGMP
+	// querier, and every host (delivery events). Nil deploys with the
+	// zero-cost disabled path everywhere.
+	Telemetry *telemetry.Bus
+	// InvariantChecker attaches an online telemetry.Checker asserting the
+	// §3.8 soft-state contracts during the run, creating a Telemetry bus if
+	// none was supplied.
+	InvariantChecker bool
+
+	// IGMPQueryInterval / IGMPHoldTime override the querier timers when
+	// nonzero (fault experiments shrink them to speed re-learning).
+	IGMPQueryInterval netsim.Time
+	IGMPHoldTime      netsim.Time
+	// MOSPFRefresh enables periodic LSA re-origination (MOSPFMode only).
+	MOSPFRefresh netsim.Time
+}
+
+// DeployOption mutates DeployOptions; pass them to Deploy.
+type DeployOption func(*DeployOptions)
+
+// WithCoreConfig replaces the PIM sparse-mode configuration wholesale.
+func WithCoreConfig(cfg core.Config) DeployOption {
+	return func(o *DeployOptions) { o.Core = cfg }
+}
+
+// WithDenseConfig replaces the PIM dense-mode configuration wholesale.
+func WithDenseConfig(cfg pimdm.Config) DeployOption {
+	return func(o *DeployOptions) { o.Dense = cfg }
+}
+
+// WithDVMRPConfig replaces the DVMRP configuration wholesale.
+func WithDVMRPConfig(cfg dvmrp.Config) DeployOption {
+	return func(o *DeployOptions) { o.DVMRP = cfg }
+}
+
+// WithCBTConfig replaces the CBT configuration wholesale.
+func WithCBTConfig(cfg cbt.Config) DeployOption {
+	return func(o *DeployOptions) { o.CBT = cfg }
+}
+
+// WithRPMapping maps groups to ordered RP candidate lists for sparse mode
+// and, for CBT, derives the core mapping from each group's first candidate —
+// one option configures the rendezvous for either protocol family.
+func WithRPMapping(m map[addr.IP][]addr.IP) DeployOption {
+	return func(o *DeployOptions) {
+		o.Core.RPMapping = m
+		cores := map[addr.IP]addr.IP{}
+		for g, rps := range m {
+			if len(rps) > 0 {
+				cores[g] = rps[0]
+			}
+		}
+		o.CBT.CoreMapping = cores
+	}
+}
+
+// WithSPTPolicy sets the sparse-mode shared-tree→SPT switching policy (§3.3).
+func WithSPTPolicy(p core.SPTPolicy) DeployOption {
+	return func(o *DeployOptions) { o.Core.SPTPolicy = p }
+}
+
+// WithAggregation keys sparse-mode (S,G) state by source subnet (§4).
+func WithAggregation() DeployOption {
+	return func(o *DeployOptions) { o.Core.AggregateSources = true }
+}
+
+// WithTelemetry attaches the event bus to every engine, querier, and host.
+func WithTelemetry(b *telemetry.Bus) DeployOption {
+	return func(o *DeployOptions) { o.Telemetry = b }
+}
+
+// WithInvariantChecker enables the online §3.8 invariant checker.
+func WithInvariantChecker() DeployOption {
+	return func(o *DeployOptions) { o.InvariantChecker = true }
+}
+
+// WithIGMPTimers overrides the querier's query interval and hold time.
+func WithIGMPTimers(query, hold netsim.Time) DeployOption {
+	return func(o *DeployOptions) { o.IGMPQueryInterval, o.IGMPHoldTime = query, hold }
+}
+
+// WithMOSPFRefresh enables periodic membership-LSA re-origination.
+func WithMOSPFRefresh(d netsim.Time) DeployOption {
+	return func(o *DeployOptions) { o.MOSPFRefresh = d }
+}
+
+// deploymentBase carries the telemetry plumbing every deployment shares.
+type deploymentBase struct {
+	bus     *telemetry.Bus
+	checker *telemetry.Checker
+}
+
+// Telemetry returns the event bus the deployment publishes to (nil when the
+// deployment runs on the zero-cost disabled path).
+func (b *deploymentBase) Telemetry() *telemetry.Bus { return b.bus }
+
+// Checker returns the online invariant checker (nil unless enabled).
+func (b *deploymentBase) Checker() *telemetry.Checker { return b.checker }
+
+// Deploy starts the chosen multicast protocol plus IGMP on every router of
+// the simulation. Call after FinishUnicast (and after convergence for DV/LS
+// modes); MOSPFMode carries its own topology view and needs neither.
+//
+//	dep := sim.Deploy(scenario.SparseMode,
+//	        scenario.WithRPMapping(map[addr.IP][]addr.IP{group: {rp}}),
+//	        scenario.WithInvariantChecker())
+func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
+	o := &DeployOptions{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	// A bus handed in through a raw engine config (legacy style) still
+	// becomes the deployment-wide bus.
+	if o.Telemetry == nil {
+		switch p {
+		case SparseMode:
+			o.Telemetry = o.Core.Telemetry
+		case DenseMode:
+			o.Telemetry = o.Dense.Telemetry
+		case DVMRPMode:
+			o.Telemetry = o.DVMRP.Telemetry
+		case CBTMode:
+			o.Telemetry = o.CBT.Telemetry
+		}
+	}
+	if o.InvariantChecker && o.Telemetry == nil {
+		o.Telemetry = telemetry.NewBus()
+	}
+	o.Core.Telemetry = o.Telemetry
+	o.Dense.Telemetry = o.Telemetry
+	o.DVMRP.Telemetry = o.Telemetry
+	o.CBT.Telemetry = o.Telemetry
+
+	// The checker subscribes before any engine starts so it observes the
+	// first EpochStart of every router.
+	var chk *telemetry.Checker
+	if o.InvariantChecker {
+		chk = telemetry.NewChecker(o.Telemetry)
+		switch p {
+		case SparseMode, DenseMode, DVMRPMode:
+			// These engines derive the expected incoming interface from the
+			// unicast substrate, so the checker can recompute it.
+			chk.ExpectedIIF = func(router int, target addr.IP) (int, bool) {
+				rt, ok := s.UnicastFor(router).Lookup(target)
+				if !ok || rt.Iface == nil {
+					return 0, false
+				}
+				return rt.Iface.Index, true
+			}
+		}
+	}
+
+	var dep Deployment
+	switch p {
+	case SparseMode:
+		d := s.deploySparse(o)
+		if chk != nil {
+			routers := d.Routers
+			chk.NegativeCached = func(router int, src, g addr.IP, iface int) bool {
+				r := routers[router]
+				rpt := r.MFIB.SGRpt(src, g)
+				if rpt == nil {
+					return false
+				}
+				oif := rpt.OIFs[iface]
+				now := r.Node.Net.Sched.Now()
+				return oif != nil && oif.Live(now) && !oif.PrunePending
+			}
+		}
+		d.checker = chk
+		dep = d
+	case DenseMode:
+		d := s.deployDense(o)
+		d.checker = chk
+		dep = d
+	case DVMRPMode:
+		d := s.deployDVMRP(o)
+		d.checker = chk
+		dep = d
+	case CBTMode:
+		d := s.deployCBT(o)
+		d.checker = chk
+		dep = d
+	case MOSPFMode:
+		d := s.deployMOSPF(o)
+		d.checker = chk
+		dep = d
+	default:
+		panic("scenario: unknown protocol")
+	}
+	s.tapHosts(o.Telemetry)
+	return dep
+}
+
+// newQuerier builds one router's IGMP querier with the deployment-wide
+// timer overrides and telemetry bus applied.
+func (s *Sim) newQuerier(nd *netsim.Node, o *DeployOptions) *igmp.Querier {
+	q := igmp.NewQuerier(nd)
+	if o.IGMPQueryInterval > 0 {
+		q.QueryInterval = o.IGMPQueryInterval
+	}
+	if o.IGMPHoldTime > 0 {
+		q.HoldTime = o.IGMPHoldTime
+	}
+	q.Telemetry = o.Telemetry
+	return q
+}
+
+// tapHosts chains a delivery-event publisher onto every host's OnData hook:
+// Router is the attached router index, Iface the host's index on that LAN,
+// and Value the SendData timestamp in microseconds (-1 when the payload
+// carries none). Existing hooks keep firing after the tap.
+func (s *Sim) tapHosts(bus *telemetry.Bus) {
+	if bus == nil {
+		return
+	}
+	for r := range s.Hosts {
+		for hIdx, h := range s.Hosts[r] {
+			r, hIdx, h := r, hIdx, h
+			prev := h.OnData
+			h.OnData = func(g addr.IP, pkt *packet.Packet) {
+				now := h.Node.Net.Sched.Now()
+				sent := int64(-1)
+				if lat, ok := Latency(now, pkt); ok {
+					sent = int64(now - lat)
+				}
+				bus.Publish(telemetry.Event{
+					At: now, Kind: telemetry.Deliver, Router: r, Iface: hIdx,
+					Source: pkt.Src, Group: g, Value: sent,
+				})
+				if prev != nil {
+					prev(g, pkt)
+				}
+			}
+		}
+	}
+}
+
+// deploySparse starts PIM-SM plus IGMP on every router.
+func (s *Sim) deploySparse(o *DeployOptions) *PIMDeployment {
+	d := &PIMDeployment{Sim: s}
+	d.bus = o.Telemetry
+	for i, nd := range s.Routers {
+		r := core.New(nd, o.Core, s.UnicastFor(i))
+		q := s.newQuerier(nd, o)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		q.OnRPMap = func(g addr.IP, rps []addr.IP) { r.LearnRPMap(g, rps) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// deployDense starts PIM dense mode plus IGMP on every router.
+func (s *Sim) deployDense(o *DeployOptions) *PIMDMDeployment {
+	d := &PIMDMDeployment{Sim: s}
+	d.bus = o.Telemetry
+	for i, nd := range s.Routers {
+		r := pimdm.New(nd, o.Dense, s.UnicastFor(i))
+		q := s.newQuerier(nd, o)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// deployDVMRP starts DVMRP plus IGMP on every router.
+func (s *Sim) deployDVMRP(o *DeployOptions) *DVMRPDeployment {
+	d := &DVMRPDeployment{Sim: s}
+	d.bus = o.Telemetry
+	for i, nd := range s.Routers {
+		r := dvmrp.New(nd, o.DVMRP, s.UnicastFor(i))
+		q := s.newQuerier(nd, o)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// deployCBT starts CBT plus IGMP on every router.
+func (s *Sim) deployCBT(o *DeployOptions) *CBTDeployment {
+	d := &CBTDeployment{Sim: s}
+	d.bus = o.Telemetry
+	for i, nd := range s.Routers {
+		r := cbt.New(nd, o.CBT, s.UnicastFor(i))
+		q := s.newQuerier(nd, o)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}
+
+// deployMOSPF starts MOSPF plus IGMP on every router. MOSPF carries its own
+// topology view (the shared Domain), so FinishUnicast is not required.
+func (s *Sim) deployMOSPF(o *DeployOptions) *MOSPFDeployment {
+	dom := mospf.NewDomain(s.Routers)
+	d := &MOSPFDeployment{Sim: s, Domain: dom}
+	d.bus = o.Telemetry
+	for _, nd := range s.Routers {
+		r := mospf.New(nd, dom)
+		r.RefreshInterval = o.MOSPFRefresh
+		r.Telemetry = o.Telemetry
+		q := s.newQuerier(nd, o)
+		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
+		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
+		r.Start()
+		q.Start()
+		d.Routers = append(d.Routers, r)
+		d.Queriers = append(d.Queriers, q)
+	}
+	return d
+}

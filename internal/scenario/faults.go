@@ -1,11 +1,14 @@
 package scenario
 
-import "pim/internal/faults"
+import (
+	"pim/internal/faults"
+	"pim/internal/telemetry"
+)
 
-// Deployment is the crash/restart surface every protocol deployment shares:
-// the fault layer (internal/faults, internal/script, the recovery
-// experiment) kills and revives routers through it without knowing which
-// protocol is running.
+// Deployment is the uniform surface every protocol deployment exposes: the
+// fault layer (internal/faults, internal/script, the recovery experiment)
+// kills and revives routers through it, and the telemetry consumers read the
+// event bus through it, without knowing which protocol is running.
 type Deployment interface {
 	// Crash fail-stops router i: all interfaces down, engine and IGMP
 	// querier stopped with their soft state discarded.
@@ -13,56 +16,144 @@ type Deployment interface {
 	// Restart revives router i empty; state rebuilds from soft-state
 	// refresh only.
 	Restart(i int)
+	// Stop shuts down every engine and querier of the deployment.
+	Stop()
 	// TotalState sums forwarding/tree/membership entries across routers.
 	TotalState() int
+	// StateAt returns router i's forwarding/tree entry count.
+	StateAt(i int) int
+	// Telemetry returns the event bus the deployment publishes to (nil
+	// when deployed without one).
+	Telemetry() *telemetry.Bus
+	// Checker returns the online invariant checker (nil unless enabled
+	// with WithInvariantChecker).
+	Checker() *telemetry.Checker
 }
+
+// lifecycles is the seam the generic fault verbs below operate through: each
+// deployment lists the engines running on one router, in stop order. The
+// per-protocol deployments differ only here; Crash/Restart/Stop are written
+// once against it.
+type lifecycles interface {
+	engines(i int) []faults.Lifecycle
+	routers() int
+	sim() *Sim
+}
+
+func crashAt(d lifecycles, i int) {
+	s := d.sim()
+	faults.CrashRouter(s.Net, s.Routers[i], d.engines(i)...)
+}
+
+func restartAt(d lifecycles, i int) {
+	s := d.sim()
+	faults.RestartRouter(s.Net, s.Routers[i], d.engines(i)...)
+}
+
+func stopAll(d lifecycles) {
+	for i := 0; i < d.routers(); i++ {
+		for _, e := range d.engines(i) {
+			e.Stop()
+		}
+	}
+}
+
+// --- PIM sparse mode ---
+
+func (d *PIMDeployment) engines(i int) []faults.Lifecycle {
+	return []faults.Lifecycle{d.Routers[i], d.Queriers[i]}
+}
+func (d *PIMDeployment) routers() int { return len(d.Routers) }
+func (d *PIMDeployment) sim() *Sim    { return d.Sim }
 
 // Crash fail-stops router i (see Deployment).
-func (d *PIMDeployment) Crash(i int) {
-	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *PIMDeployment) Crash(i int) { crashAt(d, i) }
 
 // Restart revives router i (see Deployment).
-func (d *PIMDeployment) Restart(i int) {
-	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+func (d *PIMDeployment) Restart(i int) { restartAt(d, i) }
+
+// Stop shuts down every engine and querier.
+func (d *PIMDeployment) Stop() { stopAll(d) }
+
+// StateAt returns router i's forwarding entry count.
+func (d *PIMDeployment) StateAt(i int) int { return d.Routers[i].StateCount() }
+
+// --- PIM dense mode ---
+
+func (d *PIMDMDeployment) engines(i int) []faults.Lifecycle {
+	return []faults.Lifecycle{d.Routers[i], d.Queriers[i]}
 }
+func (d *PIMDMDeployment) routers() int { return len(d.Routers) }
+func (d *PIMDMDeployment) sim() *Sim    { return d.Sim }
 
 // Crash fail-stops router i (see Deployment).
-func (d *PIMDMDeployment) Crash(i int) {
-	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *PIMDMDeployment) Crash(i int) { crashAt(d, i) }
 
 // Restart revives router i (see Deployment).
-func (d *PIMDMDeployment) Restart(i int) {
-	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+func (d *PIMDMDeployment) Restart(i int) { restartAt(d, i) }
+
+// Stop shuts down every engine and querier.
+func (d *PIMDMDeployment) Stop() { stopAll(d) }
+
+// StateAt returns router i's forwarding entry count.
+func (d *PIMDMDeployment) StateAt(i int) int { return d.Routers[i].StateCount() }
+
+// --- DVMRP ---
+
+func (d *DVMRPDeployment) engines(i int) []faults.Lifecycle {
+	return []faults.Lifecycle{d.Routers[i], d.Queriers[i]}
 }
+func (d *DVMRPDeployment) routers() int { return len(d.Routers) }
+func (d *DVMRPDeployment) sim() *Sim    { return d.Sim }
 
 // Crash fail-stops router i (see Deployment).
-func (d *DVMRPDeployment) Crash(i int) {
-	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *DVMRPDeployment) Crash(i int) { crashAt(d, i) }
 
 // Restart revives router i (see Deployment).
-func (d *DVMRPDeployment) Restart(i int) {
-	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+func (d *DVMRPDeployment) Restart(i int) { restartAt(d, i) }
+
+// Stop shuts down every engine and querier.
+func (d *DVMRPDeployment) Stop() { stopAll(d) }
+
+// StateAt returns router i's forwarding entry count.
+func (d *DVMRPDeployment) StateAt(i int) int { return d.Routers[i].StateCount() }
+
+// --- CBT ---
+
+func (d *CBTDeployment) engines(i int) []faults.Lifecycle {
+	return []faults.Lifecycle{d.Routers[i], d.Queriers[i]}
 }
+func (d *CBTDeployment) routers() int { return len(d.Routers) }
+func (d *CBTDeployment) sim() *Sim    { return d.Sim }
 
 // Crash fail-stops router i (see Deployment).
-func (d *CBTDeployment) Crash(i int) {
-	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *CBTDeployment) Crash(i int) { crashAt(d, i) }
 
 // Restart revives router i (see Deployment).
-func (d *CBTDeployment) Restart(i int) {
-	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
+func (d *CBTDeployment) Restart(i int) { restartAt(d, i) }
+
+// Stop shuts down every engine and querier.
+func (d *CBTDeployment) Stop() { stopAll(d) }
+
+// StateAt returns router i's tree entry count.
+func (d *CBTDeployment) StateAt(i int) int { return d.Routers[i].StateCount() }
+
+// --- MOSPF ---
+
+func (d *MOSPFDeployment) engines(i int) []faults.Lifecycle {
+	return []faults.Lifecycle{d.Routers[i], d.Queriers[i]}
 }
+func (d *MOSPFDeployment) routers() int { return len(d.Routers) }
+func (d *MOSPFDeployment) sim() *Sim    { return d.Sim }
 
 // Crash fail-stops router i (see Deployment).
-func (d *MOSPFDeployment) Crash(i int) {
-	faults.CrashRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *MOSPFDeployment) Crash(i int) { crashAt(d, i) }
 
 // Restart revives router i (see Deployment).
-func (d *MOSPFDeployment) Restart(i int) {
-	faults.RestartRouter(d.Sim.Net, d.Sim.Routers[i], d.Routers[i], d.Queriers[i])
-}
+func (d *MOSPFDeployment) Restart(i int) { restartAt(d, i) }
+
+// Stop shuts down every engine and querier.
+func (d *MOSPFDeployment) Stop() { stopAll(d) }
+
+// StateAt returns router i's cache + membership entry count.
+func (d *MOSPFDeployment) StateAt(i int) int { return d.Routers[i].StateCount() }

@@ -1,16 +1,15 @@
 package scenario
 
 import (
-	"pim/internal/addr"
 	"pim/internal/core"
 	"pim/internal/igmp"
 	"pim/internal/metrics"
-	"pim/internal/netsim"
 )
 
 // PIMDeployment is a PIM-SM protocol instance on every router of a Sim,
 // wired to per-router IGMP queriers.
 type PIMDeployment struct {
+	deploymentBase
 	Sim      *Sim
 	Routers  []*core.Router
 	Queriers []*igmp.Querier
@@ -18,20 +17,10 @@ type PIMDeployment struct {
 
 // DeployPIM starts PIM-SM plus IGMP on every router. cfg is cloned per
 // router. Call after FinishUnicast (and after convergence for DV/LS modes).
+//
+// Deprecated: use Deploy(SparseMode, WithCoreConfig(cfg)).
 func (s *Sim) DeployPIM(cfg core.Config) *PIMDeployment {
-	d := &PIMDeployment{Sim: s}
-	for i, nd := range s.Routers {
-		r := core.New(nd, cfg, s.UnicastFor(i))
-		q := igmp.NewQuerier(nd)
-		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
-		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
-		q.OnRPMap = func(g addr.IP, rps []addr.IP) { r.LearnRPMap(g, rps) }
-		r.Start()
-		q.Start()
-		d.Routers = append(d.Routers, r)
-		d.Queriers = append(d.Queriers, q)
-	}
-	return d
+	return s.deploySparse(&DeployOptions{Core: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums multicast forwarding entries across all routers — the

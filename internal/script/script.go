@@ -49,6 +49,7 @@ import (
 	"pim/internal/packet"
 	"pim/internal/pimdm"
 	"pim/internal/scenario"
+	"pim/internal/telemetry"
 	"pim/internal/topology"
 )
 
@@ -142,6 +143,13 @@ type runner struct {
 	// dep is the uniform crash/restart surface; nil for the mixed
 	// sparse/dense deployment, which has no whole-router lifecycle.
 	dep scenario.Deployment
+	// checked attaches the telemetry bus and online invariant checker to
+	// the deployment (RunChecked); checker holds it after deploy. bus, when
+	// non-nil, is an externally supplied event bus (RunInstrumented) whose
+	// subscribers — samplers, probes — observe the deployment.
+	checked bool
+	bus     *telemetry.Bus
+	checker *telemetry.Checker
 	// inj is the lazily created fault injector (loss/flap/partition verbs).
 	inj *faults.Injector
 
@@ -159,7 +167,30 @@ func (r *runner) injector() *faults.Injector {
 
 // Run executes the script and returns its result.
 func (s *Script) Run() (*Result, error) {
+	res, _, err := s.run(false, nil)
+	return res, err
+}
+
+// RunChecked executes the script with a telemetry bus and the online §3.8
+// invariant checker attached to the deployment. The returned checker holds
+// any violations observed during the run; it is nil for deployments the
+// checker does not cover (the mixed sparse/dense interop form).
+func (s *Script) RunChecked() (*Result, *telemetry.Checker, error) {
+	return s.run(true, nil)
+}
+
+// RunInstrumented executes the script with the supplied event bus attached
+// to the deployment, so externally subscribed consumers (samplers,
+// convergence probes) observe the run; check additionally attaches the
+// online invariant checker. Subscribe consumers before calling.
+func (s *Script) RunInstrumented(bus *telemetry.Bus, check bool) (*Result, *telemetry.Checker, error) {
+	return s.run(check, bus)
+}
+
+func (s *Script) run(checked bool, bus *telemetry.Bus) (*Result, *telemetry.Checker, error) {
 	r := &runner{
+		checked: checked,
+		bus:     bus,
 		groups:  map[string]addr.IP{},
 		groupRP: map[addr.IP][]int{},
 		hosts:   map[string]*hostRef{},
@@ -181,7 +212,7 @@ func (s *Script) Run() (*Result, error) {
 			err = r.doHost(st)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Pass 2: deployment, timed actions, runs, and expectations in order.
@@ -198,7 +229,7 @@ func (s *Script) Run() (*Result, error) {
 			err = r.doExpect(st)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for name, h := range r.hosts {
@@ -206,7 +237,7 @@ func (s *Script) Run() (*Result, error) {
 			r.res.Delivered[name+"/"+gname] = h.host.Received[g]
 		}
 	}
-	return r.res, nil
+	return r.res, r.checker, nil
 }
 
 func (r *runner) doTopo(st stmt) error {
@@ -376,6 +407,25 @@ func (r *runner) doHost(st stmt) error {
 	return nil
 }
 
+// deployOpts returns the options shared by every protocol statement.
+func (r *runner) deployOpts() []scenario.DeployOption {
+	var opts []scenario.DeployOption
+	if r.bus != nil {
+		opts = append(opts, scenario.WithTelemetry(r.bus))
+	}
+	if r.checked {
+		opts = append(opts, scenario.WithInvariantChecker())
+	}
+	return opts
+}
+
+// install records a uniform deployment as the script's fault/state surface.
+func (r *runner) install(dep scenario.Deployment) {
+	r.dep = dep
+	r.stateFn = dep.StateAt
+	r.checker = dep.Checker()
+}
+
 func (r *runner) deploy(st stmt) error {
 	if r.sim == nil {
 		return st.errf("protocol before topo")
@@ -450,25 +500,19 @@ func (r *runner) deploy(st stmt) error {
 			}
 			break
 		}
-		dep := r.sim.DeployPIM(cfg)
-		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
-		r.dep = dep
+		r.install(r.sim.Deploy(scenario.SparseMode,
+			append(r.deployOpts(), scenario.WithCoreConfig(cfg))...))
 	case "pim-dm":
-		dep := r.sim.DeployPIMDM(pimdm.Config{PruneHoldTime: prune})
-		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
-		r.dep = dep
+		r.install(r.sim.Deploy(scenario.DenseMode, append(r.deployOpts(),
+			scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: prune}))...))
 	case "dvmrp":
-		dep := r.sim.DeployDVMRP(dvmrp.Config{PruneLifetime: prune})
-		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
-		r.dep = dep
+		r.install(r.sim.Deploy(scenario.DVMRPMode, append(r.deployOpts(),
+			scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: prune}))...))
 	case "cbt":
-		dep := r.sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
-		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
-		r.dep = dep
+		r.install(r.sim.Deploy(scenario.CBTMode, append(r.deployOpts(),
+			scenario.WithCBTConfig(cbt.Config{CoreMapping: coreMap}))...))
 	case "mospf":
-		dep := r.sim.DeployMOSPF()
-		r.stateFn = func(i int) int { return dep.Routers[i].StateCount() }
-		r.dep = dep
+		r.install(r.sim.Deploy(scenario.MOSPFMode, r.deployOpts()...))
 	default:
 		return st.errf("unknown protocol %q", name)
 	}

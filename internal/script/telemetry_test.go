@@ -1,0 +1,98 @@
+package script
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pim/internal/netsim"
+	"pim/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current run")
+
+// TestScenariosUpholdInvariants runs every scenario script in the repository
+// under the online invariant checker: the §3.8 soft-state contracts must
+// hold through every documented workload, including the fault scripts. The
+// interop scenario deploys the mixed sparse/dense form the checker does not
+// cover; RunChecked returns a nil checker there and the script still must
+// pass its own expectations.
+func TestScenariosUpholdInvariants(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.pim")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario scripts found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := ParseFile(path)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, chk, err := s.RunChecked()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, f := range res.Failures {
+				t.Errorf("expectation failed: %s", f)
+			}
+			if chk != nil {
+				for _, v := range chk.Violations() {
+					t.Errorf("invariant violation: %s", v)
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetryGoldenDump pins the sampler's JSON dump for the RP-failover
+// scenario byte-for-byte: the per-router counter curves are a deterministic
+// function of the simulation, so any drift in event emission, bucketing, or
+// serialization shows up as a golden-file diff. Regenerate with
+//
+//	go test ./internal/script/ -run TestTelemetryGoldenDump -update
+func TestTelemetryGoldenDump(t *testing.T) {
+	s, err := ParseFile("../../scenarios/rpfailover.pim")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bus := telemetry.NewBus()
+	smp := telemetry.NewSampler(bus, 5*netsim.Second)
+	res, chk, err := s.RunInstrumented(bus, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.OK() {
+		t.Fatalf("scenario failed: %v", res.Failures)
+	}
+	if chk == nil {
+		t.Fatal("RunInstrumented(check=true) returned no checker")
+	}
+	for _, v := range chk.Violations() {
+		t.Errorf("invariant violation: %s", v)
+	}
+
+	var buf bytes.Buffer
+	if err := smp.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "rpfailover_telemetry.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("telemetry dump drifted from %s (rerun with -update if intended)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}

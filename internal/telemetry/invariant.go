@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+)
+
+// Checker is the online §3.8 invariant checker: it subscribes to a bus and
+// asserts the soft-state contracts while the run executes, so a violation is
+// caught at the instant it happens instead of surfacing later as a wrong
+// aggregate. The contracts checked from the raw stream:
+//
+//   - epoch isolation: no timer armed by a dead incarnation ever executes
+//     (TimerFire.Epoch must equal the router's current epoch);
+//   - clean restart: a restarted router holds zero learned state at epoch
+//     start (EpochStart with Epoch > 0 must carry Value 0).
+//
+// Two further contracts need simulation state the stream alone cannot carry;
+// the deployment glue binds them as callbacks:
+//
+//   - ExpectedIIF: RPF-failing incoming interfaces never enter the MFIB —
+//     every IIFSet event's interface must match an independent unicast
+//     lookup of the RPF target at the instant of the event;
+//   - NegativeCached: negative-cache entries never appear on the shared-tree
+//     fan-out — no DataForward event off the (*,G) list may target an
+//     interface carrying an effective (S,G)RPbit prune.
+type Checker struct {
+	// ExpectedIIF, when bound, returns the RPF interface index an
+	// independent unicast lookup resolves for target at router. ok=false
+	// means no route (the check is skipped).
+	ExpectedIIF func(router int, target addr.IP) (iface int, ok bool)
+	// NegativeCached, when bound, reports whether the router holds an
+	// effective (live, not override-pending) negative-cache prune for
+	// (source, group) on iface.
+	NegativeCached func(router int, source, group addr.IP, iface int) bool
+
+	epochs     map[int]uint64
+	violations []Violation
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	At     netsim.Time
+	Router int
+	Msg    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v r%d: %s", v.At, v.Router, v.Msg)
+}
+
+// NewChecker attaches a checker to the bus.
+func NewChecker(bus *Bus) *Checker {
+	c := &Checker{epochs: map[int]uint64{}}
+	bus.Subscribe(c.Check)
+	return c
+}
+
+// Check evaluates one event. It is exported so tests can feed forged events
+// directly (e.g. a stale-epoch timer that the engines' epoch guards would
+// never let fire).
+func (c *Checker) Check(ev Event) {
+	switch ev.Kind {
+	case EpochStart:
+		c.epochs[ev.Router] = ev.Epoch
+		if ev.Epoch > 0 && ev.Value != 0 {
+			c.fail(ev, fmt.Sprintf("restarted router holds %d entries at start of epoch %d (want 0)",
+				ev.Value, ev.Epoch))
+		}
+	case TimerFire:
+		if cur, ok := c.epochs[ev.Router]; ok && ev.Epoch != cur {
+			c.fail(ev, fmt.Sprintf("timer from dead epoch %d fired in epoch %d", ev.Epoch, cur))
+		}
+	case IIFSet:
+		if c.ExpectedIIF == nil || ev.Iface < 0 {
+			return
+		}
+		if want, ok := c.ExpectedIIF(ev.Router, ev.Source); ok && want != ev.Iface {
+			c.fail(ev, fmt.Sprintf("MFIB iif %d for target %v fails RPF (unicast route says %d)",
+				ev.Iface, ev.Source, want))
+		}
+	case DataForward:
+		// Value 1 marks forwarding off the shared (*,G) list, the only list
+		// negative-cache subtraction applies to ((S,G) joins legitimately
+		// override an RP-bit prune on the source tree).
+		if c.NegativeCached == nil || ev.Value != 1 || ev.Iface < 0 {
+			return
+		}
+		if c.NegativeCached(ev.Router, ev.Source, ev.Group, ev.Iface) {
+			c.fail(ev, fmt.Sprintf("negative-cached (%v,%v) forwarded on shared tree out iface %d",
+				ev.Source, ev.Group, ev.Iface))
+		}
+	}
+}
+
+func (c *Checker) fail(ev Event, msg string) {
+	c.violations = append(c.violations, Violation{At: ev.At, Router: ev.Router, Msg: msg})
+}
+
+// Violations returns every failed invariant in observation order.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Err returns nil when every invariant held, or an error naming the first
+// violation and the total count.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d invariant violation(s), first: %s", len(c.violations), c.violations[0])
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import "pim/internal/netsim"
+
+// ConvergenceProbe detects delivery convergence from the event stream: the
+// time to first delivery at a receiver site, the first delivery after a
+// chosen instant (recovery from a membership change), the first delivery of
+// a packet *sent* after a chosen instant (recovery from a topology fault —
+// pre-fault packets still in flight must not count), and tree stabilization
+// (no forwarding-state mutation for a configurable quiet period).
+//
+// Deliveries are keyed by the receiver's attached router index (the Router
+// field of Deliver events). The probe stores the full per-site delivery
+// sequence so the recovery questions can be asked both mid-run (from a bus
+// subscriber, observing the run as it executes) and after it.
+type ConvergenceProbe struct {
+	deliveries map[int][]probeDelivery
+	// lastMutation is the time of the most recent forwarding-state mutation
+	// anywhere (entry create/expire, iif change) — the signal for
+	// tree-stabilization detection.
+	lastMutation netsim.Time
+	sawMutation  bool
+}
+
+type probeDelivery struct {
+	at   netsim.Time
+	sent netsim.Time // -1 when the packet carried no timestamp
+}
+
+// NewConvergenceProbe attaches a probe to the bus.
+func NewConvergenceProbe(bus *Bus) *ConvergenceProbe {
+	p := &ConvergenceProbe{deliveries: map[int][]probeDelivery{}}
+	bus.Subscribe(p.observe)
+	return p
+}
+
+func (p *ConvergenceProbe) observe(ev Event) {
+	switch ev.Kind {
+	case Deliver:
+		p.deliveries[ev.Router] = append(p.deliveries[ev.Router],
+			probeDelivery{at: ev.At, sent: netsim.Time(ev.Value)})
+	case EntryCreate, EntryExpire, IIFSet:
+		p.lastMutation = ev.At
+		p.sawMutation = true
+	}
+}
+
+// FirstDelivery returns the time of the first delivery at the site.
+func (p *ConvergenceProbe) FirstDelivery(router int) (netsim.Time, bool) {
+	ds := p.deliveries[router]
+	if len(ds) == 0 {
+		return 0, false
+	}
+	return ds[0].at, true
+}
+
+// FirstDeliveryAt returns the time of the first delivery at the site at or
+// after t — the recovery instant for a membership change at t.
+func (p *ConvergenceProbe) FirstDeliveryAt(router int, t netsim.Time) (netsim.Time, bool) {
+	for _, d := range p.deliveries[router] {
+		if d.at >= t {
+			return d.at, true
+		}
+	}
+	return 0, false
+}
+
+// FirstDeliverySentAfter returns the arrival time of the first delivery at
+// the site whose packet was sent at or after t — the recovery instant for a
+// topology fault at t (packets already in flight when the fault hit do not
+// prove the repaired tree works).
+func (p *ConvergenceProbe) FirstDeliverySentAfter(router int, t netsim.Time) (netsim.Time, bool) {
+	for _, d := range p.deliveries[router] {
+		if d.sent >= 0 && d.sent >= t {
+			return d.at, true
+		}
+	}
+	return 0, false
+}
+
+// Delivered returns the number of deliveries observed at the site.
+func (p *ConvergenceProbe) Delivered(router int) int { return len(p.deliveries[router]) }
+
+// LastTreeMutation returns the time of the most recent forwarding-state
+// mutation, and whether any was observed.
+func (p *ConvergenceProbe) LastTreeMutation() (netsim.Time, bool) {
+	return p.lastMutation, p.sawMutation
+}
+
+// StabilizedFor reports whether no forwarding-state mutation has occurred in
+// the window (now-quiet, now] — the tree-stabilization criterion "no MFIB
+// mutation for N refresh intervals" with quiet = N × refresh.
+func (p *ConvergenceProbe) StabilizedFor(now, quiet netsim.Time) bool {
+	if !p.sawMutation {
+		return true
+	}
+	return now-p.lastMutation >= quiet
+}

@@ -37,13 +37,21 @@
 //	sim.FinishUnicast(pim.UseOracle)
 //	group := pim.GroupAddress(0)
 //	rp := sim.RouterAddr(2)
-//	sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}})
+//	dep := sim.Deploy(pim.SparseMode,
+//	        pim.WithRPMapping(map[pim.IP][]pim.IP{group: {rp}}))
 //	sim.Run(2 * pim.Second)
 //	receiver.Join(group)
 //	sim.Run(2 * pim.Second)
 //	pim.SendData(sender, group, 128)
 //	sim.Run(pim.Second)
-//	fmt.Println(receiver.Received[group]) // 1
+//	fmt.Println(receiver.Received[group], dep.TotalState()) // 1 <entries>
+//
+// Deploy runs any of the five protocols (SparseMode, DenseMode, DVMRPMode,
+// CBTMode, MOSPFMode) behind one Deployment interface; functional options
+// configure rendezvous mapping, SPT policy, telemetry, and the online
+// invariant checker. The protocol-specific DeployPIM/DeployPIMDM/
+// DeployDVMRP/DeployCBT/DeployMOSPF entry points remain as deprecated
+// wrappers.
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // figure-by-figure reproduction record.
@@ -56,10 +64,12 @@ import (
 	"pim/internal/addr"
 	"pim/internal/core"
 	"pim/internal/experiments"
+	"pim/internal/faults"
 	"pim/internal/igmp"
 	"pim/internal/netsim"
 	"pim/internal/pimdm"
 	"pim/internal/scenario"
+	"pim/internal/telemetry"
 	"pim/internal/topology"
 	"pim/internal/tracefmt"
 	"pim/internal/trees"
@@ -109,8 +119,6 @@ type (
 	SPTPolicy = core.SPTPolicy
 	// Router is a PIM sparse-mode router instance.
 	Router = core.Router
-	// Deployment is PIM-SM running on every router of a Sim.
-	Deployment = scenario.PIMDeployment
 	// DenseConfig configures PIM dense-mode routers (flood-and-prune).
 	DenseConfig = pimdm.Config
 	// InteropDeployment is a mixed sparse/dense internet with border
@@ -124,6 +132,93 @@ const (
 	SwitchNever     = core.SwitchNever
 	SwitchThreshold = core.SwitchThreshold
 )
+
+// Unified deployment façade: sim.Deploy(mode, opts...) starts any of the
+// five protocols plus IGMP behind one interface.
+type (
+	// Mode selects the protocol Deploy runs on every router.
+	Mode = scenario.Protocol
+	// Deployment is the uniform surface every protocol deployment exposes:
+	// Crash/Restart/Stop lifecycle, TotalState/StateAt state metrics, and
+	// the Telemetry/Checker observability hooks.
+	Deployment = scenario.Deployment
+	// PIMDeployment is the concrete sparse-mode deployment (per-router
+	// core.Router and IGMP querier access).
+	PIMDeployment = scenario.PIMDeployment
+	// DeployOption is a functional deployment option for Deploy.
+	DeployOption = scenario.DeployOption
+	// Lifecycle is the stop/restart surface every protocol engine and the
+	// IGMP querier implement — the unit internal/faults crash/restart
+	// cycles operate on.
+	Lifecycle = faults.Lifecycle
+)
+
+// Deployable protocols.
+const (
+	SparseMode = scenario.SparseMode
+	DenseMode  = scenario.DenseMode
+	DVMRPMode  = scenario.DVMRPMode
+	CBTMode    = scenario.CBTMode
+	MOSPFMode  = scenario.MOSPFMode
+)
+
+// WithRPMapping maps groups to ordered RP candidate lists (sparse mode) and
+// derives the CBT core mapping from each group's first candidate.
+func WithRPMapping(m map[IP][]IP) DeployOption { return scenario.WithRPMapping(m) }
+
+// WithSPTPolicy sets the sparse-mode shared-tree→SPT switching policy (§3.3).
+func WithSPTPolicy(p SPTPolicy) DeployOption { return scenario.WithSPTPolicy(p) }
+
+// WithAggregation keys sparse-mode (S,G) state by source subnet (§4).
+func WithAggregation() DeployOption { return scenario.WithAggregation() }
+
+// WithTelemetry attaches an event bus to every engine, querier, and host.
+func WithTelemetry(b *TelemetryBus) DeployOption { return scenario.WithTelemetry(b) }
+
+// WithInvariantChecker attaches the online §3.8 invariant checker.
+func WithInvariantChecker() DeployOption { return scenario.WithInvariantChecker() }
+
+// WithIGMPTimers overrides the IGMP query interval and membership hold time.
+func WithIGMPTimers(query, hold Time) DeployOption { return scenario.WithIGMPTimers(query, hold) }
+
+// WithCoreConfig replaces the sparse-mode configuration wholesale.
+func WithCoreConfig(cfg Config) DeployOption { return scenario.WithCoreConfig(cfg) }
+
+// WithDenseConfig replaces the dense-mode configuration wholesale.
+func WithDenseConfig(cfg DenseConfig) DeployOption { return scenario.WithDenseConfig(cfg) }
+
+// Telemetry plane (see DESIGN.md "Telemetry plane"): a zero-cost-when-
+// disabled event bus every engine publishes structured events to, with a
+// time-series sampler, convergence probes, and an online invariant checker
+// subscribing to it.
+type (
+	// TelemetryBus fans deployment events to subscribers in order.
+	TelemetryBus = telemetry.Bus
+	// TelemetryEvent is one structured protocol event.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySampler folds events into per-router counter curves.
+	TelemetrySampler = telemetry.Sampler
+	// ConvergenceProbe detects delivery convergence and tree stabilization.
+	ConvergenceProbe = telemetry.ConvergenceProbe
+	// InvariantChecker asserts the §3.8 soft-state contracts online.
+	InvariantChecker = telemetry.Checker
+	// InvariantViolation is one failed contract observation.
+	InvariantViolation = telemetry.Violation
+)
+
+// NewTelemetryBus creates an event bus for WithTelemetry.
+func NewTelemetryBus() *TelemetryBus { return telemetry.NewBus() }
+
+// NewTelemetrySampler attaches a counter-curve sampler to the bus with the
+// given bucket interval.
+func NewTelemetrySampler(bus *TelemetryBus, interval Time) *TelemetrySampler {
+	return telemetry.NewSampler(bus, interval)
+}
+
+// NewConvergenceProbe attaches a convergence probe to the bus.
+func NewConvergenceProbe(bus *TelemetryBus) *ConvergenceProbe {
+	return telemetry.NewConvergenceProbe(bus)
+}
 
 // NewTopology creates an empty topology with n routers.
 func NewTopology(n int) *Topology { return topology.New(n) }
@@ -331,11 +426,28 @@ type (
 // matrix.
 func DefaultRecoveryConfig() RecoveryConfig { return experiments.DefaultRecovery() }
 
+// Recovery fault kinds (the matrix columns).
+const (
+	FaultLoss0  = experiments.FaultLoss0
+	FaultLoss5  = experiments.FaultLoss5
+	FaultLoss20 = experiments.FaultLoss20
+	FaultFlap   = experiments.FaultFlap
+	FaultCrash  = experiments.FaultCrash
+)
+
 // RunRecovery drives every protocol through the fault matrix (control-plane
 // loss, link flap, router crash/restart) and measures recovery time, control
 // overhead, and residual state, verifying reference and fast-path delivery
 // traces are bit identical in every cell.
 func RunRecovery(cfg RecoveryConfig) RecoveryResult { return experiments.RunRecovery(cfg) }
+
+// RecoveryTelemetry runs one recovery cell (protocol × fault) with a
+// time-series sampler attached to the deployment's event bus and returns the
+// sampler; dump its per-router counter curves with WriteJSON (the
+// cmd/pimbench -telemetry output).
+func RecoveryTelemetry(cfg RecoveryConfig, p Protocol, fault string, interval Time) *TelemetrySampler {
+	return experiments.RecoveryTelemetry(cfg, p, fault, interval)
+}
 
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
