@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke telemetry-smoke bench fig2-ledger dataplane-ledger recovery-ledger
+.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger
 
 # check is the full gate: vet, build, race-enabled tests (the -race pass
 # covers internal/telemetry and internal/experiments along with everything
-# else), a short benchmark smoke pass, and the telemetry/invariant smoke.
-check: vet build race bench-smoke telemetry-smoke
+# else), a short benchmark smoke pass, the telemetry/invariant smoke, and
+# the scheduler-swap smoke.
+check: vet build race bench-smoke telemetry-smoke scale-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +23,7 @@ race:
 # bench-smoke runs one fast iteration of the perf-sensitive benchmarks so a
 # regression that breaks them (not just slows them) is caught by `make check`.
 bench-smoke:
-	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver' -benchtime 10x ./internal/topology/ ./internal/netsim/
+	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver|BenchmarkScheduler(Churn|Dense)' -benchtime 10x ./internal/topology/ ./internal/netsim/
 	$(GO) test -run XXX -bench 'BenchmarkEngineFig2a' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkLPM(Trie|Linear)256' -benchtime 10x ./internal/unicast/
 	$(GO) test -run XXX -bench 'BenchmarkRPF(CacheHit|Uncached)' -benchtime 10x ./internal/rpf/
@@ -56,3 +57,18 @@ dataplane-ledger:
 # trace diverges from the reference path's (see EXPERIMENTS.md).
 recovery-ledger:
 	$(GO) run ./cmd/pimbench -recovery -label $(or $(LABEL),run)
+
+# scale-smoke verifies the scheduler swap end to end: the CI-sized scaling
+# sweeps must produce bit-identical simulated grids on the binary heap and
+# the timing wheel, and the scheduler/worker-pool packages must pass under
+# the race detector.
+scale-smoke:
+	$(GO) run ./cmd/pimbench -scaling -smoke
+	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
+
+# scale-ledger appends heap and wheel entries for the large-internet scaling
+# sweeps (up to 1000 routers) and the scheduler microbenchmarks to
+# BENCH_scale.json; recording is refused if the two backing stores' simulated
+# grids diverge (see EXPERIMENTS.md "Scaling sweeps").
+scale-ledger:
+	$(GO) run ./cmd/pimbench -scaling -label $(or $(LABEL),run)

@@ -25,6 +25,15 @@
 // the telemetry sampler attached and writes the per-router counter curves
 // (control messages, state entries, deliveries, drops per 5 s bucket) as
 // JSON to the file, then exits without touching any ledger.
+//
+// With -scaling it runs the large-internet scaling sweeps (size, group
+// count, sender count — up to 1000-router internets) twice, once on the
+// reference binary-heap scheduler and once on the hierarchical timing wheel,
+// plus the cancel-heavy and fire-heavy scheduler microbenchmarks on both
+// stores. The simulated grids must be bit-identical between the stores;
+// when they are, one entry per store is appended to BENCH_scale.json. Add
+// -smoke for the CI-sized workload, which verifies the grid gate and
+// records nothing.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"testing"
 	"time"
 
 	"pim"
@@ -78,6 +88,27 @@ type RecoveryEntry struct {
 	Result    pim.RecoveryResult `json:"result"`
 }
 
+// MicroBench is one scheduler microbenchmark column of the scaling ledger.
+type MicroBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ScalingEntry is one appended record of the scaling ledger. A -scaling run
+// appends two: one with UseWheel=false (the reference heap, the "seed"
+// side) and one with UseWheel=true (the timing wheel, the "after" side),
+// both over bit-identical simulated grids.
+type ScalingEntry struct {
+	Label     string                 `json:"label"`
+	Timestamp string                 `json:"timestamp"`
+	GoVersion string                 `json:"go_version"`
+	NumCPU    int                    `json:"num_cpu"`
+	UseWheel  bool                   `json:"use_wheel"`
+	Result    pim.ScalingBenchResult `json:"result"`
+	Churn     MicroBench             `json:"sched_churn"`
+	Dense     MicroBench             `json:"sched_dense"`
+}
+
 func main() {
 	label := flag.String("label", "run", "entry label (e.g. seed, after-solver)")
 	out := flag.String("out", "", "ledger file to append to (default BENCH_fig2.json, or BENCH_dataplane.json with -dataplane)")
@@ -88,6 +119,8 @@ func main() {
 	packets := flag.Int("packets", 0, "dataplane measured packets (0 = package default)")
 	fillers := flag.Int("fillers", 0, "dataplane filler routes per unicast table (0 = package default)")
 	recovery := flag.Bool("recovery", false, "run the fault-recovery matrix instead of the Figure 2 sweeps")
+	scaling := flag.Bool("scaling", false, "run the large-internet scaling sweeps on both scheduler backing stores instead of the Figure 2 sweeps")
+	smoke := flag.Bool("smoke", false, "with -scaling: CI-sized workload, verify the heap/wheel grid gate, record nothing")
 	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
 	flag.Parse()
 
@@ -107,6 +140,13 @@ func main() {
 			*out = "BENCH_recovery.json"
 		}
 		runRecovery(*label, *out)
+		return
+	}
+	if *scaling {
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		runScaling(*label, *out, *smoke)
 		return
 	}
 	if *out == "" {
@@ -312,4 +352,103 @@ func runRecovery(label, out string) {
 	}
 	fmt.Printf("appended %q entry to %s (%d entries, all recovered=%v)\n",
 		label, out, len(ledger), res.AllRecovered)
+}
+
+// schedMicroBench replays one deterministic scheduler workload on one
+// backing store under testing.Benchmark and reports ns/op and allocs/op.
+// The parked-timer population is rebuilt outside the timed region on each
+// probe.
+func schedMicroBench(wheel bool, workload func(*pim.Scheduler, int)) MicroBench {
+	r := testing.Benchmark(func(b *testing.B) {
+		s := pim.PrepSchedulerBench(wheel)
+		b.ReportAllocs()
+		b.ResetTimer()
+		workload(s, b.N)
+	})
+	return MicroBench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// runScaling executes the scaling sweeps and scheduler microbenchmarks on
+// both backing stores and appends one entry per store to the scaling ledger
+// — refusing to record anything if the two stores' simulated grids are not
+// bit-identical. With smoke set it runs the CI-sized workload, enforces the
+// same gate, and records nothing.
+func runScaling(label, out string, smoke bool) {
+	cfg := pim.DefaultScalingBenchConfig()
+	if smoke {
+		cfg = pim.SmokeScalingBenchConfig()
+	}
+	run := func(wheel bool) pim.ScalingBenchResult {
+		prev := pim.SetUseWheel(wheel)
+		defer pim.SetUseWheel(prev)
+		res := pim.RunScalingBench(cfg)
+		store := "heap "
+		if wheel {
+			store = "wheel"
+		}
+		for _, sw := range res.Sweeps {
+			fmt.Printf("scaling %-7s %s  %2d cells  %9.1f ms  %9d events  %9.0f events/sec  peak timers %d\n",
+				sw.Name, store, sw.Cells, sw.WallMs, sw.Events, sw.EventsPerSec, sw.PeakTimers)
+		}
+		return res
+	}
+	heap := run(false)
+	wheel := run(true)
+	if !pim.SameScalingGrids(heap, wheel) {
+		fmt.Fprintln(os.Stderr, "pimbench: heap and wheel scaling grids diverged — not recording")
+		os.Exit(1)
+	}
+	fmt.Printf("scaling grids identical; wall %0.1f ms (heap) vs %0.1f ms (wheel), %.2fx\n",
+		heap.WallMs, wheel.WallMs, heap.WallMs/wheel.WallMs)
+	if smoke {
+		fmt.Println("smoke run: grid gate passed, nothing recorded")
+		return
+	}
+
+	entries := make([]ScalingEntry, 0, 2)
+	for _, side := range []struct {
+		wheel  bool
+		suffix string
+		res    pim.ScalingBenchResult
+	}{
+		{false, "-heap", heap},
+		{true, "-wheel", wheel},
+	} {
+		e := ScalingEntry{
+			Label:     label + side.suffix,
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			NumCPU:    runtime.NumCPU(),
+			UseWheel:  side.wheel,
+			Result:    side.res,
+			Churn:     schedMicroBench(side.wheel, pim.SchedulerChurn),
+			Dense:     schedMicroBench(side.wheel, pim.SchedulerDense),
+		}
+		fmt.Printf("sched micro %s  churn %8.1f ns/op (%d allocs/op)  dense %8.1f ns/op (%d allocs/op)\n",
+			side.suffix[1:], e.Churn.NsPerOp, e.Churn.AllocsPerOp, e.Dense.NsPerOp, e.Dense.AllocsPerOp)
+		entries = append(entries, e)
+	}
+
+	var ledger []ScalingEntry
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entries...)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q and %q entries to %s (%d entries)\n",
+		label+"-heap", label+"-wheel", out, len(ledger))
 }

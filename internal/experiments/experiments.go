@@ -65,6 +65,14 @@ type Result struct {
 	Delivered, Expected int
 	// SPFRuns counts Dijkstra executions (MOSPF's processing cost).
 	SPFRuns int64
+	// Events is the total number of scheduler events processed — the
+	// simulator-side measure of protocol activity the scaling benchmark
+	// normalizes wall time against (events/sec).
+	Events int64
+	// PeakTimers is the high-water mark of concurrently armed timers, the
+	// soft-state pressure the §2.3 periodic-refresh design puts on a router's
+	// timer subsystem.
+	PeakTimers int
 }
 
 // String renders the result as one table row.
@@ -276,6 +284,8 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 		DataBytes:    sim.Net.Stats.Totals.DataBytes,
 		DataPackets:  sim.Net.Stats.Totals.DataPackets,
 		Expected:     0,
+		Events:       sim.Net.Sched.Processed,
+		PeakTimers:   sim.Net.Sched.PeakLiveTimers(),
 	}
 	for _, l := range sim.EdgeLinks {
 		if n := sim.Net.Stats.PerLink[l.ID].DataPackets; n > res.MaxLinkData {

@@ -300,13 +300,21 @@ func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
 func RecoveryTelemetry(cfg RecoveryConfig, proto Protocol, kind string, interval netsim.Time) *telemetry.Sampler {
 	var smp *telemetry.Sampler
 	runRecoveryOnce(cfg, proto, kind, parallel.DeriveSeed(cfg.Seed, 0),
-		func(b *telemetry.Bus) { smp = telemetry.NewSampler(b, interval) })
+		func(sim *scenario.Sim, b *telemetry.Bus) {
+			smp = telemetry.NewSampler(b, interval)
+			// Expose timer pressure alongside the counter curves: the gauge
+			// reads the scheduler's live-timer count at each observed event,
+			// so the dump shows the soft-state refresh load without
+			// perturbing the simulation.
+			sched := sim.Net.Sched
+			smp.AttachLiveTimerGauge(func() int64 { return int64(sched.LiveTimers()) })
+		})
 	return smp
 }
 
 // runRecoveryOnce executes one cell; tap, when non-nil, may subscribe extra
 // consumers to the cell's event bus before the protocol deploys.
-func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64, tap func(*telemetry.Bus)) recoveryRun {
+func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64, tap func(*scenario.Sim, *telemetry.Bus)) recoveryRun {
 	sim, src, recvA, recvB := recoverySim()
 	group := addr.GroupForIndex(0)
 
@@ -317,7 +325,7 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 	bus := telemetry.NewBus()
 	probe := telemetry.NewConvergenceProbe(bus)
 	if tap != nil {
-		tap(bus)
+		tap(sim, bus)
 	}
 	opts := []scenario.DeployOption{scenario.WithTelemetry(bus)}
 	if cfg.Checked {

@@ -6,6 +6,7 @@ import (
 
 	"pim/internal/addr"
 	"pim/internal/netsim"
+	"pim/internal/parallel"
 	"pim/internal/scenario"
 )
 
@@ -165,6 +166,45 @@ func TestCrashRestartPerEngine(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRecoveryMatrixWheelEquivalence is the fault-injection half of the
+// scheduler-swap acceptance: every cell of the 25-cell protocol × fault
+// matrix — crash/restart epochs, link flaps, Bernoulli control loss — must
+// produce a bit-identical delivery trace and identical recovery metrics on
+// the binary heap and on the timing wheel. Faults exercise the scheduler
+// paths ordinary runs don't (mass cancellation at crash, timer re-arming
+// storms after restart), so same-deadline ordering bugs surface here first.
+func TestRecoveryMatrixWheelEquivalence(t *testing.T) {
+	cfg := shortRecovery()
+	protos, kinds := RecoveryProtocols(), RecoveryFaults()
+	n := len(protos) * len(kinds)
+	sweep := func(wheel bool) []recoveryRun {
+		prev := netsim.SetUseWheel(wheel)
+		defer netsim.SetUseWheel(prev)
+		runs := make([]recoveryRun, n)
+		parallel.For(n, cfg.Workers, func(i int) {
+			runs[i] = runRecoveryOnce(cfg, protos[i/len(kinds)], kinds[i%len(kinds)],
+				parallel.DeriveSeed(cfg.Seed, int64(i)), nil)
+		})
+		return runs
+	}
+	heap := sweep(false)
+	wheel := sweep(true)
+	for i := range heap {
+		h, w := heap[i], wheel[i]
+		proto, kind := protos[i/len(kinds)], kinds[i%len(kinds)]
+		if !tracesEqual(h.trace, w.trace) {
+			t.Errorf("%s/%s: delivery traces diverged between heap and wheel (%d vs %d events)",
+				proto, kind, len(h.trace), len(w.trace))
+		}
+		if h.recovery != w.recovery || h.residual != w.residual ||
+			h.delivered != w.delivered || h.ctrl != w.ctrl || h.treeQuiet != w.treeQuiet {
+			t.Errorf("%s/%s: metrics diverged: heap={rec:%v res:%d del:%d ctrl:%d quiet:%v} wheel={rec:%v res:%d del:%d ctrl:%d quiet:%v}",
+				proto, kind, h.recovery, h.residual, h.delivered, h.ctrl, h.treeQuiet,
+				w.recovery, w.residual, w.delivered, w.ctrl, w.treeQuiet)
+		}
 	}
 }
 

@@ -7,11 +7,12 @@ import (
 	"pim/internal/packet"
 )
 
-// TestStoppedTimerCompaction pins the timer-heap leak fix: cancelling
-// long-deadline timers must reclaim their heap slots well before the
-// deadline, or churn experiments grow the heap without bound.
+// TestStoppedTimerCompaction pins the timer-heap leak fix on the reference
+// heap: cancelling long-deadline timers must reclaim their heap slots well
+// before the deadline, or churn experiments grow the heap without bound.
+// (The timing wheel reclaims lazily instead — see TestWheelStopReclaim.)
 func TestStoppedTimerCompaction(t *testing.T) {
-	s := NewScheduler()
+	s := NewSchedulerWith(false)
 	const n = 1000
 	timers := make([]*Timer, n)
 	for i := range timers {
@@ -139,8 +140,9 @@ func TestLANDeliverAllocs(t *testing.T) {
 func TestSchedulerPostAllocs(t *testing.T) {
 	s := NewScheduler()
 	fn := func() {}
-	// Warm the heap's backing array.
-	for i := 0; i < 64; i++ {
+	// Warm the backing arrays: on the wheel each level-0 slot has its own,
+	// so the warmup must first-touch every slot the measured loop can hit.
+	for i := 0; i < 512; i++ {
 		s.Post(Time(i), fn)
 	}
 	s.Run(0)

@@ -329,18 +329,6 @@ func TestLocalSend(t *testing.T) {
 	}
 }
 
-func BenchmarkSchedulerChurn(b *testing.B) {
-	s := NewScheduler()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s.After(Time(i%100), func() {})
-		if i%4 == 3 {
-			s.Step()
-		}
-	}
-	s.Run(0)
-}
-
 func BenchmarkLANBroadcast(b *testing.B) {
 	n := NewNetwork()
 	var ifaces []*Iface

@@ -20,6 +20,9 @@ const (
 	Second      Time = 1000000
 )
 
+// maxTime is the "no deadline" sentinel used by Step.
+const maxTime = Time(1<<63 - 1)
+
 // Seconds renders t as floating-point seconds (for reports).
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
@@ -30,33 +33,96 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // long after the callback fired (Stop on a fired timer must keep returning
 // false), so recycling a live pointer would let a stale Stop cancel an
 // unrelated future event. The allocation-free path is Scheduler.Post, which
-// schedules straight into the pooled event heap with no handle at all —
+// schedules straight into the pooled event store with no handle at all —
 // that is what the packet-delivery hot path uses.
+//
+// The callback lives on the handle, not in the queue entry, so Stop can
+// release it in place; and the scheduler back-pointer is cleared the moment
+// the timer can no longer fire, so a long-retained handle never pins a dead
+// Scheduler (and its pooled events) in memory.
 type Timer struct {
-	s       *Scheduler
-	at      Time
+	s  *Scheduler
+	at Time
+	fn func()
+	// seq identifies the timer's current queue entry. Reset re-arms the
+	// handle by bumping seq and enqueueing a fresh entry; the old entry is
+	// recognized as stale (entry.seq != timer.seq) and reclaimed wherever
+	// the queue next touches it, exactly like a stopped one.
+	seq     uint64
 	stopped bool
 	fired   bool
 }
 
 // Stop cancels the timer. It reports whether the cancellation prevented the
 // callback (false if the timer already fired or was already stopped).
-// Stopped entries stay in the heap until their deadline or until they exceed
-// half the heap, whichever comes first; then a compaction sweep reclaims
-// them (long churn runs park thousands of cancelled soft-state timers, and
-// unbounded growth here was a leak).
+//
+// On the timing wheel this is the O(1) lazy cancel: the entry is marked dead
+// in place (the callback is released immediately) and its queue slot is
+// normally reclaimed when a cascade or the firing cursor next passes it. On
+// the reference heap, stopped entries stay queued until their deadline or
+// until a compaction sweep reclaims them. Both queues share the same
+// dead-majority rule (swept once dead entries outnumber live ones): without
+// it, soft-state protocols that Stop/Reset long-deadline expiry timers on
+// every refresh park dead entries in far-future slots for the full original
+// lifetime, and the parked majority turns slot growth and cascades into the
+// dominant cost (observed as a >2x slowdown at 1000-router scale).
 func (t *Timer) Stop() bool {
 	if t.fired || t.stopped {
 		return false
 	}
 	t.stopped = true
+	t.fn = nil
 	if s := t.s; s != nil {
-		s.nstopped++
-		if s.nstopped*2 > len(s.heap) {
-			s.compact()
-		}
+		t.s = nil
+		s.live--
+		s.reapDead()
 	}
 	return true
+}
+
+// Reset re-arms an active timer to fire d from now with the same callback,
+// without allocating: the handle is reused and its superseded queue entry
+// is reclaimed lazily, like a stopped one. This is the soft-state refresh
+// primitive — every received Join/Prune/Report re-arms an expiry timer —
+// and at scale it is the scheduler's hottest cancelling operation. It
+// reports whether the re-arm happened; false means the timer already fired
+// or was stopped (re-create it with After), leaving the timer untouched.
+func (t *Timer) Reset(d Time) bool {
+	s := t.s
+	if s == nil || t.fired || t.stopped {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	// The current entry goes stale: mirror Stop's bookkeeping, then hand
+	// the accounting straight back via enqueue for the replacement.
+	s.live--
+	s.reapDead()
+	t.at = s.now + d
+	s.seq++
+	t.seq = s.seq
+	s.enqueue(event{at: t.at, seq: s.seq, tm: t})
+	return true
+}
+
+// reapDead records one newly dead (stopped or superseded) queue entry and
+// triggers the owning queue's compaction sweep once dead entries outnumber
+// live ones — the same amortized-O(1) policy for both implementations, so
+// neither can be starved into quadratic slot/heap growth by cancel-heavy
+// soft-state workloads.
+func (s *Scheduler) reapDead() {
+	if s.heap != nil {
+		s.heap.nstopped++
+		if s.heap.nstopped*2 > len(s.heap.events) {
+			s.heap.compact()
+		}
+	} else if s.wheel != nil {
+		s.wheel.ndead++
+		if s.wheel.ndead*2 > s.wheel.total {
+			s.wheel.compact()
+		}
+	}
 }
 
 // Active reports whether the timer is still pending.
@@ -65,10 +131,10 @@ func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 // When returns the time the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
-// event is one heap entry. Entries are values in a reusable backing array —
-// scheduling does not allocate beyond amortized slice growth. tm is nil for
-// the fire-and-forget Post path and points at the caller's handle for
-// After/At.
+// event is one queue entry. Entries are values in reusable backing arrays —
+// scheduling does not allocate beyond amortized slice growth. fn is set for
+// the fire-and-forget Post path; for After/At the callback lives on the
+// Timer handle (so Stop can release it) and tm points at that handle.
 type event struct {
 	at  Time
 	seq uint64
@@ -77,7 +143,7 @@ type event struct {
 }
 
 // before orders events by (time, scheduling order): a strict total order, so
-// the execution sequence is identical no matter how the heap happens to be
+// the execution sequence is identical no matter how the backing store is
 // laid out — the determinism the parallel experiment engine asserts on.
 func (e event) before(o event) bool {
 	if e.at != o.at {
@@ -86,26 +152,72 @@ func (e event) before(o event) bool {
 	return e.seq < o.seq
 }
 
+// dead reports whether the entry belongs to a stopped timer, or is a stale
+// arm superseded by Reset, and can be dropped wherever it is encountered.
+func (e event) dead() bool { return e.tm != nil && (e.tm.stopped || e.tm.seq != e.seq) }
+
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant fire in scheduling order.
+//
+// Two interchangeable backing stores implement the queue: the hierarchical
+// timing wheel (schedWheel, the default — O(1) insert and lazy cancel) and
+// the binary heap kept as the reference implementation (schedHeap). The
+// UseWheel toggle selects the store at construction; both produce
+// bit-identical fire order (see the differential tests in wheel_test.go).
 type Scheduler struct {
-	now      Time
-	seq      uint64
-	heap     []event
-	nstopped int // stopped timers still occupying heap slots
+	now   Time
+	seq   uint64
+	heap  *schedHeap
+	wheel *schedWheel
+	// live counts pending not-yet-stopped entries; peakLive is its high-water
+	// mark — the "timer pressure" gauge the scaling benchmark records.
+	live, peakLive int
+	// timerChunk bump-allocates Timer handles 64 at a time. Every soft-state
+	// refresh allocates a handle, so at scale the per-handle GC overhead is
+	// a measurable share of scheduling cost; batching cuts it 64x. Slots are
+	// handed out exactly once — this is NOT pooling, so the stale-Stop
+	// hazard documented on Timer does not apply. (Corner: a retained handle
+	// keeps its 64-slot chunk alive, so siblings' back-pointers can pin a
+	// dropped Scheduler that still had entries pending in those siblings;
+	// handles of fired/stopped timers alone never pin it.)
+	timerChunk []Timer
 	// Processed counts events executed, for run-length guards and stats.
 	Processed int64
 }
 
-// NewScheduler returns a scheduler positioned at time 0.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+// NewScheduler returns a scheduler positioned at time 0, backed by the
+// timing wheel or the reference heap according to UseWheel.
+func NewScheduler() *Scheduler { return NewSchedulerWith(UseWheel()) }
+
+// NewSchedulerWith returns a scheduler with an explicit backing store:
+// wheel=true for the timing wheel, false for the reference binary heap.
+// Benchmarks and differential tests use this; everything else goes through
+// NewScheduler and the global toggle.
+func NewSchedulerWith(wheel bool) *Scheduler {
+	if wheel {
+		return &Scheduler{wheel: newWheel()}
+	}
+	return &Scheduler{heap: &schedHeap{}}
+}
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Pending returns the number of events still queued (including stopped
 // timers not yet reaped).
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int {
+	if s.wheel != nil {
+		return s.wheel.total
+	}
+	return len(s.heap.events)
+}
+
+// LiveTimers returns the number of pending events that can still fire
+// (stopped-but-unreaped entries excluded).
+func (s *Scheduler) LiveTimers() int { return s.live }
+
+// PeakLiveTimers returns the high-water mark of LiveTimers over the run.
+func (s *Scheduler) PeakLiveTimers() int { return s.peakLive }
 
 // After schedules fn to run d from now. Negative delays run "immediately"
 // (at the current time, after already-queued same-time events).
@@ -121,59 +233,86 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	if t < s.now {
 		t = s.now
 	}
-	tm := &Timer{s: s, at: t}
+	if len(s.timerChunk) == 0 {
+		s.timerChunk = make([]Timer, 64)
+	}
+	tm := &s.timerChunk[0]
+	s.timerChunk = s.timerChunk[1:]
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn, tm: tm})
+	tm.s, tm.at, tm.fn, tm.seq = s, t, fn, s.seq
+	s.enqueue(event{at: t, seq: s.seq, tm: tm})
 	return tm
 }
 
 // Post schedules fn to run d from now (clamped like After) without
 // allocating a cancellable Timer handle. This is the fast path for
 // fire-and-forget work — packet deliveries, periodic experiment pumps — and
-// costs no per-event allocation: the event record lives in the heap's
-// reusable backing array.
+// costs no per-event allocation: the event record lives in the store's
+// reusable backing arrays.
 func (s *Scheduler) Post(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
 	s.seq++
-	s.push(event{at: s.now + d, seq: s.seq, fn: fn})
+	s.enqueue(event{at: s.now + d, seq: s.seq, fn: fn})
+}
+
+func (s *Scheduler) enqueue(ev event) {
+	s.live++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+	if s.wheel != nil {
+		s.wheel.push(ev, s.now)
+	} else {
+		s.heap.push(ev)
+	}
+}
+
+// next removes and returns the earliest live event with at <= limit.
+// Dead (stopped) entries encountered on the way are reclaimed.
+func (s *Scheduler) next(limit Time) (event, bool) {
+	if s.wheel != nil {
+		return s.wheel.next(limit)
+	}
+	return s.heap.next(limit)
+}
+
+// fire executes one popped event: the clock advances to its deadline, the
+// handle (if any) is marked fired and unpinned, and the callback runs.
+func (s *Scheduler) fire(ev event) {
+	s.now = ev.at
+	s.Processed++
+	s.live--
+	fn := ev.fn
+	if tm := ev.tm; tm != nil {
+		tm.fired = true
+		fn = tm.fn
+		tm.fn = nil
+		tm.s = nil
+	}
+	fn()
 }
 
 // Step executes the next event. It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		ev := s.pop()
-		if ev.tm != nil {
-			if ev.tm.stopped {
-				s.nstopped--
-				continue
-			}
-			ev.tm.fired = true
-		}
-		s.now = ev.at
-		s.Processed++
-		ev.fn()
-		return true
+	ev, ok := s.next(maxTime)
+	if !ok {
+		return false
 	}
-	return false
+	s.fire(ev)
+	return true
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled by executed events are included.
 func (s *Scheduler) RunUntil(deadline Time) {
-	for len(s.heap) > 0 {
-		// Peek.
-		next := s.heap[0]
-		if next.tm != nil && next.tm.stopped {
-			s.pop()
-			s.nstopped--
-			continue
-		}
-		if next.at > deadline {
+	for {
+		ev, ok := s.next(deadline)
+		if !ok {
 			break
 		}
-		s.Step()
+		s.fire(ev)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -193,55 +332,81 @@ func (s *Scheduler) Run(maxEvents int64) int64 {
 	return n
 }
 
+// schedHeap is the reference queue: a binary heap ordered by (at, seq) with
+// stopped-timer compaction. It is kept selectable (UseWheel=false) so the
+// wheel's fire order can be differentially verified against it and so the
+// scaling ledger records an honest before/after.
+type schedHeap struct {
+	events   []event
+	nstopped int // stopped timers still occupying heap slots
+}
+
+func (h *schedHeap) push(ev event) {
+	h.events = append(h.events, ev)
+	siftUp(h.events)
+}
+
+// next pops the earliest live event with at <= limit, reaping stopped
+// entries that surface at the top of the heap.
+func (h *schedHeap) next(limit Time) (event, bool) {
+	for len(h.events) > 0 {
+		top := h.events[0]
+		if top.dead() {
+			h.pop()
+			h.nstopped--
+			continue
+		}
+		if top.at > limit {
+			return event{}, false
+		}
+		return h.pop(), true
+	}
+	return event{}, false
+}
+
+func (h *schedHeap) pop() event {
+	ev := eventHeapPop(&h.events)
+	return ev
+}
+
 // compact removes every stopped entry from the heap in one sweep and
 // restores the heap property. Ordering is untouched: (at, seq) is a total
 // order, so re-heapifying the surviving events cannot change the pop
 // sequence.
-func (s *Scheduler) compact() {
-	live := s.heap[:0]
-	for _, ev := range s.heap {
-		if ev.tm != nil && ev.tm.stopped {
+func (h *schedHeap) compact() {
+	live := h.events[:0]
+	for _, ev := range h.events {
+		if ev.dead() {
 			continue
 		}
 		live = append(live, ev)
 	}
 	// Zero the tail so dropped closures and timers are collectable.
-	for i := len(live); i < len(s.heap); i++ {
-		s.heap[i] = event{}
+	for i := len(live); i < len(h.events); i++ {
+		h.events[i] = event{}
 	}
-	s.heap = live
-	s.nstopped = 0
-	for i := len(s.heap)/2 - 1; i >= 0; i-- {
-		s.down(i)
+	h.events = live
+	h.nstopped = 0
+	for i := len(h.events)/2 - 1; i >= 0; i-- {
+		siftDown(h.events, i)
 	}
 }
 
-func (s *Scheduler) push(ev event) {
-	s.heap = append(s.heap, ev)
-	j := len(s.heap) - 1
+// The sift helpers are shared by schedHeap and the wheel's overflow heap.
+
+func siftUp(h []event) {
+	j := len(h) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if !s.heap[j].before(s.heap[i]) {
+		if !h[j].before(h[i]) {
 			break
 		}
-		s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+		h[i], h[j] = h[j], h[i]
 		j = i
 	}
 }
 
-func (s *Scheduler) pop() event {
-	h := s.heap
-	n := len(h) - 1
-	ev := h[0]
-	h[0] = h[n]
-	h[n] = event{} // release the closure for GC
-	s.heap = h[:n]
-	s.down(0)
-	return ev
-}
-
-func (s *Scheduler) down(i int) {
-	h := s.heap
+func siftDown(h []event, i int) {
 	n := len(h)
 	for {
 		j1 := 2*i + 1
@@ -258,4 +423,15 @@ func (s *Scheduler) down(i int) {
 		h[i], h[j] = h[j], h[i]
 		i = j
 	}
+}
+
+func eventHeapPop(hp *[]event) event {
+	h := *hp
+	n := len(h) - 1
+	ev := h[0]
+	h[0] = h[n]
+	h[n] = event{} // release the closure for GC
+	*hp = h[:n]
+	siftDown(*hp, 0)
+	return ev
 }

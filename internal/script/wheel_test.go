@@ -1,0 +1,81 @@
+package script
+
+import (
+	"path/filepath"
+	"testing"
+
+	"pim/internal/netsim"
+	"pim/internal/telemetry"
+)
+
+// TestScenariosWheelEquivalence is the scenario-level half of the scheduler
+// swap's acceptance: every scripted workload in the repository must produce
+// a bit-identical telemetry event stream — every join/prune, entry mutation,
+// timer fire, delivery, and drop, in order, with identical timestamps —
+// whether the simulation runs on the reference binary heap or on the
+// hierarchical timing wheel. The scripts cover RP failover, SPT switchover,
+// dense-mode grafting, interop, and the fault workloads, so this is the
+// broadest same-deadline-ordering check in the tree.
+func TestScenariosWheelEquivalence(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.pim")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario scripts found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			capture := func(wheel bool) ([]telemetry.Event, *Result) {
+				prev := netsim.SetUseWheel(wheel)
+				defer netsim.SetUseWheel(prev)
+				s, err := ParseFile(path)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				bus := telemetry.NewBus()
+				var events []telemetry.Event
+				bus.Subscribe(func(ev telemetry.Event) { events = append(events, ev) })
+				res, _, err := s.RunInstrumented(bus, false)
+				if err != nil {
+					t.Fatalf("run (wheel=%v): %v", wheel, err)
+				}
+				return events, res
+			}
+			heapEvents, heapRes := capture(false)
+			wheelEvents, wheelRes := capture(true)
+
+			if len(heapEvents) == 0 && len(wheelEvents) == 0 {
+				// The mixed sparse/dense interop deployment does not attach
+				// the bus; fall back to the scripted delivery counts, which
+				// must still be non-trivial and identical.
+				total := 0
+				for _, n := range heapRes.Delivered {
+					total += n
+				}
+				if total == 0 {
+					t.Fatal("no telemetry events and no deliveries; equivalence check is vacuous")
+				}
+			}
+			if len(heapEvents) != len(wheelEvents) {
+				t.Fatalf("event streams differ in length: heap=%d wheel=%d",
+					len(heapEvents), len(wheelEvents))
+			}
+			for i := range heapEvents {
+				if heapEvents[i] != wheelEvents[i] {
+					t.Fatalf("event %d diverged:\nheap  = %+v\nwheel = %+v",
+						i, heapEvents[i], wheelEvents[i])
+				}
+			}
+			// The scripted expectations and delivery counts must agree too.
+			if len(heapRes.Failures) != len(wheelRes.Failures) {
+				t.Errorf("expectation outcomes differ: heap=%v wheel=%v",
+					heapRes.Failures, wheelRes.Failures)
+			}
+			for host, n := range heapRes.Delivered {
+				if wheelRes.Delivered[host] != n {
+					t.Errorf("host %s delivered %d on heap, %d on wheel",
+						host, n, wheelRes.Delivered[host])
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,11 @@ type Sampler struct {
 	interval netsim.Time
 	routers  map[int]*samplerSeries
 	last     int // highest bucket index seen anywhere
+	// gauge, when attached, reads the scheduler's live-timer count; it is
+	// sampled on every observed event (never on its own schedule, so it adds
+	// no events of its own) and the dump carries the peak reading.
+	gauge     func() int64
+	gaugePeak int64
 }
 
 type samplerSeries struct {
@@ -28,6 +33,7 @@ type samplerBucket struct {
 	stateDelta int64
 	delivered  int64
 	drops      int64
+	timerFires int64
 }
 
 // Sample is one point of a router's curve, serialized in the JSON dump.
@@ -43,6 +49,9 @@ type Sample struct {
 	Delivered int64 `json:"delivered"`
 	// Drops counts RPF-failure and no-state data drops.
 	Drops int64 `json:"drops"`
+	// TimerFires counts epoch-guarded soft-state timer bodies that executed
+	// in the bucket — the refresh-load side of the §2.3 soft-state design.
+	TimerFires int64 `json:"timer_fires"`
 }
 
 // RouterCurve is one router's full series.
@@ -55,6 +64,10 @@ type RouterCurve struct {
 type Dump struct {
 	IntervalSec float64       `json:"interval_sec"`
 	Routers     []RouterCurve `json:"routers"`
+	// LiveTimerPeak is the highest live-timer gauge reading observed across
+	// the run — total armed timers in the scheduler, the backing store's
+	// population pressure. Zero (and omitted) when no gauge was attached.
+	LiveTimerPeak int64 `json:"live_timer_peak,omitempty"`
 }
 
 // NewSampler attaches a sampler with the given bucket interval to the bus.
@@ -67,8 +80,21 @@ func NewSampler(bus *Bus, interval netsim.Time) *Sampler {
 	return s
 }
 
+// AttachLiveTimerGauge wires a live-timer reader (typically the simulation
+// scheduler's LiveTimers count) into the sampler. The gauge is polled on each
+// observed event, so attaching it is timing-neutral; the peak reading lands
+// in Dump.LiveTimerPeak.
+func (s *Sampler) AttachLiveTimerGauge(read func() int64) {
+	s.gauge = read
+}
+
 func (s *Sampler) observe(ev Event) {
-	var ctrl, stateDelta, delivered, drops int64
+	if s.gauge != nil {
+		if v := s.gauge(); v > s.gaugePeak {
+			s.gaugePeak = v
+		}
+	}
+	var ctrl, stateDelta, delivered, drops, timerFires int64
 	switch ev.Kind {
 	case JoinPruneSend, GraftSend, PruneSend, RegisterSend, LSAFlood:
 		ctrl = 1
@@ -80,6 +106,8 @@ func (s *Sampler) observe(ev Event) {
 		delivered = 1
 	case RPFDrop, NoState:
 		drops = 1
+	case TimerFire:
+		timerFires = 1
 	default:
 		return
 	}
@@ -101,13 +129,17 @@ func (s *Sampler) observe(ev Event) {
 	b.stateDelta += stateDelta
 	b.delivered += delivered
 	b.drops += drops
+	b.timerFires += timerFires
 }
 
 // Curves folds the observed events into the dump document: routers sorted by
 // index, every bucket from 0 through the last observed one present (state is
 // carried forward through empty buckets).
 func (s *Sampler) Curves() Dump {
-	d := Dump{IntervalSec: float64(s.interval) / float64(netsim.Second)}
+	d := Dump{
+		IntervalSec:   float64(s.interval) / float64(netsim.Second),
+		LiveTimerPeak: s.gaugePeak,
+	}
 	idxs := make([]int, 0, len(s.routers))
 	for i := range s.routers {
 		idxs = append(idxs, i)
@@ -125,6 +157,7 @@ func (s *Sampler) Curves() Dump {
 				sm.Ctrl = b.ctrl
 				sm.Delivered = b.delivered
 				sm.Drops = b.drops
+				sm.TimerFires = b.timerFires
 			}
 			curve.Samples = append(curve.Samples, sm)
 		}

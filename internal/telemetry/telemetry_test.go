@@ -43,9 +43,17 @@ func TestSamplerCurves(t *testing.T) {
 	b.Publish(Event{At: 200 * netsim.Millisecond, Kind: EntryCreate, Router: 0})
 	b.Publish(Event{At: 500 * netsim.Millisecond, Kind: JoinPruneSend, Router: 0})
 	b.Publish(Event{At: 2500 * netsim.Millisecond, Kind: EntryExpire, Router: 0})
-	// Router 3: a delivery and a drop in bucket 1.
+	// Router 3: a delivery, a drop, and two timer fires in bucket 1. The
+	// live-timer gauge is polled on each observed event; the dump keeps the
+	// peak reading.
+	live := int64(7)
+	s.AttachLiveTimerGauge(func() int64 { return live })
 	b.Publish(Event{At: 1200 * netsim.Millisecond, Kind: Deliver, Router: 3})
+	live = 42
 	b.Publish(Event{At: 1300 * netsim.Millisecond, Kind: RPFDrop, Router: 3})
+	live = 3
+	b.Publish(Event{At: 1400 * netsim.Millisecond, Kind: TimerFire, Router: 3})
+	b.Publish(Event{At: 1500 * netsim.Millisecond, Kind: TimerFire, Router: 3})
 
 	d := s.Curves()
 	if len(d.Routers) != 2 || d.Routers[0].Router != 0 || d.Routers[1].Router != 3 {
@@ -65,8 +73,11 @@ func TestSamplerCurves(t *testing.T) {
 		t.Errorf("r0 bucket2 state = %d, want 1", r0[2].State)
 	}
 	r3 := d.Routers[1].Samples
-	if r3[1].Delivered != 1 || r3[1].Drops != 1 {
-		t.Errorf("r3 bucket1 = %+v, want delivered=1 drops=1", r3[1])
+	if r3[1].Delivered != 1 || r3[1].Drops != 1 || r3[1].TimerFires != 2 {
+		t.Errorf("r3 bucket1 = %+v, want delivered=1 drops=1 timerFires=2", r3[1])
+	}
+	if d.LiveTimerPeak != 42 {
+		t.Errorf("LiveTimerPeak = %d, want 42", d.LiveTimerPeak)
 	}
 
 	var buf bytes.Buffer

@@ -449,6 +449,63 @@ func RecoveryTelemetry(cfg RecoveryConfig, p Protocol, fault string, interval Ti
 	return experiments.RecoveryTelemetry(cfg, p, fault, interval)
 }
 
+// Scheduler scaling benchmark (hierarchical timing wheel vs reference binary
+// heap — see DESIGN.md "Timer subsystem").
+type (
+	// ScalingBenchConfig names the ledgered scaling sweeps.
+	ScalingBenchConfig = experiments.ScalingBenchConfig
+	// ScalingBenchResult aggregates the timed sweeps.
+	ScalingBenchResult = experiments.ScalingBenchResult
+	// ScalingSweep is one timed sweep within the benchmark.
+	ScalingSweep = experiments.ScalingSweep
+)
+
+// DefaultScalingBenchConfig returns the ledger workload (internets up to
+// 1000 routers, every protocol); SmokeScalingBenchConfig the CI-sized one.
+func DefaultScalingBenchConfig() ScalingBenchConfig { return experiments.DefaultScalingBench() }
+
+// SmokeScalingBenchConfig returns the make scale-smoke workload.
+func SmokeScalingBenchConfig() ScalingBenchConfig { return experiments.SmokeScalingBench() }
+
+// RunScalingBench runs the size/group/sender sweeps under wall-clock timing
+// on the currently selected scheduler backing store.
+func RunScalingBench(cfg ScalingBenchConfig) ScalingBenchResult {
+	return experiments.RunScalingBench(cfg)
+}
+
+// SameScalingGrids reports whether two benchmark runs produced bit-identical
+// simulated grids (the heap-vs-wheel ledger gate).
+func SameScalingGrids(a, b ScalingBenchResult) bool { return experiments.SameGrids(a, b) }
+
+// Scheduler is the deterministic discrete-event scheduler simulations run
+// on (see DESIGN.md "Timer subsystem" for the backing stores).
+type Scheduler = netsim.Scheduler
+
+// PrepSchedulerBench returns a scheduler on the requested backing store
+// preloaded with the benchmark's parked soft-state timer population;
+// SchedulerChurn and SchedulerDense are the deterministic workloads
+// cmd/pimbench replays via testing.Benchmark for the BENCH_scale.json
+// microbenchmark columns.
+func PrepSchedulerBench(wheel bool) *Scheduler { return netsim.PrepSchedulerBench(wheel) }
+
+// SchedulerChurn runs n cancel-heavy soft-state refresh rounds.
+func SchedulerChurn(s *Scheduler, n int) { netsim.SchedulerChurn(s, n) }
+
+// SchedulerDense runs n fire-heavy data-pump rounds.
+func SchedulerDense(s *Scheduler, n int) { netsim.SchedulerDense(s, n) }
+
+// UseWheel reports whether new simulations schedule on the hierarchical
+// timing wheel (the default) rather than the reference binary heap;
+// SetUseWheel flips the process-global selection and returns the previous
+// setting. The two backing stores are observationally identical — every
+// event fires at the same simulated time in the same order — so the switch
+// only changes host-side cost.
+func UseWheel() bool { return netsim.UseWheel() }
+
+// SetUseWheel selects the scheduler backing store for subsequently built
+// simulations and returns the previous setting.
+func SetUseWheel(on bool) bool { return netsim.SetUseWheel(on) }
+
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
 
