@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger
+.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger
 
 # check is the full gate: vet, build, race-enabled tests (the -race pass
 # covers internal/telemetry and internal/experiments along with everything
-# else), a short benchmark smoke pass, the telemetry/invariant smoke, and
-# the scheduler-swap smoke.
-check: vet build race bench-smoke telemetry-smoke scale-smoke
+# else), a short benchmark smoke pass, the telemetry/invariant smoke, the
+# scheduler-swap smoke, and the sharded-execution smoke.
+check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -66,9 +66,23 @@ scale-smoke:
 	$(GO) run ./cmd/pimbench -scaling -smoke
 	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
 
+# shard-smoke verifies sharded parallel execution end to end: the CI-sized
+# scaling sweeps must produce the same simulated grids partitioned across 4
+# shards as sequentially (peak-timer readings excepted — DESIGN.md §12), and
+# the scheduler/shard/worker-pool packages must pass under the race detector.
+shard-smoke:
+	$(GO) run ./cmd/pimbench -scaling -smoke -shards 4
+	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
+
 # scale-ledger appends heap and wheel entries for the large-internet scaling
 # sweeps (up to 1000 routers) and the scheduler microbenchmarks to
 # BENCH_scale.json; recording is refused if the two backing stores' simulated
-# grids diverge (see EXPERIMENTS.md "Scaling sweeps").
+# grids diverge (see EXPERIMENTS.md "Scaling sweeps"). Set SHARDS to also
+# record a sharded pass gated against the sequential grid.
 scale-ledger:
-	$(GO) run ./cmd/pimbench -scaling -label $(or $(LABEL),run)
+	$(GO) run ./cmd/pimbench -scaling -label $(or $(LABEL),run) -shards $(or $(SHARDS),1)
+
+# tenk-ledger appends the 10000-router scaling cell to BENCH_scale.json,
+# sequential plus (with SHARDS) a gated sharded pass.
+tenk-ledger:
+	$(GO) run ./cmd/pimbench -tenk -label $(or $(LABEL),run) -shards $(or $(SHARDS),4)

@@ -33,7 +33,12 @@
 // stores. The simulated grids must be bit-identical between the stores;
 // when they are, one entry per store is appended to BENCH_scale.json. Add
 // -smoke for the CI-sized workload, which verifies the grid gate and
-// records nothing.
+// records nothing. With -shards N (N > 1) the scaling run adds a third
+// sweep on the sharded parallel core, gated on its grid being bit-identical
+// to the sequential wheel run; -tenk runs the 10 000-router size cells
+// (sequential and sharded) under the same gate. Every ledger entry carries
+// a header recording the host's CPU count, GOMAXPROCS, and the shard and
+// worker counts the numbers were measured with.
 package main
 
 import (
@@ -60,32 +65,55 @@ type FigBench struct {
 	FirstSeries any     `json:"first_point"`
 }
 
+// LedgerHeader is the host/run metadata stamped on every ledger entry of
+// every pimbench ledger, so recorded numbers are self-describing: which
+// host parallelism, which shard count, and which worker-pool width produced
+// them. One helper fills it for all writers.
+type LedgerHeader struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) — the scheduling width actually
+	// available, which bounds any speedup a sharded or worker-fanned run
+	// can show on this host.
+	GoMaxProcs int `json:"go_max_procs"`
+	// Shards is the simulation shard count in effect (1 = sequential).
+	Shards int `json:"shards"`
+	// Workers is the experiment worker-pool width (trial fan-out).
+	Workers int `json:"workers"`
+}
+
+// newHeader stamps a ledger header for the current process configuration.
+func newHeader(label string) LedgerHeader {
+	return LedgerHeader{
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     pim.Shards(),
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+}
+
 // Entry is one appended ledger record.
 type Entry struct {
-	Label     string   `json:"label"`
-	Timestamp string   `json:"timestamp"`
-	GoVersion string   `json:"go_version"`
-	NumCPU    int      `json:"num_cpu"`
-	Fig2a     FigBench `json:"fig2a"`
-	Fig2b     FigBench `json:"fig2b"`
+	LedgerHeader
+	Fig2a FigBench `json:"fig2a"`
+	Fig2b FigBench `json:"fig2b"`
 }
 
 // DataplaneEntry is one appended record of the data-plane ledger.
 type DataplaneEntry struct {
-	Label     string              `json:"label"`
-	Timestamp string              `json:"timestamp"`
-	GoVersion string              `json:"go_version"`
-	NumCPU    int                 `json:"num_cpu"`
-	Result    pim.DataplaneResult `json:"result"`
+	LedgerHeader
+	Result pim.DataplaneResult `json:"result"`
 }
 
 // RecoveryEntry is one appended record of the fault-recovery ledger.
 type RecoveryEntry struct {
-	Label     string             `json:"label"`
-	Timestamp string             `json:"timestamp"`
-	GoVersion string             `json:"go_version"`
-	NumCPU    int                `json:"num_cpu"`
-	Result    pim.RecoveryResult `json:"result"`
+	LedgerHeader
+	Result pim.RecoveryResult `json:"result"`
 }
 
 // MicroBench is one scheduler microbenchmark column of the scaling ledger.
@@ -99,14 +127,11 @@ type MicroBench struct {
 // side) and one with UseWheel=true (the timing wheel, the "after" side),
 // both over bit-identical simulated grids.
 type ScalingEntry struct {
-	Label     string                 `json:"label"`
-	Timestamp string                 `json:"timestamp"`
-	GoVersion string                 `json:"go_version"`
-	NumCPU    int                    `json:"num_cpu"`
-	UseWheel  bool                   `json:"use_wheel"`
-	Result    pim.ScalingBenchResult `json:"result"`
-	Churn     MicroBench             `json:"sched_churn"`
-	Dense     MicroBench             `json:"sched_dense"`
+	LedgerHeader
+	UseWheel bool                   `json:"use_wheel"`
+	Result   pim.ScalingBenchResult `json:"result"`
+	Churn    MicroBench             `json:"sched_churn"`
+	Dense    MicroBench             `json:"sched_dense"`
 }
 
 func main() {
@@ -121,8 +146,12 @@ func main() {
 	recovery := flag.Bool("recovery", false, "run the fault-recovery matrix instead of the Figure 2 sweeps")
 	scaling := flag.Bool("scaling", false, "run the large-internet scaling sweeps on both scheduler backing stores instead of the Figure 2 sweeps")
 	smoke := flag.Bool("smoke", false, "with -scaling: CI-sized workload, verify the heap/wheel grid gate, record nothing")
+	tenk := flag.Bool("tenk", false, "run the 10000-router scaling cell instead of the Figure 2 sweeps (honors -shards)")
+	shards := flag.Int("shards", 1, "simulation shard count (1 = sequential; sharded scaling/tenk runs are gated against the sequential grid)")
 	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
 	flag.Parse()
+
+	pim.SetShards(*shards)
 
 	if *telemetryOut != "" {
 		runTelemetry(*telemetryOut)
@@ -146,19 +175,21 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_scale.json"
 		}
-		runScaling(*label, *out, *smoke)
+		runScaling(*label, *out, *smoke, *shards)
+		return
+	}
+	if *tenk {
+		if *out == "" {
+			*out = "BENCH_scale.json"
+		}
+		runTenK(*label, *out, *shards)
 		return
 	}
 	if *out == "" {
 		*out = "BENCH_fig2.json"
 	}
 
-	entry := Entry{
-		Label:     *label,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-	}
+	entry := Entry{LedgerHeader: newHeader(*label)}
 
 	{
 		cfg := pim.DefaultFigure2a()
@@ -281,13 +312,7 @@ func runDataplane(label, out string, hops, packets, fillers int) {
 		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
 		os.Exit(1)
 	}
-	entry := DataplaneEntry{
-		Label:     label,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Result:    res,
-	}
+	entry := DataplaneEntry{LedgerHeader: newHeader(label), Result: res}
 	var ledger []DataplaneEntry
 	if data, err := os.ReadFile(out); err == nil {
 		if err := json.Unmarshal(data, &ledger); err != nil {
@@ -326,13 +351,7 @@ func runRecovery(label, out string) {
 		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
 		os.Exit(1)
 	}
-	entry := RecoveryEntry{
-		Label:     label,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Result:    res,
-	}
+	entry := RecoveryEntry{LedgerHeader: newHeader(label), Result: res}
 	var ledger []RecoveryEntry
 	if data, err := os.ReadFile(out); err == nil {
 		if err := json.Unmarshal(data, &ledger); err != nil {
@@ -371,67 +390,29 @@ func schedMicroBench(wheel bool, workload func(*pim.Scheduler, int)) MicroBench 
 	}
 }
 
-// runScaling executes the scaling sweeps and scheduler microbenchmarks on
-// both backing stores and appends one entry per store to the scaling ledger
-// — refusing to record anything if the two stores' simulated grids are not
-// bit-identical. With smoke set it runs the CI-sized workload, enforces the
-// same gate, and records nothing.
-func runScaling(label, out string, smoke bool) {
-	cfg := pim.DefaultScalingBenchConfig()
-	if smoke {
-		cfg = pim.SmokeScalingBenchConfig()
+// scalingRun executes one scaling sweep pass on the given backing store and
+// shard count, printing one line per sweep.
+func scalingRun(cfg pim.ScalingBenchConfig, wheel bool, shards int) pim.ScalingBenchResult {
+	prevWheel := pim.SetUseWheel(wheel)
+	prevShards := pim.SetShards(shards)
+	defer func() {
+		pim.SetUseWheel(prevWheel)
+		pim.SetShards(prevShards)
+	}()
+	res := pim.RunScalingBench(cfg)
+	store := "heap "
+	if wheel {
+		store = "wheel"
 	}
-	run := func(wheel bool) pim.ScalingBenchResult {
-		prev := pim.SetUseWheel(wheel)
-		defer pim.SetUseWheel(prev)
-		res := pim.RunScalingBench(cfg)
-		store := "heap "
-		if wheel {
-			store = "wheel"
-		}
-		for _, sw := range res.Sweeps {
-			fmt.Printf("scaling %-7s %s  %2d cells  %9.1f ms  %9d events  %9.0f events/sec  peak timers %d\n",
-				sw.Name, store, sw.Cells, sw.WallMs, sw.Events, sw.EventsPerSec, sw.PeakTimers)
-		}
-		return res
+	for _, sw := range res.Sweeps {
+		fmt.Printf("scaling %-7s %s shards=%d  %2d cells  %9.1f ms  %9d events  %9.0f events/sec  peak timers %d\n",
+			sw.Name, store, shards, sw.Cells, sw.WallMs, sw.Events, sw.EventsPerSec, sw.PeakTimers)
 	}
-	heap := run(false)
-	wheel := run(true)
-	if !pim.SameScalingGrids(heap, wheel) {
-		fmt.Fprintln(os.Stderr, "pimbench: heap and wheel scaling grids diverged — not recording")
-		os.Exit(1)
-	}
-	fmt.Printf("scaling grids identical; wall %0.1f ms (heap) vs %0.1f ms (wheel), %.2fx\n",
-		heap.WallMs, wheel.WallMs, heap.WallMs/wheel.WallMs)
-	if smoke {
-		fmt.Println("smoke run: grid gate passed, nothing recorded")
-		return
-	}
+	return res
+}
 
-	entries := make([]ScalingEntry, 0, 2)
-	for _, side := range []struct {
-		wheel  bool
-		suffix string
-		res    pim.ScalingBenchResult
-	}{
-		{false, "-heap", heap},
-		{true, "-wheel", wheel},
-	} {
-		e := ScalingEntry{
-			Label:     label + side.suffix,
-			Timestamp: time.Now().UTC().Format(time.RFC3339),
-			GoVersion: runtime.Version(),
-			NumCPU:    runtime.NumCPU(),
-			UseWheel:  side.wheel,
-			Result:    side.res,
-			Churn:     schedMicroBench(side.wheel, pim.SchedulerChurn),
-			Dense:     schedMicroBench(side.wheel, pim.SchedulerDense),
-		}
-		fmt.Printf("sched micro %s  churn %8.1f ns/op (%d allocs/op)  dense %8.1f ns/op (%d allocs/op)\n",
-			side.suffix[1:], e.Churn.NsPerOp, e.Churn.AllocsPerOp, e.Dense.NsPerOp, e.Dense.AllocsPerOp)
-		entries = append(entries, e)
-	}
-
+// appendScalingEntries appends ledger records to the scaling ledger file.
+func appendScalingEntries(out string, entries []ScalingEntry) {
 	var ledger []ScalingEntry
 	if data, err := os.ReadFile(out); err == nil {
 		if err := json.Unmarshal(data, &ledger); err != nil {
@@ -449,6 +430,100 @@ func runScaling(label, out string, smoke bool) {
 		fmt.Fprintln(os.Stderr, "pimbench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("appended %q and %q entries to %s (%d entries)\n",
-		label+"-heap", label+"-wheel", out, len(ledger))
+	for _, e := range entries {
+		fmt.Printf("appended %q entry to %s (%d entries)\n", e.Label, out, len(ledger))
+	}
+}
+
+// runScaling executes the scaling sweeps and scheduler microbenchmarks on
+// both backing stores — plus, with -shards N > 1, a third pass on the wheel
+// store partitioned into N parallel shards — and appends one entry per pass
+// to the scaling ledger. Nothing is recorded unless the heap and wheel grids
+// are bit-identical and the sharded grid matches the sequential wheel grid
+// (peak-timer readings excepted; see SameScalingGridsSharded). With smoke
+// set it runs the CI-sized workload, enforces the same gates, and records
+// nothing.
+func runScaling(label, out string, smoke bool, shards int) {
+	cfg := pim.DefaultScalingBenchConfig()
+	if smoke {
+		cfg = pim.SmokeScalingBenchConfig()
+	}
+	heap := scalingRun(cfg, false, 1)
+	wheel := scalingRun(cfg, true, 1)
+	if !pim.SameScalingGrids(heap, wheel) {
+		fmt.Fprintln(os.Stderr, "pimbench: heap and wheel scaling grids diverged — not recording")
+		os.Exit(1)
+	}
+	fmt.Printf("scaling grids identical; wall %0.1f ms (heap) vs %0.1f ms (wheel), %.2fx\n",
+		heap.WallMs, wheel.WallMs, heap.WallMs/wheel.WallMs)
+	var sharded *pim.ScalingBenchResult
+	if shards > 1 {
+		res := scalingRun(cfg, true, shards)
+		if !pim.SameScalingGridsSharded(wheel, res) {
+			fmt.Fprintf(os.Stderr, "pimbench: shards=%d grid diverged from sequential — not recording\n", shards)
+			os.Exit(1)
+		}
+		fmt.Printf("sharded grid identical; wall %0.1f ms (shards=1) vs %0.1f ms (shards=%d), %.2fx\n",
+			wheel.WallMs, res.WallMs, shards, wheel.WallMs/res.WallMs)
+		sharded = &res
+	}
+	if smoke {
+		fmt.Println("smoke run: grid gate passed, nothing recorded")
+		return
+	}
+
+	type side struct {
+		wheel  bool
+		shards int
+		suffix string
+		res    pim.ScalingBenchResult
+	}
+	sides := []side{
+		{false, 1, "-heap", heap},
+		{true, 1, "-wheel", wheel},
+	}
+	if sharded != nil {
+		sides = append(sides, side{true, shards, fmt.Sprintf("-shards%d", shards), *sharded})
+	}
+	entries := make([]ScalingEntry, 0, len(sides))
+	for _, sd := range sides {
+		h := newHeader(label + sd.suffix)
+		h.Shards = sd.shards
+		e := ScalingEntry{
+			LedgerHeader: h,
+			UseWheel:     sd.wheel,
+			Result:       sd.res,
+			Churn:        schedMicroBench(sd.wheel, pim.SchedulerChurn),
+			Dense:        schedMicroBench(sd.wheel, pim.SchedulerDense),
+		}
+		fmt.Printf("sched micro %s  churn %8.1f ns/op (%d allocs/op)  dense %8.1f ns/op (%d allocs/op)\n",
+			sd.suffix[1:], e.Churn.NsPerOp, e.Churn.AllocsPerOp, e.Dense.NsPerOp, e.Dense.AllocsPerOp)
+		entries = append(entries, e)
+	}
+	appendScalingEntries(out, entries)
+}
+
+// runTenK executes the 10 000-router scaling cell on the wheel store,
+// sequentially and — with -shards N > 1 — sharded, gating the sharded grid
+// against the sequential one before anything is recorded. Entries land in
+// the scaling ledger alongside the -scaling sweeps.
+func runTenK(label, out string, shards int) {
+	cfg := pim.TenKScalingBenchConfig()
+	seq := scalingRun(cfg, true, 1)
+	h := newHeader(label + "-10k-seq")
+	h.Shards = 1
+	entries := []ScalingEntry{{LedgerHeader: h, UseWheel: true, Result: seq}}
+	if shards > 1 {
+		res := scalingRun(cfg, true, shards)
+		if !pim.SameScalingGridsSharded(seq, res) {
+			fmt.Fprintf(os.Stderr, "pimbench: 10k shards=%d grid diverged from sequential — not recording\n", shards)
+			os.Exit(1)
+		}
+		fmt.Printf("10k sharded grid identical; wall %0.1f ms (shards=1) vs %0.1f ms (shards=%d), %.2fx\n",
+			seq.WallMs, res.WallMs, shards, seq.WallMs/res.WallMs)
+		hs := newHeader(fmt.Sprintf("%s-10k-shards%d", label, shards))
+		hs.Shards = shards
+		entries = append(entries, ScalingEntry{LedgerHeader: hs, UseWheel: true, Result: res})
+	}
+	appendScalingEntries(out, entries)
 }

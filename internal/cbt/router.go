@@ -187,7 +187,7 @@ func (r *Router) Restart() {
 // timer fires makes the closure a no-op.
 func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
-	return r.Node.Net.Sched.After(d, func() {
+	return r.Node.Sched().After(d, func() {
 		if r.epoch == ep {
 			if r.tel != nil {
 				r.tel.Publish(telemetry.Event{
@@ -200,7 +200,7 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	})
 }
 
-func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
+func (r *Router) now() netsim.Time { return r.Node.Sched().Now() }
 
 // StateCount returns the number of per-group tree entries — CBT's state
 // axis (one entry per group regardless of source count).

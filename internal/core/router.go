@@ -218,7 +218,7 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	})
 }
 
-func (r *Router) sched() *netsim.Scheduler { return r.Node.Net.Sched }
+func (r *Router) sched() *netsim.Scheduler { return r.Node.Sched() }
 func (r *Router) now() netsim.Time         { return r.sched().Now() }
 
 // SetRPMapping installs or replaces the ordered RP candidate list for a
@@ -351,17 +351,35 @@ func (r *Router) handleQuery(in *netsim.Iface, src addr.IP, body []byte) {
 
 func (r *Router) expireNeighbors() {
 	now := r.now()
+	// Collect expiries and process them in (iface, address) order: a sweep
+	// can expire several neighbors at once (simultaneous link failures), and
+	// publishing in map-iteration order would make the telemetry stream
+	// nondeterministic.
+	type expiry struct {
+		idx int
+		a   addr.IP
+	}
+	var dead []expiry
 	for idx, byAddr := range r.neighbors {
 		for a, deadline := range byAddr {
 			if now > deadline {
-				delete(byAddr, a)
-				if r.tel != nil {
-					r.tel.Publish(telemetry.Event{
-						At: now, Kind: telemetry.NeighborDown, Router: r.Node.ID,
-						Iface: idx, Epoch: r.epoch, Source: a,
-					})
-				}
+				dead = append(dead, expiry{idx, a})
 			}
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool {
+		if dead[i].idx != dead[j].idx {
+			return dead[i].idx < dead[j].idx
+		}
+		return dead[i].a < dead[j].a
+	})
+	for _, e := range dead {
+		delete(r.neighbors[e.idx], e.a)
+		if r.tel != nil {
+			r.tel.Publish(telemetry.Event{
+				At: now, Kind: telemetry.NeighborDown, Router: r.Node.ID,
+				Iface: e.idx, Epoch: r.epoch, Source: e.a,
+			})
 		}
 	}
 }

@@ -165,7 +165,7 @@ func (r *Router) Restart() {
 // timer fires makes the closure a no-op.
 func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
-	return r.Node.Net.Sched.After(d, func() {
+	return r.Node.Sched().After(d, func() {
 		if r.epoch == ep {
 			// Published past the epoch guard so the event records a timer
 			// body that actually ran (see core.Router.after).
@@ -180,7 +180,7 @@ func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	})
 }
 
-func (r *Router) now() netsim.Time { return r.Node.Net.Sched.Now() }
+func (r *Router) now() netsim.Time { return r.Node.Sched().Now() }
 
 // StateCount returns the number of multicast forwarding entries.
 func (r *Router) StateCount() int { return r.MFIB.Len() }

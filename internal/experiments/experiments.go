@@ -165,6 +165,12 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 			sendHosts[gi] = append(sendHosts[gi], ensureHost(s))
 		}
 	}
+	// Shard the simulation when a multi-shard run was requested
+	// (netsim.SetShards). MOSPF stays sequential: its routers flood through
+	// a shared in-memory Domain that cannot be split across shards.
+	if proto != MOSPF {
+		sim.AutoShard()
+	}
 	sim.FinishUnicast(scenario.UseOracle)
 
 	// RP / core placement: the first member's router (the paper's §4
@@ -252,29 +258,25 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 	}
 	sim.Run(cfg.Warmup)
 
-	// Measured phase: periodic senders.
+	// Measured phase: periodic senders. Each pump reschedules itself on its
+	// host's own (possibly shard-local) scheduler, so sharded runs keep all
+	// send events inside the owning shard.
 	sim.Net.Stats.Reset()
 	ctrlBase := ctrl()
-	sent := 0
-	stop := false
 	for gi, grp := range w.groups {
 		gi, grp := gi, grp
 		for _, h := range sendHosts[gi] {
 			h := h
+			sched := h.Node.Sched()
 			var pump func()
 			pump = func() {
-				if stop {
-					return
-				}
 				scenario.SendData(h, grp, 128)
-				sent++
-				sim.Net.Sched.After(cfg.PacketInterval, pump)
+				sched.After(cfg.PacketInterval, pump)
 			}
-			sim.Net.Sched.After(0, pump)
+			sched.After(0, pump)
 		}
 	}
 	sim.Run(cfg.Duration)
-	stop = true
 
 	res := Result{
 		Protocol:     proto,
@@ -284,8 +286,8 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 		DataBytes:    sim.Net.Stats.Totals.DataBytes,
 		DataPackets:  sim.Net.Stats.Totals.DataPackets,
 		Expected:     0,
-		Events:       sim.Net.Sched.Processed,
-		PeakTimers:   sim.Net.Sched.PeakLiveTimers(),
+		Events:       sim.Net.EventsProcessed(),
+		PeakTimers:   sim.Net.PeakLiveTimers(),
 	}
 	for _, l := range sim.EdgeLinks {
 		if n := sim.Net.Stats.PerLink[l.ID].DataPackets; n > res.MaxLinkData {
@@ -305,10 +307,8 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 		for _, h := range recvHosts[gi] {
 			res.Delivered += h.Received[w.groups[gi]]
 		}
-		res.Expected += sent / max(1, cfg.Groups*len(sendHosts[gi])) // filled below
 	}
 	// Expected = packets sent per group × receivers per group, summed.
-	res.Expected = 0
 	perSender := 0
 	if cfg.PacketInterval > 0 {
 		perSender = int(cfg.Duration/cfg.PacketInterval) + 1

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"sort"
+
 	"pim/internal/addr"
 	"pim/internal/cbt"
 	"pim/internal/core"
@@ -29,7 +31,8 @@ import (
 //   - recovery time: the gap between the fault (or the membership change it
 //     interferes with) and the first packet delivered past it, detected by a
 //     telemetry.ConvergenceProbe on the deployment's event bus;
-//   - control messages spent converging (link crossings in that window);
+//   - control messages spent converging (protocol control sends in that
+//     window, tallied from the telemetry lanes);
 //   - residual state: entries still installed at the end of the run beyond
 //     the pre-fault baseline — stale state a soft-state protocol must shed;
 //   - tree quiet time: how long the multicast forwarding state had been
@@ -39,7 +42,7 @@ import (
 // the fast path, with identical seeds; the delivery traces must match
 // bit-for-bit or cmd/pimbench refuses to record the run. Fault injection is
 // deterministic (internal/faults), so the matrix is also reproducible across
-// any Workers setting. With Checked set, every cell additionally runs under
+// any Workers setting and any shard count. With Checked set, every cell additionally runs under
 // the online §3.8 invariant checker and surfaces any violations.
 
 // Recovery fault kinds.
@@ -103,7 +106,8 @@ type RecoveryCell struct {
 	// the late join it interferes with) to the first delivery past it.
 	Recovered   bool    `json:"recovered"`
 	RecoverySec float64 `json:"recovery_sec"`
-	// CtrlMessages counts control link crossings in the recovery window.
+	// CtrlMessages counts protocol control-message sends (join/prune,
+	// graft, prune, register, LSA flood) in the recovery window.
 	CtrlMessages int64 `json:"ctrl_messages"`
 	// ResidualState is TotalState(End) − TotalState(just before the fault):
 	// state beyond the pre-fault baseline still installed at the end.
@@ -276,8 +280,10 @@ func deployRecovery(sim *scenario.Sim, proto Protocol, group addr.IP, anchor int
 // soft-state refresh alone. The RP / CBT core is r3, so A's delivery always
 // crosses the faulted transit.
 // recoverySim builds the diamond with the three hosts attached and the
-// oracle unicast substrate finished.
-func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
+// oracle unicast substrate finished. Unless the protocol pins itself to the
+// sequential path (MOSPF's shared Domain), the sim is partitioned across the
+// process-global shard count before any event is scheduled.
+func recoverySim(proto Protocol) (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
 	g := topology.New(5)
 	g.AddEdge(0, 1, 1)
 	g.AddEdge(1, 2, 1)
@@ -285,6 +291,9 @@ func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
 	g.AddEdge(1, 4, 2)
 	g.AddEdge(4, 3, 2)
 	sim = scenario.Build(g)
+	if proto != MOSPF {
+		sim.AutoShard()
+	}
 	src = sim.AddHost(0)
 	recvA = sim.AddHost(recvARouter)
 	recvB = sim.AddHost(recvBRouter)
@@ -293,41 +302,57 @@ func recoverySim() (sim *scenario.Sim, src, recvA, recvB *igmp.Host) {
 }
 
 // RecoveryTelemetry runs one recovery cell with a time-series sampler on the
-// deployment's event bus and returns the sampler for dumping — the per-router
-// counter curves cmd/pimbench writes with -telemetry. The cell runs on
-// whichever forwarding path is currently enabled, seeded exactly like the
-// matrix's first cell.
+// deployment's event lanes and returns the sampler for dumping — the
+// per-router counter curves cmd/pimbench writes with -telemetry. The cell
+// runs on whichever forwarding path and shard count are currently enabled,
+// seeded exactly like the matrix's first cell; sharded cells additionally
+// carry the per-shard execution counters in the dump.
 func RecoveryTelemetry(cfg RecoveryConfig, proto Protocol, kind string, interval netsim.Time) *telemetry.Sampler {
 	var smp *telemetry.Sampler
 	runRecoveryOnce(cfg, proto, kind, parallel.DeriveSeed(cfg.Seed, 0),
-		func(sim *scenario.Sim, b *telemetry.Bus) {
-			smp = telemetry.NewSampler(b, interval)
-			// Expose timer pressure alongside the counter curves: the gauge
-			// reads the scheduler's live-timer count at each observed event,
-			// so the dump shows the soft-state refresh load without
-			// perturbing the simulation.
-			sched := sim.Net.Sched
-			smp.AttachLiveTimerGauge(func() int64 { return int64(sched.LiveTimers()) })
+		func(sim *scenario.Sim, lanes []*telemetry.Bus) {
+			smp = telemetry.NewShardedSampler(lanes, interval)
+			// Expose timer pressure alongside the counter curves: each lane's
+			// gauge reads its own shard's live-timer count at each observed
+			// event, so the dump shows the soft-state refresh load without
+			// perturbing the simulation (and without cross-shard reads).
+			for i := range lanes {
+				sched := sim.Net.ShardScheduler(i)
+				smp.AttachLaneGauge(i, func() int64 { return int64(sched.LiveTimers()) })
+			}
+			if sim.Net.Sharded() {
+				smp.AttachShardLoads(sim.Net.ShardLoads)
+			}
 		})
 	return smp
 }
 
 // runRecoveryOnce executes one cell; tap, when non-nil, may subscribe extra
-// consumers to the cell's event bus before the protocol deploys.
-func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64, tap func(*scenario.Sim, *telemetry.Bus)) recoveryRun {
-	sim, src, recvA, recvB := recoverySim()
+// consumers to the cell's event lanes before the protocol deploys.
+func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64, tap func(*scenario.Sim, []*telemetry.Bus)) recoveryRun {
+	sim, src, recvA, recvB := recoverySim(proto)
 	group := addr.GroupForIndex(0)
 
-	// Every cell runs with the event bus attached: the convergence probe
-	// reads recovery off Deliver events, and (when Checked) the invariant
-	// checker audits the same stream. The probe subscribes first so its
-	// delivery log is current when later subscribers query it.
-	bus := telemetry.NewBus()
-	probe := telemetry.NewConvergenceProbe(bus)
-	if tap != nil {
-		tap(sim, bus)
+	// Every cell runs with event lanes attached — one bus per shard, so
+	// publishing never crosses a shard boundary. A convergence probe rides
+	// each lane (a receiver site lives on exactly one shard, so exactly one
+	// probe sees its deliveries), and (when Checked) per-lane invariant
+	// checkers audit the same streams. All metric extraction happens after
+	// the run, from state each lane accumulated race-free.
+	nlanes := sim.Net.ShardCount()
+	lanes := make([]*telemetry.Bus, nlanes)
+	probes := make([]*telemetry.ConvergenceProbe, nlanes)
+	for i := range lanes {
+		lanes[i] = telemetry.NewBus()
+		probes[i] = telemetry.NewConvergenceProbe(lanes[i])
 	}
-	opts := []scenario.DeployOption{scenario.WithTelemetry(bus)}
+	if tap != nil {
+		tap(sim, lanes)
+	}
+	opts := []scenario.DeployOption{scenario.WithTelemetry(lanes[0])}
+	if nlanes > 1 {
+		opts = append(opts, scenario.WithShardTelemetry(lanes))
+	}
 	if cfg.Checked {
 		opts = append(opts, scenario.WithInvariantChecker())
 	}
@@ -343,44 +368,38 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 	}
 
 	run := recoveryRun{recovery: -1}
-	var ctrlAtStart int64
-	bus.Subscribe(func(ev telemetry.Event) {
-		if ev.Kind != telemetry.Deliver || ev.Group != group {
-			return
-		}
-		var hi int
-		switch ev.Router {
-		case recvARouter:
-			hi = 0
-		case recvBRouter:
-			hi = 1
-		default:
-			return
-		}
-		de := DeliveryEvent{At: ev.At, Host: hi, Src: ev.Source}
-		if ev.Value >= 0 {
-			de.Sent = netsim.Time(ev.Value)
-		}
-		run.trace = append(run.trace, de)
-		if run.recovery >= 0 {
-			return
-		}
-		// Loss cells recover when the late joiner (B) hears anything;
-		// topology cells when A receives a packet sent after the fault
-		// (pre-fault packets in flight don't count). The probe has already
-		// observed this event, so asking it on every delivery pins the
-		// recovery instant — and the control snapshot — to the exact
-		// delivery that proves the repaired tree.
-		if lossKind {
-			if at, ok := probe.FirstDeliveryAt(recvBRouter, cfg.JoinAt); ok {
-				run.recovery = at - cfg.JoinAt
-				run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
+	// Per-lane accumulation: member-site delivery events and control-send
+	// instants, merged canonically after the run.
+	laneTraces := make([][]DeliveryEvent, nlanes)
+	laneCtrl := make([][]netsim.Time, nlanes)
+	for i, b := range lanes {
+		i := i
+		b.Subscribe(func(ev telemetry.Event) {
+			switch ev.Kind {
+			case telemetry.JoinPruneSend, telemetry.GraftSend, telemetry.PruneSend,
+				telemetry.RegisterSend, telemetry.LSAFlood:
+				laneCtrl[i] = append(laneCtrl[i], ev.At)
+			case telemetry.Deliver:
+				if ev.Group != group {
+					return
+				}
+				var hi int
+				switch ev.Router {
+				case recvARouter:
+					hi = 0
+				case recvBRouter:
+					hi = 1
+				default:
+					return
+				}
+				de := DeliveryEvent{At: ev.At, Host: hi, Src: ev.Source}
+				if ev.Value >= 0 {
+					de.Sent = netsim.Time(ev.Value)
+				}
+				laneTraces[i] = append(laneTraces[i], de)
 			}
-		} else if at, ok := probe.FirstDeliverySentAfter(recvARouter, cfg.FaultAt); ok {
-			run.recovery = at - cfg.FaultAt
-			run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
-		}
-	})
+		})
+	}
 
 	sched := sim.Net.Sched
 	// Steady state: A (and, outside the loss cells, B) joins early.
@@ -400,10 +419,12 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 		sched.At(at, func() { scenario.SendData(src, group, 64) })
 	}
 
-	// Pre-fault baseline, then the fault itself.
+	// Pre-fault baseline, then the fault itself. (TotalState reads protocol
+	// state across every router; as a root-scheduler action it runs at an
+	// epoch barrier with all shards quiesced, so the cross-shard read is
+	// safe.)
 	var stateAtFault int
 	sched.At(cfg.FaultAt-netsim.Second, func() { stateAtFault = dep.TotalState() })
-	sched.At(windowStart, func() { ctrlAtStart = sim.Net.Stats.Totals.ControlPackets })
 	switch kind {
 	case FaultLoss0:
 		// Control cell: the membership change alone.
@@ -424,19 +445,74 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 
 	sim.Run(cfg.End)
 
-	if run.recovery < 0 {
-		run.ctrl = sim.Net.Stats.Totals.ControlPackets - ctrlAtStart
+	// Recovery instant, read post-run from whichever lane's probe observed
+	// the proving site. Loss cells recover when the late joiner (B) hears
+	// anything; topology cells when A receives a packet sent after the fault
+	// (pre-fault packets in flight don't count).
+	recoveredAt := netsim.Time(-1)
+	for _, probe := range probes {
+		if lossKind {
+			if at, ok := probe.FirstDeliveryAt(recvBRouter, cfg.JoinAt); ok {
+				recoveredAt = at
+			}
+		} else if at, ok := probe.FirstDeliverySentAfter(recvARouter, cfg.FaultAt); ok {
+			recoveredAt = at
+		}
 	}
+	if recoveredAt >= 0 {
+		run.recovery = recoveredAt - windowStart
+	}
+
+	// Control effort: protocol control-message sends between the window
+	// start and the delivery that proved the repaired tree (run end when
+	// delivery never resumed). Counting send events by timestamp is
+	// order-free, so the tally is identical on every shard count.
+	windowEnd := cfg.End
+	if recoveredAt >= 0 {
+		windowEnd = recoveredAt
+	}
+	for _, times := range laneCtrl {
+		for _, at := range times {
+			if at >= windowStart && at <= windowEnd {
+				run.ctrl++
+			}
+		}
+	}
+
+	// Canonical delivery trace: lane buffers merged and sorted by the full
+	// event tuple, so the trace is independent of both shard count and
+	// publication interleaving.
+	for _, tr := range laneTraces {
+		run.trace = append(run.trace, tr...)
+	}
+	sort.Slice(run.trace, func(a, b int) bool {
+		x, y := run.trace[a], run.trace[b]
+		if x.At != y.At {
+			return x.At < y.At
+		}
+		if x.Host != y.Host {
+			return x.Host < y.Host
+		}
+		if x.Src != y.Src {
+			return x.Src < y.Src
+		}
+		return x.Sent < y.Sent
+	})
+
 	run.residual = dep.TotalState() - stateAtFault
 	run.delivered = recvA.Received[group] + recvB.Received[group]
 	run.treeQuiet = cfg.End
-	if at, ok := probe.LastTreeMutation(); ok {
-		run.treeQuiet = cfg.End - at
-	}
-	if chk := dep.Checker(); chk != nil {
-		for _, v := range chk.Violations() {
-			run.violations = append(run.violations, v.String())
+	lastMut := netsim.Time(-1)
+	for _, probe := range probes {
+		if at, ok := probe.LastTreeMutation(); ok && at > lastMut {
+			lastMut = at
 		}
+	}
+	if lastMut >= 0 {
+		run.treeQuiet = cfg.End - lastMut
+	}
+	for _, v := range dep.Violations() {
+		run.violations = append(run.violations, v.String())
 	}
 	return run
 }

@@ -121,7 +121,7 @@ func TestCrashRestartPerEngine(t *testing.T) {
 	for _, proto := range RecoveryProtocols() {
 		proto := proto
 		t.Run(string(proto), func(t *testing.T) {
-			sim, src, recvA, recvB := recoverySim()
+			sim, src, recvA, recvB := recoverySim(proto)
 			group := addr.GroupForIndex(0)
 			dep := deployRecovery(sim, proto, group, 3)
 			state, neighbors := engineProbes(dep)

@@ -11,11 +11,22 @@
 // verbs (internal/script: loss/flap/crash/restart/partition/heal) drive the
 // protocols through exactly those faults using this package.
 //
-// Determinism: one Injector owns one rand stream seeded at construction.
-// Loss decisions are consumed per frame delivery in scheduler order, which
-// is itself deterministic, so a run with a given seed is bit-reproducible —
-// the property the Workers-independence and fastpath-equivalence gates
-// assert on.
+// Determinism: the Injector owns one rand stream per directed interface
+// pair, seeded from the construction seed and the pair's stable identity
+// (link ID plus both endpoints' positions on the link). Loss decisions for
+// a pair are consumed in that pair's delivery order, which the scheduler
+// makes deterministic, and distinct pairs never share a stream — so a run
+// with a given seed is bit-reproducible regardless of how deliveries from
+// different links interleave. That last property is what lets the sharded
+// simulation core replay identical loss patterns at any shard count: each
+// pair's deliveries execute on one shard, in an order the determinism
+// argument of internal/netsim fixes, while a single shared stream would
+// observe the (varying) global interleaving.
+//
+// Pair streams are pre-populated when a model is installed, never lazily
+// during delivery, so concurrently executing shards only read the maps.
+// Install mutators (SetBernoulli, SetGilbert, ClearLoss) must run in a
+// serial phase: setup code or a scheduled event on the root scheduler.
 package faults
 
 import (
@@ -23,6 +34,7 @@ import (
 
 	"pim/internal/netsim"
 	"pim/internal/packet"
+	"pim/internal/parallel"
 )
 
 // Class selects which packets a loss model applies to, using the control /
@@ -59,35 +71,48 @@ type GilbertParams struct {
 	LossBad  float64 // drop probability in the bad state
 }
 
-// lossModel is one installed loss process (per link or global).
+// lossModel is one installed loss process (per link or global). The model
+// itself is immutable once installed; mutable channel state (the rand
+// stream, the Gilbert good/bad bit) lives per directed pair in pairState.
 type lossModel struct {
 	class Class
 	// bernoulli rate when gilbert is nil.
 	rate    float64
 	gilbert *GilbertParams
-	bad     bool // gilbert channel state
 }
 
-func (m *lossModel) drop(rng *rand.Rand, proto byte) bool {
+func (m *lossModel) drop(ps *pairState, bad *bool, proto byte) bool {
 	if !m.class.matches(proto) {
 		return false
 	}
 	if m.gilbert == nil {
-		return m.rate > 0 && rng.Float64() < m.rate
+		return m.rate > 0 && ps.rng.Float64() < m.rate
 	}
 	// Advance the channel, then sample the state's loss rate.
-	if m.bad {
-		if rng.Float64() < m.gilbert.PBadGood {
-			m.bad = false
+	if *bad {
+		if ps.rng.Float64() < m.gilbert.PBadGood {
+			*bad = false
 		}
-	} else if rng.Float64() < m.gilbert.PGoodBad {
-		m.bad = true
+	} else if ps.rng.Float64() < m.gilbert.PGoodBad {
+		*bad = true
 	}
 	p := m.gilbert.LossGood
-	if m.bad {
+	if *bad {
 		p = m.gilbert.LossBad
 	}
-	return p > 0 && rng.Float64() < p
+	return p > 0 && ps.rng.Float64() < p
+}
+
+// pairKey identifies one direction of one link.
+type pairKey struct{ from, to *netsim.Iface }
+
+// pairState is the mutable loss state of one directed pair: its private
+// rand stream plus the Gilbert channel bits for the link-scoped and
+// global-scoped models.
+type pairState struct {
+	rng       *rand.Rand
+	linkBad   bool
+	globalBad bool
 }
 
 // Lifecycle is the crash/restart surface of a protocol engine (implemented
@@ -103,8 +128,8 @@ type Lifecycle interface {
 // mutators may be called at any simulated time (typically from scheduled
 // events).
 type Injector struct {
-	Net *netsim.Network
-	rng *rand.Rand
+	Net  *netsim.Network
+	seed int64
 
 	// prev chains a pre-existing Network.Loss hook: the injector composes
 	// onto it rather than replacing it.
@@ -112,6 +137,9 @@ type Injector struct {
 
 	perLink map[*netsim.Link]*lossModel
 	global  *lossModel
+	// pairs holds each directed pair's private rand stream and channel
+	// state, created eagerly at model-install time (delivery only reads).
+	pairs map[pairKey]*pairState
 
 	// partitioned remembers the links Partition took down, so Heal can
 	// restore exactly that set.
@@ -123,22 +151,57 @@ type Injector struct {
 func New(net *netsim.Network, seed int64) *Injector {
 	in := &Injector{
 		Net:     net,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		prev:    net.Loss,
 		perLink: map[*netsim.Link]*lossModel{},
+		pairs:   map[pairKey]*pairState{},
 	}
 	net.Loss = in.loss
 	return in
+}
+
+// ensurePairs creates the pair streams for every direction of l. The seed
+// derives from the link's ID and both endpoints' positions on it — stable
+// identities that don't depend on install order or memory layout.
+func (in *Injector) ensurePairs(l *netsim.Link) {
+	for i, from := range l.Ifaces {
+		for j, to := range l.Ifaces {
+			if i == j {
+				continue
+			}
+			k := pairKey{from, to}
+			if in.pairs[k] == nil {
+				seed := parallel.DeriveSeed(in.seed, int64(l.ID), int64(i), int64(j))
+				in.pairs[k] = &pairState{rng: rand.New(rand.NewSource(seed))}
+			}
+		}
+	}
+}
+
+func (in *Injector) ensureAllPairs() {
+	for _, l := range in.Net.Links {
+		in.ensurePairs(l)
+	}
 }
 
 func (in *Injector) loss(from, to *netsim.Iface, pkt *packet.Packet) bool {
 	if in.prev != nil && in.prev(from, to, pkt) {
 		return true
 	}
-	if m := in.perLink[from.Link]; m != nil && m.drop(in.rng, pkt.Protocol) {
+	lm, gm := in.perLink[from.Link], in.global
+	if lm == nil && gm == nil {
+		return false
+	}
+	ps := in.pairs[pairKey{from, to}]
+	if ps == nil {
+		// An interface joined the link after its model was installed;
+		// re-install the model (from a serial phase) to pick it up.
+		panic("faults: delivery on a pair with no installed stream")
+	}
+	if lm != nil && lm.drop(ps, &ps.linkBad, pkt.Protocol) {
 		return true
 	}
-	if in.global != nil && in.global.drop(in.rng, pkt.Protocol) {
+	if gm != nil && gm.drop(ps, &ps.globalBad, pkt.Protocol) {
 		return true
 	}
 	return false
@@ -154,6 +217,9 @@ func (in *Injector) SetBernoulli(l *netsim.Link, rate float64, class Class) {
 	}
 	if l == nil {
 		in.global = m
+		if m != nil {
+			in.ensureAllPairs()
+		}
 		return
 	}
 	if m == nil {
@@ -161,6 +227,7 @@ func (in *Injector) SetBernoulli(l *netsim.Link, rate float64, class Class) {
 		return
 	}
 	in.perLink[l] = m
+	in.ensurePairs(l)
 }
 
 // SetGilbert installs the two-state burst-loss model on one link (or every
@@ -169,9 +236,11 @@ func (in *Injector) SetGilbert(l *netsim.Link, p GilbertParams, class Class) {
 	m := &lossModel{class: class, gilbert: &p}
 	if l == nil {
 		in.global = m
+		in.ensureAllPairs()
 		return
 	}
 	in.perLink[l] = m
+	in.ensurePairs(l)
 }
 
 // ClearLoss removes every installed loss model. Scheduled flaps and an

@@ -108,7 +108,7 @@ func (h *Host) handleIGMP(in *netsim.Iface, pkt *packet.Packet) {
 			// fire and suppression has time to act.
 			mix := (uint64(h.Iface.Addr)*2654435761 + uint64(g)) * 0x9E3779B97F4A7C15
 			delay := netsim.Time(mix % uint64(h.ReportDelayWindow))
-			h.pending[g] = h.Node.Net.Sched.After(delay, func() {
+			h.pending[g] = h.Node.Sched().After(delay, func() {
 				if _, still := h.joined[g]; still {
 					h.sendReport(g)
 					if rps := h.joined[g]; len(rps) > 0 {

@@ -59,12 +59,12 @@ func (q *Querier) Start() {
 	q.started = true
 	if q.Telemetry != nil {
 		q.Telemetry.Publish(telemetry.Event{
-			At: q.Node.Net.Sched.Now(), Kind: telemetry.EpochStart,
+			At: q.Node.Sched().Now(), Kind: telemetry.EpochStart,
 			Router: q.Node.ID, Iface: -1, Epoch: q.epoch, Value: int64(q.memberCount()),
 		})
 	}
 	q.Node.Handle(packet.ProtoIGMP, netsim.HandlerFunc(q.handle))
-	sched := q.Node.Net.Sched
+	sched := q.Node.Sched()
 	ep := q.epoch
 	var tick func()
 	tick = func() {
@@ -95,7 +95,7 @@ func (q *Querier) Stop() {
 	q.started = false
 	if q.Telemetry != nil {
 		q.Telemetry.Publish(telemetry.Event{
-			At: q.Node.Net.Sched.Now(), Kind: telemetry.EpochEnd,
+			At: q.Node.Sched().Now(), Kind: telemetry.EpochEnd,
 			Router: q.Node.ID, Iface: -1, Epoch: q.epoch,
 		})
 	}
@@ -165,11 +165,11 @@ func (q *Querier) noteMember(in *netsim.Iface, g addr.IP) {
 		q.members[in.Index] = byGroup
 	}
 	_, had := byGroup[g]
-	byGroup[g] = q.Node.Net.Sched.Now() + q.HoldTime
+	byGroup[g] = q.Node.Sched().Now() + q.HoldTime
 	if !had {
 		if q.Telemetry != nil {
 			q.Telemetry.Publish(telemetry.Event{
-				At: q.Node.Net.Sched.Now(), Kind: telemetry.MemberJoin,
+				At: q.Node.Sched().Now(), Kind: telemetry.MemberJoin,
 				Router: q.Node.ID, Iface: in.Index, Epoch: q.epoch, Group: g,
 			})
 		}
@@ -188,7 +188,7 @@ func (q *Querier) dropMember(in *netsim.Iface, g addr.IP) {
 		delete(byGroup, g)
 		if q.Telemetry != nil {
 			q.Telemetry.Publish(telemetry.Event{
-				At: q.Node.Net.Sched.Now(), Kind: telemetry.MemberLeave,
+				At: q.Node.Sched().Now(), Kind: telemetry.MemberLeave,
 				Router: q.Node.ID, Iface: in.Index, Epoch: q.epoch, Group: g,
 			})
 		}
@@ -199,7 +199,7 @@ func (q *Querier) dropMember(in *netsim.Iface, g addr.IP) {
 }
 
 func (q *Querier) expire() {
-	now := q.Node.Net.Sched.Now()
+	now := q.Node.Sched().Now()
 	for idx, byGroup := range q.members {
 		for g, deadline := range byGroup {
 			if now > deadline {
@@ -226,7 +226,7 @@ func (q *Querier) HasMember(ifc *netsim.Iface, g addr.IP) bool {
 		return false
 	}
 	deadline, ok := byGroup[g]
-	return ok && q.Node.Net.Sched.Now() <= deadline
+	return ok && q.Node.Sched().Now() <= deadline
 }
 
 // HasAnyMember reports whether the group has a member on any interface.
@@ -243,7 +243,7 @@ func (q *Querier) HasAnyMember(g addr.IP) bool {
 func (q *Querier) Groups() []addr.IP {
 	seen := map[addr.IP]bool{}
 	var out []addr.IP
-	now := q.Node.Net.Sched.Now()
+	now := q.Node.Sched().Now()
 	for _, byGroup := range q.members {
 		for g, deadline := range byGroup {
 			if now <= deadline && !seen[g] {

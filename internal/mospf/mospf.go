@@ -200,7 +200,7 @@ func (r *Router) Start() {
 	r.started = true
 	if r.Telemetry != nil {
 		r.Telemetry.Publish(telemetry.Event{
-			At: r.Node.Net.Sched.Now(), Kind: telemetry.EpochStart,
+			At: r.Node.Sched().Now(), Kind: telemetry.EpochStart,
 			Router: r.Node.ID, Iface: -1, Epoch: r.epoch, Value: int64(r.StateCount()),
 		})
 	}
@@ -228,7 +228,7 @@ func (r *Router) Stop() {
 	r.started = false
 	if r.Telemetry != nil {
 		r.Telemetry.Publish(telemetry.Event{
-			At: r.Node.Net.Sched.Now(), Kind: telemetry.EpochEnd,
+			At: r.Node.Sched().Now(), Kind: telemetry.EpochEnd,
 			Router: r.Node.ID, Iface: -1, Epoch: r.epoch,
 		})
 	}
@@ -253,11 +253,11 @@ func (r *Router) Restart() {
 // timer fires makes the closure a no-op.
 func (r *Router) after(d netsim.Time, fn func()) *netsim.Timer {
 	ep := r.epoch
-	return r.Node.Net.Sched.After(d, func() {
+	return r.Node.Sched().After(d, func() {
 		if r.epoch == ep {
 			if r.Telemetry != nil {
 				r.Telemetry.Publish(telemetry.Event{
-					At: r.Node.Net.Sched.Now(), Kind: telemetry.TimerFire,
+					At: r.Node.Sched().Now(), Kind: telemetry.TimerFire,
 					Router: r.Node.ID, Iface: -1, Epoch: ep,
 				})
 			}
@@ -353,7 +353,7 @@ func (r *Router) install(lsa *membershipLSA) {
 	// Membership changed: drop cached trees (they will be recomputed on
 	// the next data packet) and any shared Dijkstra cache.
 	if r.Telemetry != nil {
-		now := r.Node.Net.Sched.Now()
+		now := r.Node.Sched().Now()
 		r.MFIB.ForEach(func(e *mfib.Entry) {
 			r.Telemetry.Publish(telemetry.Event{
 				At: now, Kind: telemetry.EntryExpire, Router: r.Node.ID,
@@ -378,7 +378,7 @@ func (r *Router) flood(lsa *membershipLSA, except *netsim.Iface) {
 		r.Metrics.Inc(metrics.CtrlLSA)
 		if r.Telemetry != nil {
 			r.Telemetry.Publish(telemetry.Event{
-				At: r.Node.Net.Sched.Now(), Kind: telemetry.LSAFlood,
+				At: r.Node.Sched().Now(), Kind: telemetry.LSAFlood,
 				Router: r.Node.ID, Iface: ifc.Index, Epoch: r.epoch,
 				Value: int64(len(lsa.Groups)),
 			})
@@ -432,7 +432,7 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 			r.Metrics.Inc(metrics.DataNoState)
 			if r.Telemetry != nil {
 				r.Telemetry.Publish(telemetry.Event{
-					At: r.Node.Net.Sched.Now(), Kind: telemetry.NoState,
+					At: r.Node.Sched().Now(), Kind: telemetry.NoState,
 					Router: r.Node.ID, Iface: in.Index, Epoch: r.epoch,
 					Source: s, Group: g,
 				})
@@ -445,14 +445,14 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 		r.Metrics.Inc(metrics.DataDropped)
 		if r.Telemetry != nil {
 			r.Telemetry.Publish(telemetry.Event{
-				At: r.Node.Net.Sched.Now(), Kind: telemetry.RPFDrop,
+				At: r.Node.Sched().Now(), Kind: telemetry.RPFDrop,
 				Router: r.Node.ID, Iface: in.Index, Epoch: r.epoch,
 				Source: s, Group: g,
 			})
 		}
 		return
 	}
-	now := r.Node.Net.Sched.Now()
+	now := r.Node.Sched().Now()
 	fwd, ok := pkt.Forwarded()
 	if !ok {
 		return
@@ -480,10 +480,10 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 	if len(members) == 0 {
 		// Negative cache: remember that this source/group pair has no
 		// members so each packet does not recompute.
-		e, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, r.Node.Net.Sched.Now())
+		e, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, r.Node.Sched().Now())
 		if created && r.Telemetry != nil {
 			r.Telemetry.Publish(telemetry.Event{
-				At: r.Node.Net.Sched.Now(), Kind: telemetry.EntryCreate,
+				At: r.Node.Sched().Now(), Kind: telemetry.EntryCreate,
 				Router: r.Node.ID, Iface: -1, Epoch: r.epoch,
 				Source: s, Group: g, Value: telemetry.EntrySG,
 			})
@@ -497,7 +497,7 @@ func (r *Router) computeEntry(s, g addr.IP) *mfib.Entry {
 		r.Metrics.Inc(metrics.SPFRuns)
 	}
 	tree := r.Domain.Graph.SPTreeFromSP(sp, members)
-	now := r.Node.Net.Sched.Now()
+	now := r.Node.Sched().Now()
 	e, created := r.MFIB.Upsert(mfib.Key{Source: s, Group: g}, now)
 	if created && r.Telemetry != nil {
 		r.Telemetry.Publish(telemetry.Event{

@@ -32,6 +32,28 @@ type Node struct {
 	// matters because every packet crossing every link goes through it.
 	handlers     [256]Handler
 	onLinkChange []func(*Iface)
+	// shard is the index of the shard that owns this node's events in a
+	// sharded run (0 always, otherwise). -1 marks a node added after
+	// Shard() that has not been placed yet.
+	shard int
+	// xmit sequences the node's transmissions; part of the deterministic
+	// merge key for cross-shard deliveries.
+	xmit uint64
+}
+
+// Sched returns the scheduler that owns this node's events: its shard's
+// scheduler in a sharded run, the network's root scheduler otherwise.
+// Protocol engines must schedule node-scoped timers through this (never
+// through Net.Sched directly), so the same engine code runs unchanged on
+// both paths.
+func (nd *Node) Sched() *Scheduler { return nd.Net.schedFor(nd) }
+
+// Shard returns the index of the shard owning the node (0 when unsharded).
+func (nd *Node) Shard() int {
+	if nd.shard < 0 {
+		return 0
+	}
+	return nd.shard
 }
 
 // Iface is one network attachment point of a node.
@@ -101,6 +123,9 @@ type Network struct {
 	Loss func(from, to *Iface, pkt *packet.Packet) bool
 
 	byAddr map[addr.IP]*Iface
+	// set is non-nil once Shard() has partitioned the network for parallel
+	// execution (see shards.go).
+	set *shardSet
 }
 
 // NewNetwork creates an empty network with a fresh scheduler.
@@ -109,8 +134,13 @@ func NewNetwork() *Network {
 }
 
 // AddNode creates a node. Names must be unique only for readable traces.
+// On a sharded network the new node starts unplaced; assign it with
+// SetNodeShard before it schedules or receives anything.
 func (n *Network) AddNode(name string) *Node {
 	nd := &Node{Net: n, ID: len(n.Nodes), Name: name}
+	if n.set != nil {
+		nd.shard = -1
+	}
 	n.Nodes = append(n.Nodes, nd)
 	return nd
 }
@@ -253,7 +283,7 @@ func (nd *Node) IfaceTo(neighbor addr.IP) *Iface {
 // implementation bug, not a runtime condition).
 func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	if out == nil || !out.Up() {
-		nd.Net.Stats.Drop(DropIfaceDown)
+		nd.Net.statsFor(nd).Drop(DropIfaceDown)
 		return
 	}
 	buf, err := pkt.Marshal()
@@ -262,7 +292,11 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	}
 	link := out.Link
 	net := nd.Net
-	net.Stats.Transmit(link, pkt)
+	net.statsFor(nd).Transmit(link, pkt)
+	if set := net.set; set != nil {
+		nd.sendSharded(set, out, link, buf, nextHop)
+		return
+	}
 	// Serialization and queueing under finite bandwidth.
 	var txDone Time
 	now := net.Sched.Now()
@@ -286,30 +320,84 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	}
 	// One scheduler event per link crossing (not per receiver): the frame is
 	// decoded once at arrival and fanned to every station in attachment
-	// order, which is the order the per-receiver events fired in before.
-	net.Sched.Post(txDone+link.Delay, func() {
-		net.deliverFrame(out, link, buf, nextHop)
-	})
+	// order. The event carries the structural (sender, transmit sequence)
+	// order key, so same-instant deliveries fire in an order independent of
+	// shard count.
+	nd.xmit++
+	net.Sched.enqueueDelivery(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+		func() { net.deliverFrame(out, link, buf, nextHop, -1) })
+}
+
+// sendSharded routes one transmission in a sharded run: stations on the
+// sender's own shard get a local delivery event (the same single frame
+// event per link crossing as the sequential path), stations on foreign
+// shards get an outbox record per destination shard, merged at the next
+// barrier. Finite bandwidth is rejected up front by shardSet.prepare, so
+// the deadline is pure propagation delay.
+func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, buf []byte, nextHop addr.IP) {
+	net := nd.Net
+	sched := set.scheds[nd.shard]
+	now := sched.Now()
+	nd.xmit++
+	local := false
+	foreign := -1
+	for _, to := range link.Ifaces {
+		if to == out {
+			continue
+		}
+		if to.Node.shard == nd.shard {
+			local = true
+		} else {
+			// prepare() guarantees cross-shard links are point-to-point, so
+			// at most one foreign shard is ever involved.
+			foreign = to.Node.shard
+		}
+	}
+	if local {
+		myShard := nd.shard
+		sched.enqueueDelivery(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+			func() { net.deliverFrame(out, link, buf, nextHop, myShard) })
+	}
+	if foreign >= 0 {
+		// The frame bytes are copied so the two shards never share a
+		// payload backing array.
+		set.outboxes[nd.shard] = append(set.outboxes[nd.shard], xrec{
+			at:      now + link.Delay,
+			bs:      now,
+			src:     nd.ID,
+			xmit:    nd.xmit,
+			dst:     foreign,
+			from:    out,
+			link:    link,
+			frame:   append([]byte(nil), buf...),
+			nextHop: nextHop,
+		})
+	}
 }
 
 // deliverFrame takes one frame off the link: a single unmarshal, then
-// delivery to every eligible attached interface.
-func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop addr.IP) {
+// delivery to every eligible attached interface. shard restricts delivery
+// to stations owned by that shard (-1 delivers to all stations — the
+// sequential path).
+func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop addr.IP, shard int) {
 	pkt, err := packet.Unmarshal(frame)
 	lan := link.IsLAN()
 	for _, to := range link.Ifaces {
 		if to == from {
 			continue
 		}
+		if shard >= 0 && to.Node.shard != shard {
+			continue
+		}
 		if lan && nextHop != 0 && to.Addr != nextHop {
 			continue
 		}
 		if !to.Up() || !from.Up() {
-			n.Stats.Drop(DropLinkDown)
+			n.statsFor(to.Node).Drop(DropLinkDown)
 			continue
 		}
 		if err != nil {
-			n.Stats.Drop(DropMalformed)
+			n.statsFor(to.Node).Drop(DropMalformed)
 			continue
 		}
 		// Per-receiver header copy: a handler mutating its view (TTL etc.)
@@ -320,17 +408,18 @@ func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop ad
 }
 
 func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
+	stats := n.statsFor(to.Node)
 	if n.Loss != nil && n.Loss(from, to, pkt) {
-		n.Stats.Drop(DropInjectedLoss)
+		stats.Drop(DropInjectedLoss)
 		return
 	}
-	n.Stats.Receive(pkt)
+	stats.Receive(pkt)
 	if n.Trace != nil {
 		n.Trace(TraceEvent{At: n.Sched.Now(), From: from, To: to, Pkt: pkt})
 	}
 	h := to.Node.handlers[pkt.Protocol]
 	if h == nil {
-		n.Stats.Drop(DropNoHandler)
+		stats.Drop(DropNoHandler)
 		return
 	}
 	h.HandlePacket(to, pkt)
@@ -342,7 +431,7 @@ func (n *Network) deliver(from, to *Iface, pkt *packet.Packet) {
 func (nd *Node) LocalSend(ifc *Iface, pkt *packet.Packet) {
 	h := nd.handlers[pkt.Protocol]
 	if h == nil {
-		nd.Net.Stats.Drop(DropNoHandler)
+		nd.Net.statsFor(nd).Drop(DropNoHandler)
 		return
 	}
 	h.HandlePacket(ifc, pkt)

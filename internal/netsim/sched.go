@@ -100,9 +100,9 @@ func (t *Timer) Reset(d Time) bool {
 	s.live--
 	s.reapDead()
 	t.at = s.now + d
-	s.seq++
-	t.seq = s.seq
-	s.enqueue(event{at: t.at, seq: s.seq, tm: t})
+	seq := s.nextSeq()
+	t.seq = seq
+	s.enqueue(event{at: t.at, bs: s.now, ord: seq | localOrd, tm: t})
 	return true
 }
 
@@ -131,30 +131,64 @@ func (t *Timer) Active() bool { return !t.fired && !t.stopped }
 // When returns the time the timer is (or was) scheduled to fire.
 func (t *Timer) When() Time { return t.at }
 
+// localOrd is the high bit of an event's order key. Timer and Post events
+// carry their scheduler's sequence number with this bit set; packet-delivery
+// events carry deliveryOrd with the bit clear. At an equal (deadline, birth
+// instant), deliveries therefore fire before locally scheduled callbacks,
+// and among themselves in (source node, transmit sequence) order — a rule
+// both the sequential and the sharded execution paths compute identically,
+// which is what makes shard count unobservable in results.
+const localOrd = uint64(1) << 63
+
+// deliveryOrd is the structural order key of a packet-delivery event: the
+// sending node's ID over its per-node transmit sequence. 23 bits of node ID
+// and 40 bits of sequence keep bit 63 clear for any realistic simulation
+// (8M nodes, 10^12 sends per node).
+func deliveryOrd(src int, xmit uint64) uint64 {
+	return uint64(src)<<40 | (xmit & (1<<40 - 1))
+}
+
 // event is one queue entry. Entries are values in reusable backing arrays —
 // scheduling does not allocate beyond amortized slice growth. fn is set for
 // the fire-and-forget Post path; for After/At the callback lives on the
 // Timer handle (so Stop can release it) and tm points at that handle.
 type event struct {
-	at  Time
-	seq uint64
+	at Time
+	// bs is the birth instant: the scheduler clock when the entry was
+	// created. For locally scheduled events it is redundant with the order
+	// key (seq is monotone in time), but it is the piece of the ordering
+	// that survives a shard boundary — a cross-shard arrival is sequenced
+	// against local events by when it was sent, not when it was merged.
+	bs Time
+	// ord breaks (at, bs) ties: local sequence number | localOrd for timer
+	// and Post events, or the structural deliveryOrd key for packet
+	// deliveries (local and cross-shard alike).
+	ord uint64
 	fn  func()
 	tm  *Timer
 }
 
-// before orders events by (time, scheduling order): a strict total order, so
-// the execution sequence is identical no matter how the backing store is
-// laid out — the determinism the parallel experiment engine asserts on.
+// before orders events by (deadline, birth instant, order key): a strict
+// total order computed from values that do not depend on shard count or
+// backing store, so the execution sequence is identical on the sequential
+// and sharded paths — the determinism the differential gates assert on. At
+// an equal (deadline, birth instant), deliveries (localOrd clear) precede
+// locally scheduled callbacks, which fire in scheduling order.
 func (e event) before(o event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
-	return e.seq < o.seq
+	if e.bs != o.bs {
+		return e.bs < o.bs
+	}
+	return e.ord < o.ord
 }
 
 // dead reports whether the entry belongs to a stopped timer, or is a stale
 // arm superseded by Reset, and can be dropped wherever it is encountered.
-func (e event) dead() bool { return e.tm != nil && (e.tm.stopped || e.tm.seq != e.seq) }
+// Timer entries always carry the scheduler sequence number in ord's low
+// bits, so the staleness check masks localOrd off.
+func (e event) dead() bool { return e.tm != nil && (e.tm.stopped || e.tm.seq != e.ord&^localOrd) }
 
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled
 // for the same instant fire in scheduling order.
@@ -169,6 +203,9 @@ type Scheduler struct {
 	seq   uint64
 	heap  *schedHeap
 	wheel *schedWheel
+	// set is non-nil on the root scheduler of a sharded Network; RunUntil
+	// then delegates to the conservative-lookahead epoch loop.
+	set *shardSet
 	// live counts pending not-yet-stopped entries; peakLive is its high-water
 	// mark — the "timer pressure" gauge the scaling benchmark records.
 	live, peakLive int
@@ -202,6 +239,15 @@ func NewSchedulerWith(wheel bool) *Scheduler {
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// nextSeq returns the next scheduling sequence number. Sequence numbers are
+// scheduler-private: two schedulers of a sharded network never need their
+// seq values compared, because the only events that cross a shard boundary
+// are deliveries, which carry the structural deliveryOrd key instead.
+func (s *Scheduler) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
 
 // Pending returns the number of events still queued (including stopped
 // timers not yet reaped).
@@ -238,9 +284,9 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	}
 	tm := &s.timerChunk[0]
 	s.timerChunk = s.timerChunk[1:]
-	s.seq++
-	tm.s, tm.at, tm.fn, tm.seq = s, t, fn, s.seq
-	s.enqueue(event{at: t, seq: s.seq, tm: tm})
+	seq := s.nextSeq()
+	tm.s, tm.at, tm.fn, tm.seq = s, t, fn, seq
+	s.enqueue(event{at: t, bs: s.now, ord: seq | localOrd, tm: tm})
 	return tm
 }
 
@@ -253,8 +299,48 @@ func (s *Scheduler) Post(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	s.seq++
-	s.enqueue(event{at: s.now + d, seq: s.seq, fn: fn})
+	s.enqueue(event{at: s.now + d, bs: s.now, ord: s.nextSeq() | localOrd, fn: fn})
+}
+
+// enqueueDelivery inserts a packet-delivery event carrying the structural
+// deliveryOrd key (localOrd clear). Both execution paths use it — Node.Send
+// locally, shardSet.exchange for merged cross-shard arrivals — so same-
+// instant deliveries fire in (source, transmit sequence) order everywhere.
+// On the timing wheel the deadline's slot is marked for an order-restoring
+// sort at fire time, since structural keys need not match append order.
+func (s *Scheduler) enqueueDelivery(at, bs Time, ord uint64, fn func()) {
+	s.live++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+	ev := event{at: at, bs: bs, ord: ord, fn: fn}
+	if s.wheel != nil {
+		s.wheel.markDirty(at)
+		s.wheel.push(ev, s.now)
+	} else {
+		s.heap.push(ev)
+	}
+}
+
+// advanceTo moves the clock forward to t without executing anything; the
+// sharded epoch loop uses it to align quiesced shards on a barrier instant.
+func (s *Scheduler) advanceTo(t Time) {
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// peekTime returns a lower bound on the earliest live deadline, and whether
+// any live entry exists. On the heap (and for level-0/overflow wheel
+// entries) the bound is exact; for events parked in upper wheel levels it is
+// the slot base, which is never later than the true deadline — and a next()
+// call at that bound cascades the slot, so repeated peeks converge. Dead
+// entries surfacing at the front are reclaimed.
+func (s *Scheduler) peekTime() (Time, bool) {
+	if s.wheel != nil {
+		return s.wheel.peek()
+	}
+	return s.heap.peek()
 }
 
 func (s *Scheduler) enqueue(ev event) {
@@ -306,7 +392,18 @@ func (s *Scheduler) Step() bool {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events scheduled by executed events are included.
+// On the root scheduler of a sharded Network this drives the conservative-
+// lookahead epoch loop instead (see shards.go); shard-local schedulers and
+// unsharded networks take the sequential path.
 func (s *Scheduler) RunUntil(deadline Time) {
+	if s.set != nil {
+		s.set.run(deadline)
+		return
+	}
+	s.runUntil(deadline)
+}
+
+func (s *Scheduler) runUntil(deadline Time) {
 	for {
 		ev, ok := s.next(deadline)
 		if !ok {
@@ -367,6 +464,19 @@ func (h *schedHeap) next(limit Time) (event, bool) {
 func (h *schedHeap) pop() event {
 	ev := eventHeapPop(&h.events)
 	return ev
+}
+
+// peek returns the earliest live deadline without removing it, reaping dead
+// entries that surface at the top.
+func (h *schedHeap) peek() (Time, bool) {
+	for len(h.events) > 0 && h.events[0].dead() {
+		h.pop()
+		h.nstopped--
+	}
+	if len(h.events) == 0 {
+		return 0, false
+	}
+	return h.events[0].at, true
 }
 
 // compact removes every stopped entry from the heap in one sweep and

@@ -45,6 +45,7 @@ package netsim
 
 import (
 	"math/bits"
+	"sort"
 	"sync/atomic"
 )
 
@@ -103,9 +104,21 @@ type schedWheel struct {
 	// without invalidating iteration. Backing array is reused forever.
 	due     []event
 	dueHead int
-	// overflow holds events beyond the wheels' span, as an (at, seq) heap
-	// sharing the sift helpers with schedHeap.
+	// overflow holds events beyond the wheels' span, as a heap ordered by
+	// event.before, sharing the sift helpers with schedHeap.
 	overflow []event
+	// dirty marks timestamps that received a packet-delivery event. A level-0
+	// slot normally fires in append order (= scheduling order), which matches
+	// event.before for timer/Post entries (seq is monotone), but a delivery's
+	// structural (bs, deliveryOrd) key need not match its push position — a
+	// lower-numbered node may transmit after a higher-numbered one, and a
+	// cross-shard arrival spliced in at a barrier carries a birth instant that
+	// may precede locally appended entries. A dirty slot's batch is therefore
+	// checked (and if needed sorted) by (bs, ord) when moved to the due
+	// buffer. The mark is keyed by timestamp — not slot index — so it
+	// survives cascades and overflow migration; cleared when the timestamp
+	// fires.
+	dirty map[Time]bool
 }
 
 func newWheel() *schedWheel { return &schedWheel{} }
@@ -238,12 +251,27 @@ func (w *schedWheel) next(limit Time) (event, bool) {
 	}
 }
 
+// markDirty records that a packet-delivery event was inserted for timestamp
+// at, so the slot's batch gets an order check (and sort if violated) when it
+// fires. Most slots stay clean — timer-only slots never pay anything, and
+// dirty slots that happen to be in order pay one linear scan.
+func (w *schedWheel) markDirty(at Time) {
+	if w.dirty == nil {
+		w.dirty = map[Time]bool{}
+	}
+	w.dirty[at] = true
+}
+
 // fillDue moves level-0 slot i into the due buffer (append order = fire
 // order), clearing the slot but keeping its capacity so steady-state
-// scheduling stays allocation-free.
+// scheduling stays allocation-free. Slots dirtied by deliveries get a linear
+// sortedness check, then a (birth instant, order key) sort only when out of
+// order — all entries share the same deadline (the cursor's timestamp), so
+// this restores event.before order exactly.
 func (w *schedWheel) fillDue(i int) {
 	slot := w.levels[0][i]
 	n := len(slot)
+	start := len(w.due)
 	w.due = append(w.due, slot...)
 	for k := range slot {
 		slot[k] = event{}
@@ -251,6 +279,76 @@ func (w *schedWheel) fillDue(i int) {
 	w.levels[0][i] = slot[:0]
 	w.occ[0][i>>6] &^= 1 << (uint(i) & 63)
 	w.nwheel -= n
+	if len(w.dirty) > 0 && w.dirty[w.cur] {
+		delete(w.dirty, w.cur)
+		batch := w.due[start:]
+		sorted := true
+		for k := 1; k < len(batch); k++ {
+			if batch[k].bs < batch[k-1].bs ||
+				(batch[k].bs == batch[k-1].bs && batch[k].ord < batch[k-1].ord) {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.Slice(batch, func(a, b int) bool {
+				if batch[a].bs != batch[b].bs {
+					return batch[a].bs < batch[b].bs
+				}
+				return batch[a].ord < batch[b].ord
+			})
+		}
+	}
+}
+
+// peek returns a lower bound on the earliest live deadline anywhere in the
+// wheel (exact for due-buffer, level-0, and overflow entries; the slot base
+// for events parked in levels 1-3), reaping dead entries that surface at
+// the front of the due buffer or the overflow heap.
+func (w *schedWheel) peek() (Time, bool) {
+	for w.dueHead < len(w.due) {
+		ev := w.due[w.dueHead]
+		if !ev.dead() {
+			return ev.at, true
+		}
+		w.due[w.dueHead] = event{}
+		w.dueHead++
+		if w.dueHead == len(w.due) {
+			w.due = w.due[:0]
+			w.dueHead = 0
+		}
+		w.total--
+		w.ndead--
+	}
+	if w.nwheel > 0 {
+		if i := nextSet(&w.occ[0], int(w.cur)&wheelMask); i >= 0 {
+			return (w.cur &^ wheelMask) + Time(i), true
+		}
+		best := maxTime
+		for l := 1; l < wheelLevels; l++ {
+			j := nextSet(&w.occ[l], int(uint64(w.cur)>>(8*uint(l)))&wheelMask)
+			if j < 0 {
+				continue
+			}
+			shift := 8 * uint(l)
+			base := (w.cur &^ (Time(1)<<(shift+8) - 1)) + Time(j)<<shift
+			if base < best {
+				best = base
+			}
+		}
+		if best != maxTime {
+			return best, true
+		}
+	}
+	for len(w.overflow) > 0 && w.overflow[0].dead() {
+		eventHeapPop(&w.overflow)
+		w.total--
+		w.ndead--
+	}
+	if len(w.overflow) > 0 {
+		return w.overflow[0].at, true
+	}
+	return 0, false
 }
 
 // cascade re-places the events of slot (l, j) — the cursor has just reached

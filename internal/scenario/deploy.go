@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"sort"
+
 	"pim/internal/addr"
 	"pim/internal/cbt"
 	"pim/internal/core"
@@ -60,6 +62,12 @@ type DeployOptions struct {
 	// querier, and every host (delivery events). Nil deploys with the
 	// zero-cost disabled path everywhere.
 	Telemetry *telemetry.Bus
+	// ShardTelemetry, when non-nil, gives each shard a private event bus
+	// (indexed by shard; length must be at least netsim's shard count).
+	// Sharded runs must use lanes rather than one shared bus: a single bus
+	// published from concurrently executing shards would race. Takes
+	// precedence over Telemetry for engine/querier/host wiring.
+	ShardTelemetry []*telemetry.Bus
 	// InvariantChecker attaches an online telemetry.Checker asserting the
 	// §3.8 soft-state contracts during the run, creating a Telemetry bus if
 	// none was supplied.
@@ -127,6 +135,14 @@ func WithTelemetry(b *telemetry.Bus) DeployOption {
 	return func(o *DeployOptions) { o.Telemetry = b }
 }
 
+// WithShardTelemetry attaches one event bus per shard: every engine,
+// querier, and host publishes to the lane of the shard its node runs on, so
+// concurrently executing shards never share a bus. Callers merge or compare
+// lanes after the run.
+func WithShardTelemetry(lanes []*telemetry.Bus) DeployOption {
+	return func(o *DeployOptions) { o.ShardTelemetry = lanes }
+}
+
 // WithInvariantChecker enables the online §3.8 invariant checker.
 func WithInvariantChecker() DeployOption {
 	return func(o *DeployOptions) { o.InvariantChecker = true }
@@ -144,16 +160,44 @@ func WithMOSPFRefresh(d netsim.Time) DeployOption {
 
 // deploymentBase carries the telemetry plumbing every deployment shares.
 type deploymentBase struct {
-	bus     *telemetry.Bus
-	checker *telemetry.Checker
+	bus      *telemetry.Bus
+	lanes    []*telemetry.Bus
+	checkers []*telemetry.Checker
 }
 
 // Telemetry returns the event bus the deployment publishes to (nil when the
-// deployment runs on the zero-cost disabled path).
+// deployment runs on the zero-cost disabled path or on per-shard lanes).
 func (b *deploymentBase) Telemetry() *telemetry.Bus { return b.bus }
 
-// Checker returns the online invariant checker (nil unless enabled).
-func (b *deploymentBase) Checker() *telemetry.Checker { return b.checker }
+// TelemetryLanes returns the per-shard buses (nil unless deployed with
+// WithShardTelemetry).
+func (b *deploymentBase) TelemetryLanes() []*telemetry.Bus { return b.lanes }
+
+// Checker returns the online invariant checker (nil unless enabled; nil for
+// per-shard-lane deployments, which carry one checker per lane — see
+// Violations for the aggregate).
+func (b *deploymentBase) Checker() *telemetry.Checker {
+	if len(b.checkers) == 1 {
+		return b.checkers[0]
+	}
+	return nil
+}
+
+// Violations aggregates every checker's failed invariants (one checker per
+// telemetry lane when sharded), merged into simulated-time order.
+func (b *deploymentBase) Violations() []telemetry.Violation {
+	var all []telemetry.Violation
+	for _, c := range b.checkers {
+		all = append(all, c.Violations()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Router < all[j].Router
+	})
+	return all
+}
 
 // Deploy starts the chosen multicast protocol plus IGMP on every router of
 // the simulation. Call after FinishUnicast (and after convergence for DV/LS
@@ -181,30 +225,41 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 			o.Telemetry = o.CBT.Telemetry
 		}
 	}
-	if o.InvariantChecker && o.Telemetry == nil {
+	if o.ShardTelemetry != nil && s.Net.Sharded() && len(o.ShardTelemetry) < s.Net.ShardCount() {
+		panic("scenario: fewer telemetry lanes than shards")
+	}
+	if o.InvariantChecker && o.Telemetry == nil && o.ShardTelemetry == nil {
 		o.Telemetry = telemetry.NewBus()
 	}
-	o.Core.Telemetry = o.Telemetry
-	o.Dense.Telemetry = o.Telemetry
-	o.DVMRP.Telemetry = o.Telemetry
-	o.CBT.Telemetry = o.Telemetry
 
-	// The checker subscribes before any engine starts so it observes the
-	// first EpochStart of every router.
-	var chk *telemetry.Checker
+	// The checkers subscribe before any engine starts so they observe the
+	// first EpochStart of every router. Per-shard-lane deployments get one
+	// checker per lane (the invariants are per-router, so a lane checker
+	// sees everything it needs).
+	var chks []*telemetry.Checker
 	if o.InvariantChecker {
-		chk = telemetry.NewChecker(o.Telemetry)
-		switch p {
-		case SparseMode, DenseMode, DVMRPMode:
-			// These engines derive the expected incoming interface from the
-			// unicast substrate, so the checker can recompute it.
-			chk.ExpectedIIF = func(router int, target addr.IP) (int, bool) {
-				rt, ok := s.UnicastFor(router).Lookup(target)
-				if !ok || rt.Iface == nil {
-					return 0, false
-				}
-				return rt.Iface.Index, true
+		buses := o.ShardTelemetry
+		if buses == nil {
+			buses = []*telemetry.Bus{o.Telemetry}
+		}
+		for _, b := range buses {
+			if b == nil {
+				continue
 			}
+			chk := telemetry.NewChecker(b)
+			switch p {
+			case SparseMode, DenseMode, DVMRPMode:
+				// These engines derive the expected incoming interface from
+				// the unicast substrate, so the checker can recompute it.
+				chk.ExpectedIIF = func(router int, target addr.IP) (int, bool) {
+					rt, ok := s.UnicastFor(router).Lookup(target)
+					if !ok || rt.Iface == nil {
+						return 0, false
+					}
+					return rt.Iface.Index, true
+				}
+			}
+			chks = append(chks, chk)
 		}
 	}
 
@@ -212,8 +267,8 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 	switch p {
 	case SparseMode:
 		d := s.deploySparse(o)
-		if chk != nil {
-			routers := d.Routers
+		routers := d.Routers
+		for _, chk := range chks {
 			chk.NegativeCached = func(router int, src, g addr.IP, iface int) bool {
 				r := routers[router]
 				rpt := r.MFIB.SGRpt(src, g)
@@ -221,33 +276,42 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 					return false
 				}
 				oif := rpt.OIFs[iface]
-				now := r.Node.Net.Sched.Now()
+				now := r.Node.Sched().Now()
 				return oif != nil && oif.Live(now) && !oif.PrunePending
 			}
 		}
-		d.checker = chk
+		d.checkers = chks
 		dep = d
 	case DenseMode:
 		d := s.deployDense(o)
-		d.checker = chk
+		d.checkers = chks
 		dep = d
 	case DVMRPMode:
 		d := s.deployDVMRP(o)
-		d.checker = chk
+		d.checkers = chks
 		dep = d
 	case CBTMode:
 		d := s.deployCBT(o)
-		d.checker = chk
+		d.checkers = chks
 		dep = d
 	case MOSPFMode:
 		d := s.deployMOSPF(o)
-		d.checker = chk
+		d.checkers = chks
 		dep = d
 	default:
 		panic("scenario: unknown protocol")
 	}
-	s.tapHosts(o.Telemetry)
+	s.tapHosts(o)
 	return dep
+}
+
+// busFor returns the event bus a node publishes to: its shard's lane when
+// lanes are configured, else the deployment-wide bus.
+func (o *DeployOptions) busFor(nd *netsim.Node) *telemetry.Bus {
+	if o.ShardTelemetry != nil {
+		return o.ShardTelemetry[nd.Shard()]
+	}
+	return o.Telemetry
 }
 
 // newQuerier builds one router's IGMP querier with the deployment-wide
@@ -260,7 +324,7 @@ func (s *Sim) newQuerier(nd *netsim.Node, o *DeployOptions) *igmp.Querier {
 	if o.IGMPHoldTime > 0 {
 		q.HoldTime = o.IGMPHoldTime
 	}
-	q.Telemetry = o.Telemetry
+	q.Telemetry = o.busFor(nd)
 	return q
 }
 
@@ -268,16 +332,20 @@ func (s *Sim) newQuerier(nd *netsim.Node, o *DeployOptions) *igmp.Querier {
 // Router is the attached router index, Iface the host's index on that LAN,
 // and Value the SendData timestamp in microseconds (-1 when the payload
 // carries none). Existing hooks keep firing after the tap.
-func (s *Sim) tapHosts(bus *telemetry.Bus) {
-	if bus == nil {
+func (s *Sim) tapHosts(o *DeployOptions) {
+	if o.Telemetry == nil && o.ShardTelemetry == nil {
 		return
 	}
 	for r := range s.Hosts {
 		for hIdx, h := range s.Hosts[r] {
 			r, hIdx, h := r, hIdx, h
+			bus := o.busFor(h.Node)
+			if bus == nil {
+				continue
+			}
 			prev := h.OnData
 			h.OnData = func(g addr.IP, pkt *packet.Packet) {
-				now := h.Node.Net.Sched.Now()
+				now := h.Node.Sched().Now()
 				sent := int64(-1)
 				if lat, ok := Latency(now, pkt); ok {
 					sent = int64(now - lat)
@@ -297,9 +365,11 @@ func (s *Sim) tapHosts(bus *telemetry.Bus) {
 // deploySparse starts PIM-SM plus IGMP on every router.
 func (s *Sim) deploySparse(o *DeployOptions) *PIMDeployment {
 	d := &PIMDeployment{Sim: s}
-	d.bus = o.Telemetry
+	d.bus, d.lanes = o.Telemetry, o.ShardTelemetry
 	for i, nd := range s.Routers {
-		r := core.New(nd, o.Core, s.UnicastFor(i))
+		cfg := o.Core
+		cfg.Telemetry = o.busFor(nd)
+		r := core.New(nd, cfg, s.UnicastFor(i))
 		q := s.newQuerier(nd, o)
 		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
 		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
@@ -315,9 +385,11 @@ func (s *Sim) deploySparse(o *DeployOptions) *PIMDeployment {
 // deployDense starts PIM dense mode plus IGMP on every router.
 func (s *Sim) deployDense(o *DeployOptions) *PIMDMDeployment {
 	d := &PIMDMDeployment{Sim: s}
-	d.bus = o.Telemetry
+	d.bus, d.lanes = o.Telemetry, o.ShardTelemetry
 	for i, nd := range s.Routers {
-		r := pimdm.New(nd, o.Dense, s.UnicastFor(i))
+		cfg := o.Dense
+		cfg.Telemetry = o.busFor(nd)
+		r := pimdm.New(nd, cfg, s.UnicastFor(i))
 		q := s.newQuerier(nd, o)
 		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
 		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
@@ -332,9 +404,11 @@ func (s *Sim) deployDense(o *DeployOptions) *PIMDMDeployment {
 // deployDVMRP starts DVMRP plus IGMP on every router.
 func (s *Sim) deployDVMRP(o *DeployOptions) *DVMRPDeployment {
 	d := &DVMRPDeployment{Sim: s}
-	d.bus = o.Telemetry
+	d.bus, d.lanes = o.Telemetry, o.ShardTelemetry
 	for i, nd := range s.Routers {
-		r := dvmrp.New(nd, o.DVMRP, s.UnicastFor(i))
+		cfg := o.DVMRP
+		cfg.Telemetry = o.busFor(nd)
+		r := dvmrp.New(nd, cfg, s.UnicastFor(i))
 		q := s.newQuerier(nd, o)
 		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
 		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
@@ -349,9 +423,11 @@ func (s *Sim) deployDVMRP(o *DeployOptions) *DVMRPDeployment {
 // deployCBT starts CBT plus IGMP on every router.
 func (s *Sim) deployCBT(o *DeployOptions) *CBTDeployment {
 	d := &CBTDeployment{Sim: s}
-	d.bus = o.Telemetry
+	d.bus, d.lanes = o.Telemetry, o.ShardTelemetry
 	for i, nd := range s.Routers {
-		r := cbt.New(nd, o.CBT, s.UnicastFor(i))
+		cfg := o.CBT
+		cfg.Telemetry = o.busFor(nd)
+		r := cbt.New(nd, cfg, s.UnicastFor(i))
 		q := s.newQuerier(nd, o)
 		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
 		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }
@@ -366,13 +442,19 @@ func (s *Sim) deployCBT(o *DeployOptions) *CBTDeployment {
 // deployMOSPF starts MOSPF plus IGMP on every router. MOSPF carries its own
 // topology view (the shared Domain), so FinishUnicast is not required.
 func (s *Sim) deployMOSPF(o *DeployOptions) *MOSPFDeployment {
+	if s.Net.Sharded() {
+		// MOSPF routers flood through a shared in-memory Domain whose state
+		// is mutated synchronously from every router — racy and
+		// order-sensitive across concurrently executing shards.
+		panic("scenario: MOSPF requires an unsharded network (shards=1)")
+	}
 	dom := mospf.NewDomain(s.Routers)
 	d := &MOSPFDeployment{Sim: s, Domain: dom}
 	d.bus = o.Telemetry
 	for _, nd := range s.Routers {
 		r := mospf.New(nd, dom)
 		r.RefreshInterval = o.MOSPFRefresh
-		r.Telemetry = o.Telemetry
+		r.Telemetry = o.busFor(nd)
 		q := s.newQuerier(nd, o)
 		q.OnJoin = func(ifc *netsim.Iface, g addr.IP) { r.LocalJoin(ifc, g) }
 		q.OnLeave = func(ifc *netsim.Iface, g addr.IP) { r.LocalLeave(ifc, g) }

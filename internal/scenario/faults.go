@@ -25,9 +25,16 @@ type Deployment interface {
 	// Telemetry returns the event bus the deployment publishes to (nil
 	// when deployed without one).
 	Telemetry() *telemetry.Bus
+	// TelemetryLanes returns the per-shard buses of a sharded deployment
+	// (nil when unsharded or deployed without telemetry).
+	TelemetryLanes() []*telemetry.Bus
 	// Checker returns the online invariant checker (nil unless enabled
-	// with WithInvariantChecker).
+	// with WithInvariantChecker, and nil on sharded deployments, which
+	// run one checker per lane — use Violations there).
 	Checker() *telemetry.Checker
+	// Violations aggregates invariant-checker findings across every lane,
+	// sorted by time then router (empty without WithInvariantChecker).
+	Violations() []telemetry.Violation
 }
 
 // lifecycles is the seam the generic fault verbs below operate through: each

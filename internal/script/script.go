@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -150,6 +151,12 @@ type runner struct {
 	checked bool
 	bus     *telemetry.Bus
 	checker *telemetry.Checker
+	// captured (RunCaptured) records the deployment's event stream on
+	// per-shard lanes; laneEvents[i] is appended only by shard i's
+	// goroutine, so capture stays race-free under parallel execution.
+	captured   bool
+	lanes      []*telemetry.Bus
+	laneEvents [][]telemetry.Event
 	// inj is the lazily created fault injector (loss/flap/partition verbs).
 	inj *faults.Injector
 
@@ -167,30 +174,49 @@ func (r *runner) injector() *faults.Injector {
 
 // Run executes the script and returns its result.
 func (s *Script) Run() (*Result, error) {
-	res, _, err := s.run(false, nil)
+	res, _, _, err := s.run(false, nil, false)
 	return res, err
 }
 
 // RunChecked executes the script with a telemetry bus and the online §3.8
 // invariant checker attached to the deployment. The returned checker holds
 // any violations observed during the run; it is nil for deployments the
-// checker does not cover (the mixed sparse/dense interop form).
+// checker does not cover (the mixed sparse/dense interop form). Checked
+// runs execute sequentially regardless of netsim.SetShards: the checker
+// subscribes to one bus, which parallel shards would race on.
 func (s *Script) RunChecked() (*Result, *telemetry.Checker, error) {
-	return s.run(true, nil)
+	res, chk, _, err := s.run(true, nil, false)
+	return res, chk, err
 }
 
 // RunInstrumented executes the script with the supplied event bus attached
 // to the deployment, so externally subscribed consumers (samplers,
 // convergence probes) observe the run; check additionally attaches the
-// online invariant checker. Subscribe consumers before calling.
+// online invariant checker. Subscribe consumers before calling. Like
+// RunChecked, instrumented runs stay sequential — external single-bus
+// subscribers cannot observe a sharded run race-free.
 func (s *Script) RunInstrumented(bus *telemetry.Bus, check bool) (*Result, *telemetry.Checker, error) {
-	return s.run(check, bus)
+	res, chk, _, err := s.run(check, bus, false)
+	return res, chk, err
 }
 
-func (s *Script) run(checked bool, bus *telemetry.Bus) (*Result, *telemetry.Checker, error) {
+// RunCaptured executes the script under the configured shard count
+// (netsim.Shards()) with one telemetry lane per shard and returns the
+// merged event stream: lane buffers concatenated and stable-sorted by
+// (At, Router). The stable sort preserves each router's publication order
+// while normalizing cross-router same-instant interleaving, so the stream
+// is a canonical form — identical for any shard count. This is the
+// sharded observation path and the shard-determinism gate's witness.
+func (s *Script) RunCaptured() (*Result, []telemetry.Event, error) {
+	res, _, events, err := s.run(false, nil, true)
+	return res, events, err
+}
+
+func (s *Script) run(checked bool, bus *telemetry.Bus, captured bool) (*Result, *telemetry.Checker, []telemetry.Event, error) {
 	r := &runner{
-		checked: checked,
-		bus:     bus,
+		checked:  checked,
+		bus:      bus,
+		captured: captured,
 		groups:  map[string]addr.IP{},
 		groupRP: map[addr.IP][]int{},
 		hosts:   map[string]*hostRef{},
@@ -212,7 +238,7 @@ func (s *Script) run(checked bool, bus *telemetry.Bus) (*Result, *telemetry.Chec
 			err = r.doHost(st)
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	// Pass 2: deployment, timed actions, runs, and expectations in order.
@@ -229,7 +255,7 @@ func (s *Script) run(checked bool, bus *telemetry.Bus) (*Result, *telemetry.Chec
 			err = r.doExpect(st)
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	for name, h := range r.hosts {
@@ -237,7 +263,22 @@ func (s *Script) run(checked bool, bus *telemetry.Bus) (*Result, *telemetry.Chec
 			r.res.Delivered[name+"/"+gname] = h.host.Received[g]
 		}
 	}
-	return r.res, r.checker, nil
+	// Canonical captured stream: concatenate the per-shard lane buffers and
+	// stable-sort by (At, Router). Within one router all events come from
+	// one lane in publication order, which the stable sort preserves.
+	var events []telemetry.Event
+	if r.captured {
+		for _, buf := range r.laneEvents {
+			events = append(events, buf...)
+		}
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].At != events[j].At {
+				return events[i].At < events[j].At
+			}
+			return events[i].Router < events[j].Router
+		})
+	}
+	return r.res, r.checker, events, nil
 }
 
 func (r *runner) doTopo(st stmt) error {
@@ -397,8 +438,12 @@ func (r *runner) doHost(st stmt) error {
 		host: r.sim.AddHost(idx), router: idx,
 		delaySum: map[addr.IP]netsim.Time{}, delayN: map[addr.IP]int64{},
 	}
+	// Latency is read off the host's own scheduler clock: under sharded
+	// execution the callback fires on the host's shard, where the root
+	// clock may still sit at the window base.
+	hostNode := ref.host.Node
 	ref.host.OnData = func(g addr.IP, pkt *packet.Packet) {
-		if d, ok := scenario.Latency(r.sim.Net.Sched.Now(), pkt); ok {
+		if d, ok := scenario.Latency(hostNode.Sched().Now(), pkt); ok {
 			ref.delaySum[g] += d
 			ref.delayN[g]++
 		}
@@ -412,6 +457,12 @@ func (r *runner) deployOpts() []scenario.DeployOption {
 	var opts []scenario.DeployOption
 	if r.bus != nil {
 		opts = append(opts, scenario.WithTelemetry(r.bus))
+	}
+	if r.lanes != nil {
+		opts = append(opts, scenario.WithTelemetry(r.lanes[0]))
+		if len(r.lanes) > 1 {
+			opts = append(opts, scenario.WithShardTelemetry(r.lanes))
+		}
 	}
 	if r.checked {
 		opts = append(opts, scenario.WithInvariantChecker())
@@ -435,6 +486,25 @@ func (r *runner) deploy(st stmt) error {
 	}
 	if len(st.args) < 1 {
 		return st.errf("protocol needs a name")
+	}
+	// Shard before the unicast substrate schedules its first event. Checked
+	// and externally instrumented runs stay sequential (their consumers
+	// share one bus); MOSPF pins to one shard (shared link-state Domain),
+	// as does the mixed sparse/dense interop form.
+	if r.bus == nil && !r.checked && st.args[0] != "mospf" && st.kv["dense"] == "" {
+		r.sim.AutoShard()
+	}
+	if r.captured {
+		nlanes := r.sim.Net.ShardCount()
+		r.laneEvents = make([][]telemetry.Event, nlanes)
+		for i := 0; i < nlanes; i++ {
+			i := i
+			lane := telemetry.NewBus()
+			lane.Subscribe(func(ev telemetry.Event) {
+				r.laneEvents[i] = append(r.laneEvents[i], ev)
+			})
+			r.lanes = append(r.lanes, lane)
+		}
 	}
 	r.sim.FinishUnicast(r.uniMode)
 	r.sim.Run(r.sim.ConvergenceTime())
@@ -539,8 +609,18 @@ func (r *runner) doAt(st stmt) error {
 	}
 	action := st.args[1]
 	rest := st.args[2:]
+	// Globally scoped verbs (link flaps, loss models, crash/restart) run as
+	// root-scheduler actions: under sharded execution they fire at epoch
+	// barriers with every shard quiesced. Verbs that touch a single host
+	// (join/leave/send) run on that host's own scheduler instead, so the
+	// membership change or packet send originates inside its shard exactly
+	// as it would sequentially.
 	schedule := func(fn func()) {
 		r.sim.Net.Sched.At(r.sim.Net.Sched.Now()+when, fn)
+	}
+	scheduleOn := func(nd *netsim.Node, fn func()) {
+		sched := nd.Sched()
+		sched.At(sched.Now()+when, fn)
 	}
 	switch action {
 	case "join", "leave":
@@ -556,9 +636,9 @@ func (r *runner) doAt(st stmt) error {
 			for _, idx := range r.groupRP[g] {
 				rps = append(rps, r.sim.RouterAddr(idx))
 			}
-			schedule(func() { h.host.Join(g, rps...) })
+			scheduleOn(h.host.Node, func() { h.host.Join(g, rps...) })
 		} else {
-			schedule(func() { h.host.Leave(g) })
+			scheduleOn(h.host.Node, func() { h.host.Leave(g) })
 		}
 	case "send":
 		if len(rest) != 2 {
@@ -583,14 +663,15 @@ func (r *runner) doAt(st stmt) error {
 				return st.errf("bad every=%q", v)
 			}
 		}
-		schedule(func() {
+		hostSched := h.host.Node.Sched()
+		scheduleOn(h.host.Node, func() {
 			sent := 0
 			var pump func()
 			pump = func() {
 				scenario.SendData(h.host, g, size)
 				sent++
 				if sent < count {
-					r.sim.Net.Sched.After(every, pump)
+					hostSched.After(every, pump)
 				}
 			}
 			pump()

@@ -13,11 +13,27 @@ import (
 // data-plane drops, bucketed by a fixed interval. It needs no polling — the
 // curves are folded incrementally from events — so attaching a sampler never
 // perturbs protocol timing.
+//
+// A sharded simulation publishes on one bus per shard; NewShardedSampler
+// attaches one isolated lane of sampler state to each bus, so observation
+// stays race-free (a lane is only touched by its shard's goroutine) and the
+// curves merge at dump time — every router lives on exactly one shard, so
+// the union is disjoint.
 type Sampler struct {
 	interval netsim.Time
+	lanes    []*samplerLane
+	// shardLoads, when attached, reads the per-shard execution counters at
+	// dump time; the readings land in Dump.Shards.
+	shardLoads func() []netsim.ShardLoad
+}
+
+// samplerLane is the per-bus observation state: everything mutated while the
+// simulation runs lives here, touched only by the owning shard.
+type samplerLane struct {
+	interval netsim.Time
 	routers  map[int]*samplerSeries
-	last     int // highest bucket index seen anywhere
-	// gauge, when attached, reads the scheduler's live-timer count; it is
+	last     int // highest bucket index seen on this lane
+	// gauge, when attached, reads the owning shard's live-timer count; it is
 	// sampled on every observed event (never on its own schedule, so it adds
 	// no events of its own) and the dump carries the peak reading.
 	gauge     func() int64
@@ -66,32 +82,61 @@ type Dump struct {
 	Routers     []RouterCurve `json:"routers"`
 	// LiveTimerPeak is the highest live-timer gauge reading observed across
 	// the run — total armed timers in the scheduler, the backing store's
-	// population pressure. Zero (and omitted) when no gauge was attached.
+	// population pressure. Sharded runs report the sum of per-lane peaks.
+	// Zero (and omitted) when no gauge was attached.
 	LiveTimerPeak int64 `json:"live_timer_peak,omitempty"`
+	// Shards carries the per-shard execution counters of a sharded run:
+	// events executed, barrier-wait time, and lookahead stalls per shard.
+	// Omitted for sequential runs.
+	Shards []netsim.ShardLoad `json:"shards,omitempty"`
 }
 
 // NewSampler attaches a sampler with the given bucket interval to the bus.
 func NewSampler(bus *Bus, interval netsim.Time) *Sampler {
+	return NewShardedSampler([]*Bus{bus}, interval)
+}
+
+// NewShardedSampler attaches one sampler lane per bus — the per-shard
+// telemetry lanes of a sharded deployment — and merges the curves at dump
+// time.
+func NewShardedSampler(buses []*Bus, interval netsim.Time) *Sampler {
 	if interval <= 0 {
 		interval = netsim.Second
 	}
-	s := &Sampler{interval: interval, routers: map[int]*samplerSeries{}}
-	bus.Subscribe(s.observe)
+	s := &Sampler{interval: interval}
+	for _, bus := range buses {
+		lane := &samplerLane{interval: interval, routers: map[int]*samplerSeries{}}
+		bus.Subscribe(lane.observe)
+		s.lanes = append(s.lanes, lane)
+	}
 	return s
 }
 
 // AttachLiveTimerGauge wires a live-timer reader (typically the simulation
-// scheduler's LiveTimers count) into the sampler. The gauge is polled on each
-// observed event, so attaching it is timing-neutral; the peak reading lands
-// in Dump.LiveTimerPeak.
+// scheduler's LiveTimers count) into the sampler's first lane. The gauge is
+// polled on each observed event, so attaching it is timing-neutral; the peak
+// reading lands in Dump.LiveTimerPeak. On sharded samplers use
+// AttachLaneGauge with each shard's own scheduler instead.
 func (s *Sampler) AttachLiveTimerGauge(read func() int64) {
-	s.gauge = read
+	s.AttachLaneGauge(0, read)
 }
 
-func (s *Sampler) observe(ev Event) {
-	if s.gauge != nil {
-		if v := s.gauge(); v > s.gaugePeak {
-			s.gaugePeak = v
+// AttachLaneGauge wires a live-timer reader into lane i. The reader runs on
+// shard i's goroutine, so it must touch only that shard's scheduler.
+func (s *Sampler) AttachLaneGauge(i int, read func() int64) {
+	s.lanes[i].gauge = read
+}
+
+// AttachShardLoads wires a per-shard execution-counter reader (typically
+// netsim.Network.ShardLoads), polled once at dump time.
+func (s *Sampler) AttachShardLoads(read func() []netsim.ShardLoad) {
+	s.shardLoads = read
+}
+
+func (l *samplerLane) observe(ev Event) {
+	if l.gauge != nil {
+		if v := l.gauge(); v > l.gaugePeak {
+			l.gaugePeak = v
 		}
 	}
 	var ctrl, stateDelta, delivered, drops, timerFires int64
@@ -111,14 +156,14 @@ func (s *Sampler) observe(ev Event) {
 	default:
 		return
 	}
-	rs := s.routers[ev.Router]
+	rs := l.routers[ev.Router]
 	if rs == nil {
 		rs = &samplerSeries{buckets: map[int]*samplerBucket{}}
-		s.routers[ev.Router] = rs
+		l.routers[ev.Router] = rs
 	}
-	bi := int(ev.At / s.interval)
-	if bi > s.last {
-		s.last = bi
+	bi := int(ev.At / l.interval)
+	if bi > l.last {
+		l.last = bi
 	}
 	b := rs.buckets[bi]
 	if b == nil {
@@ -134,22 +179,34 @@ func (s *Sampler) observe(ev Event) {
 
 // Curves folds the observed events into the dump document: routers sorted by
 // index, every bucket from 0 through the last observed one present (state is
-// carried forward through empty buckets).
+// carried forward through empty buckets). A router's series lives wholly on
+// its shard's lane, so merging lanes is a disjoint union.
 func (s *Sampler) Curves() Dump {
-	d := Dump{
-		IntervalSec:   float64(s.interval) / float64(netsim.Second),
-		LiveTimerPeak: s.gaugePeak,
+	d := Dump{IntervalSec: float64(s.interval) / float64(netsim.Second)}
+	routers := map[int]*samplerSeries{}
+	last := 0
+	for _, l := range s.lanes {
+		d.LiveTimerPeak += l.gaugePeak
+		if l.last > last {
+			last = l.last
+		}
+		for i, rs := range l.routers {
+			routers[i] = rs
+		}
 	}
-	idxs := make([]int, 0, len(s.routers))
-	for i := range s.routers {
+	if s.shardLoads != nil {
+		d.Shards = s.shardLoads()
+	}
+	idxs := make([]int, 0, len(routers))
+	for i := range routers {
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
 	for _, i := range idxs {
-		rs := s.routers[i]
-		curve := RouterCurve{Router: i, Samples: make([]Sample, 0, s.last+1)}
+		rs := routers[i]
+		curve := RouterCurve{Router: i, Samples: make([]Sample, 0, last+1)}
 		var state int64
-		for bi := 0; bi <= s.last; bi++ {
+		for bi := 0; bi <= last; bi++ {
 			sm := Sample{TSec: float64(bi) * d.IntervalSec, State: state}
 			if b := rs.buckets[bi]; b != nil {
 				state += b.stateDelta

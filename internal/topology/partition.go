@@ -1,0 +1,322 @@
+package topology
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Partitioning for the sharded simulation core (internal/netsim): the graph
+// is split into k balanced parts so that the links crossing part boundaries
+// are, as far as a greedy pass can arrange, the high-delay WAN links. Two
+// properties matter to the runner:
+//
+//   - The conservative lookahead window equals the minimum delay over cut
+//     edges, so keeping low-delay edges internal directly buys parallelism.
+//   - The assignment must be a pure deterministic function of the graph and
+//     k: the shard-determinism gates rerun the same simulation at several
+//     shard counts and require bit-identical results, which starts with
+//     identical partitions on every run.
+//
+// The algorithm is a METIS-flavoured greedy growth: k seed vertices are
+// spread across the graph by repeated farthest-hop selection, then clusters
+// grow one vertex at a time, always absorbing the unassigned vertex with
+// the strongest affinity — the largest sum of 1/delay over edges into the
+// cluster — under a balance cap of ceil(n/k). High-delay edges contribute
+// little affinity, so growth stops at WAN boundaries when the topology has
+// them. All ties break on (affinity, vertex, cluster) with integer
+// arithmetic, so the result is platform-independent.
+
+// affinityScale converts a delay into an integer affinity contribution;
+// 1<<20 over the delay keeps distinct small delays distinguishable without
+// floating point.
+const affinityScale = int64(1) << 20
+
+// Partition assigns each vertex of g to one of k parts and returns the
+// assignment indexed by vertex. k is clamped to [1, N]; every part receives
+// at least one vertex and at most ceil(N/k).
+func Partition(g *Graph, k int) []int {
+	n := g.N()
+	asn := make([]int, n)
+	if k <= 1 || n == 0 {
+		return asn
+	}
+	if k > n {
+		k = n
+	}
+	for i := range asn {
+		asn[i] = -1
+	}
+	cap_ := (n + k - 1) / k
+	size := make([]int, k)
+
+	// Seeds: vertex 0, then repeatedly the vertex with the largest hop
+	// distance to any chosen seed (ties to the lowest index). BFS distance
+	// deliberately ignores delays — seeds should land in distinct clusters,
+	// and hop distance separates dense clusters joined by sparse WAN trees.
+	seeds := spreadSeeds(g, k)
+	pq := &affinityQueue{}
+	aff := make([][]int64, n)
+	for v := 0; v < n; v++ {
+		aff[v] = make([]int64, k)
+	}
+	absorb := func(v, c int) {
+		asn[v] = c
+		size[c]++
+		for _, ei := range g.Incident(v) {
+			e := g.Edge(ei)
+			u := e.Other(v)
+			if asn[u] >= 0 {
+				continue
+			}
+			aff[u][c] += affinityScale / e.Delay
+			heap.Push(pq, affinityItem{affinity: aff[u][c], vertex: u, cluster: c})
+		}
+	}
+	for c, v := range seeds {
+		absorb(v, c)
+	}
+	assigned := k
+	for assigned < n {
+		var it affinityItem
+		ok := false
+		for pq.Len() > 0 {
+			it = heap.Pop(pq).(affinityItem)
+			if asn[it.vertex] >= 0 || size[it.cluster] >= cap_ {
+				continue
+			}
+			if it.affinity != aff[it.vertex][it.cluster] {
+				// Stale entry: the vertex gained affinity since this was
+				// pushed; a fresher entry is in the queue.
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			// No assignable frontier vertex (disconnected component, or all
+			// adjacent clusters full): place the lowest unassigned vertex in
+			// the smallest cluster (ties to the lowest cluster index).
+			v := -1
+			for u := 0; u < n; u++ {
+				if asn[u] < 0 {
+					v = u
+					break
+				}
+			}
+			c := 0
+			for j := 1; j < k; j++ {
+				if size[j] < size[c] {
+					c = j
+				}
+			}
+			absorb(v, c)
+			assigned++
+			continue
+		}
+		absorb(it.vertex, it.cluster)
+		assigned++
+	}
+	return asn
+}
+
+// CutEdges returns the indices of edges whose endpoints lie in different
+// parts of the assignment.
+func CutEdges(g *Graph, asn []int) []int {
+	var cut []int
+	for i, e := range g.Edges() {
+		if asn[e.A] != asn[e.B] {
+			cut = append(cut, i)
+		}
+	}
+	return cut
+}
+
+// MinCutDelay returns the smallest delay over cut edges — the conservative
+// lookahead window the sharded runner derives from the assignment — or 0
+// when nothing is cut.
+func MinCutDelay(g *Graph, asn []int) int64 {
+	var min int64
+	for _, i := range CutEdges(g, asn) {
+		d := g.Edge(i).Delay
+		if min == 0 || d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// spreadSeeds picks k mutually distant vertices by iterated farthest-hop
+// BFS from the already chosen set.
+func spreadSeeds(g *Graph, k int) []int {
+	n := g.N()
+	seeds := []int{0}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for len(seeds) < k {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		for _, s := range seeds {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] < 0 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		best, bestD := -1, -1
+		for v := 0; v < n; v++ {
+			if dist[v] > bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		if bestD <= 0 {
+			// Graph smaller than k or disconnected remainder: fall back to
+			// the lowest unchosen vertex.
+			for v := 0; v < n; v++ {
+				chosen := false
+				for _, s := range seeds {
+					if s == v {
+						chosen = true
+						break
+					}
+				}
+				if !chosen {
+					best = v
+					break
+				}
+			}
+		}
+		seeds = append(seeds, best)
+	}
+	return seeds
+}
+
+// affinityItem is one (vertex, cluster) candidate in the growth frontier.
+type affinityItem struct {
+	affinity int64
+	vertex   int
+	cluster  int
+}
+
+type affinityQueue []affinityItem
+
+func (q affinityQueue) Len() int { return len(q) }
+func (q affinityQueue) Less(i, j int) bool {
+	if q[i].affinity != q[j].affinity {
+		return q[i].affinity > q[j].affinity
+	}
+	if q[i].vertex != q[j].vertex {
+		return q[i].vertex < q[j].vertex
+	}
+	return q[i].cluster < q[j].cluster
+}
+func (q affinityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *affinityQueue) Push(x interface{}) { *q = append(*q, x.(affinityItem)) }
+func (q *affinityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ClusteredConfig parameterizes the lookahead-friendly generator: dense
+// low-delay clusters joined by sparse high-delay WAN links — the topology
+// shape the paper's hierarchical-domain discussion assumes and the one
+// sharded sweeps want (cut the WAN links, keep the clusters intact).
+type ClusteredConfig struct {
+	Clusters     int     // number of dense clusters
+	ClusterNodes int     // nodes per cluster
+	Degree       float64 // target average degree inside a cluster
+	// Intra-cluster delays, drawn uniformly (LAN/MAN scale).
+	MinDelay, MaxDelay int64
+	// WAN link delays, drawn uniformly; WANMinDelay must exceed MaxDelay
+	// for the partition cut to prefer WAN boundaries.
+	WANMinDelay, WANMaxDelay int64
+	// ExtraWAN adds this many WAN links beyond the inter-cluster spanning
+	// tree (rejection-sampled to distinct cluster pairs when possible).
+	ExtraWAN int
+}
+
+// Clustered generates Clusters dense random subgraphs joined by a spanning
+// tree of WAN links (plus ExtraWAN extras). Node IDs are contiguous per
+// cluster: cluster c owns [c*ClusterNodes, (c+1)*ClusterNodes).
+func Clustered(cfg ClusteredConfig, rng *rand.Rand) *Graph {
+	if cfg.Clusters <= 0 || cfg.ClusterNodes <= 0 {
+		panic("topology: Clustered needs positive Clusters and ClusterNodes")
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = 1
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	if cfg.WANMinDelay <= cfg.MaxDelay {
+		cfg.WANMinDelay = cfg.MaxDelay * 10
+	}
+	if cfg.WANMaxDelay < cfg.WANMinDelay {
+		cfg.WANMaxDelay = cfg.WANMinDelay
+	}
+	k, m := cfg.Clusters, cfg.ClusterNodes
+	g := New(k * m)
+	intraDelay := func() int64 {
+		if cfg.MaxDelay == cfg.MinDelay {
+			return cfg.MinDelay
+		}
+		return cfg.MinDelay + rng.Int63n(cfg.MaxDelay-cfg.MinDelay+1)
+	}
+	wanDelay := func() int64 {
+		if cfg.WANMaxDelay == cfg.WANMinDelay {
+			return cfg.WANMinDelay
+		}
+		return cfg.WANMinDelay + rng.Int63n(cfg.WANMaxDelay-cfg.WANMinDelay+1)
+	}
+	// Dense clusters: same construction as Random, confined to the block.
+	for c := 0; c < k; c++ {
+		base := c * m
+		target := int(float64(m)*cfg.Degree/2 + 0.5)
+		if min := m - 1; target < min {
+			target = min
+		}
+		if max := m * (m - 1) / 2; target > max {
+			target = max
+		}
+		order := rng.Perm(m)
+		for i := 1; i < m; i++ {
+			g.AddEdge(base+order[i], base+order[rng.Intn(i)], intraDelay())
+		}
+		added := m - 1
+		for added < target {
+			a, b := base+rng.Intn(m), base+rng.Intn(m)
+			if a == b || g.HasEdge(a, b) {
+				continue
+			}
+			g.AddEdge(a, b, intraDelay())
+			added++
+		}
+	}
+	// WAN spanning tree over shuffled cluster order, then extras.
+	wan := func(c1, c2 int) {
+		g.AddEdge(c1*m+rng.Intn(m), c2*m+rng.Intn(m), wanDelay())
+	}
+	corder := rng.Perm(k)
+	for i := 1; i < k; i++ {
+		wan(corder[i], corder[rng.Intn(i)])
+	}
+	for extra := 0; extra < cfg.ExtraWAN && k > 1; extra++ {
+		c1, c2 := rng.Intn(k), rng.Intn(k)
+		if c1 == c2 {
+			extra--
+			continue
+		}
+		wan(c1, c2)
+	}
+	return g
+}

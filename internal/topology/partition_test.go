@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func clusteredCfg() ClusteredConfig {
+	return ClusteredConfig{
+		Clusters:     4,
+		ClusterNodes: 25,
+		Degree:       4,
+		MinDelay:     1,
+		MaxDelay:     5,
+		WANMinDelay:  50,
+		WANMaxDelay:  80,
+		ExtraWAN:     2,
+	}
+}
+
+func TestClusteredShape(t *testing.T) {
+	cfg := clusteredCfg()
+	g := Clustered(cfg, rand.New(rand.NewSource(7)))
+	if g.N() != cfg.Clusters*cfg.ClusterNodes {
+		t.Fatalf("N = %d, want %d", g.N(), cfg.Clusters*cfg.ClusterNodes)
+	}
+	if !g.Connected() {
+		t.Fatal("clustered graph not connected")
+	}
+	wan := 0
+	for _, e := range g.Edges() {
+		interCluster := e.A/cfg.ClusterNodes != e.B/cfg.ClusterNodes
+		if interCluster {
+			wan++
+			if e.Delay < cfg.WANMinDelay {
+				t.Fatalf("inter-cluster edge %d-%d has LAN delay %d", e.A, e.B, e.Delay)
+			}
+		} else if e.Delay > cfg.MaxDelay {
+			t.Fatalf("intra-cluster edge %d-%d has WAN delay %d", e.A, e.B, e.Delay)
+		}
+	}
+	if want := cfg.Clusters - 1 + cfg.ExtraWAN; wan != want {
+		t.Fatalf("WAN links = %d, want %d", wan, want)
+	}
+}
+
+// The satellite gate: on a clustered topology the partitioner's cut must
+// cross only high-delay WAN links, so the sharded runner's lookahead window
+// equals a WAN delay rather than a LAN delay.
+func TestPartitionCutsOnlyWANLinks(t *testing.T) {
+	cfg := clusteredCfg()
+	for seed := int64(1); seed <= 5; seed++ {
+		g := Clustered(cfg, rand.New(rand.NewSource(seed)))
+		asn := Partition(g, cfg.Clusters)
+		for _, ei := range CutEdges(g, asn) {
+			e := g.Edge(ei)
+			if e.Delay < cfg.WANMinDelay {
+				t.Fatalf("seed %d: cut edge %d-%d delay %d is a LAN link (WAN min %d)",
+					seed, e.A, e.B, e.Delay, cfg.WANMinDelay)
+			}
+		}
+		if d := MinCutDelay(g, asn); d < cfg.WANMinDelay {
+			t.Fatalf("seed %d: min cut delay %d below WAN floor", seed, d)
+		}
+		// Each cluster should land wholly in one part.
+		for c := 0; c < cfg.Clusters; c++ {
+			base := c * cfg.ClusterNodes
+			for v := base + 1; v < base+cfg.ClusterNodes; v++ {
+				if asn[v] != asn[base] {
+					t.Fatalf("seed %d: cluster %d split across parts (%d vs %d)",
+						seed, c, asn[base], asn[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionBalanceAndDeterminism(t *testing.T) {
+	g := Random(GenConfig{Nodes: 137, Degree: 3.5, MinDelay: 1, MaxDelay: 40},
+		rand.New(rand.NewSource(11)))
+	for _, k := range []int{1, 2, 4, 7} {
+		asn := Partition(g, k)
+		if len(asn) != g.N() {
+			t.Fatalf("k=%d: assignment length %d", k, len(asn))
+		}
+		size := make([]int, k)
+		for v, c := range asn {
+			if c < 0 || c >= k {
+				t.Fatalf("k=%d: vertex %d assigned to %d", k, v, c)
+			}
+			size[c]++
+		}
+		cap_ := (g.N() + k - 1) / k
+		for c, s := range size {
+			if s == 0 {
+				t.Fatalf("k=%d: part %d empty", k, c)
+			}
+			if s > cap_ {
+				t.Fatalf("k=%d: part %d holds %d > cap %d", k, c, s, cap_)
+			}
+		}
+		if again := Partition(g, k); !reflect.DeepEqual(asn, again) {
+			t.Fatalf("k=%d: partition not deterministic", k)
+		}
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	// Node 2 disconnected; k larger than useful.
+	asn := Partition(g, 3)
+	seen := map[int]bool{}
+	for _, c := range asn {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("want 3 distinct parts, got %v", asn)
+	}
+	if got := Partition(New(0), 4); len(got) != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+}

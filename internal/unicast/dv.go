@@ -51,7 +51,7 @@ func (d *DV) Start() {
 	d.installConnected()
 	d.Node.Handle(packet.ProtoRIPSim, netsim.HandlerFunc(d.handle))
 	d.Node.OnLinkChange(func(ifc *netsim.Iface) { d.linkChanged(ifc) })
-	sched := d.Node.Net.Sched
+	sched := d.Node.Sched()
 	var tick func()
 	tick = func() {
 		d.expire()
@@ -112,7 +112,7 @@ func (d *DV) handle(in *netsim.Iface, pkt *packet.Packet) {
 	if err := msg.unmarshal(pkt.Payload); err != nil {
 		return
 	}
-	now := d.Node.Net.Sched.Now()
+	now := d.Node.Sched().Now()
 	cost := int64(in.Link.Delay)
 	changed := false
 	for _, e := range msg.Entries {
@@ -162,12 +162,12 @@ func (d *DV) handle(in *netsim.Iface, pkt *packet.Packet) {
 // poison schedules a prefix for unreachable advertisement until the garbage
 // collection deadline.
 func (d *DV) poison(p addr.Prefix) {
-	d.poisoned[p] = d.Node.Net.Sched.Now() + 3*d.Period
+	d.poisoned[p] = d.Node.Sched().Now() + 3*d.Period
 }
 
 // expire drops learned routes not refreshed within 3×Period.
 func (d *DV) expire() {
-	now := d.Node.Net.Sched.Now()
+	now := d.Node.Sched().Now()
 	changed := false
 	for p, r := range d.learned {
 		if now-r.lastHeard > 3*d.Period {

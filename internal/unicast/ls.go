@@ -49,7 +49,7 @@ func (l *LS) Start() {
 	l.id = l.Node.Addr()
 	l.Node.Handle(packet.ProtoLSSim, netsim.HandlerFunc(l.handle))
 	l.Node.OnLinkChange(func(*netsim.Iface) { l.originate() })
-	sched := l.Node.Net.Sched
+	sched := l.Node.Sched()
 	var tick func()
 	tick = func() {
 		l.ageOut()
@@ -102,7 +102,7 @@ func (l *LS) handle(in *netsim.Iface, pkt *packet.Packet) {
 func newerSeq(a, b uint32) bool { return int32(a-b) > 0 }
 
 func (l *LS) install(a lsa) {
-	l.db[a.Origin] = &lsaRecord{lsa: a, received: l.Node.Net.Sched.Now()}
+	l.db[a.Origin] = &lsaRecord{lsa: a, received: l.Node.Sched().Now()}
 	l.spf()
 }
 
@@ -119,7 +119,7 @@ func (l *LS) flood(a lsa, except *netsim.Iface) {
 }
 
 func (l *LS) ageOut() {
-	now := l.Node.Net.Sched.Now()
+	now := l.Node.Sched().Now()
 	changed := false
 	for origin, rec := range l.db {
 		if origin == l.id {

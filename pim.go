@@ -467,6 +467,10 @@ func DefaultScalingBenchConfig() ScalingBenchConfig { return experiments.Default
 // SmokeScalingBenchConfig returns the make scale-smoke workload.
 func SmokeScalingBenchConfig() ScalingBenchConfig { return experiments.SmokeScalingBench() }
 
+// TenKScalingBenchConfig returns the 10 000-router headline workload: one
+// size-sweep cell per sparse protocol, ledgered with the shard count.
+func TenKScalingBenchConfig() ScalingBenchConfig { return experiments.TenKScalingBench() }
+
 // RunScalingBench runs the size/group/sender sweeps under wall-clock timing
 // on the currently selected scheduler backing store.
 func RunScalingBench(cfg ScalingBenchConfig) ScalingBenchResult {
@@ -476,6 +480,14 @@ func RunScalingBench(cfg ScalingBenchConfig) ScalingBenchResult {
 // SameScalingGrids reports whether two benchmark runs produced bit-identical
 // simulated grids (the heap-vs-wheel ledger gate).
 func SameScalingGrids(a, b ScalingBenchResult) bool { return experiments.SameGrids(a, b) }
+
+// SameScalingGridsSharded is the ledger gate for multi-shard runs: grids
+// must be bit-identical except the peak live-timer readings, which a
+// sharded run reports as a sum of per-shard peaks (see DESIGN.md §12).
+// Event counts are NOT masked.
+func SameScalingGridsSharded(a, b ScalingBenchResult) bool {
+	return experiments.SameGridsSharded(a, b)
+}
 
 // Scheduler is the deterministic discrete-event scheduler simulations run
 // on (see DESIGN.md "Timer subsystem" for the backing stores).
@@ -505,6 +517,18 @@ func UseWheel() bool { return netsim.UseWheel() }
 // SetUseWheel selects the scheduler backing store for subsequently built
 // simulations and returns the previous setting.
 func SetUseWheel(on bool) bool { return netsim.SetUseWheel(on) }
+
+// Shards returns the process-global default shard count for subsequently
+// built simulations (1 = sequential); SetShards changes it and returns the
+// previous setting. A sharded simulation partitions the topology into
+// disjoint shards executed concurrently under conservative lookahead
+// (DESIGN.md §12); results are bit-identical to the sequential path for
+// any shard count.
+func Shards() int { return netsim.Shards() }
+
+// SetShards sets the default shard count for subsequently built simulations
+// and returns the previous setting (values below 1 clamp to 1).
+func SetShards(n int) int { return netsim.SetShards(n) }
 
 // ParseTopology reads a cmd/topogen edge-list file.
 func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeList(r) }
