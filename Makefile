@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger
+.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger
 
 # check is the full gate: vet, build, race-enabled tests (the -race pass
 # covers internal/telemetry and internal/experiments along with everything
 # else), a short benchmark smoke pass, the telemetry/invariant smoke, the
-# scheduler-swap smoke, and the sharded-execution smoke.
-check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke
+# scheduler-swap smoke, the sharded-execution smoke, and the zero-allocation
+# control-plane smoke.
+check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,26 @@ shard-smoke:
 	$(GO) run ./cmd/pimbench -scaling -smoke -shards 4
 	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
 
+# ctrl-smoke verifies the zero-allocation control plane end to end: every
+# scenario must replay bit-identically on the pooled frame path — including
+# under poison-on-release, which scribbles over every recycled frame so a
+# handler retaining a borrowed buffer fails loudly (DESIGN.md §13); the
+# CI-sized steady-state churn benchmark must show the pooled and allocating
+# paths observationally identical; the per-engine AllocsPerRun pins must
+# hold; and the scheduler/pool package must pass under the race detector.
+ctrl-smoke:
+	$(GO) test -run 'TestScenarios(FramePoolEquivalence|PoisonedPool)' -count=1 ./internal/script/
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/pimdm/ ./internal/dvmrp/ ./internal/cbt/ ./internal/mospf/ ./internal/igmp/
+	$(GO) run ./cmd/pimbench -ctrlplane -smoke
+	$(GO) test -race -count=1 ./internal/netsim/
+
+# profile captures CPU and heap profiles of a pimbench run for pprof; set
+# PROFILE_ARGS to profile a different mode (default: the CI-sized
+# control-plane churn benchmark).
+profile:
+	$(GO) run ./cmd/pimbench $(or $(PROFILE_ARGS),-ctrlplane -smoke) -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
+
 # scale-ledger appends heap and wheel entries for the large-internet scaling
 # sweeps (up to 1000 routers) and the scheduler microbenchmarks to
 # BENCH_scale.json; recording is refused if the two backing stores' simulated
@@ -86,3 +107,10 @@ scale-ledger:
 # sequential plus (with SHARDS) a gated sharded pass.
 tenk-ledger:
 	$(GO) run ./cmd/pimbench -tenk -label $(or $(LABEL),run) -shards $(or $(SHARDS),4)
+
+# ctrlplane-ledger appends a steady-state control-plane churn entry (1000
+# routers, every protocol, pooled vs allocating frame paths) to
+# BENCH_ctrlplane.json; recording is refused if any protocol's two runs
+# diverge in any simulated observable (see EXPERIMENTS.md).
+ctrlplane-ledger:
+	$(GO) run ./cmd/pimbench -ctrlplane -label $(or $(LABEL),run)

@@ -39,6 +39,18 @@
 // (sequential and sharded) under the same gate. Every ledger entry carries
 // a header recording the host's CPU count, GOMAXPROCS, and the shard and
 // worker counts the numbers were measured with.
+//
+// With -ctrlplane it runs the steady-state control-plane churn benchmark
+// (a 1000-router internet in pure periodic refresh, every protocol, with
+// the allocating frame path as oracle and the pooled zero-allocation path
+// as candidate) and appends to BENCH_ctrlplane.json only if every
+// protocol's two runs agree on every simulated observable. Add -smoke for
+// the CI-sized workload, which verifies the gate and records nothing.
+// Every ledger header also records whether the frame pool was on and the
+// process GC statistics at record time.
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran
+// (see `make profile`).
 package main
 
 import (
@@ -48,6 +60,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -82,18 +95,33 @@ type LedgerHeader struct {
 	Shards int `json:"shards"`
 	// Workers is the experiment worker-pool width (trial fan-out).
 	Workers int `json:"workers"`
+	// FramePool records whether the pooled netsim frame path was on.
+	FramePool bool `json:"frame_pool"`
+	// GC figures at stamp time (i.e. after the measured work): cumulative
+	// collection count, total stop-the-world pause, and live heap. They make
+	// every ledger's numbers interpretable as "how hard was the collector
+	// working when this was recorded".
+	NumGC          uint32 `json:"num_gc"`
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 }
 
 // newHeader stamps a ledger header for the current process configuration.
 func newHeader(label string) LedgerHeader {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return LedgerHeader{
-		Label:      label,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Shards:     pim.Shards(),
-		Workers:    runtime.GOMAXPROCS(0),
+		Label:          label,
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Shards:         pim.Shards(),
+		Workers:        runtime.GOMAXPROCS(0),
+		FramePool:      pim.UseFramePool(),
+		NumGC:          ms.NumGC,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		HeapAllocBytes: ms.HeapAlloc,
 	}
 }
 
@@ -149,12 +177,51 @@ func main() {
 	tenk := flag.Bool("tenk", false, "run the 10000-router scaling cell instead of the Figure 2 sweeps (honors -shards)")
 	shards := flag.Int("shards", 1, "simulation shard count (1 = sequential; sharded scaling/tenk runs are gated against the sequential grid)")
 	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
+	ctrlplane := flag.Bool("ctrlplane", false, "run the steady-state control-plane churn benchmark (pooled vs allocating frame paths) instead of the Figure 2 sweeps")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at clean exit to this file")
 	flag.Parse()
 
 	pim.SetShards(*shards)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on clean exit only: the gate-failure paths os.Exit and
+		// deliberately drop the profile with the refused entry.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pimbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pimbench:", err)
+			}
+		}()
+	}
+
 	if *telemetryOut != "" {
 		runTelemetry(*telemetryOut)
+		return
+	}
+	if *ctrlplane {
+		if *out == "" {
+			*out = "BENCH_ctrlplane.json"
+		}
+		runCtrlPlane(*label, *out, *smoke)
 		return
 	}
 	if *dataplane {
@@ -526,4 +593,65 @@ func runTenK(label, out string, shards int) {
 		entries = append(entries, ScalingEntry{LedgerHeader: hs, UseWheel: true, Result: res})
 	}
 	appendScalingEntries(out, entries)
+}
+
+// CtrlPlaneEntry is one appended record of the control-plane churn ledger.
+type CtrlPlaneEntry struct {
+	LedgerHeader
+	Result pim.CtrlPlaneResult `json:"result"`
+}
+
+// runCtrlPlane executes the steady-state control-plane benchmark — every
+// protocol holding a 1000-router internet in pure periodic refresh, once on
+// the allocating frame path and once on the pooled path — and appends the
+// paired measurements to the ctrlplane ledger. Nothing is recorded unless
+// every protocol's two runs produced bit-identical simulated observables
+// (forwarding state, control-message count, scheduler events). With smoke
+// set it runs the CI-sized workload, enforces the same gate, and records
+// nothing.
+func runCtrlPlane(label, out string, smoke bool) {
+	cfg := pim.DefaultCtrlPlaneConfig()
+	if smoke {
+		cfg = pim.SmokeCtrlPlaneConfig()
+	}
+	res := pim.RunCtrlPlane(cfg)
+	for _, p := range res.Pairs {
+		for _, c := range []pim.CtrlPlaneCell{p.Alloc, p.Pooled} {
+			path := "alloc "
+			if c.Pooled {
+				path = "pooled"
+			}
+			fmt.Printf("ctrlplane %-13s %s  %8d msgs  %9.1f ms  %9.0f msgs/sec  %6.2f allocs/msg  gc=%d pause %6.2f ms  heap %6.1f MB\n",
+				p.Protocol, path, c.CtrlMessages, c.WallMs, c.MsgsPerSec,
+				c.AllocsPerMsg, c.GCCycles, c.GCPauseMs, c.HeapMB)
+		}
+		fmt.Printf("ctrlplane %-13s speedup %.2fx  identical=%v\n", p.Protocol, p.Speedup, p.Identical)
+	}
+	if !res.AllIdentical {
+		fmt.Fprintln(os.Stderr, "pimbench: pooled run diverged from allocating run — not recording")
+		os.Exit(1)
+	}
+	if smoke {
+		fmt.Println("smoke run: pooled/allocating gate passed, nothing recorded")
+		return
+	}
+	entry := CtrlPlaneEntry{LedgerHeader: newHeader(label), Result: res}
+	var ledger []CtrlPlaneEntry
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entry)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q entry to %s (%d entries)\n", label, out, len(ledger))
 }

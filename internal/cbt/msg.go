@@ -39,26 +39,39 @@ type Message struct {
 var ErrBadMessage = errors.New("cbt: malformed message")
 
 // Marshal encodes the message.
-func (m *Message) Marshal() []byte {
-	b := make([]byte, 10)
-	b[0] = m.Type
-	binary.BigEndian.PutUint32(b[2:], uint32(m.Group))
-	binary.BigEndian.PutUint32(b[6:], uint32(m.Core))
-	return b
+func (m *Message) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 10)) }
+
+// MarshalTo appends the encoded message to b (same bytes as Marshal).
+func (m *Message) MarshalTo(b []byte) []byte {
+	var e [10]byte
+	e[0] = m.Type
+	binary.BigEndian.PutUint32(e[2:], uint32(m.Group))
+	binary.BigEndian.PutUint32(e[6:], uint32(m.Core))
+	return append(b, e[:]...)
 }
 
 // Unmarshal decodes a message.
 func Unmarshal(b []byte) (*Message, error) {
-	if len(b) < 10 {
-		return nil, ErrBadMessage
+	m := new(Message)
+	if err := UnmarshalInto(m, b); err != nil {
+		return nil, err
 	}
-	m := &Message{
+	return m, nil
+}
+
+// UnmarshalInto decodes a message into a caller-owned struct, allocating
+// nothing.
+func UnmarshalInto(m *Message, b []byte) error {
+	if len(b) < 10 {
+		return ErrBadMessage
+	}
+	*m = Message{
 		Type:  b[0],
 		Group: addr.IP(binary.BigEndian.Uint32(b[2:])),
 		Core:  addr.IP(binary.BigEndian.Uint32(b[6:])),
 	}
 	if m.Type < TypeJoinReq || m.Type > TypeFlush {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
-	return m, nil
+	return nil
 }

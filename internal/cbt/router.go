@@ -78,6 +78,11 @@ type Router struct {
 	// pendingAcks holds join-ack retransmission state per (group, child).
 	pendingAcks map[ackKey]*pendingAck
 
+	// enc is the reusable control-message encode workspace (see
+	// core.Router.enc): safe because Node.Send copies the payload into its
+	// transmit frame before returning.
+	enc packet.Scratch
+
 	started bool
 	// epoch invalidates scheduled closures across Stop/Restart (see
 	// core.Router): timer bodies fire only under the epoch they were
@@ -328,10 +333,11 @@ func (r *Router) sendJoinReq(g addr.IP, st *groupState) {
 }
 
 func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
-	m, err := Unmarshal(pkt.Payload)
-	if err != nil {
+	var msg Message
+	if err := UnmarshalInto(&msg, pkt.Payload); err != nil {
 		return
 	}
+	m := &msg
 	switch m.Type {
 	case TypeJoinReq:
 		r.handleJoinReq(in, pkt.Src, m)
@@ -601,7 +607,6 @@ func (r *Router) sendTo(ifc *netsim.Iface, to addr.IP, m *Message) {
 	if ifc == nil || !ifc.Up() {
 		return
 	}
-	pkt := packet.New(ifc.Addr, to, packet.ProtoCBT, m.Marshal())
-	pkt.TTL = 1
-	r.Node.Send(ifc, pkt, to)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf[:0])
+	r.Node.Send(ifc, r.enc.Packet(ifc.Addr, to, packet.ProtoCBT, 1), to)
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+	"pim/internal/unicast"
+)
+
+// TestQueryRefreshZeroAlloc pins the warm periodic-query send path —
+// append-encode into the router's scratch, pooled transmit frame, delivery,
+// into-decode, neighbor-table refresh — at zero heap allocations per cycle.
+// A regression here means an encoder started copying, a send site stopped
+// using the shared scratch, or frame recycling broke (DESIGN.md §13).
+//
+// The warm loop is long deliberately: timing-wheel slots grow their backing
+// arrays on first touch, and the delivery deadlines walk the slot space, so
+// the steady state is only reached once every slot on the cadence's orbit
+// has capacity. The measured window stays well inside one QueryInterval so
+// no periodic tick (whose re-arm legitimately allocates a timer) fires.
+func TestQueryRefreshZeroAlloc(t *testing.T) {
+	prev := netsim.SetFramePool(true)
+	defer netsim.SetFramePool(prev)
+
+	net := netsim.NewNetwork()
+	na := net.AddNode("a")
+	nb := net.AddNode("b")
+	ia := net.AddIface(na, addr.V4(10, 0, 0, 1))
+	ib := net.AddIface(nb, addr.V4(10, 0, 0, 2))
+	net.Connect(ia, ib, netsim.Millisecond)
+	oracle := unicast.NewOracle(net)
+
+	ra := New(na, Config{}, oracle.RouterFor(na))
+	rb := New(nb, Config{}, oracle.RouterFor(nb))
+	ra.Start()
+	rb.Start()
+	net.Sched.RunUntil(2 * netsim.Second)
+
+	cycle := func() {
+		ra.sendQueries()
+		rb.sendQueries()
+		net.Sched.RunUntil(net.Sched.Now() + 10*netsim.Millisecond)
+	}
+	for i := 0; i < 1500; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("warm query refresh cycle: %.2f allocs, want 0", allocs)
+	}
+}

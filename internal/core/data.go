@@ -69,17 +69,18 @@ func (r *Router) senderSide(in *netsim.Iface, s, g addr.IP, pkt *packet.Packet) 
 		if nativeServed || (sg != nil && sg.HasOIF(rt.Iface, now)) {
 			continue
 		}
-		inner, err := pkt.Marshal()
+		var err error
+		r.regInner, err = pkt.MarshalTo(r.regInner[:0])
 		if err != nil {
 			continue
 		}
-		body := (&pimmsg.Register{Inner: inner}).Marshal()
-		reg := packet.New(in.Addr, rp, packet.ProtoPIMData, pimmsg.Envelope(pimmsg.TypeRegister, body))
+		r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeRegister)
+		r.enc.Buf = (&pimmsg.Register{Inner: r.regInner}).MarshalTo(r.enc.Buf)
 		nextHop := rt.NextHop
 		if nextHop == 0 {
 			nextHop = rp
 		}
-		r.Node.Send(rt.Iface, reg, nextHop)
+		r.Node.Send(rt.Iface, r.enc.Packet(in.Addr, rp, packet.ProtoPIMData, packet.DefaultTTL), nextHop)
 		r.Metrics.Inc(metrics.CtrlRegister)
 		if r.tel != nil {
 			r.tel.Publish(telemetry.Event{

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"pim/internal/addr"
 	"pim/internal/metrics"
 	"pim/internal/mfib"
@@ -91,10 +93,9 @@ func (r *Router) sendJoinPrune(out *netsim.Iface, upstream addr.IP, g addr.IP, j
 }
 
 func (r *Router) transmitJoinPrune(out *netsim.Iface, m *pimmsg.JoinPrune) {
-	payload := pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal())
-	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-	pkt.TTL = 1
-	r.Node.Send(out, pkt, 0)
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeJoinPrune)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
+	r.Node.Send(out, r.enc.Packet(out.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 	r.Metrics.Inc(metrics.CtrlJoinPrune)
 	if r.tel != nil {
 		r.tel.Publish(telemetry.Event{
@@ -223,11 +224,15 @@ func (r *Router) periodicRefresh() {
 }
 
 func sortGroups(gs []pimmsg.GroupRecord) {
-	for i := 1; i < len(gs); i++ {
-		for j := i; j > 0 && gs[j].Group < gs[j-1].Group; j-- {
-			gs[j], gs[j-1] = gs[j-1], gs[j]
+	slices.SortFunc(gs, func(a, b pimmsg.GroupRecord) int {
+		switch {
+		case a.Group < b.Group:
+			return -1
+		case a.Group > b.Group:
+			return 1
 		}
-	}
+		return 0
+	})
 }
 
 // rptPrunesToRefresh returns the sources whose shared-tree prunes this
@@ -363,8 +368,10 @@ func (r *Router) maintain() {
 // --- Receiving (§3.2, §3.6, §3.7) ---
 
 func (r *Router) handleJoinPrune(in *netsim.Iface, body []byte) {
-	m, err := pimmsg.UnmarshalJoinPrune(body)
-	if err != nil {
+	// Decode into the router's scratch: the record slices are recycled
+	// between messages, and nothing below retains them past this call.
+	m := &r.jpDec
+	if err := pimmsg.UnmarshalJoinPruneInto(m, body); err != nil {
 		return
 	}
 	if m.UpstreamNeighbor == in.Addr {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/metrics"
@@ -49,6 +49,18 @@ type Router struct {
 	rpReportSeq  uint32
 	rpReportSeqs map[addr.IP]uint32
 	learnedRP    map[addr.IP]learnedMapping
+
+	// enc is the reusable control-message encode workspace: every Node.Send
+	// site appends envelope+body into enc.Buf and sends enc.Packet, so warm
+	// periodic refresh allocates nothing. Safe because Send copies the
+	// payload into its transmit frame before returning. regInner is the
+	// second buffer the register path needs for the encapsulated inner
+	// datagram (it is alive while enc.Buf is being built around it).
+	enc      packet.Scratch
+	regInner []byte
+	// jpDec is the join/prune decode scratch; valid only within one
+	// handleJoinPrune call (the record slices are recycled across calls).
+	jpDec pimmsg.JoinPrune
 
 	started bool
 	// epoch invalidates scheduled closures across Stop/Restart: every timer
@@ -317,22 +329,21 @@ func (r *Router) rpf(target addr.IP) (iif *netsim.Iface, upstream addr.IP, ok bo
 // --- Neighbor discovery and DR election (§3.7) ---
 
 func (r *Router) sendQueries() {
-	body := (&pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}).Marshal()
-	payload := pimmsg.Envelope(pimmsg.TypeQuery, body)
+	q := pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeQuery)
+	r.enc.Buf = q.MarshalTo(r.enc.Buf)
 	for _, ifc := range r.Node.Ifaces {
 		if !ifc.Up() || ifc.Addr == 0 {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 		r.Metrics.Inc(metrics.CtrlQuery)
 	}
 }
 
 func (r *Router) handleQuery(in *netsim.Iface, src addr.IP, body []byte) {
-	q, err := pimmsg.UnmarshalQuery(body)
-	if err != nil {
+	var q pimmsg.Query
+	if err := pimmsg.UnmarshalQueryInto(&q, body); err != nil {
 		return
 	}
 	byAddr := r.neighbors[in.Index]
@@ -367,11 +378,17 @@ func (r *Router) expireNeighbors() {
 			}
 		}
 	}
-	sort.Slice(dead, func(i, j int) bool {
-		if dead[i].idx != dead[j].idx {
-			return dead[i].idx < dead[j].idx
+	slices.SortFunc(dead, func(x, y expiry) int {
+		if x.idx != y.idx {
+			return x.idx - y.idx
 		}
-		return dead[i].a < dead[j].a
+		switch {
+		case x.a < y.a:
+			return -1
+		case x.a > y.a:
+			return 1
+		}
+		return 0
 	})
 	for _, e := range dead {
 		delete(r.neighbors[e.idx], e.a)
@@ -416,7 +433,7 @@ func (r *Router) Neighbors(ifc *netsim.Iface) []addr.IP {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

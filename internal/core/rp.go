@@ -84,11 +84,10 @@ func (r *Router) originateRPReach() {
 }
 
 func (r *Router) distributeRPReach(wc *mfib.Entry, m *pimmsg.RPReach, except *netsim.Iface) {
-	payload := pimmsg.Envelope(pimmsg.TypeRPReach, m.Marshal())
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeRPReach)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
 	for _, ifc := range wc.LiveOIFs(r.now(), except) {
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 		r.Metrics.Inc(metrics.CtrlRPReach)
 	}
 }
@@ -161,14 +160,13 @@ func (r *Router) handleRPReport(in *netsim.Iface, body []byte) {
 }
 
 func (r *Router) floodRPReport(rep *pimmsg.RPReport, except *netsim.Iface) {
-	payload := pimmsg.Envelope(pimmsg.TypeRPReport, rep.Marshal())
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeRPReport)
+	r.enc.Buf = rep.MarshalTo(r.enc.Buf)
 	for _, ifc := range r.Node.Ifaces {
 		if ifc == except || !ifc.Up() || ifc.Addr == 0 {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 		r.Metrics.Inc(metrics.CtrlRPReach)
 	}
 }

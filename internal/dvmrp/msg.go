@@ -38,28 +38,41 @@ type Message struct {
 var ErrBadMessage = errors.New("dvmrp: malformed message")
 
 // Marshal encodes the message.
-func (m *Message) Marshal() []byte {
-	b := make([]byte, 12)
-	b[0] = m.Type
-	binary.BigEndian.PutUint32(b[2:], uint32(m.Source))
-	binary.BigEndian.PutUint32(b[6:], uint32(m.Group))
-	binary.BigEndian.PutUint16(b[10:], m.Lifetime)
-	return b
+func (m *Message) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 12)) }
+
+// MarshalTo appends the encoded message to b (same bytes as Marshal).
+func (m *Message) MarshalTo(b []byte) []byte {
+	var e [12]byte
+	e[0] = m.Type
+	binary.BigEndian.PutUint32(e[2:], uint32(m.Source))
+	binary.BigEndian.PutUint32(e[6:], uint32(m.Group))
+	binary.BigEndian.PutUint16(e[10:], m.Lifetime)
+	return append(b, e[:]...)
 }
 
 // Unmarshal decodes a message.
 func Unmarshal(b []byte) (*Message, error) {
-	if len(b) < 12 {
-		return nil, ErrBadMessage
+	m := new(Message)
+	if err := UnmarshalInto(m, b); err != nil {
+		return nil, err
 	}
-	m := &Message{
+	return m, nil
+}
+
+// UnmarshalInto decodes a message into a caller-owned struct, allocating
+// nothing.
+func UnmarshalInto(m *Message, b []byte) error {
+	if len(b) < 12 {
+		return ErrBadMessage
+	}
+	*m = Message{
 		Type:     b[0],
 		Source:   addr.IP(binary.BigEndian.Uint32(b[2:])),
 		Group:    addr.IP(binary.BigEndian.Uint32(b[6:])),
 		Lifetime: binary.BigEndian.Uint16(b[10:]),
 	}
 	if m.Type < TypeProbe || m.Type > TypeGraftAck {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
-	return m, nil
+	return nil
 }

@@ -66,6 +66,11 @@ type Router struct {
 	// pendingGrafts holds the retransmission state of unacked grafts.
 	pendingGrafts map[mfib.Key]*pendingGraft
 
+	// enc is the reusable control-message encode workspace (see
+	// core.Router.enc): safe because Node.Send copies the payload into its
+	// transmit frame before returning.
+	enc packet.Scratch
+
 	started bool
 	// epoch invalidates scheduled closures across Stop/Restart (see
 	// core.Router): timer bodies fire only under the epoch they were
@@ -253,14 +258,13 @@ func (r *Router) hasMember(ifc *netsim.Iface, g addr.IP) bool {
 // --- Neighbor probes ---
 
 func (r *Router) sendProbes() {
-	payload := (&Message{Type: TypeProbe}).Marshal()
+	m := Message{Type: TypeProbe}
+	r.enc.Buf = m.MarshalTo(r.enc.Buf[:0])
 	for _, ifc := range r.Node.Ifaces {
 		if !ifc.Up() || ifc.Addr == 0 {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoDVMRP, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoDVMRP, 1), 0)
 	}
 }
 
@@ -290,10 +294,11 @@ func (r *Router) isLeaf(ifc *netsim.Iface) bool {
 // --- Control messages ---
 
 func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
-	m, err := Unmarshal(pkt.Payload)
-	if err != nil {
+	var msg Message
+	if err := UnmarshalInto(&msg, pkt.Payload); err != nil {
 		return
 	}
+	m := &msg
 	switch m.Type {
 	case TypeProbe:
 		byAddr := r.neighbors[in.Index]
@@ -342,10 +347,9 @@ func (r *Router) handlePrune(in *netsim.Iface, m *Message) {
 // handleGraft re-attaches a downstream branch and propagates upstream if we
 // had pruned ourselves.
 func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, m *Message) {
-	ack := packet.New(in.Addr, from, packet.ProtoDVMRP,
-		(&Message{Type: TypeGraftAck, Source: m.Source, Group: m.Group}).Marshal())
-	ack.TTL = 1
-	r.Node.Send(in, ack, from)
+	ack := Message{Type: TypeGraftAck, Source: m.Source, Group: m.Group}
+	r.enc.Buf = ack.MarshalTo(r.enc.Buf[:0])
+	r.Node.Send(in, r.enc.Packet(in.Addr, from, packet.ProtoDVMRP, 1), from)
 	r.Metrics.Inc(metrics.CtrlGraft)
 
 	e := r.MFIB.SG(m.Source, m.Group)
@@ -382,10 +386,9 @@ func (r *Router) sendCtrlUpstream(e *mfib.Entry, typ byte, lifetime uint16) {
 	if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
 		return
 	}
-	m := &Message{Type: typ, Source: e.Key.Source, Group: e.Key.Group, Lifetime: lifetime}
-	pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, m.Marshal())
-	pkt.TTL = 1
-	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+	m := Message{Type: typ, Source: e.Key.Source, Group: e.Key.Group, Lifetime: lifetime}
+	r.enc.Buf = m.MarshalTo(r.enc.Buf[:0])
+	r.Node.Send(e.IIF, r.enc.Packet(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, 1), e.UpstreamNeighbor)
 	switch typ {
 	case TypePrune:
 		r.Metrics.Inc(metrics.CtrlPrune)
@@ -428,10 +431,9 @@ func (r *Router) armGraftRetry(key mfib.Key, backoff netsim.Time) {
 		if e.IIF == nil || e.UpstreamNeighbor == 0 || !e.IIF.Up() {
 			return
 		}
-		m := &Message{Type: TypeGraft, Source: key.Source, Group: key.Group}
-		pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, m.Marshal())
-		pkt.TTL = 1
-		r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+		m := Message{Type: TypeGraft, Source: key.Source, Group: key.Group}
+		r.enc.Buf = m.MarshalTo(r.enc.Buf[:0])
+		r.Node.Send(e.IIF, r.enc.Packet(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoDVMRP, 1), e.UpstreamNeighbor)
 		r.Metrics.Inc(metrics.CtrlGraft)
 		if r.tel != nil {
 			r.tel.Publish(telemetry.Event{

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"pim/internal/netsim"
+)
+
+// TestCtrlPlanePooledEquivalence runs a miniature steady-state benchmark and
+// requires the pooled and allocating frame paths to produce bit-identical
+// simulated observables for every protocol — the same gate the ledger mode
+// enforces before recording.
+func TestCtrlPlanePooledEquivalence(t *testing.T) {
+	cfg := CtrlPlaneConfig{
+		Nodes: 24, Degree: 4, Groups: 2, Members: 3, Seed: 7,
+		Warmup: 20 * netsim.Second, Duration: 90 * netsim.Second,
+		Protos: AllProtocols(),
+	}
+	res := RunCtrlPlane(cfg)
+	if len(res.Pairs) != len(cfg.Protos) {
+		t.Fatalf("got %d pairs, want %d", len(res.Pairs), len(cfg.Protos))
+	}
+	for _, p := range res.Pairs {
+		if !p.Identical {
+			t.Errorf("%s: pooled run diverged: alloc={msgs %d state %d events %d} pooled={msgs %d state %d events %d}",
+				p.Protocol,
+				p.Alloc.CtrlMessages, p.Alloc.State, p.Alloc.Events,
+				p.Pooled.CtrlMessages, p.Pooled.State, p.Pooled.Events)
+		}
+		// Every protocol refreshes something in steady state except MOSPF,
+		// whose LSAs are event-driven (no periodic reflood by default) — but
+		// IGMP queries still tick there, so the count is non-zero everywhere.
+		if p.Pooled.CtrlMessages == 0 {
+			t.Errorf("%s: no control messages in measured phase", p.Protocol)
+		}
+	}
+	if !res.AllIdentical {
+		t.Fatal("AllIdentical = false")
+	}
+}
+
+// TestCtrlPlaneDeterministic re-runs one pooled cell and requires identical
+// simulated observables — the benchmark itself must be replayable.
+func TestCtrlPlaneDeterministic(t *testing.T) {
+	cfg := CtrlPlaneConfig{
+		Nodes: 24, Degree: 4, Groups: 2, Members: 3, Seed: 11,
+		Warmup: 20 * netsim.Second, Duration: 60 * netsim.Second,
+	}
+	a := runCtrlPlaneCell(cfg, PIMSM, true)
+	b := runCtrlPlaneCell(cfg, PIMSM, true)
+	if a.CtrlMessages != b.CtrlMessages || a.State != b.State || a.Events != b.Events {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}

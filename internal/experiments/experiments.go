@@ -184,70 +184,7 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 		coreMap[grp] = anchor
 	}
 
-	var state func() int
-	var ctrl func() int64
-	var spf func() int64
-	switch proto {
-	case PIMSM, PIMSMShared:
-		pcfg := core.Config{RPMapping: rpMap}
-		if proto == PIMSMShared {
-			pcfg.SPTPolicy = core.SwitchNever
-		}
-		dep := sim.DeployPIM(pcfg)
-		state = dep.TotalState
-		ctrl = func() int64 { return sumCtrl(depMetrics(dep)) }
-	case DVMRP:
-		dep := sim.DeployDVMRP(dvmrp.Config{PruneLifetime: cfg.PruneLifetime})
-		state = dep.TotalState
-		ctrl = func() int64 {
-			var t int64
-			for _, r := range dep.Routers {
-				t += r.Metrics.Get(metrics.CtrlPrune) + r.Metrics.Get(metrics.CtrlGraft)
-			}
-			return t
-		}
-	case PIMDM:
-		dep := sim.DeployPIMDM(pimdm.Config{PruneHoldTime: cfg.PruneLifetime})
-		state = dep.TotalState
-		ctrl = func() int64 {
-			var t int64
-			for _, r := range dep.Routers {
-				t += r.Metrics.Get(metrics.CtrlPrune) + r.Metrics.Get(metrics.CtrlGraft) +
-					r.Metrics.Get(metrics.CtrlJoinPrune) + r.Metrics.Get(metrics.CtrlAssert)
-			}
-			return t
-		}
-	case CBT:
-		dep := sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
-		state = dep.TotalState
-		ctrl = func() int64 {
-			var t int64
-			for _, r := range dep.Routers {
-				t += r.Metrics.Get(metrics.CtrlCBTJoin) + r.Metrics.Get(metrics.CtrlCBTAck) +
-					r.Metrics.Get(metrics.CtrlCBTEcho)
-			}
-			return t
-		}
-	case MOSPF:
-		dep := sim.DeployMOSPF()
-		state = dep.TotalState
-		ctrl = func() int64 {
-			var t int64
-			for _, r := range dep.Routers {
-				t += r.Metrics.Get(metrics.CtrlLSA)
-			}
-			return t
-		}
-		spf = func() int64 {
-			var t int64
-			for _, r := range dep.Routers {
-				t += r.Metrics.Get(metrics.SPFRuns)
-			}
-			return t
-		}
-	default:
-		panic("experiments: unknown protocol " + string(proto))
-	}
+	state, ctrl, spf := deployProtocol(sim, proto, rpMap, coreMap, cfg.PruneLifetime)
 
 	// Warm up: hellos, queries, membership.
 	sim.Run(2 * netsim.Second)
@@ -315,6 +252,77 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 	}
 	res.Expected = cfg.Groups * cfg.Senders * perSender * cfg.Members
 	return res
+}
+
+// deployProtocol installs one protocol's routers on a built simulation and
+// returns accessors for total forwarding state, cumulative control-message
+// count, and SPF executions (nil for the non-link-state protocols). Shared
+// between the overhead sweeps and the control-plane churn benchmark so every
+// ledger deploys through one code path.
+func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.IP,
+	coreMap map[addr.IP]addr.IP, pruneLifetime netsim.Time) (state func() int, ctrl, spf func() int64) {
+	switch proto {
+	case PIMSM, PIMSMShared:
+		pcfg := core.Config{RPMapping: rpMap}
+		if proto == PIMSMShared {
+			pcfg.SPTPolicy = core.SwitchNever
+		}
+		dep := sim.DeployPIM(pcfg)
+		state = dep.TotalState
+		ctrl = func() int64 { return sumCtrl(depMetrics(dep)) }
+	case DVMRP:
+		dep := sim.DeployDVMRP(dvmrp.Config{PruneLifetime: pruneLifetime})
+		state = dep.TotalState
+		ctrl = func() int64 {
+			var t int64
+			for _, r := range dep.Routers {
+				t += r.Metrics.Get(metrics.CtrlPrune) + r.Metrics.Get(metrics.CtrlGraft)
+			}
+			return t
+		}
+	case PIMDM:
+		dep := sim.DeployPIMDM(pimdm.Config{PruneHoldTime: pruneLifetime})
+		state = dep.TotalState
+		ctrl = func() int64 {
+			var t int64
+			for _, r := range dep.Routers {
+				t += r.Metrics.Get(metrics.CtrlPrune) + r.Metrics.Get(metrics.CtrlGraft) +
+					r.Metrics.Get(metrics.CtrlJoinPrune) + r.Metrics.Get(metrics.CtrlAssert)
+			}
+			return t
+		}
+	case CBT:
+		dep := sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
+		state = dep.TotalState
+		ctrl = func() int64 {
+			var t int64
+			for _, r := range dep.Routers {
+				t += r.Metrics.Get(metrics.CtrlCBTJoin) + r.Metrics.Get(metrics.CtrlCBTAck) +
+					r.Metrics.Get(metrics.CtrlCBTEcho)
+			}
+			return t
+		}
+	case MOSPF:
+		dep := sim.DeployMOSPF()
+		state = dep.TotalState
+		ctrl = func() int64 {
+			var t int64
+			for _, r := range dep.Routers {
+				t += r.Metrics.Get(metrics.CtrlLSA)
+			}
+			return t
+		}
+		spf = func() int64 {
+			var t int64
+			for _, r := range dep.Routers {
+				t += r.Metrics.Get(metrics.SPFRuns)
+			}
+			return t
+		}
+	default:
+		panic("experiments: unknown protocol " + string(proto))
+	}
+	return state, ctrl, spf
 }
 
 func max(a, b int) int {

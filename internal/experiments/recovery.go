@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/cbt"
@@ -485,18 +486,17 @@ func runRecoveryOnce(cfg RecoveryConfig, proto Protocol, kind string, seed int64
 	for _, tr := range laneTraces {
 		run.trace = append(run.trace, tr...)
 	}
-	sort.Slice(run.trace, func(a, b int) bool {
-		x, y := run.trace[a], run.trace[b]
+	slices.SortFunc(run.trace, func(x, y DeliveryEvent) int {
 		if x.At != y.At {
-			return x.At < y.At
+			return cmp.Compare(x.At, y.At)
 		}
 		if x.Host != y.Host {
-			return x.Host < y.Host
+			return cmp.Compare(x.Host, y.Host)
 		}
 		if x.Src != y.Src {
-			return x.Src < y.Src
+			return cmp.Compare(x.Src, y.Src)
 		}
-		return x.Sent < y.Sent
+		return cmp.Compare(x.Sent, y.Sent)
 	})
 
 	run.residual = dep.TotalState() - stateAtFault

@@ -22,6 +22,13 @@ type Host struct {
 	OnData func(group addr.IP, pkt *packet.Packet)
 	// Received counts data packets per group, for experiment assertions.
 	Received map[addr.IP]int
+
+	// enc is the reusable report/leave encode workspace (see
+	// core.Router.enc): safe because Node.Send copies the payload into its
+	// transmit frame before returning. dec is the decode scratch, valid
+	// only within one handleIGMP call.
+	enc packet.Scratch
+	dec Message
 }
 
 // NewHost attaches host-side IGMP to a node's single interface.
@@ -62,9 +69,8 @@ func (h *Host) Leave(g addr.IP) {
 		delete(h.pending, g)
 	}
 	msg := Message{Type: TypeLeave, Group: g}
-	pkt := packet.New(h.Iface.Addr, addr.AllRouters, packet.ProtoIGMP, msg.Marshal())
-	pkt.TTL = 1
-	h.Node.Send(h.Iface, pkt, 0)
+	h.enc.Buf = msg.MarshalTo(h.enc.Buf[:0])
+	h.Node.Send(h.Iface, h.enc.Packet(h.Iface.Addr, addr.AllRouters, packet.ProtoIGMP, 1), 0)
 }
 
 // Member reports whether the host currently belongs to g.
@@ -77,21 +83,19 @@ func (h *Host) sendReport(g addr.IP) {
 	msg := Message{Type: TypeReport, Group: g}
 	// Reports are addressed to the group itself (RFC 1112) so other
 	// members on the LAN can suppress their own.
-	pkt := packet.New(h.Iface.Addr, g, packet.ProtoIGMP, msg.Marshal())
-	pkt.TTL = 1
-	h.Node.Send(h.Iface, pkt, 0)
+	h.enc.Buf = msg.MarshalTo(h.enc.Buf[:0])
+	h.Node.Send(h.Iface, h.enc.Packet(h.Iface.Addr, g, packet.ProtoIGMP, 1), 0)
 }
 
 func (h *Host) sendRPMap(g addr.IP, rps []addr.IP) {
 	msg := Message{Type: TypeRPMap, Group: g, RPs: rps}
-	pkt := packet.New(h.Iface.Addr, addr.AllRouters, packet.ProtoIGMP, msg.Marshal())
-	pkt.TTL = 1
-	h.Node.Send(h.Iface, pkt, 0)
+	h.enc.Buf = msg.MarshalTo(h.enc.Buf[:0])
+	h.Node.Send(h.Iface, h.enc.Packet(h.Iface.Addr, addr.AllRouters, packet.ProtoIGMP, 1), 0)
 }
 
 func (h *Host) handleIGMP(in *netsim.Iface, pkt *packet.Packet) {
-	m, err := Unmarshal(pkt.Payload)
-	if err != nil {
+	m := &h.dec
+	if err := UnmarshalInto(m, pkt.Payload); err != nil {
 		return
 	}
 	switch m.Type {

@@ -38,40 +38,56 @@ var ErrBadMessage = errors.New("igmp: malformed message")
 // Marshal encodes the message:
 //
 //	byte type, byte reserved, uint16 #rps, uint32 group, uint32 rp...
-func (m *Message) Marshal() []byte {
-	b := make([]byte, 8+4*len(m.RPs))
-	b[0] = m.Type
-	binary.BigEndian.PutUint16(b[2:], uint16(len(m.RPs)))
-	binary.BigEndian.PutUint32(b[4:], uint32(m.Group))
-	for i, rp := range m.RPs {
-		binary.BigEndian.PutUint32(b[8+4*i:], uint32(rp))
+func (m *Message) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 8+4*len(m.RPs))) }
+
+// MarshalTo appends the encoded message to b (same bytes as Marshal).
+func (m *Message) MarshalTo(b []byte) []byte {
+	var hdr [8]byte
+	hdr[0] = m.Type
+	binary.BigEndian.PutUint16(hdr[2:], uint16(len(m.RPs)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(m.Group))
+	b = append(b, hdr[:]...)
+	for _, rp := range m.RPs {
+		var e [4]byte
+		binary.BigEndian.PutUint32(e[0:], uint32(rp))
+		b = append(b, e[:]...)
 	}
 	return b
 }
 
-// Unmarshal decodes a wire message.
+// Unmarshal decodes a wire message into a fresh Message.
 func Unmarshal(b []byte) (*Message, error) {
+	m := &Message{}
+	if err := UnmarshalInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalInto decodes a wire message into m, reusing m.RPs' capacity.
+// The decoded RPs slice aliases m's scratch: a caller that hands it to
+// code that may retain it past the call must copy it first.
+func UnmarshalInto(m *Message, b []byte) error {
 	if len(b) < 8 {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
-	m := &Message{
-		Type:  b[0],
-		Group: addr.IP(binary.BigEndian.Uint32(b[4:])),
-	}
+	m.Type = b[0]
+	m.Group = addr.IP(binary.BigEndian.Uint32(b[4:]))
+	m.RPs = m.RPs[:0]
 	n := int(binary.BigEndian.Uint16(b[2:]))
 	if len(b) < 8+4*n {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
 	if n > 0 && m.Type != TypeRPMap {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
 	for i := 0; i < n; i++ {
 		m.RPs = append(m.RPs, addr.IP(binary.BigEndian.Uint32(b[8+4*i:])))
 	}
 	switch m.Type {
 	case TypeQuery, TypeReport, TypeLeave, TypeRPMap:
-		return m, nil
+		return nil
 	default:
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
 }

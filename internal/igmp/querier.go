@@ -36,6 +36,14 @@ type Querier struct {
 	// members[ifaceIndex][group] = expiry time.
 	members map[int]map[addr.IP]netsim.Time
 
+	// enc is the reusable query encode workspace (see core.Router.enc):
+	// safe because Node.Send copies the payload into its transmit frame
+	// before returning. dec is the decode scratch, valid only within one
+	// handle call; the RPMap path copies the RPs slice out of it before
+	// handing it to OnRPMap, which may retain it.
+	enc packet.Scratch
+	dec Message
+
 	started bool
 	// epoch invalidates the query tick across Stop/Restart.
 	epoch uint64
@@ -123,20 +131,18 @@ func (q *Querier) Restart() {
 
 func (q *Querier) query() {
 	msg := Message{Type: TypeQuery}
-	payload := msg.Marshal()
+	q.enc.Buf = msg.MarshalTo(q.enc.Buf[:0])
 	for _, ifc := range q.Node.Ifaces {
 		if !ifc.Up() || ifc.Addr == 0 {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllSystems, packet.ProtoIGMP, payload)
-		pkt.TTL = 1
-		q.Node.Send(ifc, pkt, 0)
+		q.Node.Send(ifc, q.enc.Packet(ifc.Addr, addr.AllSystems, packet.ProtoIGMP, 1), 0)
 	}
 }
 
 func (q *Querier) handle(in *netsim.Iface, pkt *packet.Packet) {
-	m, err := Unmarshal(pkt.Payload)
-	if err != nil {
+	m := &q.dec
+	if err := UnmarshalInto(m, pkt.Payload); err != nil {
 		return
 	}
 	switch m.Type {
@@ -153,7 +159,9 @@ func (q *Querier) handle(in *netsim.Iface, pkt *packet.Packet) {
 		q.dropMember(in, m.Group)
 	case TypeRPMap:
 		if q.OnRPMap != nil && m.Group.IsMulticast() {
-			q.OnRPMap(m.Group, m.RPs)
+			// The callback may retain the slice (protocols store the
+			// mapping), so it gets a copy, not the decode scratch.
+			q.OnRPMap(m.Group, append([]addr.IP(nil), m.RPs...))
 		}
 	}
 }

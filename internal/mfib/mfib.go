@@ -21,8 +21,9 @@
 package mfib
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/netsim"
@@ -170,7 +171,7 @@ func (e *Entry) LiveOIFs(now netsim.Time, except *netsim.Iface) []*netsim.Iface 
 		}
 		out = append(out, o.Iface)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	slices.SortFunc(out, func(a, b *netsim.Iface) int { return a.Index - b.Index })
 	return out
 }
 
@@ -250,15 +251,14 @@ func (t *Table) forSelected(sel func(Key) bool, fn func(*Entry)) {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
+	slices.SortFunc(keys, func(a, b Key) int {
 		if a.Group != b.Group {
-			return a.Group < b.Group
+			return cmp.Compare(a.Group, b.Group)
 		}
 		if a.Source != b.Source {
-			return a.Source < b.Source
+			return cmp.Compare(a.Source, b.Source)
 		}
-		return !a.RPBit && b.RPBit
+		return boolToInt(a.RPBit) - boolToInt(b.RPBit)
 	})
 	for _, k := range keys {
 		if e := t.entries[k]; e != nil {
@@ -284,11 +284,18 @@ func (t *Table) Sweep(now netsim.Time) []*Entry {
 			delete(t.entries, k)
 		}
 	}
-	sort.Slice(removed, func(i, j int) bool {
-		if removed[i].Key.Group != removed[j].Key.Group {
-			return removed[i].Key.Group < removed[j].Key.Group
+	slices.SortFunc(removed, func(a, b *Entry) int {
+		if a.Key.Group != b.Key.Group {
+			return cmp.Compare(a.Key.Group, b.Key.Group)
 		}
-		return removed[i].Key.Source < removed[j].Key.Source
+		return cmp.Compare(a.Key.Source, b.Key.Source)
 	})
 	return removed
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

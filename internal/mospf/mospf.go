@@ -18,7 +18,7 @@ package mospf
 import (
 	"encoding/binary"
 	"errors"
-	"sort"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/metrics"
@@ -112,17 +112,25 @@ type membershipLSA struct {
 
 var errBadLSA = errors.New("mospf: malformed membership LSA")
 
-func (m *membershipLSA) marshal() []byte {
-	b := make([]byte, 10+4*len(m.Groups))
-	binary.BigEndian.PutUint32(b, m.Origin)
-	binary.BigEndian.PutUint32(b[4:], m.Seq)
-	binary.BigEndian.PutUint16(b[8:], uint16(len(m.Groups)))
-	for i, g := range m.Groups {
-		binary.BigEndian.PutUint32(b[10+4*i:], uint32(g))
+func (m *membershipLSA) marshal() []byte { return m.marshalTo(make([]byte, 0, 10+4*len(m.Groups))) }
+
+// marshalTo appends the encoded LSA to b (same bytes as marshal).
+func (m *membershipLSA) marshalTo(b []byte) []byte {
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:], m.Origin)
+	binary.BigEndian.PutUint32(hdr[4:], m.Seq)
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(m.Groups)))
+	b = append(b, hdr[:]...)
+	for _, g := range m.Groups {
+		var e [4]byte
+		binary.BigEndian.PutUint32(e[0:], uint32(g))
+		b = append(b, e[:]...)
 	}
 	return b
 }
 
+// unmarshal decodes into m, reusing the capacity of m.Groups — a reused
+// decode scratch makes warm LSA receives allocation-free.
 func (m *membershipLSA) unmarshal(b []byte) error {
 	if len(b) < 10 {
 		return errBadLSA
@@ -133,9 +141,9 @@ func (m *membershipLSA) unmarshal(b []byte) error {
 	if len(b) < 10+4*n {
 		return errBadLSA
 	}
-	m.Groups = make([]addr.IP, n)
+	m.Groups = m.Groups[:0]
 	for i := 0; i < n; i++ {
-		m.Groups[i] = addr.IP(binary.BigEndian.Uint32(b[10+4*i:]))
+		m.Groups = append(m.Groups, addr.IP(binary.BigEndian.Uint32(b[10+4*i:])))
 	}
 	return nil
 }
@@ -176,6 +184,11 @@ type Router struct {
 	// epoch invalidates scheduled closures across Stop/Restart (see
 	// core.Router).
 	epoch uint64
+
+	// enc/dec are the reusable LSA encode/decode scratches (DESIGN.md §13):
+	// valid only within one flood/handleLSA call.
+	enc packet.Scratch
+	dec membershipLSA
 }
 
 // New builds an MOSPF router within a domain.
@@ -317,7 +330,7 @@ func (r *Router) localGroups() []addr.IP {
 	for g := range set {
 		out = append(out, g)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -329,7 +342,7 @@ func (r *Router) originate() {
 }
 
 func (r *Router) handleLSA(in *netsim.Iface, pkt *packet.Packet) {
-	var lsa membershipLSA
+	lsa := &r.dec
 	if err := lsa.unmarshal(pkt.Payload); err != nil {
 		return
 	}
@@ -339,8 +352,8 @@ func (r *Router) handleLSA(in *netsim.Iface, pkt *packet.Packet) {
 	if cur, ok := r.seqs[lsa.Origin]; ok && int32(lsa.Seq-cur) <= 0 {
 		return
 	}
-	r.install(&lsa)
-	r.flood(&lsa, in)
+	r.install(lsa)
+	r.flood(lsa, in)
 }
 
 func (r *Router) install(lsa *membershipLSA) {
@@ -367,14 +380,12 @@ func (r *Router) install(lsa *membershipLSA) {
 }
 
 func (r *Router) flood(lsa *membershipLSA, except *netsim.Iface) {
-	payload := lsa.marshal()
+	r.enc.Buf = lsa.marshalTo(r.enc.Buf[:0])
 	for _, ifc := range r.Node.Ifaces {
 		if ifc == except || !ifc.Up() || ifc.Addr == 0 {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoMOSPF, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoMOSPF, 1), 0)
 		r.Metrics.Inc(metrics.CtrlLSA)
 		if r.Telemetry != nil {
 			r.Telemetry.Publish(telemetry.Event{
@@ -413,7 +424,7 @@ func (r *Router) memberRouters(g addr.IP) []int {
 			out = append(out, r.self)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

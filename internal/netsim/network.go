@@ -9,6 +9,13 @@ import (
 
 // Handler consumes packets delivered to a node for one IP protocol number.
 // in is the interface the packet arrived on.
+//
+// Borrowed-frame contract (DESIGN.md §13): pkt, its Payload, and anything
+// aliasing the Payload (decoded message views, Register inner bytes) are
+// only valid for the duration of the HandlePacket call — the backing frame
+// returns to its scheduler's pool when the delivery fan-out completes. A
+// handler that retains any of it must copy. SetPoisonFrames turns
+// violations into deterministic garbage reads.
 type Handler interface {
 	HandlePacket(in *Iface, pkt *packet.Packet)
 }
@@ -101,6 +108,8 @@ func (l *Link) IsLAN() bool { return len(l.Ifaces) > 2 }
 func (l *Link) Up() bool { return l.up }
 
 // TraceEvent describes one packet delivery for test and example hooks.
+// Pkt is borrowed under the same contract as Handler deliveries: copy
+// whatever outlives the callback.
 type TraceEvent struct {
 	At   Time
 	From *Iface // transmitting interface
@@ -286,15 +295,28 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 		nd.Net.statsFor(nd).Drop(DropIfaceDown)
 		return
 	}
-	buf, err := pkt.Marshal()
+	link := out.Link
+	net := nd.Net
+	// Pooled path (the default): marshal straight into a recycled frame, so
+	// pkt — and any scratch buffer backing its Payload — is free for reuse
+	// the moment Send returns. The allocating closure path below is the
+	// differential oracle (SetFramePool).
+	var f *frame
+	var buf []byte
+	var err error
+	if framePoolOn.Load() {
+		f = net.schedFor(nd).frames.get()
+		f.buf, err = pkt.MarshalTo(f.buf[:0])
+		buf = f.buf
+	} else {
+		buf, err = pkt.Marshal()
+	}
 	if err != nil {
 		panic("netsim: marshal failed: " + err.Error())
 	}
-	link := out.Link
-	net := nd.Net
 	net.statsFor(nd).Transmit(link, pkt)
 	if set := net.set; set != nil {
-		nd.sendSharded(set, out, link, buf, nextHop)
+		nd.sendSharded(set, out, link, f, buf, nextHop)
 		return
 	}
 	// Serialization and queueing under finite bandwidth.
@@ -324,8 +346,13 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	// order key, so same-instant deliveries fire in an order independent of
 	// shard count.
 	nd.xmit++
-	net.Sched.enqueueDelivery(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
-		func() { net.deliverFrame(out, link, buf, nextHop, -1) })
+	if f != nil {
+		f.net, f.from, f.link, f.nextHop, f.shard = net, out, link, nextHop, -1
+		net.Sched.enqueueDeliveryFrame(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit), f)
+	} else {
+		net.Sched.enqueueDelivery(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+			func() { net.deliverFrame(out, link, buf, nextHop, -1) })
+	}
 }
 
 // sendSharded routes one transmission in a sharded run: stations on the
@@ -334,7 +361,7 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 // shards get an outbox record per destination shard, merged at the next
 // barrier. Finite bandwidth is rejected up front by shardSet.prepare, so
 // the deadline is pure propagation delay.
-func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, buf []byte, nextHop addr.IP) {
+func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, f *frame, buf []byte, nextHop addr.IP) {
 	net := nd.Net
 	sched := set.scheds[nd.shard]
 	now := sched.Now()
@@ -353,14 +380,10 @@ func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, buf []byte, n
 			foreign = to.Node.shard
 		}
 	}
-	if local {
-		myShard := nd.shard
-		sched.enqueueDelivery(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
-			func() { net.deliverFrame(out, link, buf, nextHop, myShard) })
-	}
 	if foreign >= 0 {
 		// The frame bytes are copied so the two shards never share a
-		// payload backing array.
+		// payload backing array; the copy happens before any pooled frame
+		// can be released below.
 		set.outboxes[nd.shard] = append(set.outboxes[nd.shard], xrec{
 			at:      now + link.Delay,
 			bs:      now,
@@ -373,6 +396,20 @@ func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, buf []byte, n
 			nextHop: nextHop,
 		})
 	}
+	if local {
+		if f != nil {
+			f.net, f.from, f.link, f.nextHop, f.shard = net, out, link, nextHop, nd.shard
+			sched.enqueueDeliveryFrame(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit), f)
+		} else {
+			myShard := nd.shard
+			sched.enqueueDelivery(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+				func() { net.deliverFrame(out, link, buf, nextHop, myShard) })
+		}
+	} else if f != nil {
+		// Purely cross-shard: the outbox record owns a copy, so the frame
+		// goes straight back to its pool.
+		sched.frames.put(f)
+	}
 }
 
 // deliverFrame takes one frame off the link: a single unmarshal, then
@@ -381,6 +418,15 @@ func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, buf []byte, n
 // sequential path).
 func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop addr.IP, shard int) {
 	pkt, err := packet.Unmarshal(frame)
+	n.fanout(from, link, pkt, err, nextHop, shard, nil)
+}
+
+// fanout delivers one decoded frame to every eligible station. rcv, when
+// non-nil, is a reusable per-receiver header scratch (the pooled path);
+// nil makes each receiver's header copy a fresh allocation (the oracle
+// path). Either way a handler mutating its view (TTL etc.) cannot leak
+// into the next station's delivery.
+func (n *Network) fanout(from *Iface, link *Link, pkt *packet.Packet, err error, nextHop addr.IP, shard int, rcv *packet.Packet) {
 	lan := link.IsLAN()
 	for _, to := range link.Ifaces {
 		if to == from {
@@ -400,10 +446,13 @@ func (n *Network) deliverFrame(from *Iface, link *Link, frame []byte, nextHop ad
 			n.statsFor(to.Node).Drop(DropMalformed)
 			continue
 		}
-		// Per-receiver header copy: a handler mutating its view (TTL etc.)
-		// must not leak into the next station's delivery.
-		cp := *pkt
-		n.deliver(from, to, &cp)
+		if rcv != nil {
+			*rcv = *pkt
+			n.deliver(from, to, rcv)
+		} else {
+			cp := *pkt
+			n.deliver(from, to, &cp)
+		}
 	}
 }
 

@@ -166,6 +166,9 @@ type event struct {
 	ord uint64
 	fn  func()
 	tm  *Timer
+	// fr, when non-nil, makes this a pooled frame-delivery event: fire
+	// dispatches the frame without a closure and recycles it afterwards.
+	fr *frame
 }
 
 // before orders events by (deadline, birth instant, order key): a strict
@@ -209,6 +212,10 @@ type Scheduler struct {
 	// live counts pending not-yet-stopped entries; peakLive is its high-water
 	// mark — the "timer pressure" gauge the scaling benchmark records.
 	live, peakLive int
+	// frames is the scheduler's transmit-frame free list (pool.go). Frames
+	// always return to the pool of the scheduler that fired their delivery
+	// event, so the list stays single-goroutine without locks.
+	frames framePool
 	// timerChunk bump-allocates Timer handles 64 at a time. Every soft-state
 	// refresh allocates a handle, so at scale the per-handle GC overhead is
 	// a measurable share of scheduling cost; batching cuts it 64x. Slots are
@@ -322,6 +329,23 @@ func (s *Scheduler) enqueueDelivery(at, bs Time, ord uint64, fn func()) {
 	}
 }
 
+// enqueueDeliveryFrame is enqueueDelivery for a pooled frame: same ordering
+// key, no closure — the event record carries the frame pointer and fire
+// dispatches it directly.
+func (s *Scheduler) enqueueDeliveryFrame(at, bs Time, ord uint64, f *frame) {
+	s.live++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+	ev := event{at: at, bs: bs, ord: ord, fr: f}
+	if s.wheel != nil {
+		s.wheel.markDirty(at)
+		s.wheel.push(ev, s.now)
+	} else {
+		s.heap.push(ev)
+	}
+}
+
 // advanceTo moves the clock forward to t without executing anything; the
 // sharded epoch loop uses it to align quiesced shards on a barrier instant.
 func (s *Scheduler) advanceTo(t Time) {
@@ -370,6 +394,13 @@ func (s *Scheduler) fire(ev event) {
 	s.now = ev.at
 	s.Processed++
 	s.live--
+	if f := ev.fr; f != nil {
+		// Pooled frame delivery: fan out synchronously, then the frame —
+		// and everything borrowed from it — is dead and recycled.
+		f.net.deliverPooled(f)
+		s.frames.put(f)
+		return
+	}
 	fn := ev.fn
 	if tm := ev.tm; tm != nil {
 		tm.fired = true

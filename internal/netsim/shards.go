@@ -425,12 +425,26 @@ func (ss *shardSet) runWindow(until Time) {
 // with its own local deliveries in canonical order automatically.
 func (ss *shardSet) exchange() {
 	net := ss.net
+	pooled := framePoolOn.Load()
 	for s := range ss.outboxes {
 		for _, r := range ss.outboxes[s] {
 			rec := r
 			dst := rec.dst
-			ss.scheds[dst].enqueueDelivery(rec.at, rec.bs, deliveryOrd(rec.src, rec.xmit),
-				func() { net.deliverFrame(rec.from, rec.link, rec.frame, rec.nextHop, dst) })
+			sched := ss.scheds[dst]
+			if pooled {
+				// The record's byte copy becomes the frame buffer outright —
+				// ownership transfers to the destination shard's pool, no
+				// second copy. Exchange runs serially at the barrier with
+				// every shard quiesced, so touching the destination pool here
+				// is race-free.
+				f := sched.frames.get()
+				f.buf = rec.frame
+				f.net, f.from, f.link, f.nextHop, f.shard = net, rec.from, rec.link, rec.nextHop, dst
+				sched.enqueueDeliveryFrame(rec.at, rec.bs, deliveryOrd(rec.src, rec.xmit), f)
+			} else {
+				sched.enqueueDelivery(rec.at, rec.bs, deliveryOrd(rec.src, rec.xmit),
+					func() { net.deliverFrame(rec.from, rec.link, rec.frame, rec.nextHop, dst) })
+			}
 		}
 		ss.outboxes[s] = ss.outboxes[s][:0]
 	}

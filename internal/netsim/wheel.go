@@ -44,8 +44,9 @@ package netsim
 // into a fully empty wheel re-seats cur at the scheduler clock.
 
 import (
+	"cmp"
 	"math/bits"
-	"sort"
+	"slices"
 	"sync/atomic"
 )
 
@@ -291,11 +292,11 @@ func (w *schedWheel) fillDue(i int) {
 			}
 		}
 		if !sorted {
-			sort.Slice(batch, func(a, b int) bool {
-				if batch[a].bs != batch[b].bs {
-					return batch[a].bs < batch[b].bs
+			slices.SortFunc(batch, func(a, b event) int {
+				if a.bs != b.bs {
+					return cmp.Compare(a.bs, b.bs)
 				}
-				return batch[a].ord < batch[b].ord
+				return cmp.Compare(a.ord, b.ord)
 			})
 		}
 	}

@@ -80,11 +80,20 @@ func (p *Packet) Len() int { return HeaderLen + len(p.Payload) }
 
 // Marshal encodes the datagram, computing the header checksum.
 func (p *Packet) Marshal() ([]byte, error) {
+	return p.MarshalTo(make([]byte, 0, p.Len()))
+}
+
+// MarshalTo appends the encoded datagram to dst and returns the extended
+// slice. The output bytes are identical to Marshal's; passing a recycled
+// dst[:0] makes the warm encode path allocation-free.
+func (p *Packet) MarshalTo(dst []byte) ([]byte, error) {
 	total := p.Len()
 	if total > 0xFFFF {
-		return nil, fmt.Errorf("packet: payload too large (%d bytes)", len(p.Payload))
+		return dst, fmt.Errorf("packet: payload too large (%d bytes)", len(p.Payload))
 	}
-	b := make([]byte, total)
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	b := dst[off:]
 	b[0] = 4<<4 | 5 // version 4, IHL 5 words
 	b[1] = p.TOS
 	binary.BigEndian.PutUint16(b[2:], uint16(total))
@@ -95,27 +104,36 @@ func (p *Packet) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint32(b[12:], uint32(p.Src))
 	binary.BigEndian.PutUint32(b[16:], uint32(p.Dst))
 	binary.BigEndian.PutUint16(b[10:], Checksum(b[:HeaderLen]))
-	copy(b[HeaderLen:], p.Payload)
-	return b, nil
+	return append(dst, p.Payload...), nil
 }
 
 // Unmarshal decodes and validates a datagram. The returned packet's Payload
 // aliases b; callers that retain packets across buffer reuse must copy.
 func Unmarshal(b []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := UnmarshalInto(p, b); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalInto decodes and validates a datagram into a caller-owned Packet,
+// allocating nothing. Like Unmarshal, p.Payload aliases b afterwards.
+func UnmarshalInto(p *Packet, b []byte) error {
 	if len(b) < HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if b[0] != 4<<4|5 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	if Checksum(b[:HeaderLen]) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	total := int(binary.BigEndian.Uint16(b[2:]))
 	if total < HeaderLen || total > len(b) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
-	return &Packet{
+	*p = Packet{
 		TOS:      b[1],
 		ID:       binary.BigEndian.Uint16(b[4:]),
 		TTL:      b[8],
@@ -123,7 +141,8 @@ func Unmarshal(b []byte) (*Packet, error) {
 		Src:      addr.IP(binary.BigEndian.Uint32(b[12:])),
 		Dst:      addr.IP(binary.BigEndian.Uint32(b[16:])),
 		Payload:  b[HeaderLen:total],
-	}, nil
+	}
+	return nil
 }
 
 // Forwarded returns a copy of p with the TTL decremented, or false if the
@@ -152,6 +171,31 @@ func Checksum(b []byte) uint16 {
 		sum = sum>>16 + sum&0xFFFF
 	}
 	return ^uint16(sum)
+}
+
+// Scratch is a reusable control-plane encode workspace: a payload buffer
+// plus a header struct, both recycled across sends so a warm send site
+// allocates nothing. Embed one per router (the router itself lives on the
+// heap, so &s.Pkt never escape-allocates) and rebuild it on every send:
+//
+//	s.Buf = pimmsg.AppendEnvelope(s.Buf[:0], pimmsg.TypeQuery)
+//	s.Buf = m.MarshalTo(s.Buf)
+//	node.Send(out, s.Packet(src, dst, proto, ttl), hop)
+//
+// The Packet handed to Send is only borrowed: netsim marshals it into a
+// transmit frame before Send returns, so the scratch may be reused
+// immediately. Scratch is NOT safe for packets retained past the Send call
+// (LocalSend handlers run synchronously and may re-enter the same router's
+// send path — keep those on the allocating packet.New).
+type Scratch struct {
+	Buf []byte
+	Pkt Packet
+}
+
+// Packet points the scratch header at the scratch buffer and returns it.
+func (s *Scratch) Packet(src, dst addr.IP, proto, ttl byte) *Packet {
+	s.Pkt = Packet{TTL: ttl, Protocol: proto, Src: src, Dst: dst, Payload: s.Buf}
+	return &s.Pkt
 }
 
 // String renders a compact one-line summary for traces.

@@ -12,7 +12,7 @@
 package pimdm
 
 import (
-	"sort"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/metrics"
@@ -82,6 +82,16 @@ type Router struct {
 	assertLoser map[mfib.Key]map[int]bool
 	// pendingGrafts holds the retransmission state of unacked grafts.
 	pendingGrafts map[mfib.Key]*pendingGraft
+
+	// enc is the reusable control-message encode workspace (see
+	// core.Router.enc): safe because Node.Send copies the payload into its
+	// transmit frame before returning. jpDec is the join/prune decode
+	// scratch, valid only within one handler call. adGroups and adMsg back
+	// the periodic member advertisement so the warm path allocates nothing.
+	enc      packet.Scratch
+	jpDec    pimmsg.JoinPrune
+	adGroups []addr.IP
+	adMsg    pimmsg.MemberAd
 
 	started bool
 	// epoch invalidates scheduled closures across Stop/Restart (see
@@ -300,15 +310,14 @@ func (r *Router) hasMember(ifc *netsim.Iface, g addr.IP) bool {
 // --- Neighbor discovery ---
 
 func (r *Router) sendQueries() {
-	body := (&pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}).Marshal()
-	payload := pimmsg.Envelope(pimmsg.TypeQuery, body)
+	q := pimmsg.Query{HoldTime: uint16(3*r.Cfg.QueryInterval/netsim.Second + 15)}
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeQuery)
+	r.enc.Buf = q.MarshalTo(r.enc.Buf)
 	for _, ifc := range r.Node.Ifaces {
 		if !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 		r.Metrics.Inc(metrics.CtrlQuery)
 	}
 }
@@ -343,8 +352,8 @@ func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
 	}
 	switch typ {
 	case pimmsg.TypeQuery:
-		q, err := pimmsg.UnmarshalQuery(body)
-		if err != nil {
+		var q pimmsg.Query
+		if err := pimmsg.UnmarshalQueryInto(&q, body); err != nil {
 			return
 		}
 		byAddr := r.neighbors[in.Index]
@@ -369,26 +378,26 @@ func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
 // --- Member-existence advertisements (§4 interop) ---
 
 func (r *Router) localGroups() []addr.IP {
-	set := map[addr.IP]bool{}
+	// Collect into the reusable buffer, then sort+compact to dedupe across
+	// interfaces: the warm advertisement path allocates nothing.
+	out := r.adGroups[:0]
 	for _, byGroup := range r.members {
 		for g, ok := range byGroup {
 			if ok {
-				set[g] = true
+				out = append(out, g)
 			}
 		}
 	}
-	out := make([]addr.IP, 0, len(set))
-	for g := range set {
-		out = append(out, g)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
+	out = slices.Compact(out)
+	r.adGroups = out
 	return out
 }
 
 func (r *Router) originateMemberAd() {
 	r.adSeq++
-	ad := &pimmsg.MemberAd{Origin: r.Node.Addr(), Seq: r.adSeq, Groups: r.localGroups()}
-	r.floodMemberAd(ad, nil)
+	r.adMsg = pimmsg.MemberAd{Origin: r.Node.Addr(), Seq: r.adSeq, Groups: r.localGroups()}
+	r.floodMemberAd(&r.adMsg, nil)
 }
 
 func (r *Router) handleMemberAd(in *netsim.Iface, body []byte) {
@@ -411,14 +420,13 @@ func (r *Router) handleMemberAd(in *netsim.Iface, body []byte) {
 }
 
 func (r *Router) floodMemberAd(ad *pimmsg.MemberAd, except *netsim.Iface) {
-	payload := pimmsg.Envelope(pimmsg.TypeMemberAd, ad.Marshal())
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeMemberAd)
+	r.enc.Buf = ad.MarshalTo(r.enc.Buf)
 	for _, ifc := range r.Node.Ifaces {
 		if ifc == except || !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
 			continue
 		}
-		pkt := packet.New(ifc.Addr, addr.AllRouters, packet.ProtoPIM, payload)
-		pkt.TTL = 1
-		r.Node.Send(ifc, pkt, 0)
+		r.Node.Send(ifc, r.enc.Packet(ifc.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 	}
 }
 
@@ -491,8 +499,8 @@ func (r *Router) recomputeRegionPresence() {
 }
 
 func (r *Router) handleJoinPrune(in *netsim.Iface, body []byte) {
-	m, err := pimmsg.UnmarshalJoinPrune(body)
-	if err != nil {
+	m := &r.jpDec
+	if err := pimmsg.UnmarshalJoinPruneInto(m, body); err != nil {
 		return
 	}
 	mine := m.UpstreamNeighbor == in.Addr
@@ -563,10 +571,9 @@ func (r *Router) sendJoinOverride(out *netsim.Iface, upstream, g, s addr.IP) {
 		HoldTime:         uint16(r.Cfg.PruneHoldTime / netsim.Second),
 		Groups:           []pimmsg.GroupRecord{{Group: g, Joins: []pimmsg.Addr{{Addr: s}}}},
 	}
-	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM,
-		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
-	pkt.TTL = 1
-	r.Node.Send(out, pkt, 0)
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeJoinPrune)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
+	r.Node.Send(out, r.enc.Packet(out.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 	r.Metrics.Inc(metrics.CtrlJoinPrune)
 	if r.tel != nil {
 		r.tel.Publish(telemetry.Event{
@@ -577,15 +584,14 @@ func (r *Router) sendJoinOverride(out *netsim.Iface, upstream, g, s addr.IP) {
 }
 
 func (r *Router) handleGraft(in *netsim.Iface, from addr.IP, body []byte) {
-	m, err := pimmsg.UnmarshalJoinPrune(body)
-	if err != nil || m.UpstreamNeighbor != in.Addr {
+	m := &r.jpDec
+	if err := pimmsg.UnmarshalJoinPruneInto(m, body); err != nil || m.UpstreamNeighbor != in.Addr {
 		return
 	}
 	// Ack hop-by-hop.
-	ack := packet.New(in.Addr, from, packet.ProtoPIM,
-		pimmsg.Envelope(pimmsg.TypeGraftAck, m.Marshal()))
-	ack.TTL = 1
-	r.Node.Send(in, ack, from)
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeGraftAck)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
+	r.Node.Send(in, r.enc.Packet(in.Addr, from, packet.ProtoPIM, 1), from)
 	for _, grp := range m.Groups {
 		for _, a := range grp.Joins {
 			e := r.MFIB.SG(a.Addr, grp.Group)
@@ -628,10 +634,9 @@ func (r *Router) transmitGraft(e *mfib.Entry) bool {
 			Joins: []pimmsg.Addr{{Addr: e.Key.Source}},
 		}},
 	}
-	pkt := packet.New(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoPIM,
-		pimmsg.Envelope(pimmsg.TypeGraft, m.Marshal()))
-	pkt.TTL = 1
-	r.Node.Send(e.IIF, pkt, e.UpstreamNeighbor)
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeGraft)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
+	r.Node.Send(e.IIF, r.enc.Packet(e.IIF.Addr, e.UpstreamNeighbor, packet.ProtoPIM, 1), e.UpstreamNeighbor)
 	r.Metrics.Inc(metrics.CtrlGraft)
 	if r.tel != nil {
 		r.tel.Publish(telemetry.Event{
@@ -673,8 +678,8 @@ func (r *Router) armGraftRetry(key mfib.Key, backoff netsim.Time) {
 // handleGraftAck clears retransmission state for every (S,G) the upstream
 // echoed back in the ack.
 func (r *Router) handleGraftAck(in *netsim.Iface, body []byte) {
-	m, err := pimmsg.UnmarshalJoinPrune(body)
-	if err != nil {
+	m := &r.jpDec
+	if err := pimmsg.UnmarshalJoinPruneInto(m, body); err != nil {
 		return
 	}
 	for _, grp := range m.Groups {
@@ -706,10 +711,9 @@ func (r *Router) maybePruneUpstream(e *mfib.Entry) {
 			Prunes: []pimmsg.Addr{{Addr: e.Key.Source}},
 		}},
 	}
-	pkt := packet.New(e.IIF.Addr, addr.AllRouters, packet.ProtoPIM,
-		pimmsg.Envelope(pimmsg.TypeJoinPrune, m.Marshal()))
-	pkt.TTL = 1
-	r.Node.Send(e.IIF, pkt, 0)
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeJoinPrune)
+	r.enc.Buf = m.MarshalTo(r.enc.Buf)
+	r.Node.Send(e.IIF, r.enc.Packet(e.IIF.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 	r.Metrics.Inc(metrics.CtrlPrune)
 	if r.tel != nil {
 		r.tel.Publish(telemetry.Event{
@@ -759,11 +763,10 @@ func (r *Router) handleAssert(in *netsim.Iface, from addr.IP, body []byte) {
 }
 
 func (r *Router) sendAssert(out *netsim.Iface, s, g addr.IP) {
-	a := &pimmsg.Assert{Group: g, Source: s, Metric: uint32(r.metricTo(s))}
-	pkt := packet.New(out.Addr, addr.AllRouters, packet.ProtoPIM,
-		pimmsg.Envelope(pimmsg.TypeAssert, a.Marshal()))
-	pkt.TTL = 1
-	r.Node.Send(out, pkt, 0)
+	a := pimmsg.Assert{Group: g, Source: s, Metric: uint32(r.metricTo(s))}
+	r.enc.Buf = pimmsg.AppendEnvelope(r.enc.Buf[:0], pimmsg.TypeAssert)
+	r.enc.Buf = a.MarshalTo(r.enc.Buf)
+	r.Node.Send(out, r.enc.Packet(out.Addr, addr.AllRouters, packet.ProtoPIM, 1), 0)
 	r.Metrics.Inc(metrics.CtrlAssert)
 }
 

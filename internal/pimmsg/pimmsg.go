@@ -88,11 +88,15 @@ type JoinPrune struct {
 }
 
 // Marshal encodes the message body (without the version/type header).
-func (m *JoinPrune) Marshal() []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint32(b, uint32(m.UpstreamNeighbor))
-	binary.BigEndian.PutUint16(b[4:], m.HoldTime)
-	binary.BigEndian.PutUint16(b[6:], uint16(len(m.Groups)))
+func (m *JoinPrune) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 8)) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *JoinPrune) MarshalTo(b []byte) []byte {
+	var top [8]byte
+	binary.BigEndian.PutUint32(top[0:], uint32(m.UpstreamNeighbor))
+	binary.BigEndian.PutUint16(top[4:], m.HoldTime)
+	binary.BigEndian.PutUint16(top[6:], uint16(len(m.Groups)))
+	b = append(b, top[:]...)
 	for _, g := range m.Groups {
 		var hdr [8]byte
 		binary.BigEndian.PutUint32(hdr[0:], uint32(g.Group))
@@ -111,51 +115,71 @@ func (m *JoinPrune) Marshal() []byte {
 	return b
 }
 
-func unmarshalAddrList(b []byte, n int) ([]Addr, []byte, error) {
+func unmarshalAddrList(dst []Addr, b []byte, n int) ([]Addr, []byte, error) {
 	if len(b) < 5*n {
-		return nil, nil, ErrBadMessage
+		return dst, nil, ErrBadMessage
 	}
-	out := make([]Addr, n)
 	for i := 0; i < n; i++ {
-		out[i] = Addr{
+		dst = append(dst, Addr{
 			Addr: addr.IP(binary.BigEndian.Uint32(b)),
 			WC:   b[4]&FlagWC != 0,
 			RP:   b[4]&FlagRP != 0,
-		}
+		})
 		b = b[5:]
 	}
-	return out, b, nil
+	return dst, b, nil
 }
 
 // UnmarshalJoinPrune decodes a message body.
 func UnmarshalJoinPrune(b []byte) (*JoinPrune, error) {
+	m := new(JoinPrune)
+	if err := UnmarshalJoinPruneInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// UnmarshalJoinPruneInto decodes a message body into a caller-owned message,
+// reusing the capacity of m's Groups slice and of each retained group
+// record's Joins/Prunes slices — a warm decode of a steady-refresh message
+// allocates nothing. The decoded slices are only valid until the next
+// UnmarshalJoinPruneInto on the same m.
+func UnmarshalJoinPruneInto(m *JoinPrune, b []byte) error {
 	if len(b) < 8 {
-		return nil, ErrBadMessage
+		return ErrBadMessage
 	}
-	m := &JoinPrune{
-		UpstreamNeighbor: addr.IP(binary.BigEndian.Uint32(b)),
-		HoldTime:         binary.BigEndian.Uint16(b[4:]),
-	}
+	m.UpstreamNeighbor = addr.IP(binary.BigEndian.Uint32(b))
+	m.HoldTime = binary.BigEndian.Uint16(b[4:])
 	ng := int(binary.BigEndian.Uint16(b[6:]))
 	b = b[8:]
+	// Reslicing past the previous length deliberately resurrects old group
+	// records so their Joins/Prunes capacity is recycled too.
+	if cap(m.Groups) >= ng {
+		m.Groups = m.Groups[:ng]
+	} else {
+		m.Groups = make([]GroupRecord, ng)
+	}
 	for i := 0; i < ng; i++ {
 		if len(b) < 8 {
-			return nil, ErrBadMessage
+			m.Groups = m.Groups[:i]
+			return ErrBadMessage
 		}
-		g := GroupRecord{Group: addr.IP(binary.BigEndian.Uint32(b))}
+		g := &m.Groups[i]
+		g.Group = addr.IP(binary.BigEndian.Uint32(b))
 		nj := int(binary.BigEndian.Uint16(b[4:]))
 		np := int(binary.BigEndian.Uint16(b[6:]))
 		b = b[8:]
 		var err error
-		if g.Joins, b, err = unmarshalAddrList(b, nj); err != nil {
-			return nil, err
+		if g.Joins, b, err = unmarshalAddrList(g.Joins[:0], b, nj); err != nil {
+			m.Groups = m.Groups[:i]
+			return err
 		}
-		if g.Prunes, b, err = unmarshalAddrList(b, np); err != nil {
-			return nil, err
+		if g.Prunes, b, err = unmarshalAddrList(g.Prunes[:0], b, np); err != nil {
+			m.Groups = m.Groups[:i]
+			return err
 		}
-		m.Groups = append(m.Groups, g)
 	}
-	return m, nil
+	return nil
 }
 
 // Register is the sender-side encapsulation of §3: the DR wraps the data
@@ -166,11 +190,12 @@ type Register struct {
 }
 
 // Marshal encodes the message body.
-func (m *Register) Marshal() []byte {
-	b := make([]byte, 2+len(m.Inner))
-	binary.BigEndian.PutUint16(b, uint16(len(m.Inner)))
-	copy(b[2:], m.Inner)
-	return b
+func (m *Register) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 2+len(m.Inner))) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *Register) MarshalTo(b []byte) []byte {
+	b = append(b, byte(len(m.Inner)>>8), byte(len(m.Inner)))
+	return append(b, m.Inner...)
 }
 
 // UnmarshalRegister decodes a message body.
@@ -195,12 +220,15 @@ type RPReach struct {
 }
 
 // Marshal encodes the message body.
-func (m *RPReach) Marshal() []byte {
-	b := make([]byte, 10)
-	binary.BigEndian.PutUint32(b, uint32(m.Group))
-	binary.BigEndian.PutUint32(b[4:], uint32(m.RP))
-	binary.BigEndian.PutUint16(b[8:], m.HoldTime)
-	return b
+func (m *RPReach) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 10)) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *RPReach) MarshalTo(b []byte) []byte {
+	var e [10]byte
+	binary.BigEndian.PutUint32(e[0:], uint32(m.Group))
+	binary.BigEndian.PutUint32(e[4:], uint32(m.RP))
+	binary.BigEndian.PutUint16(e[8:], m.HoldTime)
+	return append(b, e[:]...)
 }
 
 // UnmarshalRPReach decodes a message body.
@@ -223,18 +251,29 @@ type Query struct {
 }
 
 // Marshal encodes the message body.
-func (m *Query) Marshal() []byte {
-	b := make([]byte, 2)
-	binary.BigEndian.PutUint16(b, m.HoldTime)
-	return b
+func (m *Query) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 2)) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *Query) MarshalTo(b []byte) []byte {
+	return append(b, byte(m.HoldTime>>8), byte(m.HoldTime))
 }
 
 // UnmarshalQuery decodes a message body.
 func UnmarshalQuery(b []byte) (*Query, error) {
-	if len(b) < 2 {
-		return nil, ErrBadMessage
+	m := new(Query)
+	if err := UnmarshalQueryInto(m, b); err != nil {
+		return nil, err
 	}
-	return &Query{HoldTime: binary.BigEndian.Uint16(b)}, nil
+	return m, nil
+}
+
+// UnmarshalQueryInto decodes a message body into a caller-owned message.
+func UnmarshalQueryInto(m *Query, b []byte) error {
+	if len(b) < 2 {
+		return ErrBadMessage
+	}
+	m.HoldTime = binary.BigEndian.Uint16(b)
+	return nil
 }
 
 // Assert elects a single forwarder when parallel routers feed one LAN in
@@ -247,12 +286,15 @@ type Assert struct {
 }
 
 // Marshal encodes the message body.
-func (m *Assert) Marshal() []byte {
-	b := make([]byte, 12)
-	binary.BigEndian.PutUint32(b, uint32(m.Group))
-	binary.BigEndian.PutUint32(b[4:], uint32(m.Source))
-	binary.BigEndian.PutUint32(b[8:], m.Metric)
-	return b
+func (m *Assert) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 12)) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *Assert) MarshalTo(b []byte) []byte {
+	var e [12]byte
+	binary.BigEndian.PutUint32(e[0:], uint32(m.Group))
+	binary.BigEndian.PutUint32(e[4:], uint32(m.Source))
+	binary.BigEndian.PutUint32(e[8:], m.Metric)
+	return append(b, e[:]...)
 }
 
 // UnmarshalAssert decodes a message body.
@@ -278,6 +320,15 @@ func Envelope(msgType byte, body []byte) []byte {
 	b[1] = msgType
 	copy(b[2:], body)
 	return b
+}
+
+// AppendEnvelope appends the version/type header to dst; follow it with the
+// body's MarshalTo to build the whole payload in one pass with no copies:
+//
+//	buf = pimmsg.AppendEnvelope(buf[:0], pimmsg.TypeJoinPrune)
+//	buf = m.MarshalTo(buf)
+func AppendEnvelope(dst []byte, msgType byte) []byte {
+	return append(dst, Version, msgType)
 }
 
 // Open splits an envelope into type and body.
@@ -306,13 +357,23 @@ type MemberAd struct {
 }
 
 // Marshal encodes the message body.
-func (m *MemberAd) Marshal() []byte {
-	b := make([]byte, 10+4*len(m.Groups))
-	binary.BigEndian.PutUint32(b, uint32(m.Origin))
-	binary.BigEndian.PutUint32(b[4:], m.Seq)
-	binary.BigEndian.PutUint16(b[8:], uint16(len(m.Groups)))
-	for i, g := range m.Groups {
-		binary.BigEndian.PutUint32(b[10+4*i:], uint32(g))
+func (m *MemberAd) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 10+4*len(m.Groups))) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *MemberAd) MarshalTo(b []byte) []byte {
+	return appendGroupList(b, uint32(m.Origin), m.Seq, m.Groups)
+}
+
+func appendGroupList(b []byte, head, seq uint32, groups []addr.IP) []byte {
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:], head)
+	binary.BigEndian.PutUint32(hdr[4:], seq)
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(groups)))
+	b = append(b, hdr[:]...)
+	for _, g := range groups {
+		var e [4]byte
+		binary.BigEndian.PutUint32(e[0:], uint32(g))
+		b = append(b, e[:]...)
 	}
 	return b
 }
@@ -350,15 +411,11 @@ type RPReport struct {
 }
 
 // Marshal encodes the message body.
-func (m *RPReport) Marshal() []byte {
-	b := make([]byte, 10+4*len(m.Groups))
-	binary.BigEndian.PutUint32(b, uint32(m.RP))
-	binary.BigEndian.PutUint32(b[4:], m.Seq)
-	binary.BigEndian.PutUint16(b[8:], uint16(len(m.Groups)))
-	for i, g := range m.Groups {
-		binary.BigEndian.PutUint32(b[10+4*i:], uint32(g))
-	}
-	return b
+func (m *RPReport) Marshal() []byte { return m.MarshalTo(make([]byte, 0, 10+4*len(m.Groups))) }
+
+// MarshalTo appends the encoded body to b (same bytes as Marshal).
+func (m *RPReport) MarshalTo(b []byte) []byte {
+	return appendGroupList(b, uint32(m.RP), m.Seq, m.Groups)
 }
 
 // UnmarshalRPReport decodes a message body.

@@ -1,7 +1,8 @@
 package scenario
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/cbt"
@@ -190,11 +191,11 @@ func (b *deploymentBase) Violations() []telemetry.Violation {
 	for _, c := range b.checkers {
 		all = append(all, c.Violations()...)
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].At != all[j].At {
-			return all[i].At < all[j].At
+	slices.SortStableFunc(all, func(x, y telemetry.Violation) int {
+		if x.At != y.At {
+			return cmp.Compare(x.At, y.At)
 		}
-		return all[i].Router < all[j].Router
+		return cmp.Compare(x.Router, y.Router)
 	})
 	return all
 }

@@ -33,10 +33,11 @@
 package script
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -217,10 +218,10 @@ func (s *Script) run(checked bool, bus *telemetry.Bus, captured bool) (*Result, 
 		checked:  checked,
 		bus:      bus,
 		captured: captured,
-		groups:  map[string]addr.IP{},
-		groupRP: map[addr.IP][]int{},
-		hosts:   map[string]*hostRef{},
-		res:     &Result{Delivered: map[string]int{}},
+		groups:   map[string]addr.IP{},
+		groupRP:  map[addr.IP][]int{},
+		hosts:    map[string]*hostRef{},
+		res:      &Result{Delivered: map[string]int{}},
 	}
 	// Pass 1: structure (topology, unicast mode, groups, hosts) so the
 	// script order of declarations versus the protocol statement does not
@@ -271,11 +272,11 @@ func (s *Script) run(checked bool, bus *telemetry.Bus, captured bool) (*Result, 
 		for _, buf := range r.laneEvents {
 			events = append(events, buf...)
 		}
-		sort.SliceStable(events, func(i, j int) bool {
-			if events[i].At != events[j].At {
-				return events[i].At < events[j].At
+		slices.SortStableFunc(events, func(x, y telemetry.Event) int {
+			if x.At != y.At {
+				return cmp.Compare(x.At, y.At)
 			}
-			return events[i].Router < events[j].Router
+			return cmp.Compare(x.Router, y.Router)
 		})
 	}
 	return r.res, r.checker, events, nil

@@ -537,3 +537,42 @@ func ParseTopology(r io.Reader) (*Topology, error) { return topology.ParseEdgeLi
 func RunSparseOverheadOn(g *Topology, cfg SparseConfig, p Protocol) OverheadResult {
 	return experiments.RunSparseOn(g, cfg, p)
 }
+
+// Steady-state control-plane churn benchmark (pooled vs allocating frame
+// paths — see DESIGN.md §13 "Buffer ownership").
+type (
+	// CtrlPlaneConfig parameterizes the steady-state refresh benchmark.
+	CtrlPlaneConfig = experiments.CtrlPlaneConfig
+	// CtrlPlaneResult aggregates per-protocol pooled/allocating pairs.
+	CtrlPlaneResult = experiments.CtrlPlaneResult
+	// CtrlPlanePair is one protocol's allocating-oracle/pooled measurement.
+	CtrlPlanePair = experiments.CtrlPlanePair
+	// CtrlPlaneCell is one (protocol, frame-path) measurement.
+	CtrlPlaneCell = experiments.CtrlPlaneCell
+)
+
+// DefaultCtrlPlaneConfig returns the ledger workload (1000 routers, every
+// protocol, ten simulated minutes of pure refresh).
+func DefaultCtrlPlaneConfig() CtrlPlaneConfig { return experiments.DefaultCtrlPlane() }
+
+// SmokeCtrlPlaneConfig returns the make ctrl-smoke workload.
+func SmokeCtrlPlaneConfig() CtrlPlaneConfig { return experiments.SmokeCtrlPlane() }
+
+// RunCtrlPlane measures the steady-state control plane under both frame
+// paths and gates on bit-identical simulated observables.
+func RunCtrlPlane(cfg CtrlPlaneConfig) CtrlPlaneResult { return experiments.RunCtrlPlane(cfg) }
+
+// UseFramePool reports whether netsim transmit frames come from the
+// per-scheduler free list; SetFramePool toggles it and returns the previous
+// setting. Simulation results are bit-identical either way — the allocating
+// path is kept as a differential oracle.
+func UseFramePool() bool { return netsim.UseFramePool() }
+
+// SetFramePool selects the pooled (true) or allocating (false) frame path
+// and returns the previous setting.
+func SetFramePool(on bool) bool { return netsim.SetFramePool(on) }
+
+// SetPoisonFrames makes the frame pool scribble a poison byte over every
+// released buffer, so any handler that illegally retains a borrowed frame
+// fails loudly. Debug aid; returns the previous setting.
+func SetPoisonFrames(on bool) bool { return netsim.SetPoisonFrames(on) }
