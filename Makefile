@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger
+.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke faultsearch-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger faultsearch-ledger
 
 # check is the full gate: vet, build, race-enabled tests (the -race pass
 # covers internal/telemetry and internal/experiments along with everything
 # else), a short benchmark smoke pass, the telemetry/invariant smoke, the
-# scheduler-swap smoke, the sharded-execution smoke, and the zero-allocation
-# control-plane smoke.
-check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke
+# scheduler-swap smoke, the sharded-execution smoke, the zero-allocation
+# control-plane smoke, and the fault-schedule-search smoke.
+check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke faultsearch-smoke
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,16 @@ ctrl-smoke:
 	$(GO) run ./cmd/pimbench -ctrlplane -smoke
 	$(GO) test -race -count=1 ./internal/netsim/
 
+# faultsearch-smoke runs the fault-schedule search at a small fixed budget
+# (DESIGN.md §14). It refuses to pass if any previously-found counterexample
+# under scenarios/found/ no longer reproduces its recorded verdict — the
+# self-growing regression corpus is enforced here and in
+# TestScenariosUpholdInvariants — and the search/injector packages must pass
+# under the race detector. The smoke ledger goes to a throwaway file.
+faultsearch-smoke:
+	$(GO) run ./cmd/pimbench -faultsearch -seed 1 -budget 120 -label smoke -out $$(mktemp /tmp/faultsearch.XXXXXX.json)
+	$(GO) test -race -count=1 ./internal/faultsearch/ ./internal/faults/
+
 # profile captures CPU and heap profiles of a pimbench run for pprof; set
 # PROFILE_ARGS to profile a different mode (default: the CI-sized
 # control-plane churn benchmark).
@@ -114,3 +124,11 @@ tenk-ledger:
 # diverge in any simulated observable (see EXPERIMENTS.md).
 ctrlplane-ledger:
 	$(GO) run ./cmd/pimbench -ctrlplane -label $(or $(LABEL),run)
+
+# faultsearch-ledger runs the full-budget fault-schedule search, appends an
+# entry (schedules explored, violations found, minimized sizes) to
+# BENCH_faultsearch.json, and adds any newly found minimized counterexample
+# to the scenarios/found/ corpus. Recording is refused if an existing corpus
+# file's recorded verdict no longer reproduces (see EXPERIMENTS.md).
+faultsearch-ledger:
+	$(GO) run ./cmd/pimbench -faultsearch -seed $(or $(SEED),1) -budget $(or $(BUDGET),600) -emit scenarios/found -label $(or $(LABEL),run)

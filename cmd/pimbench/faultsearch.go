@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pim/internal/faultsearch"
+	"pim/internal/script"
+)
+
+// FaultSearchEntry is one appended record of the fault-schedule-search
+// ledger (BENCH_faultsearch.json).
+type FaultSearchEntry struct {
+	LedgerHeader
+	Seed              int64 `json:"seed"`
+	Budget            int   `json:"budget"`
+	SchedulesExplored int   `json:"schedules_explored"`
+	ViolationsFound   int   `json:"violations_found"`
+	DistinctBugs      int   `json:"distinct_bugs"`
+	// MinScheduleSize is the clause count of the smallest minimized
+	// counterexample this run produced (0 = nothing found).
+	MinScheduleSize int `json:"min_schedule_size"`
+	MinimizeEvals   int `json:"minimize_evals"`
+	// CorpusReplayed counts the scenarios/found/ files whose recorded
+	// verdicts were re-verified before the sweep ran.
+	CorpusReplayed int `json:"corpus_replayed"`
+	CorpusEmitted  int `json:"corpus_emitted"`
+}
+
+// replayCorpus re-runs every previously-found counterexample and verifies
+// its recorded verdict still reproduces. Any regression refuses the whole
+// run: a corpus file that stopped failing means either a bug was fixed
+// (flip the file's expectations to pin the fix) or the harness drifted —
+// both demand a human, not a silently re-passing benchmark.
+func replayCorpus(dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.pim"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		s, err := script.ParseFile(path)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %v", path, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return 0, fmt.Errorf("%s: %v", path, err)
+		}
+		if !res.OK() {
+			return 0, fmt.Errorf("%s: recorded verdict no longer reproduces: %v", path, res.Failures)
+		}
+		fmt.Printf("corpus ok   %s\n", path)
+	}
+	return len(paths), nil
+}
+
+// foundFileName derives the corpus filename for a minimized counterexample:
+// one file per distinct bug signature, so re-running the search never
+// duplicates the corpus.
+func foundFileName(f faultsearch.Found) string {
+	sig := f.Verdict.Label()
+	for _, r := range []string{"/", ":", "+", " "} {
+		sig = strings.ReplaceAll(sig, r, "-")
+	}
+	return fmt.Sprintf("%s-%s-%s.pim", f.Minimal.Topo, f.Minimal.Proto, sig)
+}
+
+func runFaultSearch(label, out string, seed int64, budget, workers int, corpus, emit string) {
+	replayed := 0
+	if corpus != "" {
+		n, err := replayCorpus(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench: corpus replay FAILED, refusing to run:", err)
+			os.Exit(1)
+		}
+		replayed = n
+	}
+
+	cfg := faultsearch.Config{
+		Seed: seed, Budget: budget, Workers: workers,
+		Log: func(format string, a ...interface{}) {
+			fmt.Printf("faultsearch: "+format+"\n", a...)
+		},
+	}
+	rep, err := faultsearch.Search(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("faultsearch: explored %d schedules, %d violating, %d distinct bug(s), %d minimize evals\n",
+		rep.Explored, rep.Violations, len(rep.Found), rep.MinimizeEvals)
+
+	emitted := 0
+	for _, f := range rep.Found {
+		fmt.Printf("found: %s (%s)\n  minimal: %v\n", f.Verdict.Label(), f.Verdict.Detail, f.Minimal)
+		if emit == "" {
+			continue
+		}
+		path := filepath.Join(emit, foundFileName(f))
+		if _, err := os.Stat(path); err == nil {
+			fmt.Printf("  corpus already holds %s, not overwriting\n", path)
+			continue
+		}
+		src, err := faultsearch.RenderFound(f.Minimal, f.Verdict, seed, f.Trial)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(emit, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  emitted %s\n", path)
+		emitted++
+	}
+
+	entry := FaultSearchEntry{
+		LedgerHeader:      newHeader(label),
+		Seed:              seed,
+		Budget:            budget,
+		SchedulesExplored: rep.Explored,
+		ViolationsFound:   rep.Violations,
+		DistinctBugs:      len(rep.Found),
+		MinScheduleSize:   rep.MinScheduleSize(),
+		MinimizeEvals:     rep.MinimizeEvals,
+		CorpusReplayed:    replayed,
+		CorpusEmitted:     emitted,
+	}
+	var ledger []FaultSearchEntry
+	if data, err := os.ReadFile(out); err == nil && len(strings.TrimSpace(string(data))) > 0 {
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
+			os.Exit(1)
+		}
+	}
+	ledger = append(ledger, entry)
+	data, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("appended %q entry to %s (%d entries)\n", label, out, len(ledger))
+}

@@ -49,6 +49,18 @@
 // Every ledger header also records whether the frame pool was on and the
 // process GC statistics at record time.
 //
+// With -faultsearch it runs the systematic fault-schedule search
+// (internal/faultsearch): first it replays every counterexample in
+// scenarios/found/ and refuses to run if any recorded verdict no longer
+// reproduces; then it sweeps -budget fault schedules (seeded by -seed)
+// over the small search topologies for all six engine configurations with
+// the invariant checker in fail-fast mode, minimizes every violating
+// schedule, and — with -emit <dir> — writes each distinct minimized
+// counterexample as a self-contained .pim scenario. One entry goes to
+// BENCH_faultsearch.json recording schedules explored, violations found,
+// and minimized schedule sizes. A fixed seed is bit-reproducible across
+// runs and across -workers counts.
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran
 // (see `make profile`).
 package main
@@ -178,6 +190,12 @@ func main() {
 	shards := flag.Int("shards", 1, "simulation shard count (1 = sequential; sharded scaling/tenk runs are gated against the sequential grid)")
 	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
 	ctrlplane := flag.Bool("ctrlplane", false, "run the steady-state control-plane churn benchmark (pooled vs allocating frame paths) instead of the Figure 2 sweeps")
+	fsearch := flag.Bool("faultsearch", false, "run the fault-schedule search (replay the scenarios/found/ corpus, sweep fault schedules under the invariant checker, minimize and emit counterexamples) instead of the Figure 2 sweeps")
+	fsSeed := flag.Int64("seed", 1, "with -faultsearch: search seed (fixed seed => bit-identical schedules, violations, and minimized output)")
+	fsBudget := flag.Int("budget", 300, "with -faultsearch: schedules to evaluate")
+	fsWorkers := flag.Int("workers", 0, "with -faultsearch: trial evaluation workers (0 = all CPUs; the report is worker-count invariant)")
+	fsCorpus := flag.String("corpus", "scenarios/found", "with -faultsearch: corpus directory to replay before searching (empty to skip)")
+	fsEmit := flag.String("emit", "", "with -faultsearch: directory to write newly found minimized counterexamples to (empty = report only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at clean exit to this file")
 	flag.Parse()
@@ -215,6 +233,13 @@ func main() {
 
 	if *telemetryOut != "" {
 		runTelemetry(*telemetryOut)
+		return
+	}
+	if *fsearch {
+		if *out == "" {
+			*out = "BENCH_faultsearch.json"
+		}
+		runFaultSearch(*label, *out, *fsSeed, *fsBudget, *fsWorkers, *fsCorpus, *fsEmit)
 		return
 	}
 	if *ctrlplane {

@@ -1,8 +1,8 @@
 // Package faults is the fault-injection layer over the netsim substrate: it
 // composes deterministic, seedable fault models — per-link Bernoulli and
-// burst (Gilbert two-state) loss, scheduled link flapping, network
-// partition/heal, and fail-stop router crash/restart — onto a running
-// simulation.
+// burst (Gilbert two-state) loss, bounded message reordering, scheduled
+// link flapping, network partition/heal, and fail-stop router crash/restart
+// — onto a running simulation.
 //
 // The paper's robustness claim (§2, §3.8) is that PIM keeps only
 // timer-refreshed soft state and therefore survives lost control messages,
@@ -132,14 +132,23 @@ type Injector struct {
 	seed int64
 
 	// prev chains a pre-existing Network.Loss hook: the injector composes
-	// onto it rather than replacing it.
-	prev func(from, to *netsim.Iface, pkt *packet.Packet) bool
+	// onto it rather than replacing it; prevJitter does the same for the
+	// Network.Jitter hook (contributions are summed).
+	prev       func(from, to *netsim.Iface, pkt *packet.Packet) bool
+	prevJitter func(from *netsim.Iface, pkt *packet.Packet) netsim.Time
 
 	perLink map[*netsim.Link]*lossModel
 	global  *lossModel
 	// pairs holds each directed pair's private rand stream and channel
 	// state, created eagerly at model-install time (delivery only reads).
 	pairs map[pairKey]*pairState
+
+	// reorderLink / reorderGlobal are the installed reorder models;
+	// reorderStreams holds one private rand stream per transmitting
+	// interface, created eagerly at install time like the loss pair streams.
+	reorderLink    map[*netsim.Link]*reorderModel
+	reorderGlobal  *reorderModel
+	reorderStreams map[*netsim.Iface]*rand.Rand
 
 	// partitioned remembers the links Partition took down, so Heal can
 	// restore exactly that set.
@@ -150,13 +159,17 @@ type Injector struct {
 // already present (the previous hook is consulted first).
 func New(net *netsim.Network, seed int64) *Injector {
 	in := &Injector{
-		Net:     net,
-		seed:    seed,
-		prev:    net.Loss,
-		perLink: map[*netsim.Link]*lossModel{},
-		pairs:   map[pairKey]*pairState{},
+		Net:            net,
+		seed:           seed,
+		prev:           net.Loss,
+		prevJitter:     net.Jitter,
+		perLink:        map[*netsim.Link]*lossModel{},
+		pairs:          map[pairKey]*pairState{},
+		reorderLink:    map[*netsim.Link]*reorderModel{},
+		reorderStreams: map[*netsim.Iface]*rand.Rand{},
 	}
 	net.Loss = in.loss
+	net.Jitter = in.jitter
 	return in
 }
 
@@ -243,11 +256,102 @@ func (in *Injector) SetGilbert(l *netsim.Link, p GilbertParams, class Class) {
 	in.ensurePairs(l)
 }
 
-// ClearLoss removes every installed loss model. Scheduled flaps and an
-// active partition are unaffected.
+// ClearLoss removes every installed loss model. Scheduled flaps, reorder
+// models, and an active partition are unaffected.
 func (in *Injector) ClearLoss() {
 	in.global = nil
 	in.perLink = map[*netsim.Link]*lossModel{}
+}
+
+// reorderModel is one installed message-reorder process: matching frames
+// sent onto the scope's link(s) get uniform extra propagation delay in
+// [0, window], so back-to-back transmissions from one station can overtake
+// each other — the classic LAN reordering that soft-state protocols must
+// tolerate (a prune heard after the join that was sent to override it, a
+// graft overtaken by the retransmission timer's copy, ...).
+type reorderModel struct {
+	class  Class
+	window netsim.Time
+}
+
+// reorderSalt separates the reorder streams' seed space from the loss pair
+// streams' (which derive from the same injector seed).
+const reorderSalt = 0x5eed4e02
+
+// ensureReorderStreams creates the per-transmitting-interface rand streams
+// for l. Seeds derive from the link ID and the interface's position on the
+// link — stable identities independent of install order and memory layout,
+// exactly like the loss pair streams. One iface transmits from exactly one
+// shard, so per-iface streams keep sharded runs race-free and make the
+// jitter sequence a function of that iface's send order alone, which the
+// scheduler's determinism argument fixes for any shard count.
+func (in *Injector) ensureReorderStreams(l *netsim.Link) {
+	for i, from := range l.Ifaces {
+		if in.reorderStreams[from] == nil {
+			seed := parallel.DeriveSeed(in.seed, reorderSalt, int64(l.ID), int64(i))
+			in.reorderStreams[from] = rand.New(rand.NewSource(seed))
+		}
+	}
+}
+
+// jitter is the Network.Jitter hook: one draw per matching transmission from
+// the sender's private stream.
+func (in *Injector) jitter(from *netsim.Iface, pkt *packet.Packet) netsim.Time {
+	var j netsim.Time
+	if in.prevJitter != nil {
+		j = in.prevJitter(from, pkt)
+	}
+	lm, gm := in.reorderLink[from.Link], in.reorderGlobal
+	if lm == nil && gm == nil {
+		return j
+	}
+	rng := in.reorderStreams[from]
+	if rng == nil {
+		// An interface joined the link after the model was installed;
+		// re-install the model (from a serial phase) to pick it up.
+		panic("faults: transmission on an iface with no reorder stream")
+	}
+	if lm != nil && lm.class.matches(pkt.Protocol) {
+		j += netsim.Time(rng.Int63n(int64(lm.window) + 1))
+	}
+	if gm != nil && gm.class.matches(pkt.Protocol) {
+		j += netsim.Time(rng.Int63n(int64(gm.window) + 1))
+	}
+	return j
+}
+
+// SetReorder installs bounded message reordering on one link (or on every
+// link when l is nil), replacing any reorder model already on that scope:
+// each matching frame is delayed by a seeded uniform draw from [0, window]
+// on top of the link's propagation delay. Window 0 removes the model.
+// Like the loss installers, SetReorder must run in a serial phase (setup
+// code or a root-scheduler action).
+func (in *Injector) SetReorder(l *netsim.Link, window netsim.Time, class Class) {
+	m := &reorderModel{class: class, window: window}
+	if window <= 0 {
+		m = nil
+	}
+	if l == nil {
+		in.reorderGlobal = m
+		if m != nil {
+			for _, link := range in.Net.Links {
+				in.ensureReorderStreams(link)
+			}
+		}
+		return
+	}
+	if m == nil {
+		delete(in.reorderLink, l)
+		return
+	}
+	in.reorderLink[l] = m
+	in.ensureReorderStreams(l)
+}
+
+// ClearReorder removes every installed reorder model.
+func (in *Injector) ClearReorder() {
+	in.reorderGlobal = nil
+	in.reorderLink = map[*netsim.Link]*reorderModel{}
 }
 
 // Flap schedules cycles of link down/up starting at `first` from now: the

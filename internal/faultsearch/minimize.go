@@ -1,0 +1,178 @@
+package faultsearch
+
+import "fmt"
+
+// Minimize shrinks a violating schedule delta-debugging style while the
+// same bug (Verdict.SameBug) keeps reproducing:
+//
+//  1. greedy clause drop — remove whole clauses one at a time;
+//  2. timing bisect — push each surviving clause's Start later and pull
+//     its Stop earlier by binary search on the 1s grid;
+//  3. intensity shrink — step loss rates and reorder windows down their
+//     ladders while the bug survives.
+//
+// Every probe costs one Evaluate; the search stops after budget probes
+// (the current best schedule is still returned). Minimization is fully
+// sequential and deterministic: same input schedule and verdict, same
+// output, independent of worker count.
+//
+// The returned Verdict is the minimized schedule's own (same bug as want,
+// but with the minimized run's detail), so emitted counterexamples describe
+// exactly the schedule they contain.
+func Minimize(s Schedule, want Verdict, budget int) (Schedule, Verdict, int, error) {
+	// Own the clause slice: shrink steps write clauses in place and must
+	// never alias the caller's (the report keeps the original schedule).
+	s.Clauses = append([]Clause{}, s.Clauses...)
+	evals := 0
+	reproduces := func(cand Schedule) (bool, error) {
+		if evals >= budget {
+			return false, nil
+		}
+		evals++
+		v, err := Evaluate(cand)
+		if err != nil {
+			return false, err
+		}
+		return v.SameBug(want), nil
+	}
+
+	// Phase 1: greedy clause drop.
+	for i := 0; i < len(s.Clauses) && len(s.Clauses) > 1; {
+		cand := s
+		cand.Clauses = append(append([]Clause{}, s.Clauses[:i]...), s.Clauses[i+1:]...)
+		ok, err := reproduces(cand)
+		if err != nil {
+			return s, want, evals, err
+		}
+		if ok {
+			s = cand
+		} else {
+			i++
+		}
+	}
+
+	// bisect finds the extreme value in [lo,hi] (towards hi) for which set()
+	// still reproduces, assuming monotonicity — the classic ddmin shortcut.
+	bisect := func(lo, hi int, set func(int) Schedule) (int, error) {
+		best := lo
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			ok, err := reproduces(set(mid))
+			if err != nil {
+				return best, err
+			}
+			if ok {
+				best, lo = mid, mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return best, nil
+	}
+
+	// Phase 2: timing bisect per clause.
+	for i := range s.Clauses {
+		c := s.Clauses[i]
+		switch c.Kind {
+		case KindLoss, KindReorder, KindCut, KindCrash:
+			// Latest Start that still reproduces.
+			if c.Stop-1 > c.Start {
+				v, err := bisect(c.Start, c.Stop-1, func(x int) Schedule {
+					cand := cloneAt(s, i)
+					cand.Clauses[i].Start = x
+					return cand
+				})
+				if err != nil {
+					return s, want, evals, err
+				}
+				s.Clauses[i].Start = v
+			}
+			// Earliest Stop that still reproduces (bisect towards small by
+			// negating the axis).
+			c = s.Clauses[i]
+			if c.Stop-1 > c.Start {
+				v, err := bisect(-c.Stop, -(c.Start + 1), func(x int) Schedule {
+					cand := cloneAt(s, i)
+					cand.Clauses[i].Stop = -x
+					return cand
+				})
+				if err != nil {
+					return s, want, evals, err
+				}
+				s.Clauses[i].Stop = -v
+			}
+		case KindFlap:
+			// Shrink cycle count.
+			for s.Clauses[i].Cycles > 1 {
+				cand := cloneAt(s, i)
+				cand.Clauses[i].Cycles--
+				ok, err := reproduces(cand)
+				if err != nil {
+					return s, want, evals, err
+				}
+				if !ok {
+					break
+				}
+				s = cand
+			}
+		}
+	}
+
+	// Phase 3: intensity shrink.
+	for i := range s.Clauses {
+		switch s.Clauses[i].Kind {
+		case KindLoss:
+			for _, r := range lossRates {
+				if r >= s.Clauses[i].Rate {
+					break
+				}
+				cand := cloneAt(s, i)
+				cand.Clauses[i].Rate = r
+				ok, err := reproduces(cand)
+				if err != nil {
+					return s, want, evals, err
+				}
+				if ok {
+					s = cand
+					break
+				}
+			}
+		case KindReorder:
+			for _, w := range reorderWindows {
+				if w >= s.Clauses[i].Window {
+					break
+				}
+				cand := cloneAt(s, i)
+				cand.Clauses[i].Window = w
+				ok, err := reproduces(cand)
+				if err != nil {
+					return s, want, evals, err
+				}
+				if ok {
+					s = cand
+					break
+				}
+			}
+		}
+	}
+
+	// The minimized schedule must still reproduce — guard against a buggy
+	// shrink step having been accepted on a budget-exhausted false "ok".
+	v, err := Evaluate(s)
+	if err != nil {
+		return s, want, evals, err
+	}
+	evals++
+	if !v.SameBug(want) {
+		return s, want, evals, fmt.Errorf("faultsearch: minimized schedule %v no longer reproduces %s", s, want.Label())
+	}
+	return s, v, evals, nil
+}
+
+// cloneAt returns s with the clause slice copied so the caller can mutate
+// clause i without aliasing the original schedule.
+func cloneAt(s Schedule, i int) Schedule {
+	cand := s
+	cand.Clauses = append([]Clause{}, s.Clauses...)
+	return cand
+}

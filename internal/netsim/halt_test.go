@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/packet"
+)
+
+// TestSchedulerHaltStopsRunLoops pins the fail-fast contract: the event that
+// calls Halt completes, no later event fires, and the clock freezes at the
+// halt instant instead of advancing to the deadline.
+func TestSchedulerHaltStopsRunLoops(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.After(5, func() { fired = append(fired, s.Now()) })
+	s.After(10, func() {
+		fired = append(fired, s.Now())
+		s.Halt()
+	})
+	s.After(15, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(100)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("fired = %v, want [5 10]", fired)
+	}
+	if !s.Halted() {
+		t.Fatal("scheduler not halted")
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %d, want frozen at 10", s.Now())
+	}
+	// Sticky: another RunUntil makes no progress.
+	s.RunUntil(200)
+	if len(fired) != 2 || s.Now() != 10 {
+		t.Fatalf("halted scheduler made progress: fired=%v now=%d", fired, s.Now())
+	}
+	// ClearHalt resumes exactly where the run stopped.
+	s.ClearHalt()
+	s.RunUntil(200)
+	if len(fired) != 3 || fired[2] != 15 {
+		t.Fatalf("after ClearHalt fired = %v, want third event at 15", fired)
+	}
+	if s.Now() != 200 {
+		t.Errorf("clock = %d, want 200", s.Now())
+	}
+}
+
+// TestSchedulerHaltDeterministic runs the same halting workload twice and
+// requires the identical stop point — the property fault-schedule search
+// relies on when it replays a first-violation halt.
+func TestSchedulerHaltDeterministic(t *testing.T) {
+	run := func() (int, Time) {
+		s := NewScheduler()
+		count := 0
+		for i := 0; i < 50; i++ {
+			i := i
+			s.After(Time(i), func() {
+				count++
+				if i == 23 {
+					s.Halt()
+				}
+			})
+		}
+		s.RunUntil(1000)
+		return count, s.Now()
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("halt not deterministic: (%d,%d) vs (%d,%d)", c1, t1, c2, t2)
+	}
+	if c1 != 24 || t1 != 23 {
+		t.Fatalf("halt point = (%d events, t=%d), want (24, 23)", c1, t1)
+	}
+}
+
+// TestJitterDelaysDelivery pins the Jitter hook's contract: the returned
+// extra delay is added to the link's propagation delay for that frame, and
+// two back-to-back transmissions can arrive reordered.
+func TestJitterDelaysDelivery(t *testing.T) {
+	n, a, b := buildPair(t, 5*Millisecond)
+	var arrivals []string
+	b.Handle(packet.ProtoUDP, HandlerFunc(func(in *Iface, pkt *packet.Packet) {
+		arrivals = append(arrivals, string(append([]byte(nil), pkt.Payload...)))
+	}))
+	// First frame gets +20ms jitter, second none: the second overtakes.
+	calls := 0
+	n.Jitter = func(from *Iface, pkt *packet.Packet) Time {
+		calls++
+		if calls == 1 {
+			return 20 * Millisecond
+		}
+		return 0
+	}
+	a.Send(a.Ifaces[0], packet.New(a.Addr(), b.Addr(), packet.ProtoUDP, []byte("one")), 0)
+	a.Send(a.Ifaces[0], packet.New(a.Addr(), b.Addr(), packet.ProtoUDP, []byte("two")), 0)
+	n.Sched.Run(0)
+	if len(arrivals) != 2 || arrivals[0] != "two" || arrivals[1] != "one" {
+		t.Fatalf("arrivals = %v, want [two one]", arrivals)
+	}
+	if n.Sched.Now() != 25*Millisecond {
+		t.Errorf("last delivery at %d, want %d", n.Sched.Now(), 25*Millisecond)
+	}
+}
+
+// TestJitterLANSingleDrawPerTransmission verifies the hook is consulted once
+// per link crossing, not once per receiver: all LAN stations hear the
+// jittered frame at the same instant.
+func TestJitterLANSingleDrawPerTransmission(t *testing.T) {
+	n := NewNetwork()
+	sender := n.AddNode("s")
+	sIfc := n.AddIface(sender, addr.V4(10, 1, 0, 1))
+	var ifaces []*Iface
+	arrival := map[string]Time{}
+	for _, name := range []string{"r1", "r2", "r3"} {
+		nd := n.AddNode(name)
+		ifc := n.AddIface(nd, addr.V4(10, 1, 0, byte(len(ifaces)+2)))
+		ifaces = append(ifaces, ifc)
+		name := name
+		nd.Handle(packet.ProtoUDP, HandlerFunc(func(in *Iface, pkt *packet.Packet) {
+			arrival[name] = nd.Sched().Now()
+		}))
+	}
+	n.ConnectLAN(Millisecond, append([]*Iface{sIfc}, ifaces...)...)
+	draws := 0
+	n.Jitter = func(from *Iface, pkt *packet.Packet) Time {
+		draws++
+		return 7 * Millisecond
+	}
+	sender.Send(sIfc, packet.New(sender.Addr(), addr.GroupForIndex(0), packet.ProtoUDP, nil), 0)
+	n.Sched.Run(0)
+	if draws != 1 {
+		t.Fatalf("jitter drawn %d times, want 1 per transmission", draws)
+	}
+	if len(arrival) != 3 {
+		t.Fatalf("deliveries = %v", arrival)
+	}
+	for name, at := range arrival {
+		if at != 8*Millisecond {
+			t.Errorf("%s heard frame at %d, want 8ms", name, at)
+		}
+	}
+}

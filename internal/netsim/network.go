@@ -130,6 +130,16 @@ type Network struct {
 	// soft-state robustness claims (§2): lost control messages must be
 	// recovered by the next periodic refresh, not retransmission.
 	Loss func(from, to *Iface, pkt *packet.Packet) bool
+	// Jitter, if non-nil, is consulted once per transmission (per link
+	// crossing, not per receiver) and returns extra propagation delay added
+	// to the link's Delay for that frame. The fault layer's message-reorder
+	// primitive rides on it: jittered frames from one sender can overtake
+	// each other. Extra delay only ever increases arrival time, so the
+	// sharded core's conservative lookahead (min cross-shard link delay)
+	// stays valid. Under sharded execution the hook is invoked from shard
+	// goroutines concurrently: implementations must partition any mutable
+	// state by transmitting interface (one iface sends from one shard).
+	Jitter func(from *Iface, pkt *packet.Packet) Time
 
 	byAddr map[addr.IP]*Iface
 	// set is non-nil once Shard() has partitioned the network for parallel
@@ -315,8 +325,14 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 		panic("netsim: marshal failed: " + err.Error())
 	}
 	net.statsFor(nd).Transmit(link, pkt)
+	// Jitter is drawn once per transmission, before the sharded dispatch:
+	// the hook needs the packet header, which sendSharded does not carry.
+	var jit Time
+	if net.Jitter != nil {
+		jit = net.Jitter(out, pkt)
+	}
 	if set := net.set; set != nil {
-		nd.sendSharded(set, out, link, f, buf, nextHop)
+		nd.sendSharded(set, out, link, f, buf, nextHop, jit)
 		return
 	}
 	// Serialization and queueing under finite bandwidth.
@@ -345,12 +361,13 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 	// order. The event carries the structural (sender, transmit sequence)
 	// order key, so same-instant deliveries fire in an order independent of
 	// shard count.
+	delay := link.Delay + jit
 	nd.xmit++
 	if f != nil {
 		f.net, f.from, f.link, f.nextHop, f.shard = net, out, link, nextHop, -1
-		net.Sched.enqueueDeliveryFrame(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit), f)
+		net.Sched.enqueueDeliveryFrame(now+txDone+delay, now, deliveryOrd(nd.ID, nd.xmit), f)
 	} else {
-		net.Sched.enqueueDelivery(now+txDone+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+		net.Sched.enqueueDelivery(now+txDone+delay, now, deliveryOrd(nd.ID, nd.xmit),
 			func() { net.deliverFrame(out, link, buf, nextHop, -1) })
 	}
 }
@@ -360,11 +377,13 @@ func (nd *Node) Send(out *Iface, pkt *packet.Packet, nextHop addr.IP) {
 // event per link crossing as the sequential path), stations on foreign
 // shards get an outbox record per destination shard, merged at the next
 // barrier. Finite bandwidth is rejected up front by shardSet.prepare, so
-// the deadline is pure propagation delay.
-func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, f *frame, buf []byte, nextHop addr.IP) {
+// the deadline is propagation delay plus any jitter (jitter only adds
+// delay, so the conservative lookahead bound still holds).
+func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, f *frame, buf []byte, nextHop addr.IP, jit Time) {
 	net := nd.Net
 	sched := set.scheds[nd.shard]
 	now := sched.Now()
+	delay := link.Delay + jit
 	nd.xmit++
 	local := false
 	foreign := -1
@@ -385,7 +404,7 @@ func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, f *frame, buf
 		// payload backing array; the copy happens before any pooled frame
 		// can be released below.
 		set.outboxes[nd.shard] = append(set.outboxes[nd.shard], xrec{
-			at:      now + link.Delay,
+			at:      now + delay,
 			bs:      now,
 			src:     nd.ID,
 			xmit:    nd.xmit,
@@ -399,10 +418,10 @@ func (nd *Node) sendSharded(set *shardSet, out *Iface, link *Link, f *frame, buf
 	if local {
 		if f != nil {
 			f.net, f.from, f.link, f.nextHop, f.shard = net, out, link, nextHop, nd.shard
-			sched.enqueueDeliveryFrame(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit), f)
+			sched.enqueueDeliveryFrame(now+delay, now, deliveryOrd(nd.ID, nd.xmit), f)
 		} else {
 			myShard := nd.shard
-			sched.enqueueDelivery(now+link.Delay, now, deliveryOrd(nd.ID, nd.xmit),
+			sched.enqueueDelivery(now+delay, now, deliveryOrd(nd.ID, nd.xmit),
 				func() { net.deliverFrame(out, link, buf, nextHop, myShard) })
 		}
 	} else if f != nil {

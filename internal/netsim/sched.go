@@ -225,6 +225,10 @@ type Scheduler struct {
 	// dropped Scheduler that still had entries pending in those siblings;
 	// handles of fired/stopped timers alone never pin it.)
 	timerChunk []Timer
+	// halted stops the run loops before the next event fires (Halt). The
+	// flag is sticky until ClearHalt so nested/subsequent RunUntil calls
+	// return immediately with the clock frozen at the halt instant.
+	halted bool
 	// Processed counts events executed, for run-length guards and stats.
 	Processed int64
 }
@@ -435,14 +439,17 @@ func (s *Scheduler) RunUntil(deadline Time) {
 }
 
 func (s *Scheduler) runUntil(deadline Time) {
-	for {
+	for !s.halted {
 		ev, ok := s.next(deadline)
 		if !ok {
 			break
 		}
 		s.fire(ev)
 	}
-	if s.now < deadline {
+	// A halted run leaves the clock frozen at the instant of the halt —
+	// the violation time is part of the deterministic outcome — instead of
+	// advancing it to the deadline.
+	if !s.halted && s.now < deadline {
 		s.now = deadline
 	}
 }
@@ -451,7 +458,7 @@ func (s *Scheduler) runUntil(deadline Time) {
 // (maxEvents <= 0 means no limit). It returns the number of events executed.
 func (s *Scheduler) Run(maxEvents int64) int64 {
 	var n int64
-	for s.Step() {
+	for !s.halted && s.Step() {
 		n++
 		if maxEvents > 0 && n >= maxEvents {
 			break
@@ -459,6 +466,24 @@ func (s *Scheduler) Run(maxEvents int64) int64 {
 	}
 	return n
 }
+
+// Halt makes every run loop (RunUntil, Run, and the sharded epoch loop)
+// return before firing another event, leaving the clock at the current
+// instant. The event that called Halt completes normally. The flag is
+// sticky — later RunUntil calls return immediately — until ClearHalt.
+//
+// This is the fail-fast hook of the online invariant checker: the first
+// violation stops the simulation at its exact simulated time, so fault-
+// schedule search pays for one violation, not the full run. Halt is not
+// safe to call from shard goroutines; call it from serially executed code
+// (root-scheduler actions, or any event of an unsharded run).
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt stopped the scheduler.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// ClearHalt re-arms a halted scheduler so run loops make progress again.
+func (s *Scheduler) ClearHalt() { s.halted = false }
 
 // schedHeap is the reference queue: a binary heap ordered by (at, seq) with
 // stopped-timer compaction. It is kept selectable (UseWheel=false) so the

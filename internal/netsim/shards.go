@@ -315,7 +315,9 @@ func (ss *shardSet) prepare() {
 func (ss *shardSet) run(deadline Time) {
 	ss.prepare()
 	root := ss.net.Sched
-	for {
+	// Halt is honored at window boundaries: root actions run serially, so a
+	// halt they raise stops the epoch loop before the next window opens.
+	for !root.halted {
 		cur := root.now
 		b := deadline + 1
 		if ss.lookahead < b-cur {
@@ -341,7 +343,7 @@ func (ss *shardSet) run(deadline Time) {
 		// same instant — they were scheduled from serial phases, so the
 		// sequential run would have drained them first too. Their own
 		// transmissions join an immediate second exchange.
-		for {
+		for !root.halted {
 			ev, ok := root.next(b)
 			if !ok {
 				break

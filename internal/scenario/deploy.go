@@ -73,6 +73,11 @@ type DeployOptions struct {
 	// §3.8 soft-state contracts during the run, creating a Telemetry bus if
 	// none was supplied.
 	InvariantChecker bool
+	// FailFast arms the checker's first-violation halt: the simulation's
+	// scheduler stops at the violation's exact simulated time. Implies
+	// InvariantChecker; sequential runs only (a shard goroutine must not
+	// halt the root scheduler).
+	FailFast bool
 
 	// IGMPQueryInterval / IGMPHoldTime override the querier timers when
 	// nonzero (fault experiments shrink them to speed re-learning).
@@ -147,6 +152,15 @@ func WithShardTelemetry(lanes []*telemetry.Bus) DeployOption {
 // WithInvariantChecker enables the online §3.8 invariant checker.
 func WithInvariantChecker() DeployOption {
 	return func(o *DeployOptions) { o.InvariantChecker = true }
+}
+
+// WithFailFast enables the invariant checker in fail-fast mode: the first
+// violation halts the simulation at its exact simulated time (the clock
+// freezes there; later RunUntil calls return immediately). Panics at deploy
+// time on a sharded network — the checker runs on one bus, which sharded
+// execution cannot feed race-free anyway.
+func WithFailFast() DeployOption {
+	return func(o *DeployOptions) { o.InvariantChecker, o.FailFast = true, true }
 }
 
 // WithIGMPTimers overrides the querier's query interval and hold time.
@@ -238,6 +252,9 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 	// checker per lane (the invariants are per-router, so a lane checker
 	// sees everything it needs).
 	var chks []*telemetry.Checker
+	if o.FailFast && s.Net.Sharded() {
+		panic("scenario: WithFailFast requires an unsharded network (shards=1)")
+	}
 	if o.InvariantChecker {
 		buses := o.ShardTelemetry
 		if buses == nil {
@@ -248,6 +265,10 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 				continue
 			}
 			chk := telemetry.NewChecker(b)
+			if o.FailFast {
+				chk.SetFailFast(true)
+				chk.Halt = s.Net.Sched.Halt
+			}
 			switch p {
 			case SparseMode, DenseMode, DVMRPMode:
 				// These engines derive the expected incoming interface from

@@ -12,14 +12,17 @@
 //	topo edges <a>-<b>[:<delay>] ...
 //	unicast oracle|dv|ls
 //	group <name> [rp <router>]          # rp doubles as the CBT core
+//	faultseed <n>                       # seed of the loss/reorder streams (default 1)
 //	protocol pim-sm [spt=immediate|never|threshold] [aggregate]
 //	protocol pim-dm | dvmrp | cbt | mospf [prune=<dur>]
+//	protocol ... [timers=fast]          # shrunk soft-state clocks (fault scenarios)
 //	host <name> <router>
 //	at <time> join <host> <group>
 //	at <time> leave <host> <group>
 //	at <time> send <host> <group> [count=<n>] [every=<dur>] [size=<n>]
 //	at <time> linkdown <edge> | linkup <edge>
 //	at <time> loss <edge>|all <rate> [control|data]   # Bernoulli loss; rate 0 clears
+//	at <time> reorder <edge>|all <window> [control|data]  # bounded reordering; 0 clears
 //	at <time> flap <edge> [down=<dur>] [up=<dur>] [cycles=<n>]
 //	at <time> crash <router> | restart <router>
 //	at <time> partition <edge> ... | heal
@@ -27,9 +30,17 @@
 //	expect <host> received <group> <op> <n>      # op: >= <= == != > <
 //	expect router <router> state <op> <n>
 //	expect links-with-data <op> <n>
+//	expect violations <op> <n>          # invariant-checker violations (checked runs)
 //
 // Routers are written r0, r1, ... (or bare indexes); durations use Go-like
 // suffixes (150ms, 2s, 1m).
+//
+// A script that declares `expect violations` runs with the invariant checker
+// attached even under plain Run() — the expectation is the scenario's
+// recorded verdict. The fault-schedule search (internal/faultsearch) emits
+// its minimized counterexamples in exactly this form: the scenario passes
+// iff the violation still reproduces, so the corpus under scenarios/found/
+// enforces every found bug forever.
 package script
 
 import (
@@ -92,7 +103,7 @@ func Parse(text string) (*Script, error) {
 			}
 		}
 		switch st.kind {
-		case "topo", "unicast", "group", "protocol", "host", "at", "run", "expect":
+		case "topo", "unicast", "group", "protocol", "host", "at", "run", "expect", "faultseed":
 		default:
 			return nil, fmt.Errorf("line %d: unknown statement %q", line, st.kind)
 		}
@@ -123,6 +134,19 @@ type Result struct {
 // OK reports whether every expectation held.
 func (r *Result) OK() bool { return len(r.Failures) == 0 }
 
+// ExpectsViolations reports whether the script asserts on invariant-checker
+// violations (`expect violations ...`). Corpus runners use it to tell
+// found-counterexample scenarios — which *record* a violation as their
+// verdict — from ordinary scenarios, where any violation is a failure.
+func (s *Script) ExpectsViolations() bool {
+	for _, st := range s.stmts {
+		if st.kind == "expect" && len(st.args) > 0 && st.args[0] == "violations" {
+			return true
+		}
+	}
+	return false
+}
+
 type hostRef struct {
 	host   *igmp.Host
 	router int
@@ -146,36 +170,70 @@ type runner struct {
 	// sparse/dense deployment, which has no whole-router lifecycle.
 	dep scenario.Deployment
 	// checked attaches the telemetry bus and online invariant checker to
-	// the deployment (RunChecked); checker holds it after deploy. bus, when
+	// the deployment (RunChecked); checker holds it after deploy. failFast
+	// additionally arms the checker's first-violation halt. bus, when
 	// non-nil, is an externally supplied event bus (RunInstrumented) whose
 	// subscribers — samplers, probes — observe the deployment.
-	checked bool
-	bus     *telemetry.Bus
-	checker *telemetry.Checker
+	checked  bool
+	failFast bool
+	bus      *telemetry.Bus
+	checker  *telemetry.Checker
+	// fastTimers records protocol ... timers=fast, so deployOpts can shrink
+	// the IGMP clocks alongside the engine's.
+	fastTimers bool
 	// captured (RunCaptured) records the deployment's event stream on
 	// per-shard lanes; laneEvents[i] is appended only by shard i's
 	// goroutine, so capture stays race-free under parallel execution.
 	captured   bool
 	lanes      []*telemetry.Bus
 	laneEvents [][]telemetry.Event
-	// inj is the lazily created fault injector (loss/flap/partition verbs).
-	inj *faults.Injector
+	// inj is the lazily created fault injector (loss/reorder/flap/partition
+	// verbs); faultSeed is the stream seed it is created with (the
+	// `faultseed` statement; default 1).
+	inj       *faults.Injector
+	faultSeed int64
 
 	res *Result
 }
 
 // injector returns the script's fault injector, installing it on first use.
-// The seed is fixed: script runs are reproducible documents.
+// The seed defaults to 1 — script runs are reproducible documents — and the
+// `faultseed` statement overrides it, so emitted search counterexamples can
+// round-trip the loss/reorder realization that triggered them.
 func (r *runner) injector() *faults.Injector {
 	if r.inj == nil {
-		r.inj = faults.New(r.sim.Net, 1)
+		r.inj = faults.New(r.sim.Net, r.faultSeed)
 	}
 	return r.inj
 }
 
+// RunConfig selects the script execution mode; the zero value is the plain
+// sequential-or-sharded run with no observation attached.
+type RunConfig struct {
+	// Checked attaches a telemetry bus and the online §3.8 invariant
+	// checker (forced on when the script declares `expect violations`).
+	Checked bool
+	// FailFast additionally arms the checker's first-violation halt: the
+	// simulation freezes at the violation instant and the rest of the
+	// scripted run is skipped. Implies Checked.
+	FailFast bool
+	// Bus, when non-nil, is an externally supplied event bus whose
+	// subscribers observe the deployment (RunInstrumented).
+	Bus *telemetry.Bus
+	// Captured records the event stream on per-shard lanes (RunCaptured).
+	Captured bool
+}
+
+// RunWith executes the script in the given mode and returns the result, the
+// invariant checker when one was attached (nil otherwise), and the captured
+// event stream when cfg.Captured.
+func (s *Script) RunWith(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Event, error) {
+	return s.run(cfg)
+}
+
 // Run executes the script and returns its result.
 func (s *Script) Run() (*Result, error) {
-	res, _, _, err := s.run(false, nil, false)
+	res, _, _, err := s.run(RunConfig{})
 	return res, err
 }
 
@@ -186,7 +244,7 @@ func (s *Script) Run() (*Result, error) {
 // runs execute sequentially regardless of netsim.SetShards: the checker
 // subscribes to one bus, which parallel shards would race on.
 func (s *Script) RunChecked() (*Result, *telemetry.Checker, error) {
-	res, chk, _, err := s.run(true, nil, false)
+	res, chk, _, err := s.run(RunConfig{Checked: true})
 	return res, chk, err
 }
 
@@ -197,7 +255,7 @@ func (s *Script) RunChecked() (*Result, *telemetry.Checker, error) {
 // RunChecked, instrumented runs stay sequential — external single-bus
 // subscribers cannot observe a sharded run race-free.
 func (s *Script) RunInstrumented(bus *telemetry.Bus, check bool) (*Result, *telemetry.Checker, error) {
-	res, chk, _, err := s.run(check, bus, false)
+	res, chk, _, err := s.run(RunConfig{Checked: check, Bus: bus})
 	return res, chk, err
 }
 
@@ -209,19 +267,29 @@ func (s *Script) RunInstrumented(bus *telemetry.Bus, check bool) (*Result, *tele
 // is a canonical form — identical for any shard count. This is the
 // sharded observation path and the shard-determinism gate's witness.
 func (s *Script) RunCaptured() (*Result, []telemetry.Event, error) {
-	res, _, events, err := s.run(false, nil, true)
+	res, _, events, err := s.run(RunConfig{Captured: true})
 	return res, events, err
 }
 
-func (s *Script) run(checked bool, bus *telemetry.Bus, captured bool) (*Result, *telemetry.Checker, []telemetry.Event, error) {
+func (s *Script) run(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Event, error) {
+	// A recorded-verdict scenario needs its checker regardless of how the
+	// caller invoked it: the violation count is part of the outcome.
+	if s.ExpectsViolations() && !cfg.Captured {
+		cfg.Checked = true
+	}
+	if cfg.FailFast {
+		cfg.Checked = true
+	}
 	r := &runner{
-		checked:  checked,
-		bus:      bus,
-		captured: captured,
-		groups:   map[string]addr.IP{},
-		groupRP:  map[addr.IP][]int{},
-		hosts:    map[string]*hostRef{},
-		res:      &Result{Delivered: map[string]int{}},
+		checked:   cfg.Checked,
+		failFast:  cfg.FailFast,
+		bus:       cfg.Bus,
+		captured:  cfg.Captured,
+		faultSeed: 1,
+		groups:    map[string]addr.IP{},
+		groupRP:   map[addr.IP][]int{},
+		hosts:     map[string]*hostRef{},
+		res:       &Result{Delivered: map[string]int{}},
 	}
 	// Pass 1: structure (topology, unicast mode, groups, hosts) so the
 	// script order of declarations versus the protocol statement does not
@@ -237,6 +305,8 @@ func (s *Script) run(checked bool, bus *telemetry.Bus, captured bool) (*Result, 
 			err = r.doGroup(st)
 		case "host":
 			err = r.doHost(st)
+		case "faultseed":
+			err = r.doFaultSeed(st)
 		}
 		if err != nil {
 			return nil, nil, nil, err
@@ -379,6 +449,18 @@ func (r *runner) doTopo(st stmt) error {
 	return nil
 }
 
+func (r *runner) doFaultSeed(st stmt) error {
+	if len(st.args) != 1 {
+		return st.errf("faultseed syntax: faultseed <n>")
+	}
+	n, err := strconv.ParseInt(st.args[0], 10, 64)
+	if err != nil {
+		return st.errf("bad faultseed %q", st.args[0])
+	}
+	r.faultSeed = n
+	return nil
+}
+
 func (r *runner) doUnicast(st stmt) error {
 	if len(st.args) != 1 {
 		return st.errf("unicast needs oracle|dv|ls")
@@ -453,9 +535,20 @@ func (r *runner) doHost(st stmt) error {
 	return nil
 }
 
+// Shrunk soft-state clocks selected by `protocol ... timers=fast` — the
+// same grade the recovery experiment uses (internal/experiments).
+const (
+	fastRefresh = 20 * netsim.Second
+	fastHello   = 10 * netsim.Second
+	fastPrune   = 60 * netsim.Second
+)
+
 // deployOpts returns the options shared by every protocol statement.
 func (r *runner) deployOpts() []scenario.DeployOption {
 	var opts []scenario.DeployOption
+	if r.fastTimers {
+		opts = append(opts, scenario.WithIGMPTimers(fastHello, 3*fastHello))
+	}
 	if r.bus != nil {
 		opts = append(opts, scenario.WithTelemetry(r.bus))
 	}
@@ -465,7 +558,9 @@ func (r *runner) deployOpts() []scenario.DeployOption {
 			opts = append(opts, scenario.WithShardTelemetry(r.lanes))
 		}
 	}
-	if r.checked {
+	if r.failFast {
+		opts = append(opts, scenario.WithFailFast())
+	} else if r.checked {
 		opts = append(opts, scenario.WithInvariantChecker())
 	}
 	return opts
@@ -520,7 +615,26 @@ func (r *runner) deploy(st stmt) error {
 			coreMap[g] = r.sim.RouterAddr(idxs[0]) // CBT uses one core
 		}
 	}
+	// timers=fast shrinks every soft-state clock to the recovery-experiment
+	// grade (join/prune and LSA refresh 20 s, hellos/queries 10 s, prune
+	// state 60 s, IGMP query 10 s / hold 30 s), so crash recovery and
+	// membership re-learning complete within a few-minute scripted run.
+	// Fault scenarios — hand-written and search-emitted alike — depend on
+	// it: with the default clocks a crashed router's state can outlive the
+	// script.
+	fast := false
+	switch st.kv["timers"] {
+	case "":
+	case "fast":
+		fast = true
+	default:
+		return st.errf("unknown timers=%q (want fast)", st.kv["timers"])
+	}
+	r.fastTimers = fast
 	prune := 120 * netsim.Second
+	if fast {
+		prune = fastPrune
+	}
 	if v, ok := st.kv["prune"]; ok {
 		d, err := parseDuration(v)
 		if err != nil {
@@ -532,6 +646,11 @@ func (r *runner) deploy(st stmt) error {
 	switch name {
 	case "pim-sm":
 		cfg := core.Config{RPMapping: rpMap}
+		if fast {
+			cfg.JoinPruneInterval = fastRefresh
+			cfg.QueryInterval = fastHello
+			cfg.RPReachInterval = fastRefresh
+		}
 		switch st.kv["spt"] {
 		case "", "immediate":
 			cfg.SPTPolicy = core.SwitchImmediate
@@ -574,16 +693,32 @@ func (r *runner) deploy(st stmt) error {
 		r.install(r.sim.Deploy(scenario.SparseMode,
 			append(r.deployOpts(), scenario.WithCoreConfig(cfg))...))
 	case "pim-dm":
+		dcfg := pimdm.Config{PruneHoldTime: prune}
+		if fast {
+			dcfg.QueryInterval = fastHello
+		}
 		r.install(r.sim.Deploy(scenario.DenseMode, append(r.deployOpts(),
-			scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: prune}))...))
+			scenario.WithDenseConfig(dcfg))...))
 	case "dvmrp":
+		vcfg := dvmrp.Config{PruneLifetime: prune}
+		if fast {
+			vcfg.ProbeInterval = fastHello
+		}
 		r.install(r.sim.Deploy(scenario.DVMRPMode, append(r.deployOpts(),
-			scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: prune}))...))
+			scenario.WithDVMRPConfig(vcfg))...))
 	case "cbt":
+		ccfg := cbt.Config{CoreMapping: coreMap}
+		if fast {
+			ccfg.EchoInterval = fastHello
+		}
 		r.install(r.sim.Deploy(scenario.CBTMode, append(r.deployOpts(),
-			scenario.WithCBTConfig(cbt.Config{CoreMapping: coreMap}))...))
+			scenario.WithCBTConfig(ccfg))...))
 	case "mospf":
-		r.install(r.sim.Deploy(scenario.MOSPFMode, r.deployOpts()...))
+		opts := r.deployOpts()
+		if fast {
+			opts = append(opts, scenario.WithMOSPFRefresh(fastRefresh))
+		}
+		r.install(r.sim.Deploy(scenario.MOSPFMode, opts...))
 	default:
 		return st.errf("unknown protocol %q", name)
 	}
@@ -715,6 +850,34 @@ func (r *runner) doAt(st stmt) error {
 		}
 		in := r.injector()
 		schedule(func() { in.SetBernoulli(link, rate, class) })
+	case "reorder":
+		if len(rest) != 2 && len(rest) != 3 {
+			return st.errf("reorder syntax: at <t> reorder <edge>|all <window> [control|data]")
+		}
+		var link *netsim.Link
+		if rest[0] != "all" {
+			var err error
+			if link, err = r.edgeLink(st, rest[0]); err != nil {
+				return err
+			}
+		}
+		window, err := parseDuration(rest[1])
+		if err != nil {
+			return st.errf("bad reorder window %q", rest[1])
+		}
+		class := faults.All
+		if len(rest) == 3 {
+			switch rest[2] {
+			case "control":
+				class = faults.ControlOnly
+			case "data":
+				class = faults.DataOnly
+			default:
+				return st.errf("bad reorder class %q (want control|data)", rest[2])
+			}
+		}
+		in := r.injector()
+		schedule(func() { in.SetReorder(link, window, class) })
 	case "flap":
 		if len(rest) != 1 {
 			return st.errf("flap syntax: at <t> flap <edge> [down=<dur>] [up=<dur>] [cycles=<n>]")
@@ -862,6 +1025,22 @@ func (r *runner) doExpect(st stmt) error {
 		}
 		if !ok {
 			fail("%s mean-delay %s = %v, want %s %v", a[0], a[2], got, a[3], wantD)
+		}
+	case len(a) == 3 && a[0] == "violations":
+		if r.checker == nil {
+			return st.errf("expect violations requires the invariant checker (checked run, uniform deployment)")
+		}
+		want, op, err := opValue(st, a[1], a[2])
+		if err != nil {
+			return err
+		}
+		got := len(r.checker.Violations())
+		if !op(got, want) {
+			detail := ""
+			if got > 0 {
+				detail = " (first: " + r.checker.Violations()[0].String() + ")"
+			}
+			fail("violations = %d, want %s %d%s", got, a[1], want, detail)
 		}
 	case len(a) == 3 && a[0] == "links-with-data":
 		want, op, err := opValue(st, a[1], a[2])

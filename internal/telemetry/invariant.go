@@ -36,8 +36,15 @@ type Checker struct {
 	// (source, group) on iface.
 	NegativeCached func(router int, source, group addr.IP, iface int) bool
 
+	// Halt, when bound, is invoked exactly once — at the first violation —
+	// while fail-fast mode is on. The deployment glue binds it to the
+	// simulation scheduler's Halt so the run stops at the violation's exact
+	// simulated time.
+	Halt func()
+
 	epochs     map[int]uint64
 	violations []Violation
+	failFast   bool
 }
 
 // Violation is one failed invariant.
@@ -62,6 +69,12 @@ func NewChecker(bus *Bus) *Checker {
 // directly (e.g. a stale-epoch timer that the engines' epoch guards would
 // never let fire).
 func (c *Checker) Check(ev Event) {
+	if c.failFast && len(c.violations) > 0 {
+		// The run is already stopping; suppressing further checks keeps the
+		// recorded outcome exactly "the first violation", deterministically,
+		// even for events published later within the same halting instant.
+		return
+	}
 	switch ev.Kind {
 	case EpochStart:
 		c.epochs[ev.Router] = ev.Epoch
@@ -97,7 +110,17 @@ func (c *Checker) Check(ev Event) {
 
 func (c *Checker) fail(ev Event, msg string) {
 	c.violations = append(c.violations, Violation{At: ev.At, Router: ev.Router, Msg: msg})
+	if c.failFast && len(c.violations) == 1 && c.Halt != nil {
+		c.Halt()
+	}
 }
+
+// SetFailFast arms fail-fast mode: the first violation invokes Halt (if
+// bound) and suppresses all further checking, so the checker's outcome is
+// exactly one violation — the earliest — instead of an accumulating list.
+// Fault-schedule search depends on it for throughput: a violating schedule
+// costs one violation's worth of simulation, not the full run.
+func (c *Checker) SetFailFast(on bool) { c.failFast = on }
 
 // Violations returns every failed invariant in observation order.
 func (c *Checker) Violations() []Violation { return c.violations }

@@ -184,3 +184,61 @@ func TestCheckerBoundCallbacks(t *testing.T) {
 		t.Fatalf("violations = %d, want 2 (RPF mismatch + negative-cache fan-out)", n)
 	}
 }
+
+// failFastStream is a forged event sequence carrying three violations: a
+// stale-epoch timer at t=7s, a dirty restart at t=8s, and a second stale
+// timer at t=9s.
+func failFastStream(b *Bus) {
+	b.Publish(Event{At: 5 * netsim.Second, Kind: EpochStart, Router: 2, Epoch: 1, Value: 0})
+	b.Publish(Event{At: 7 * netsim.Second, Kind: TimerFire, Router: 2, Epoch: 0})
+	b.Publish(Event{At: 8 * netsim.Second, Kind: EpochStart, Router: 3, Epoch: 2, Value: 5})
+	b.Publish(Event{At: 9 * netsim.Second, Kind: TimerFire, Router: 2, Epoch: 0})
+}
+
+// TestCheckerFailFastHaltsOnceDeterministically pins the fail-fast
+// contract: Halt fires exactly once, at the first violation, and the
+// recorded outcome is exactly that violation — identically on every run of
+// the same stream.
+func TestCheckerFailFastHaltsOnceDeterministically(t *testing.T) {
+	run := func() (halts int, violations []Violation) {
+		b := NewBus()
+		c := NewChecker(b)
+		c.SetFailFast(true)
+		c.Halt = func() { halts++ }
+		failFastStream(b)
+		return halts, c.Violations()
+	}
+	h1, v1 := run()
+	h2, v2 := run()
+	if h1 != 1 {
+		t.Fatalf("Halt called %d times, want exactly 1", h1)
+	}
+	if len(v1) != 1 {
+		t.Fatalf("fail-fast recorded %d violations, want exactly the first", len(v1))
+	}
+	if v1[0].At != 7*netsim.Second || v1[0].Router != 2 {
+		t.Fatalf("first violation = %v, want the t=7s stale timer on r2", v1[0])
+	}
+	if h1 != h2 || len(v1) != len(v2) || v1[0] != v2[0] {
+		t.Fatalf("halt not deterministic: (%d,%v) vs (%d,%v)", h1, v1, h2, v2)
+	}
+	// The same stream without fail-fast accumulates all three.
+	b := NewBus()
+	c := NewChecker(b)
+	failFastStream(b)
+	if n := len(c.Violations()); n != 3 {
+		t.Fatalf("accumulating checker saw %d violations, want 3", n)
+	}
+}
+
+// TestCheckerFailFastWithoutHalt verifies SetFailFast alone (no Halt bound)
+// still caps the record at the first violation without panicking.
+func TestCheckerFailFastWithoutHalt(t *testing.T) {
+	b := NewBus()
+	c := NewChecker(b)
+	c.SetFailFast(true)
+	failFastStream(b)
+	if n := len(c.Violations()); n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+}
