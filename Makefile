@@ -1,13 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke faultsearch-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger faultsearch-ledger
+.PHONY: check build vet test race corpus update-goldens bench-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger faultsearch-ledger
 
-# check is the full gate: vet, build, race-enabled tests (the -race pass
-# covers internal/telemetry and internal/experiments along with everything
-# else), a short benchmark smoke pass, the telemetry/invariant smoke, the
-# scheduler-swap smoke, the sharded-execution smoke, the zero-allocation
-# control-plane smoke, and the fault-schedule-search smoke.
-check: vet build race bench-smoke telemetry-smoke scale-smoke shard-smoke ctrl-smoke faultsearch-smoke
+# check is the full gate: vet, build, race-enabled tests, the self-verifying
+# scenario corpus under the full differential matrix, and the benchmark smoke
+# pass (every registered benchmark plus the equivalence/allocation pins).
+check: vet build race corpus bench-smoke
 
 build:
 	$(GO) build ./...
@@ -21,9 +19,36 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench-smoke runs one fast iteration of the perf-sensitive benchmarks so a
-# regression that breaks them (not just slows them) is caught by `make check`.
+# corpus runs every scenarios/**/*.pim — the found/ counterexamples included —
+# under the 4-cell differential matrix (ref+fast paths, heap+wheel schedulers,
+# 1 and 2 shards) and checks each run against the scenario's embedded golden
+# digest (DESIGN.md §15).
+corpus:
+	$(GO) run ./cmd/pimscript -corpus scenarios
+
+# update-goldens regenerates every scenario's embedded golden section after an
+# intended behavior change. Review the diff: a digest change is a claim that
+# the simulation's observable behavior changed on purpose.
+update-goldens:
+	$(GO) run ./cmd/pimscript -update scenarios
+
+# bench-smoke is the single benchmark smoke gate. It runs every registered
+# benchmark once at smoke size through the shared refuse-to-record machinery
+# (`pimbench run all -smoke` — a new benchmark registered via bench.Register
+# joins this gate with no Makefile edit), repeats the scaling sweep with 4
+# shards to exercise the sharded-execution gate (DESIGN.md §12), replays a
+# fault scenario under the online invariant checker (§10), pins the pooled
+# frame path (equivalence + poison-on-release, §13) and the per-engine
+# AllocsPerRun counts, runs the focused race passes the old per-subsystem
+# smokes carried, and compiles-and-runs the perf-sensitive microbenchmarks so
+# a regression that breaks them (not just slows them) is caught by `make check`.
 bench-smoke:
+	$(GO) run ./cmd/pimbench run all -smoke
+	$(GO) run ./cmd/pimbench run scaling -smoke -shards 4
+	$(GO) run ./cmd/pimscript -check scenarios/rpfailover.pim
+	$(GO) test -run 'TestScenarios(FramePoolEquivalence|PoisonedPool)' -count=1 ./internal/script/
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/pimdm/ ./internal/dvmrp/ ./internal/cbt/ ./internal/mospf/ ./internal/igmp/
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/script/ ./internal/netsim/... ./internal/parallel/... ./internal/faultsearch/ ./internal/faults/
 	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver|BenchmarkScheduler(Churn|Dense)' -benchtime 10x ./internal/topology/ ./internal/netsim/
 	$(GO) test -run XXX -bench 'BenchmarkEngineFig2a' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkLPM(Trie|Linear)256' -benchtime 10x ./internal/unicast/
@@ -31,104 +56,43 @@ bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkFanout(Compiled|Reference)' -benchtime 10x ./internal/mfib/
 	$(GO) test -run XXX -bench 'BenchmarkDataplane(Shared|Dense)(Fast|Ref)' -benchtime 1x ./internal/experiments/
 
-# telemetry-smoke runs a fault scenario under the online invariant checker
-# (DESIGN.md §10) and the focused telemetry/experiments race tests — a fast
-# end-to-end pass over the telemetry plane.
-telemetry-smoke:
-	$(GO) run ./cmd/pimscript -check scenarios/rpfailover.pim
-	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/script/
-
 # bench is the full metric-reporting benchmark suite (EXPERIMENTS.md).
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# fig2-ledger appends a wall-clock entry for the Figure 2 engine to
-# BENCH_fig2.json (see EXPERIMENTS.md "Running the evaluation in parallel").
-fig2-ledger:
-	$(GO) run ./cmd/pimbench -label $(or $(LABEL),run)
-
-# dataplane-ledger appends a forwarding fast-path entry to
-# BENCH_dataplane.json; recording is refused if the fast path's packet
-# traces diverge from the reference path's (see EXPERIMENTS.md).
-dataplane-ledger:
-	$(GO) run ./cmd/pimbench -dataplane -label $(or $(LABEL),run)
-
-# recovery-ledger appends a fault-recovery matrix entry to
-# BENCH_recovery.json; recording is refused if any cell's fast-path delivery
-# trace diverges from the reference path's (see EXPERIMENTS.md).
-recovery-ledger:
-	$(GO) run ./cmd/pimbench -recovery -label $(or $(LABEL),run)
-
-# scale-smoke verifies the scheduler swap end to end: the CI-sized scaling
-# sweeps must produce bit-identical simulated grids on the binary heap and
-# the timing wheel, and the scheduler/worker-pool packages must pass under
-# the race detector.
-scale-smoke:
-	$(GO) run ./cmd/pimbench -scaling -smoke
-	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
-
-# shard-smoke verifies sharded parallel execution end to end: the CI-sized
-# scaling sweeps must produce the same simulated grids partitioned across 4
-# shards as sequentially (peak-timer readings excepted — DESIGN.md §12), and
-# the scheduler/shard/worker-pool packages must pass under the race detector.
-shard-smoke:
-	$(GO) run ./cmd/pimbench -scaling -smoke -shards 4
-	$(GO) test -race -count=1 ./internal/netsim/... ./internal/parallel/...
-
-# ctrl-smoke verifies the zero-allocation control plane end to end: every
-# scenario must replay bit-identically on the pooled frame path — including
-# under poison-on-release, which scribbles over every recycled frame so a
-# handler retaining a borrowed buffer fails loudly (DESIGN.md §13); the
-# CI-sized steady-state churn benchmark must show the pooled and allocating
-# paths observationally identical; the per-engine AllocsPerRun pins must
-# hold; and the scheduler/pool package must pass under the race detector.
-ctrl-smoke:
-	$(GO) test -run 'TestScenarios(FramePoolEquivalence|PoisonedPool)' -count=1 ./internal/script/
-	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/pimdm/ ./internal/dvmrp/ ./internal/cbt/ ./internal/mospf/ ./internal/igmp/
-	$(GO) run ./cmd/pimbench -ctrlplane -smoke
-	$(GO) test -race -count=1 ./internal/netsim/
-
-# faultsearch-smoke runs the fault-schedule search at a small fixed budget
-# (DESIGN.md §14). It refuses to pass if any previously-found counterexample
-# under scenarios/found/ no longer reproduces its recorded verdict — the
-# self-growing regression corpus is enforced here and in
-# TestScenariosUpholdInvariants — and the search/injector packages must pass
-# under the race detector. The smoke ledger goes to a throwaway file.
-faultsearch-smoke:
-	$(GO) run ./cmd/pimbench -faultsearch -seed 1 -budget 120 -label smoke -out $$(mktemp /tmp/faultsearch.XXXXXX.json)
-	$(GO) test -race -count=1 ./internal/faultsearch/ ./internal/faults/
-
 # profile captures CPU and heap profiles of a pimbench run for pprof; set
-# PROFILE_ARGS to profile a different mode (default: the CI-sized
+# PROFILE_ARGS to profile a different benchmark (default: the CI-sized
 # control-plane churn benchmark).
 profile:
-	$(GO) run ./cmd/pimbench $(or $(PROFILE_ARGS),-ctrlplane -smoke) -cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) run ./cmd/pimbench run $(or $(PROFILE_ARGS),ctrlplane -smoke) -cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
+# The *-ledger targets run a benchmark at full size and append a
+# machine-readable entry to its ledger (see EXPERIMENTS.md). Recording is
+# refused if the benchmark's differential gate fails.
+fig2-ledger:
+	$(GO) run ./cmd/pimbench run fig2 -label $(or $(LABEL),run)
+
+dataplane-ledger:
+	$(GO) run ./cmd/pimbench run dataplane -label $(or $(LABEL),run)
+
+recovery-ledger:
+	$(GO) run ./cmd/pimbench run recovery -label $(or $(LABEL),run)
+
 # scale-ledger appends heap and wheel entries for the large-internet scaling
-# sweeps (up to 1000 routers) and the scheduler microbenchmarks to
-# BENCH_scale.json; recording is refused if the two backing stores' simulated
-# grids diverge (see EXPERIMENTS.md "Scaling sweeps"). Set SHARDS to also
-# record a sharded pass gated against the sequential grid.
+# sweeps; set SHARDS to also record a sharded pass gated against the
+# sequential grid.
 scale-ledger:
-	$(GO) run ./cmd/pimbench -scaling -label $(or $(LABEL),run) -shards $(or $(SHARDS),1)
+	$(GO) run ./cmd/pimbench run scaling -label $(or $(LABEL),run) -shards $(or $(SHARDS),1)
 
-# tenk-ledger appends the 10000-router scaling cell to BENCH_scale.json,
-# sequential plus (with SHARDS) a gated sharded pass.
 tenk-ledger:
-	$(GO) run ./cmd/pimbench -tenk -label $(or $(LABEL),run) -shards $(or $(SHARDS),4)
+	$(GO) run ./cmd/pimbench run tenk -label $(or $(LABEL),run) -shards $(or $(SHARDS),4)
 
-# ctrlplane-ledger appends a steady-state control-plane churn entry (1000
-# routers, every protocol, pooled vs allocating frame paths) to
-# BENCH_ctrlplane.json; recording is refused if any protocol's two runs
-# diverge in any simulated observable (see EXPERIMENTS.md).
 ctrlplane-ledger:
-	$(GO) run ./cmd/pimbench -ctrlplane -label $(or $(LABEL),run)
+	$(GO) run ./cmd/pimbench run ctrlplane -label $(or $(LABEL),run)
 
-# faultsearch-ledger runs the full-budget fault-schedule search, appends an
-# entry (schedules explored, violations found, minimized sizes) to
-# BENCH_faultsearch.json, and adds any newly found minimized counterexample
-# to the scenarios/found/ corpus. Recording is refused if an existing corpus
-# file's recorded verdict no longer reproduces (see EXPERIMENTS.md).
+# faultsearch-ledger runs the full-budget fault-schedule search and adds any
+# newly found minimized counterexample to the scenarios/found/ corpus (run
+# `make update-goldens` afterwards to embed the new files' digests).
 faultsearch-ledger:
-	$(GO) run ./cmd/pimbench -faultsearch -seed $(or $(SEED),1) -budget $(or $(BUDGET),600) -emit scenarios/found -label $(or $(LABEL),run)
+	$(GO) run ./cmd/pimbench run faultsearch -seed $(or $(SEED),1) -budget $(or $(BUDGET),600) -emit scenarios/found -label $(or $(LABEL),run)

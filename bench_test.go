@@ -188,10 +188,10 @@ func BenchmarkAblationRefreshInterval(b *testing.B) {
 				receiver := sim.AddHost(0)
 				sim.FinishUnicast(pim.UseOracle)
 				group := pim.GroupAddress(0)
-				dep := sim.DeployPIM(pim.Config{
+				dep := sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{
 					RPMapping:         map[pim.IP][]pim.IP{group: {sim.RouterAddr(5)}},
 					JoinPruneInterval: interval,
-				})
+				})).(*pim.PIMDeployment)
 				sim.Run(2 * pim.Second)
 				receiver.Join(group)
 				sim.Run(10 * 60 * pim.Second)
@@ -230,7 +230,7 @@ func BenchmarkAblationUnicastSubstrate(b *testing.B) {
 				sim.FinishUnicast(tc.mode)
 				sim.Run(sim.ConvergenceTime())
 				group := pim.GroupAddress(0)
-				sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}}})
+				sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}}}))
 				sim.Run(2 * pim.Second)
 				receiver.Join(group)
 				sim.Run(2 * pim.Second)
@@ -257,7 +257,7 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	}
 	sim.FinishUnicast(pim.UseOracle)
 	group := pim.GroupAddress(0)
-	sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(0)}}})
+	sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(0)}}}))
 	sim.Run(2 * pim.Second)
 	for _, h := range hosts[:5] {
 		h.Join(group)
@@ -360,10 +360,10 @@ func BenchmarkAblationSourceAggregation(b *testing.B) {
 		}
 		sim.FinishUnicast(pim.UseOracle)
 		group := pim.GroupAddress(0)
-		dep := sim.DeployPIM(pim.Config{
+		dep := sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{
 			RPMapping:        map[pim.IP][]pim.IP{group: {sim.RouterAddr(1)}},
 			AggregateSources: aggregate,
-		})
+		})).(*pim.PIMDeployment)
 		sim.Run(2 * pim.Second)
 		receiver.Join(group)
 		sim.Run(2 * pim.Second)

@@ -1,216 +1,116 @@
-// Command pimbench records the wall-clock trajectory of the Figure 2
-// experiment engine. It runs the default Figure 2(a) and 2(b) sweeps twice —
-// once pinned to a single worker and once across all CPUs — verifies the two
-// series are bit-identical, and appends one timestamped entry to a JSON
-// ledger (BENCH_fig2.json by default). Keeping the ledger in the repo gives
-// every optimization PR a before/after record against the same workload.
+// Command pimbench runs the repository's registered benchmarks and appends
+// their measurements to in-repo JSON ledgers, so every optimization PR has
+// a before/after record against the same workloads.
 //
 // Usage:
 //
-//	pimbench                        # append an entry to BENCH_fig2.json
-//	pimbench -label after-solver    # tag the entry
-//	pimbench -out /tmp/bench.json   # alternate ledger path
+//	pimbench list                     # registered benchmarks, one line each
+//	pimbench run <name|all> [flags]   # run one benchmark, or every one
 //
-// With -dataplane it instead runs the forwarding fast-path benchmark
-// (reference linear-scan/per-packet path vs trie LPM + RPF cache + compiled
-// MFIB fan-out) and appends to BENCH_dataplane.json. The entry is recorded
-// only if the two paths produced bit-identical packet delivery traces in
-// every phase.
+// Benchmarks live in the bench registry (internal/bench): each experiment
+// harness registers a named Spec at init time, and this command is a thin
+// dispatcher — wiring a new experiment into `pimbench run` means one
+// bench.Register call next to the experiment code, never a change here or
+// in the Makefile (DESIGN.md §15).
 //
-// With -recovery it runs the fault-recovery matrix (every protocol through
-// control-plane loss, link flap, and router crash/restart) and appends to
-// BENCH_recovery.json, under the same trace-equivalence gate.
+// Every ledgered benchmark shares two contracts the registry enforces:
+// entries are stamped with a LedgerHeader (host parallelism, shard count,
+// frame-pool setting, GC figures), and a benchmark whose differential gate
+// fails — fast path diverging from reference, sharded grid from sequential,
+// pooled frames from allocating, corpus replay regressing — records
+// nothing and exits non-zero.
 //
-// With -telemetry <file> it runs the PIM-SM crash/restart recovery cell with
-// the telemetry sampler attached and writes the per-router counter curves
-// (control messages, state entries, deliveries, drops per 5 s bucket) as
-// JSON to the file, then exits without touching any ledger.
+// Run flags:
 //
-// With -scaling it runs the large-internet scaling sweeps (size, group
-// count, sender count — up to 1000-router internets) twice, once on the
-// reference binary-heap scheduler and once on the hierarchical timing wheel,
-// plus the cancel-heavy and fire-heavy scheduler microbenchmarks on both
-// stores. The simulated grids must be bit-identical between the stores;
-// when they are, one entry per store is appended to BENCH_scale.json. Add
-// -smoke for the CI-sized workload, which verifies the grid gate and
-// records nothing. With -shards N (N > 1) the scaling run adds a third
-// sweep on the sharded parallel core, gated on its grid being bit-identical
-// to the sequential wheel run; -tenk runs the 10 000-router size cells
-// (sequential and sharded) under the same gate. Every ledger entry carries
-// a header recording the host's CPU count, GOMAXPROCS, and the shard and
-// worker counts the numbers were measured with.
-//
-// With -ctrlplane it runs the steady-state control-plane churn benchmark
-// (a 1000-router internet in pure periodic refresh, every protocol, with
-// the allocating frame path as oracle and the pooled zero-allocation path
-// as candidate) and appends to BENCH_ctrlplane.json only if every
-// protocol's two runs agree on every simulated observable. Add -smoke for
-// the CI-sized workload, which verifies the gate and records nothing.
-// Every ledger header also records whether the frame pool was on and the
-// process GC statistics at record time.
-//
-// With -faultsearch it runs the systematic fault-schedule search
-// (internal/faultsearch): first it replays every counterexample in
-// scenarios/found/ and refuses to run if any recorded verdict no longer
-// reproduces; then it sweeps -budget fault schedules (seeded by -seed)
-// over the small search topologies for all six engine configurations with
-// the invariant checker in fail-fast mode, minimizes every violating
-// schedule, and — with -emit <dir> — writes each distinct minimized
-// counterexample as a self-contained .pim scenario. One entry goes to
-// BENCH_faultsearch.json recording schedules explored, violations found,
-// and minimized schedule sizes. A fixed seed is bit-reproducible across
-// runs and across -workers counts.
-//
-// -cpuprofile and -memprofile write pprof profiles of whichever mode ran
-// (see `make profile`).
+//	-smoke         CI-sized workload: every gate runs, no ledger is written
+//	-label s       entry label (e.g. seed, after-solver)
+//	-out file      ledger path override (default per benchmark)
+//	-shards n      simulation shard count (scaling/tenk add a sharded pass)
+//	-seed n        faultsearch: search seed
+//	-budget n      faultsearch: schedules to evaluate
+//	-workers n     faultsearch: evaluation workers (0 = all CPUs)
+//	-corpus dir    faultsearch: counterexample corpus to replay first
+//	-emit dir      faultsearch: write newly found minimized counterexamples
+//	-cpuprofile f  write a CPU profile of the whole run
+//	-memprofile f  write a heap profile at clean exit
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"runtime"
 	"runtime/pprof"
-	"testing"
-	"time"
+	"strings"
 
-	"pim"
+	"pim/internal/bench"
+	"pim/internal/netsim"
+
+	// Benchmark registrations: each blank import wires its package's
+	// bench.Register calls into the registry.
+	_ "pim/internal/experiments"
+	_ "pim/internal/faultsearch"
 )
 
-// FigBench is the measurement of one figure's sweep.
-type FigBench struct {
-	Trials      int     `json:"trials"`
-	Degrees     int     `json:"degrees"`
-	Wall1Ms     float64 `json:"wall_ms_workers_1"`
-	WallAllMs   float64 `json:"wall_ms_workers_all"`
-	Speedup     float64 `json:"speedup"`
-	Identical   bool    `json:"series_identical"`
-	FirstSeries any     `json:"first_point"`
-}
-
-// LedgerHeader is the host/run metadata stamped on every ledger entry of
-// every pimbench ledger, so recorded numbers are self-describing: which
-// host parallelism, which shard count, and which worker-pool width produced
-// them. One helper fills it for all writers.
-type LedgerHeader struct {
-	Label     string `json:"label"`
-	Timestamp string `json:"timestamp"`
-	GoVersion string `json:"go_version"`
-	NumCPU    int    `json:"num_cpu"`
-	// GoMaxProcs is runtime.GOMAXPROCS(0) — the scheduling width actually
-	// available, which bounds any speedup a sharded or worker-fanned run
-	// can show on this host.
-	GoMaxProcs int `json:"go_max_procs"`
-	// Shards is the simulation shard count in effect (1 = sequential).
-	Shards int `json:"shards"`
-	// Workers is the experiment worker-pool width (trial fan-out).
-	Workers int `json:"workers"`
-	// FramePool records whether the pooled netsim frame path was on.
-	FramePool bool `json:"frame_pool"`
-	// GC figures at stamp time (i.e. after the measured work): cumulative
-	// collection count, total stop-the-world pause, and live heap. They make
-	// every ledger's numbers interpretable as "how hard was the collector
-	// working when this was recorded".
-	NumGC          uint32 `json:"num_gc"`
-	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
-	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
-}
-
-// newHeader stamps a ledger header for the current process configuration.
-func newHeader(label string) LedgerHeader {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return LedgerHeader{
-		Label:          label,
-		Timestamp:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion:      runtime.Version(),
-		NumCPU:         runtime.NumCPU(),
-		GoMaxProcs:     runtime.GOMAXPROCS(0),
-		Shards:         pim.Shards(),
-		Workers:        runtime.GOMAXPROCS(0),
-		FramePool:      pim.UseFramePool(),
-		NumGC:          ms.NumGC,
-		GCPauseTotalNs: ms.PauseTotalNs,
-		HeapAllocBytes: ms.HeapAlloc,
-	}
-}
-
-// Entry is one appended ledger record.
-type Entry struct {
-	LedgerHeader
-	Fig2a FigBench `json:"fig2a"`
-	Fig2b FigBench `json:"fig2b"`
-}
-
-// DataplaneEntry is one appended record of the data-plane ledger.
-type DataplaneEntry struct {
-	LedgerHeader
-	Result pim.DataplaneResult `json:"result"`
-}
-
-// RecoveryEntry is one appended record of the fault-recovery ledger.
-type RecoveryEntry struct {
-	LedgerHeader
-	Result pim.RecoveryResult `json:"result"`
-}
-
-// MicroBench is one scheduler microbenchmark column of the scaling ledger.
-type MicroBench struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// ScalingEntry is one appended record of the scaling ledger. A -scaling run
-// appends two: one with UseWheel=false (the reference heap, the "seed"
-// side) and one with UseWheel=true (the timing wheel, the "after" side),
-// both over bit-identical simulated grids.
-type ScalingEntry struct {
-	LedgerHeader
-	UseWheel bool                   `json:"use_wheel"`
-	Result   pim.ScalingBenchResult `json:"result"`
-	Churn    MicroBench             `json:"sched_churn"`
-	Dense    MicroBench             `json:"sched_dense"`
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pimbench list | pimbench run <name|all> [-smoke] [flags]")
+	fmt.Fprintf(os.Stderr, "benchmarks: %v\n", bench.Names())
+	os.Exit(2)
 }
 
 func main() {
-	label := flag.String("label", "run", "entry label (e.g. seed, after-solver)")
-	out := flag.String("out", "", "ledger file to append to (default BENCH_fig2.json, or BENCH_dataplane.json with -dataplane)")
-	trials2a := flag.Int("trials2a", 0, "Figure 2(a) trials per degree (0 = package default)")
-	trials2b := flag.Int("trials2b", 0, "Figure 2(b) trials per degree (0 = package default)")
-	dataplane := flag.Bool("dataplane", false, "run the forwarding fast-path benchmark instead of the Figure 2 sweeps")
-	hops := flag.Int("hops", 0, "dataplane chain length (0 = package default)")
-	packets := flag.Int("packets", 0, "dataplane measured packets (0 = package default)")
-	fillers := flag.Int("fillers", 0, "dataplane filler routes per unicast table (0 = package default)")
-	recovery := flag.Bool("recovery", false, "run the fault-recovery matrix instead of the Figure 2 sweeps")
-	scaling := flag.Bool("scaling", false, "run the large-internet scaling sweeps on both scheduler backing stores instead of the Figure 2 sweeps")
-	smoke := flag.Bool("smoke", false, "with -scaling: CI-sized workload, verify the heap/wheel grid gate, record nothing")
-	tenk := flag.Bool("tenk", false, "run the 10000-router scaling cell instead of the Figure 2 sweeps (honors -shards)")
-	shards := flag.Int("shards", 1, "simulation shard count (1 = sequential; sharded scaling/tenk runs are gated against the sequential grid)")
-	telemetryOut := flag.String("telemetry", "", "write per-router telemetry counter curves for the PIM-SM crash recovery cell to this file (JSON) and exit")
-	ctrlplane := flag.Bool("ctrlplane", false, "run the steady-state control-plane churn benchmark (pooled vs allocating frame paths) instead of the Figure 2 sweeps")
-	fsearch := flag.Bool("faultsearch", false, "run the fault-schedule search (replay the scenarios/found/ corpus, sweep fault schedules under the invariant checker, minimize and emit counterexamples) instead of the Figure 2 sweeps")
-	fsSeed := flag.Int64("seed", 1, "with -faultsearch: search seed (fixed seed => bit-identical schedules, violations, and minimized output)")
-	fsBudget := flag.Int("budget", 300, "with -faultsearch: schedules to evaluate")
-	fsWorkers := flag.Int("workers", 0, "with -faultsearch: trial evaluation workers (0 = all CPUs; the report is worker-count invariant)")
-	fsCorpus := flag.String("corpus", "scenarios/found", "with -faultsearch: corpus directory to replay before searching (empty to skip)")
-	fsEmit := flag.String("emit", "", "with -faultsearch: directory to write newly found minimized counterexamples to (empty = report only)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile at clean exit to this file")
-	flag.Parse()
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, name := range bench.Names() {
+			spec, _ := bench.Get(name)
+			fmt.Printf("%-12s %s\n", name, spec.Summary)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
 
-	pim.SetShards(*shards)
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	label := fs.String("label", "run", "entry label (e.g. seed, after-solver)")
+	smoke := fs.Bool("smoke", false, "CI-sized workload: verify every gate, record nothing")
+	out := fs.String("out", "", "ledger file to append to (default per benchmark)")
+	shards := fs.Int("shards", 1, "simulation shard count (1 = sequential; sharded runs are gated against the sequential grid)")
+	seed := fs.Int64("seed", 1, "faultsearch: search seed (fixed seed => bit-identical schedules, violations, and minimized output)")
+	budget := fs.Int("budget", 300, "faultsearch: schedules to evaluate")
+	workers := fs.Int("workers", 0, "faultsearch: trial evaluation workers (0 = all CPUs; the report is worker-count invariant)")
+	corpus := fs.String("corpus", "scenarios/found", "faultsearch: corpus directory to replay before searching (empty to skip)")
+	emit := fs.String("emit", "", "faultsearch: directory to write newly found minimized counterexamples to (empty = report only)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at clean exit to this file")
+	// The benchmark name comes first (`pimbench run scaling -smoke`), but
+	// flags-first (`pimbench run -smoke scaling`) works too.
+	name := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	switch {
+	case name == "" && fs.NArg() == 1:
+		name = fs.Arg(0)
+	case name == "" || fs.NArg() != 0:
+		usage()
+	}
+
+	netsim.SetShards(*shards)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -231,452 +131,30 @@ func main() {
 		}()
 	}
 
-	if *telemetryOut != "" {
-		runTelemetry(*telemetryOut)
-		return
+	names := []string{name}
+	if name == "all" {
+		names = bench.Names()
 	}
-	if *fsearch {
-		if *out == "" {
-			*out = "BENCH_faultsearch.json"
+	for _, name := range names {
+		if len(names) > 1 {
+			fmt.Printf("=== %s\n", name)
 		}
-		runFaultSearch(*label, *out, *fsSeed, *fsBudget, *fsWorkers, *fsCorpus, *fsEmit)
-		return
-	}
-	if *ctrlplane {
-		if *out == "" {
-			*out = "BENCH_ctrlplane.json"
-		}
-		runCtrlPlane(*label, *out, *smoke)
-		return
-	}
-	if *dataplane {
-		if *out == "" {
-			*out = "BENCH_dataplane.json"
-		}
-		runDataplane(*label, *out, *hops, *packets, *fillers)
-		return
-	}
-	if *recovery {
-		if *out == "" {
-			*out = "BENCH_recovery.json"
-		}
-		runRecovery(*label, *out)
-		return
-	}
-	if *scaling {
-		if *out == "" {
-			*out = "BENCH_scale.json"
-		}
-		runScaling(*label, *out, *smoke, *shards)
-		return
-	}
-	if *tenk {
-		if *out == "" {
-			*out = "BENCH_scale.json"
-		}
-		runTenK(*label, *out, *shards)
-		return
-	}
-	if *out == "" {
-		*out = "BENCH_fig2.json"
-	}
-
-	entry := Entry{LedgerHeader: newHeader(*label)}
-
-	{
-		cfg := pim.DefaultFigure2a()
-		if *trials2a > 0 {
-			cfg.Trials = *trials2a
-		}
-		cfg.Workers = 1
-		t0 := time.Now()
-		seq := pim.RunFigure2a(cfg)
-		wall1 := time.Since(t0)
-		cfg.Workers = 0
-		t0 = time.Now()
-		par := pim.RunFigure2a(cfg)
-		wallAll := time.Since(t0)
-		entry.Fig2a = FigBench{
-			Trials: cfg.Trials, Degrees: len(cfg.Degrees),
-			Wall1Ms:   float64(wall1.Microseconds()) / 1000,
-			WallAllMs: float64(wallAll.Microseconds()) / 1000,
-			Speedup:   float64(wall1) / float64(wallAll),
-			Identical: reflect.DeepEqual(seq, par),
-			FirstSeries: map[string]float64{
-				"degree": seq[0].Degree, "mean_ratio": seq[0].MeanRatio,
+		ctx := &bench.Context{
+			Label: *label, Smoke: *smoke, Out: *out, Shards: *shards,
+			Seed: *seed, Budget: *budget, Workers: *workers,
+			CorpusDir: *corpus, EmitDir: *emit,
+			Logf: func(format string, a ...interface{}) {
+				fmt.Printf(format+"\n", a...)
 			},
 		}
-		fmt.Printf("fig2a: %d trials × %d degrees  workers=1 %.0f ms  workers=all %.0f ms  speedup %.2fx  identical=%v\n",
-			cfg.Trials, len(cfg.Degrees), entry.Fig2a.Wall1Ms, entry.Fig2a.WallAllMs,
-			entry.Fig2a.Speedup, entry.Fig2a.Identical)
-	}
-
-	{
-		cfg := pim.DefaultFigure2b()
-		if *trials2b > 0 {
-			cfg.Trials = *trials2b
-		}
-		cfg.Workers = 1
-		t0 := time.Now()
-		seq := pim.RunFigure2b(cfg)
-		wall1 := time.Since(t0)
-		cfg.Workers = 0
-		t0 = time.Now()
-		par := pim.RunFigure2b(cfg)
-		wallAll := time.Since(t0)
-		entry.Fig2b = FigBench{
-			Trials: cfg.Trials, Degrees: len(cfg.Degrees),
-			Wall1Ms:   float64(wall1.Microseconds()) / 1000,
-			WallAllMs: float64(wallAll.Microseconds()) / 1000,
-			Speedup:   float64(wall1) / float64(wallAll),
-			Identical: reflect.DeepEqual(seq, par),
-			FirstSeries: map[string]float64{
-				"degree": seq[0].Degree, "spt_max": seq[0].SPTMax, "cbt_max": seq[0].CBTMax,
-			},
-		}
-		fmt.Printf("fig2b: %d trials × %d degrees  workers=1 %.0f ms  workers=all %.0f ms  speedup %.2fx  identical=%v\n",
-			cfg.Trials, len(cfg.Degrees), entry.Fig2b.Wall1Ms, entry.Fig2b.WallAllMs,
-			entry.Fig2b.Speedup, entry.Fig2b.Identical)
-	}
-
-	if !entry.Fig2a.Identical || !entry.Fig2b.Identical {
-		fmt.Fprintln(os.Stderr, "pimbench: parallel series diverged from sequential — not recording")
-		os.Exit(1)
-	}
-
-	var ledger []Entry
-	if data, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", *out, err)
+		if err := bench.Run(name, ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-	ledger = append(ledger, entry)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("appended %q entry to %s (%d entries)\n", *label, *out, len(ledger))
 }
 
-// runTelemetry runs the PIM-SM crash/restart recovery cell with the
-// time-series sampler attached and dumps the per-router counter curves.
-func runTelemetry(out string) {
-	smp := pim.RecoveryTelemetry(pim.DefaultRecoveryConfig(), pim.ProtoPIMSM, pim.FaultCrash, 5*pim.Second)
-	f, err := os.Create(out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := smp.WriteJSON(f); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote pim-sm/crash telemetry curves to %s\n", out)
-}
-
-// runDataplane executes the forwarding fast-path benchmark and appends it to
-// the dataplane ledger — refusing to record anything if the fast path's
-// packet delivery trace diverged from the reference path's in any phase.
-func runDataplane(label, out string, hops, packets, fillers int) {
-	cfg := pim.DefaultDataplaneConfig()
-	if hops > 0 {
-		cfg.Hops = hops
-	}
-	if packets > 0 {
-		cfg.Packets = packets
-	}
-	if fillers > 0 {
-		cfg.FillerRoutes = fillers
-	}
-	res := pim.RunDataplane(cfg)
-	for _, p := range res.Phases {
-		fmt.Printf("dataplane %-6s  ref %8.1f ms  fast %8.1f ms  speedup %5.2fx  identical=%v  delivered=%d crossings=%d\n",
-			p.Name, p.RefMs, p.FastMs, p.Speedup, p.Identical, p.Delivered, p.Crossings)
-	}
-	if !res.AllIdentical {
-		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
-		os.Exit(1)
-	}
-	entry := DataplaneEntry{LedgerHeader: newHeader(label), Result: res}
-	var ledger []DataplaneEntry
-	if data, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
-			os.Exit(1)
-		}
-	}
-	ledger = append(ledger, entry)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("appended %q entry to %s (%d entries, overall speedup %.2fx)\n",
-		label, out, len(ledger), res.Speedup)
-}
-
-// runRecovery executes the fault-recovery matrix and appends it to the
-// recovery ledger — refusing to record anything if any cell's fast-path
-// delivery trace diverged from the reference path's.
-func runRecovery(label, out string) {
-	res := pim.RunRecovery(pim.DefaultRecoveryConfig())
-	for _, c := range res.Cells {
-		rec := "   never"
-		if c.Recovered {
-			rec = fmt.Sprintf("%7.2fs", c.RecoverySec)
-		}
-		fmt.Printf("recovery %-13s %-7s %s  ctrl=%4d  residual=%3d  delivered=%4d  identical=%v\n",
-			c.Protocol, c.Fault, rec, c.CtrlMessages, c.ResidualState, c.Delivered, c.Identical)
-	}
-	if !res.AllIdentical {
-		fmt.Fprintln(os.Stderr, "pimbench: fast-path trace diverged from reference path — not recording")
-		os.Exit(1)
-	}
-	entry := RecoveryEntry{LedgerHeader: newHeader(label), Result: res}
-	var ledger []RecoveryEntry
-	if data, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
-			os.Exit(1)
-		}
-	}
-	ledger = append(ledger, entry)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("appended %q entry to %s (%d entries, all recovered=%v)\n",
-		label, out, len(ledger), res.AllRecovered)
-}
-
-// schedMicroBench replays one deterministic scheduler workload on one
-// backing store under testing.Benchmark and reports ns/op and allocs/op.
-// The parked-timer population is rebuilt outside the timed region on each
-// probe.
-func schedMicroBench(wheel bool, workload func(*pim.Scheduler, int)) MicroBench {
-	r := testing.Benchmark(func(b *testing.B) {
-		s := pim.PrepSchedulerBench(wheel)
-		b.ReportAllocs()
-		b.ResetTimer()
-		workload(s, b.N)
-	})
-	return MicroBench{
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: r.AllocsPerOp(),
-	}
-}
-
-// scalingRun executes one scaling sweep pass on the given backing store and
-// shard count, printing one line per sweep.
-func scalingRun(cfg pim.ScalingBenchConfig, wheel bool, shards int) pim.ScalingBenchResult {
-	prevWheel := pim.SetUseWheel(wheel)
-	prevShards := pim.SetShards(shards)
-	defer func() {
-		pim.SetUseWheel(prevWheel)
-		pim.SetShards(prevShards)
-	}()
-	res := pim.RunScalingBench(cfg)
-	store := "heap "
-	if wheel {
-		store = "wheel"
-	}
-	for _, sw := range res.Sweeps {
-		fmt.Printf("scaling %-7s %s shards=%d  %2d cells  %9.1f ms  %9d events  %9.0f events/sec  peak timers %d\n",
-			sw.Name, store, shards, sw.Cells, sw.WallMs, sw.Events, sw.EventsPerSec, sw.PeakTimers)
-	}
-	return res
-}
-
-// appendScalingEntries appends ledger records to the scaling ledger file.
-func appendScalingEntries(out string, entries []ScalingEntry) {
-	var ledger []ScalingEntry
-	if data, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
-			os.Exit(1)
-		}
-	}
-	ledger = append(ledger, entries...)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	for _, e := range entries {
-		fmt.Printf("appended %q entry to %s (%d entries)\n", e.Label, out, len(ledger))
-	}
-}
-
-// runScaling executes the scaling sweeps and scheduler microbenchmarks on
-// both backing stores — plus, with -shards N > 1, a third pass on the wheel
-// store partitioned into N parallel shards — and appends one entry per pass
-// to the scaling ledger. Nothing is recorded unless the heap and wheel grids
-// are bit-identical and the sharded grid matches the sequential wheel grid
-// (peak-timer readings excepted; see SameScalingGridsSharded). With smoke
-// set it runs the CI-sized workload, enforces the same gates, and records
-// nothing.
-func runScaling(label, out string, smoke bool, shards int) {
-	cfg := pim.DefaultScalingBenchConfig()
-	if smoke {
-		cfg = pim.SmokeScalingBenchConfig()
-	}
-	heap := scalingRun(cfg, false, 1)
-	wheel := scalingRun(cfg, true, 1)
-	if !pim.SameScalingGrids(heap, wheel) {
-		fmt.Fprintln(os.Stderr, "pimbench: heap and wheel scaling grids diverged — not recording")
-		os.Exit(1)
-	}
-	fmt.Printf("scaling grids identical; wall %0.1f ms (heap) vs %0.1f ms (wheel), %.2fx\n",
-		heap.WallMs, wheel.WallMs, heap.WallMs/wheel.WallMs)
-	var sharded *pim.ScalingBenchResult
-	if shards > 1 {
-		res := scalingRun(cfg, true, shards)
-		if !pim.SameScalingGridsSharded(wheel, res) {
-			fmt.Fprintf(os.Stderr, "pimbench: shards=%d grid diverged from sequential — not recording\n", shards)
-			os.Exit(1)
-		}
-		fmt.Printf("sharded grid identical; wall %0.1f ms (shards=1) vs %0.1f ms (shards=%d), %.2fx\n",
-			wheel.WallMs, res.WallMs, shards, wheel.WallMs/res.WallMs)
-		sharded = &res
-	}
-	if smoke {
-		fmt.Println("smoke run: grid gate passed, nothing recorded")
-		return
-	}
-
-	type side struct {
-		wheel  bool
-		shards int
-		suffix string
-		res    pim.ScalingBenchResult
-	}
-	sides := []side{
-		{false, 1, "-heap", heap},
-		{true, 1, "-wheel", wheel},
-	}
-	if sharded != nil {
-		sides = append(sides, side{true, shards, fmt.Sprintf("-shards%d", shards), *sharded})
-	}
-	entries := make([]ScalingEntry, 0, len(sides))
-	for _, sd := range sides {
-		h := newHeader(label + sd.suffix)
-		h.Shards = sd.shards
-		e := ScalingEntry{
-			LedgerHeader: h,
-			UseWheel:     sd.wheel,
-			Result:       sd.res,
-			Churn:        schedMicroBench(sd.wheel, pim.SchedulerChurn),
-			Dense:        schedMicroBench(sd.wheel, pim.SchedulerDense),
-		}
-		fmt.Printf("sched micro %s  churn %8.1f ns/op (%d allocs/op)  dense %8.1f ns/op (%d allocs/op)\n",
-			sd.suffix[1:], e.Churn.NsPerOp, e.Churn.AllocsPerOp, e.Dense.NsPerOp, e.Dense.AllocsPerOp)
-		entries = append(entries, e)
-	}
-	appendScalingEntries(out, entries)
-}
-
-// runTenK executes the 10 000-router scaling cell on the wheel store,
-// sequentially and — with -shards N > 1 — sharded, gating the sharded grid
-// against the sequential one before anything is recorded. Entries land in
-// the scaling ledger alongside the -scaling sweeps.
-func runTenK(label, out string, shards int) {
-	cfg := pim.TenKScalingBenchConfig()
-	seq := scalingRun(cfg, true, 1)
-	h := newHeader(label + "-10k-seq")
-	h.Shards = 1
-	entries := []ScalingEntry{{LedgerHeader: h, UseWheel: true, Result: seq}}
-	if shards > 1 {
-		res := scalingRun(cfg, true, shards)
-		if !pim.SameScalingGridsSharded(seq, res) {
-			fmt.Fprintf(os.Stderr, "pimbench: 10k shards=%d grid diverged from sequential — not recording\n", shards)
-			os.Exit(1)
-		}
-		fmt.Printf("10k sharded grid identical; wall %0.1f ms (shards=1) vs %0.1f ms (shards=%d), %.2fx\n",
-			seq.WallMs, res.WallMs, shards, seq.WallMs/res.WallMs)
-		hs := newHeader(fmt.Sprintf("%s-10k-shards%d", label, shards))
-		hs.Shards = shards
-		entries = append(entries, ScalingEntry{LedgerHeader: hs, UseWheel: true, Result: res})
-	}
-	appendScalingEntries(out, entries)
-}
-
-// CtrlPlaneEntry is one appended record of the control-plane churn ledger.
-type CtrlPlaneEntry struct {
-	LedgerHeader
-	Result pim.CtrlPlaneResult `json:"result"`
-}
-
-// runCtrlPlane executes the steady-state control-plane benchmark — every
-// protocol holding a 1000-router internet in pure periodic refresh, once on
-// the allocating frame path and once on the pooled path — and appends the
-// paired measurements to the ctrlplane ledger. Nothing is recorded unless
-// every protocol's two runs produced bit-identical simulated observables
-// (forwarding state, control-message count, scheduler events). With smoke
-// set it runs the CI-sized workload, enforces the same gate, and records
-// nothing.
-func runCtrlPlane(label, out string, smoke bool) {
-	cfg := pim.DefaultCtrlPlaneConfig()
-	if smoke {
-		cfg = pim.SmokeCtrlPlaneConfig()
-	}
-	res := pim.RunCtrlPlane(cfg)
-	for _, p := range res.Pairs {
-		for _, c := range []pim.CtrlPlaneCell{p.Alloc, p.Pooled} {
-			path := "alloc "
-			if c.Pooled {
-				path = "pooled"
-			}
-			fmt.Printf("ctrlplane %-13s %s  %8d msgs  %9.1f ms  %9.0f msgs/sec  %6.2f allocs/msg  gc=%d pause %6.2f ms  heap %6.1f MB\n",
-				p.Protocol, path, c.CtrlMessages, c.WallMs, c.MsgsPerSec,
-				c.AllocsPerMsg, c.GCCycles, c.GCPauseMs, c.HeapMB)
-		}
-		fmt.Printf("ctrlplane %-13s speedup %.2fx  identical=%v\n", p.Protocol, p.Speedup, p.Identical)
-	}
-	if !res.AllIdentical {
-		fmt.Fprintln(os.Stderr, "pimbench: pooled run diverged from allocating run — not recording")
-		os.Exit(1)
-	}
-	if smoke {
-		fmt.Println("smoke run: pooled/allocating gate passed, nothing recorded")
-		return
-	}
-	entry := CtrlPlaneEntry{LedgerHeader: newHeader(label), Result: res}
-	var ledger []CtrlPlaneEntry
-	if data, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
-			os.Exit(1)
-		}
-	}
-	ledger = append(ledger, entry)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("appended %q entry to %s (%d entries)\n", label, out, len(ledger))
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimbench:", err)
+	os.Exit(1)
 }

@@ -5,8 +5,15 @@
 //
 // Usage:
 //
-//	pimscript scenarios/*.pim
+//	pimscript scenarios/*.pim            run scripts
 //	pimscript -v scenarios/rendezvous.pim
+//	pimscript -update scenarios/*.pim    regenerate embedded goldens
+//	pimscript -corpus scenarios          discover + verify the whole corpus
+//
+// -corpus runs every *.pim below the directory (found/ included) through the
+// differential matrix — forwarding reference vs fast path, binary heap vs
+// timing wheel, shards 1 vs 2 — under the invariant checker, and verifies
+// each file's embedded `-- golden --` digest in every cell (DESIGN.md §15).
 package main
 
 import (
@@ -16,17 +23,50 @@ import (
 	"sort"
 
 	"pim/internal/script"
-	"pim/internal/telemetry"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "print deployment logs and delivery counts")
 	check := flag.Bool("check", false, "attach the online invariant checker; violations fail the run, except for scripts that record their own verdict with `expect violations`")
+	update := flag.Bool("update", false, "run each script and rewrite its embedded `-- golden --` digest")
+	corpus := flag.String("corpus", "", "discover and verify every *.pim under this directory across the differential matrix")
 	flag.Parse()
+
+	if *corpus != "" {
+		n, err := script.Corpus(*corpus, func(format string, a ...interface{}) {
+			fmt.Printf(format+"\n", a...)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimscript:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("corpus PASS: %d scenarios x %d passes\n", n, len(script.Matrix()))
+		return
+	}
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pimscript [-v] [-check] <script.pim> ...")
+		fmt.Fprintln(os.Stderr, "usage: pimscript [-v] [-check] [-update] <script.pim> ... | pimscript -corpus <dir>")
 		os.Exit(2)
 	}
+	if *update {
+		failed := 0
+		for _, path := range flag.Args() {
+			changed, err := script.Update(path)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				failed++
+			case changed:
+				fmt.Printf("updated   %s\n", path)
+			default:
+				fmt.Printf("unchanged %s\n", path)
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := 0
 	for _, path := range flag.Args() {
 		s, err := script.ParseFile(path)
@@ -35,22 +75,13 @@ func main() {
 			failed++
 			continue
 		}
-		var res *script.Result
-		var chk *telemetry.Checker
-		if *check {
-			res, chk, err = s.RunChecked()
-		} else {
-			res, err = s.Run()
-		}
+		res, err := s.RunWith(script.RunConfig{Checked: *check})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			failed++
 			continue
 		}
-		violations := 0
-		if chk != nil {
-			violations = len(chk.Violations())
-		}
+		violations := len(res.Violations)
 		if s.ExpectsViolations() {
 			// The script records its own verdict on the checker (found
 			// counterexamples under scenarios/found/ assert violations >= 1):
@@ -65,10 +96,8 @@ func main() {
 			for _, f := range res.Failures {
 				fmt.Printf("     %s\n", f)
 			}
-			if chk != nil {
-				for _, v := range chk.Violations() {
-					fmt.Printf("     invariant: %s\n", v)
-				}
+			for _, v := range res.Violations {
+				fmt.Printf("     invariant: %s\n", v)
 			}
 		}
 		if *verbose {

@@ -179,7 +179,7 @@ func runTrace() {
 	sender := sim.AddHost(3)
 	sim.FinishUnicast(pim.UseOracle)
 	group := pim.GroupAddress(0)
-	sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}}})
+	sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}}}))
 	sim.Run(2 * pim.Second)
 	// Only now start tracing: skip the hello storm.
 	sim.Net.Trace = func(ev pim.TraceEvent) { fmt.Println(pim.FormatTrace(ev)) }

@@ -21,9 +21,9 @@ func Example() {
 	sim.FinishUnicast(pim.UseOracle)
 
 	group := pim.GroupAddress(0)
-	sim.DeployPIM(pim.Config{
+	sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{
 		RPMapping: map[pim.IP][]pim.IP{group: {sim.RouterAddr(2)}},
-	})
+	}))
 	sim.Run(2 * pim.Second)
 
 	receiver.Join(group)

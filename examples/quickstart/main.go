@@ -28,7 +28,7 @@ func main() {
 
 	group := pim.GroupAddress(0)
 	rp := sim.RouterAddr(2) // router C is the RP
-	dep := sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}})
+	dep := sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}})).(*pim.PIMDeployment)
 	sim.Run(2 * pim.Second) // neighbor discovery
 
 	fmt.Printf("group %v, RP at router C (%v)\n\n", group, rp)

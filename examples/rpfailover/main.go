@@ -28,10 +28,10 @@ func main() {
 	group := pim.GroupAddress(0)
 	rp1, rp2 := sim.RouterAddr(2), sim.RouterAddr(3)
 
-	dep := sim.DeployPIM(pim.Config{
+	dep := sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{
 		RPMapping: map[pim.IP][]pim.IP{group: {rp1, rp2}},
 		SPTPolicy: pim.SwitchNever, // keep the flow visibly on the RP trees
-	})
+	})).(*pim.PIMDeployment)
 	sim.Run(2 * pim.Second)
 	receiver.Join(group)
 	sim.Run(2 * pim.Second)

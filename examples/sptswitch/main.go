@@ -42,10 +42,10 @@ func main() {
 		receiver = sim.AddHost(0)
 		sender = sim.AddHost(3)
 		sim.FinishUnicast(pim.UseOracle)
-		dep := sim.DeployPIM(pim.Config{
+		dep := sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{
 			RPMapping: map[pim.IP][]pim.IP{group: {rp}},
 			SPTPolicy: policy.p,
-		})
+		})).(*pim.PIMDeployment)
 		sim.Run(2 * pim.Second)
 		receiver.Join(group)
 		sim.Run(2 * pim.Second)

@@ -44,7 +44,7 @@ func starSim(t *testing.T) (*scenario.Sim, *scenario.CBTDeployment, addr.IP) {
 	}
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployCBT(cbt.Config{CoreMapping: map[addr.IP]addr.IP{group: sim.RouterAddr(0)}})
+	dep := sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{CoreMapping: map[addr.IP]addr.IP{group: sim.RouterAddr(0)}})).(*scenario.CBTDeployment)
 	sim.Run(2 * netsim.Second)
 	return sim, dep, group
 }
@@ -138,10 +138,10 @@ func TestJoinRetransmitsUntilAcked(t *testing.T) {
 	h := sim.AddHost(1)
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployCBT(cbt.Config{
+	dep := sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{
 		CoreMapping: map[addr.IP]addr.IP{group: sim.RouterAddr(0)},
 		JoinRetry:   2 * netsim.Second,
-	})
+	})).(*scenario.CBTDeployment)
 	sim.Run(netsim.Second)
 	// Break the path, then join: the first request is lost.
 	sim.Net.SetLinkUp(sim.EdgeLinks[0], false)
@@ -197,10 +197,10 @@ func TestParentFailureFlushAndRejoin(t *testing.T) {
 	sender := sim.AddHost(0)
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployCBT(cbt.Config{
+	dep := sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{
 		CoreMapping:  map[addr.IP]addr.IP{group: sim.RouterAddr(0)},
 		EchoInterval: 5 * netsim.Second,
-	})
+	})).(*scenario.CBTDeployment)
 	sim.Run(2 * netsim.Second)
 	member.Join(group)
 	sim.Run(2 * netsim.Second)

@@ -25,10 +25,10 @@ func aggSim(t *testing.T, aggregate bool) (*scenario.Sim, *scenario.PIMDeploymen
 	s3 := sim.AddHost(2)
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping:        map[addr.IP][]addr.IP{group: {sim.RouterAddr(1)}},
 		AggregateSources: aggregate,
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)

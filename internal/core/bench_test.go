@@ -23,7 +23,7 @@ func BenchmarkDataForwarding(b *testing.B) {
 	sender := sim.AddHost(5)
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}}))
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)
@@ -56,7 +56,7 @@ func BenchmarkJoinProcessing(b *testing.B) {
 		receiver := sim.AddHost(0)
 		sim.FinishUnicast(scenario.UseOracle)
 		group := addr.GroupForIndex(0)
-		sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(5)}}})
+		sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(5)}}}))
 		sim.Run(2 * netsim.Second)
 		b.StartTimer()
 		receiver.Join(group)
@@ -78,7 +78,7 @@ func BenchmarkPeriodicRefresh(b *testing.B) {
 	for i := 0; i < groups; i++ {
 		rpMap[addr.GroupForIndex(i)] = []addr.IP{sim.RouterAddr(2)}
 	}
-	sim.DeployPIM(core.Config{RPMapping: rpMap})
+	sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: rpMap}))
 	sim.Run(2 * netsim.Second)
 	for i := 0; i < groups; i++ {
 		receiver.Join(addr.GroupForIndex(i))

@@ -27,7 +27,7 @@ func fig34Topology(t *testing.T, mode scenario.UnicastMode) (*scenario.Sim, *sce
 	sim.Run(sim.ConvergenceTime())
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(2)
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second) // hello exchange
 	return sim, dep, receiver, sender, group, rp
 }
@@ -162,13 +162,13 @@ func fig5Topology(t *testing.T, policy core.SPTPolicy) (*scenario.Sim, *scenario
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(2)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping: map[addr.IP][]addr.IP{group: {rp}},
 		SPTPolicy: policy,
 		// Threshold values exercised by the threshold test.
 		SPTPackets: 3,
 		SPTWindow:  20 * netsim.Second,
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)
@@ -366,10 +366,10 @@ func TestRPFailover(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp1, rp2 := sim.RouterAddr(2), sim.RouterAddr(3)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping: map[addr.IP][]addr.IP{group: {rp1, rp2}},
 		SPTPolicy: core.SwitchNever, // keep the flow on the RP trees
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)
@@ -423,10 +423,10 @@ func TestUnicastRouteChange(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(3)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping: map[addr.IP][]addr.IP{group: {rp}},
 		SPTPolicy: core.SwitchNever,
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)
@@ -474,7 +474,7 @@ func TestHostSuppliedRPMapping(t *testing.T) {
 	receiver := sim.AddHost(0)
 	sender := sim.AddHost(1)
 	sim.FinishUnicast(scenario.UseOracle)
-	dep := sim.DeployPIM(core.Config{}) // no static mapping at all
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{})).(*scenario.PIMDeployment) // no static mapping at all
 	sim.Run(2 * netsim.Second)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(1)
@@ -566,7 +566,7 @@ func TestStateOnlyOnTree(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(2)
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)

@@ -35,7 +35,7 @@ func TestNegativeCachePruneAndCancel(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(2)
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)

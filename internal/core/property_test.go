@@ -32,10 +32,10 @@ func TestDeliveryExactness(t *testing.T) {
 			group := addr.GroupForIndex(0)
 			rp := sim.RouterAddr(routers[rng.Intn(6)])
 			policy := core.SPTPolicy(rng.Intn(2)) // immediate or never
-			sim.DeployPIM(core.Config{
+			sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 				RPMapping: map[addr.IP][]addr.IP{group: {rp}},
 				SPTPolicy: policy,
-			})
+			}))
 			sim.Run(2 * netsim.Second)
 			members := map[int]bool{}
 			for i, h := range hosts {
@@ -87,10 +87,10 @@ func TestStateQuiescesToZero(t *testing.T) {
 	}
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping:         map[addr.IP][]addr.IP{group: {sim.RouterAddr(0)}},
 		JoinPruneInterval: 15 * netsim.Second,
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	// Random join/leave/send history.
 	joined := make([]bool, len(hosts))

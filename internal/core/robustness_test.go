@@ -27,10 +27,10 @@ func TestSoftStateSurvivesControlLoss(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(2)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping:         map[addr.IP][]addr.IP{group: {rp}},
 		JoinPruneInterval: 20 * netsim.Second, // faster refresh: shorter test
-	})
+	})).(*scenario.PIMDeployment)
 	// Drop 30% of PIM control messages, deterministically.
 	rng := rand.New(rand.NewSource(5))
 	dropped := 0
@@ -78,10 +78,10 @@ func TestStateRecoversAfterTotalControlBlackout(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(1)
-	dep := sim.DeployPIM(core.Config{
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 		RPMapping:         map[addr.IP][]addr.IP{group: {rp}},
 		JoinPruneInterval: 10 * netsim.Second,
-	})
+	})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(5 * netsim.Second)
@@ -125,7 +125,7 @@ func TestRPFDropCounting(t *testing.T) {
 	sim.FinishUnicast(scenario.UseOracle)
 	group := addr.GroupForIndex(0)
 	rp := sim.RouterAddr(0) // RP on the far side: router 3 is a plain DR
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	receiver.Join(group)
 	sim.Run(2 * netsim.Second)

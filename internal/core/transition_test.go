@@ -92,7 +92,7 @@ func TestTwoReceiversIndependentPolicies(t *testing.T) {
 	depCfg := func(p core.SPTPolicy) core.Config {
 		return core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}, SPTPolicy: p}
 	}
-	// scenario.DeployPIM applies one config to all; emulate mixed policy by
+	// scenario.Deploy applies one config to all; emulate mixed policy by
 	// making the global policy SwitchImmediate and pinning the stayer's DR
 	// to SwitchNever via a second deployment pass is not possible — so wire
 	// routers individually through the scenario's unicast views.
@@ -167,10 +167,10 @@ func TestTwoGroupsIsolated(t *testing.T) {
 	sender := sim.AddHost(1)
 	sim.FinishUnicast(scenario.UseOracle)
 	g1, g2 := addr.GroupForIndex(0), addr.GroupForIndex(1)
-	sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{
+	sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{
 		g1: {sim.RouterAddr(1)},
 		g2: {sim.RouterAddr(1)},
-	}})
+	}}))
 	sim.Run(2 * netsim.Second)
 	r0.Join(g1)
 	r2.Join(g2)

@@ -40,7 +40,7 @@ func lineSim(t *testing.T, pruneLifetime netsim.Time) (*scenario.Sim, *scenario.
 	sim.AddHost(2) // bystander host, never joins
 	sender := sim.AddHost(4)
 	sim.FinishUnicast(scenario.UseOracle)
-	dep := sim.DeployDVMRP(dvmrp.Config{PruneLifetime: pruneLifetime})
+	dep := sim.Deploy(scenario.DVMRPMode, scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: pruneLifetime})).(*scenario.DVMRPDeployment)
 	sim.Run(2 * netsim.Second)
 	return sim, dep, receiver, sender
 }
@@ -162,7 +162,7 @@ func TestRPFDropsOffPathDuplicates(t *testing.T) {
 	sender := sim.AddHost(0)
 	receiver := sim.AddHost(3)
 	sim.FinishUnicast(scenario.UseOracle)
-	sim.DeployDVMRP(dvmrp.Config{})
+	sim.Deploy(scenario.DVMRPMode)
 	sim.Run(2 * netsim.Second)
 	grp := addr.GroupForIndex(0)
 	receiver.Join(grp)

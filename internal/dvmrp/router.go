@@ -291,6 +291,36 @@ func (r *Router) isLeaf(ifc *netsim.Iface) bool {
 	return true
 }
 
+// neighborUp re-evaluates existing (S,G) entries when an adjacency forms on
+// ifc. A restarted transit router that receives data before its downstream
+// neighbor's first probe classifies ifc as a leaf, builds entries that omit
+// it, and prunes upstream; nothing ever grows the branch back because the
+// downstream (which kept forwarding) has no pruned state to graft from. The
+// truncated-broadcast contract (§1.1) says a non-leaf interface carries the
+// flow until its neighbor prunes — so on adjacency-up, restore the branch.
+func (r *Router) neighborUp(ifc *netsim.Iface) {
+	if !ifc.Up() || ifc.Addr == 0 {
+		return
+	}
+	now := r.now()
+	r.MFIB.ForEach(func(e *mfib.Entry) {
+		if e.Wildcard || e.Key.RPBit {
+			return
+		}
+		if e.IIF == ifc {
+			return
+		}
+		if o := e.OIFs[ifc.Index]; o != nil && o.Live(now) {
+			return
+		}
+		e.AddOIF(ifc, infiniteExpiry)
+		if r.prunedUpstream[e.Key] {
+			r.sendCtrlUpstream(e, TypeGraft, 0)
+			delete(r.prunedUpstream, e.Key)
+		}
+	})
+}
+
 // --- Control messages ---
 
 func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
@@ -306,7 +336,12 @@ func (r *Router) handleCtrl(in *netsim.Iface, pkt *packet.Packet) {
 			byAddr = map[addr.IP]netsim.Time{}
 			r.neighbors[in.Index] = byAddr
 		}
+		deadline, known := byAddr[pkt.Src]
+		fresh := !known || r.now() > deadline
 		byAddr[pkt.Src] = r.now() + 3*r.Cfg.ProbeInterval
+		if fresh {
+			r.neighborUp(in)
+		}
 	case TypePrune:
 		r.handlePrune(in, m)
 	case TypeGraft:

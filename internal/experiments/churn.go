@@ -69,7 +69,7 @@ func RunChurn(cfg ChurnConfig) ChurnResult {
 	sender := sim.AddHost((routers[0] + 1) % cfg.Nodes)
 	sim.FinishUnicast(scenario.UseOracle)
 	rp := sim.RouterAddr(routers[0])
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {rp}}})).(*scenario.PIMDeployment)
 	sim.Run(2 * netsim.Second)
 
 	res := ChurnResult{}

@@ -103,7 +103,7 @@ func RunCongestion(cfg CongestionConfig, proto Protocol) CongestionResult {
 	if proto == PIMSMShared {
 		pcfg.SPTPolicy = core.SwitchNever
 	}
-	sim.DeployPIM(pcfg)
+	sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(pcfg))
 	sim.Run(2 * netsim.Second)
 	for _, p := range receivers {
 		p.host.Join(p.group)

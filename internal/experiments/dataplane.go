@@ -62,6 +62,16 @@ func DefaultDataplane() DataplaneConfig {
 	}
 }
 
+// SmokeDataplane returns the CI-sized workload: a short chain and a few
+// hundred packets — enough to exercise every phase and the ref/fast
+// trace-equivalence gate without the ledger run's wall-clock cost.
+func SmokeDataplane() DataplaneConfig {
+	return DataplaneConfig{
+		Hops: 16, Packets: 200, PacketGap: 10 * netsim.Millisecond,
+		Payload: 16, FillerRoutes: 128,
+	}
+}
+
 // DeliveryEvent is one packet arrival at a member host — the unit of the
 // trace-equivalence gate. Sent carries the origination timestamp stamped
 // into the payload, so the tuple pins source, path delay, and ordering.

@@ -267,11 +267,11 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 		if proto == PIMSMShared {
 			pcfg.SPTPolicy = core.SwitchNever
 		}
-		dep := sim.DeployPIM(pcfg)
+		dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(pcfg)).(*scenario.PIMDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 { return sumCtrl(depMetrics(dep)) }
 	case DVMRP:
-		dep := sim.DeployDVMRP(dvmrp.Config{PruneLifetime: pruneLifetime})
+		dep := sim.Deploy(scenario.DVMRPMode, scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: pruneLifetime})).(*scenario.DVMRPDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64
@@ -281,7 +281,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case PIMDM:
-		dep := sim.DeployPIMDM(pimdm.Config{PruneHoldTime: pruneLifetime})
+		dep := sim.Deploy(scenario.DenseMode, scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: pruneLifetime})).(*scenario.PIMDMDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64
@@ -292,7 +292,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case CBT:
-		dep := sim.DeployCBT(cbt.Config{CoreMapping: coreMap})
+		dep := sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{CoreMapping: coreMap})).(*scenario.CBTDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64
@@ -303,7 +303,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case MOSPF:
-		dep := sim.DeployMOSPF()
+		dep := sim.Deploy(scenario.MOSPFMode).(*scenario.MOSPFDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64

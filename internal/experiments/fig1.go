@@ -76,18 +76,18 @@ type Fig1Result struct {
 func (f *fig1Sim) deploy(proto Protocol, pruneLifetime netsim.Time) {
 	switch proto {
 	case PIMSM:
-		f.sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{f.group: {f.rp}}})
+		f.sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: map[addr.IP][]addr.IP{f.group: {f.rp}}}))
 	case PIMSMShared:
-		f.sim.DeployPIM(core.Config{
+		f.sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{
 			RPMapping: map[addr.IP][]addr.IP{f.group: {f.rp}},
 			SPTPolicy: core.SwitchNever,
-		})
+		}))
 	case DVMRP:
-		f.sim.DeployDVMRP(dvmrp.Config{PruneLifetime: pruneLifetime})
+		f.sim.Deploy(scenario.DVMRPMode, scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: pruneLifetime}))
 	case PIMDM:
-		f.sim.DeployPIMDM(pimdm.Config{PruneHoldTime: pruneLifetime})
+		f.sim.Deploy(scenario.DenseMode, scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: pruneLifetime}))
 	case CBT:
-		f.sim.DeployCBT(cbt.Config{CoreMapping: map[addr.IP]addr.IP{f.group: f.rp}})
+		f.sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{CoreMapping: map[addr.IP]addr.IP{f.group: f.rp}}))
 	default:
 		panic("experiments: protocol not applicable to figure 1: " + string(proto))
 	}

@@ -98,6 +98,20 @@ func DefaultRecovery() RecoveryConfig {
 	}
 }
 
+// SmokeRecovery returns the CI-sized workload: the same fault matrix
+// compressed to two simulated minutes — long enough for every protocol to
+// converge past each fault, short enough for bench-smoke.
+func SmokeRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		Seed:           42,
+		PacketInterval: 2 * netsim.Second,
+		FaultAt:        30 * netsim.Second,
+		RestartAt:      45 * netsim.Second,
+		JoinAt:         35 * netsim.Second,
+		End:            120 * netsim.Second,
+	}
+}
+
 // RecoveryCell is one (protocol, fault) outcome.
 type RecoveryCell struct {
 	Protocol Protocol `json:"protocol"`

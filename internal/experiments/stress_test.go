@@ -52,7 +52,7 @@ func TestScaleStress(t *testing.T) {
 	// The RP must exist as an interface: use the member router's LAN-side
 	// address, which ensure() above created.
 	sim.FinishUnicast(scenario.UseOracle)
-	dep := sim.DeployPIM(core.Config{RPMapping: rpMap})
+	dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(core.Config{RPMapping: rpMap}))
 	sim.Run(2 * netsim.Second)
 
 	// Churn phase: interleave joins, sends, leaves, link flaps.

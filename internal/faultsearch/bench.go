@@ -1,21 +1,28 @@
-package main
+package faultsearch
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
-	"pim/internal/faultsearch"
+	"pim/internal/bench"
 	"pim/internal/script"
 )
+
+func init() {
+	bench.Register("faultsearch", bench.Spec{
+		Summary: "fault-schedule search: replay the found corpus, sweep schedules, minimize counterexamples",
+		Ledger:  "BENCH_faultsearch.json",
+		Run:     runBench,
+	})
+}
 
 // FaultSearchEntry is one appended record of the fault-schedule-search
 // ledger (BENCH_faultsearch.json).
 type FaultSearchEntry struct {
-	LedgerHeader
+	bench.LedgerHeader
 	Seed              int64 `json:"seed"`
 	Budget            int   `json:"budget"`
 	SchedulesExplored int   `json:"schedules_explored"`
@@ -32,11 +39,12 @@ type FaultSearchEntry struct {
 }
 
 // replayCorpus re-runs every previously-found counterexample and verifies
-// its recorded verdict still reproduces. Any regression refuses the whole
-// run: a corpus file that stopped failing means either a bug was fixed
-// (flip the file's expectations to pin the fix) or the harness drifted —
-// both demand a human, not a silently re-passing benchmark.
-func replayCorpus(dir string) (int, error) {
+// its recorded verdict still reproduces. The corpus holds both kinds of
+// verdict: files asserting a live bug, and files whose expectations were
+// flipped to pin a fix after the bug was repaired. Either way, a file that
+// stops passing means the harness or a protocol drifted — both demand a
+// human, so any regression refuses the whole run.
+func replayCorpus(ctx *bench.Context, dir string) (int, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.pim"))
 	if err != nil {
 		return 0, err
@@ -47,14 +55,14 @@ func replayCorpus(dir string) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("%s: %v", path, err)
 		}
-		res, err := s.Run()
+		res, err := s.RunWith(script.RunConfig{})
 		if err != nil {
 			return 0, fmt.Errorf("%s: %v", path, err)
 		}
 		if !res.OK() {
 			return 0, fmt.Errorf("%s: recorded verdict no longer reproduces: %v", path, res.Failures)
 		}
-		fmt.Printf("corpus ok   %s\n", path)
+		ctx.Printf("corpus ok   %s", path)
 	}
 	return len(paths), nil
 }
@@ -62,7 +70,7 @@ func replayCorpus(dir string) (int, error) {
 // foundFileName derives the corpus filename for a minimized counterexample:
 // one file per distinct bug signature, so re-running the search never
 // duplicates the corpus.
-func foundFileName(f faultsearch.Found) string {
+func foundFileName(f Found) string {
 	sig := f.Verdict.Label()
 	for _, r := range []string{"/", ":", "+", " "} {
 		sig = strings.ReplaceAll(sig, r, "-")
@@ -70,62 +78,66 @@ func foundFileName(f faultsearch.Found) string {
 	return fmt.Sprintf("%s-%s-%s.pim", f.Minimal.Topo, f.Minimal.Proto, sig)
 }
 
-func runFaultSearch(label, out string, seed int64, budget, workers int, corpus, emit string) {
+func runBench(ctx *bench.Context) error {
+	budget := ctx.Budget
+	emit := ctx.EmitDir
+	if ctx.Smoke {
+		// Smoke still replays the whole corpus — that is the regression
+		// gate — but sweeps a reduced budget and never writes scenarios.
+		budget = 120
+		emit = ""
+	}
+
 	replayed := 0
-	if corpus != "" {
-		n, err := replayCorpus(corpus)
+	if ctx.CorpusDir != "" {
+		n, err := replayCorpus(ctx, ctx.CorpusDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench: corpus replay FAILED, refusing to run:", err)
-			os.Exit(1)
+			return fmt.Errorf("corpus replay FAILED, refusing to run: %w", err)
 		}
 		replayed = n
 	}
 
-	cfg := faultsearch.Config{
-		Seed: seed, Budget: budget, Workers: workers,
+	cfg := Config{
+		Seed: ctx.Seed, Budget: budget, Workers: ctx.Workers,
 		Log: func(format string, a ...interface{}) {
-			fmt.Printf("faultsearch: "+format+"\n", a...)
+			ctx.Printf("faultsearch: "+format, a...)
 		},
 	}
-	rep, err := faultsearch.Search(cfg)
+	rep, err := Search(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("faultsearch: explored %d schedules, %d violating, %d distinct bug(s), %d minimize evals\n",
+	ctx.Printf("faultsearch: explored %d schedules, %d violating, %d distinct bug(s), %d minimize evals",
 		rep.Explored, rep.Violations, len(rep.Found), rep.MinimizeEvals)
 
 	emitted := 0
 	for _, f := range rep.Found {
-		fmt.Printf("found: %s (%s)\n  minimal: %v\n", f.Verdict.Label(), f.Verdict.Detail, f.Minimal)
+		ctx.Printf("found: %s (%s)\n  minimal: %v", f.Verdict.Label(), f.Verdict.Detail, f.Minimal)
 		if emit == "" {
 			continue
 		}
 		path := filepath.Join(emit, foundFileName(f))
 		if _, err := os.Stat(path); err == nil {
-			fmt.Printf("  corpus already holds %s, not overwriting\n", path)
+			ctx.Printf("  corpus already holds %s, not overwriting", path)
 			continue
 		}
-		src, err := faultsearch.RenderFound(f.Minimal, f.Verdict, seed, f.Trial)
+		src, err := RenderFound(f.Minimal, f.Verdict, ctx.Seed, f.Trial)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.MkdirAll(emit, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("  emitted %s\n", path)
+		ctx.Printf("  emitted %s", path)
 		emitted++
 	}
 
-	entry := FaultSearchEntry{
-		LedgerHeader:      newHeader(label),
-		Seed:              seed,
+	ctx.Append(FaultSearchEntry{
+		LedgerHeader:      ctx.Header(""),
+		Seed:              ctx.Seed,
 		Budget:            budget,
 		SchedulesExplored: rep.Explored,
 		ViolationsFound:   rep.Violations,
@@ -134,23 +146,6 @@ func runFaultSearch(label, out string, seed int64, budget, workers int, corpus, 
 		MinimizeEvals:     rep.MinimizeEvals,
 		CorpusReplayed:    replayed,
 		CorpusEmitted:     emitted,
-	}
-	var ledger []FaultSearchEntry
-	if data, err := os.ReadFile(out); err == nil && len(strings.TrimSpace(string(data))) > 0 {
-		if err := json.Unmarshal(data, &ledger); err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s exists but is not a valid ledger: %v\n", out, err)
-			os.Exit(1)
-		}
-	}
-	ledger = append(ledger, entry)
-	data, err := json.MarshalIndent(ledger, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("appended %q entry to %s (%d entries)\n", label, out, len(ledger))
+	})
+	return nil
 }

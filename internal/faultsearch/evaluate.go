@@ -93,11 +93,11 @@ func Evaluate(s Schedule) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, fmt.Errorf("faultsearch: rendered script does not parse: %w\n%s", err, src)
 	}
-	res, chk, _, err := sc.RunWith(script.RunConfig{Checked: true, FailFast: true})
+	res, err := sc.RunWith(script.RunConfig{Checked: true, FailFast: true})
 	if err != nil {
 		return Verdict{}, fmt.Errorf("faultsearch: schedule %v failed to run: %w", s, err)
 	}
-	if vs := chk.Violations(); len(vs) > 0 {
+	if vs := res.Violations; len(vs) > 0 {
 		// Fail-fast guarantees exactly one recorded violation — the first.
 		return Verdict{
 			Kind:      VerdictInvariant,

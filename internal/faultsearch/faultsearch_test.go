@@ -36,17 +36,20 @@ func TestTimerTickGrid(t *testing.T) {
 	}
 }
 
-// knownBad is the counterexample the deterministic sweep surfaces: a brief
-// crash/restart of the chain's transit router permanently black-holes the
-// pre-crash (S,G) flow under the flood-and-prune engines (the restarted
-// router sees data before its downstream neighbor's first hello, builds an
-// empty oif list, and never re-evaluates it).
+// knownBad is a deterministic violating input for the machinery tests: a
+// cut of the chain's only path whose heal lands beyond the scripted run, so
+// both delivery oracles necessarily fail. The search generator never emits
+// such a schedule (every clause clears by FaultDeadline — the fairness
+// contract), which is exactly why it stays violating no matter how correct
+// the protocols become. The sweep's original find — the flood-and-prune
+// restart black hole — is fixed and lives on as flipped recovery pins under
+// scenarios/found/.
 func knownBad() (Schedule, Verdict) {
 	s := Schedule{
 		Topo: "chain3", Proto: "pim-dm", Seed: 7,
-		Clauses: []Clause{{Kind: KindCrash, Router: 1, Start: 17, Stop: 29}},
+		Clauses: []Clause{{Kind: KindCut, Edge: 0, Start: 17, Stop: 300}},
 	}
-	return s, Verdict{Kind: VerdictDelivery, Signature: "recv/G0"}
+	return s, Verdict{Kind: VerdictDelivery, Signature: "recv/G0+probe/G1"}
 }
 
 func TestEvaluateFindsKnownBad(t *testing.T) {
@@ -60,9 +63,9 @@ func TestEvaluateFindsKnownBad(t *testing.T) {
 	}
 }
 
-// TestMinimizeDropsIrrelevantClauses seeds the known-bad crash with two
+// TestMinimizeDropsIrrelevantClauses seeds the known-bad cut with two
 // bystander clauses and checks the minimizer strips the schedule back down
-// to the single crash clause, shrinks its outage, and leaves the caller's
+// to the single cut clause, shrinks its outage, and leaves the caller's
 // schedule untouched.
 func TestMinimizeDropsIrrelevantClauses(t *testing.T) {
 	bad, want := knownBad()
@@ -77,8 +80,8 @@ func TestMinimizeDropsIrrelevantClauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(min.Clauses) != 1 || min.Clauses[0].Kind != KindCrash {
-		t.Fatalf("minimized to %v, want the lone crash clause", min)
+	if len(min.Clauses) != 1 || min.Clauses[0].Kind != KindCut {
+		t.Fatalf("minimized to %v, want the lone cut clause", min)
 	}
 	if got := min.Clauses[0]; got.Stop-got.Start >= bad.Clauses[0].Stop-bad.Clauses[0].Start {
 		t.Errorf("timing bisect did not shrink the outage: %v", got)
@@ -165,7 +168,7 @@ func TestRenderFoundRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatalf("rendered counterexample does not parse: %v\n%s", err, src)
 	}
-	res, err := sc.Run()
+	res, err := sc.RunWith(script.RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func build(t *testing.T) (*scenario.Sim, *scenario.MOSPFDeployment) {
 		sim.AddHost(i)
 	}
 	sim.FinishUnicast(scenario.UseOracle) // hosts/others may still need tables
-	dep := sim.DeployMOSPF()
+	dep := sim.Deploy(scenario.MOSPFMode).(*scenario.MOSPFDeployment)
 	sim.Run(netsim.Second)
 	return sim, dep
 }

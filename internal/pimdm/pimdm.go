@@ -343,6 +343,41 @@ func (r *Router) isLeaf(ifc *netsim.Iface) bool {
 	return true
 }
 
+// neighborUp re-evaluates existing (S,G) entries when an adjacency forms on
+// ifc. Without this, a restarted transit router that saw data before its
+// downstream neighbor's first hello builds entries with ifc leaf-classified
+// and absent from every oif list — and since entries are only grown by
+// grafts (which the downstream never sends: it kept forwarding and has no
+// pruned state), the pre-crash flow black-holes until PruneHoldTime, or
+// forever when the upstream prune is periodically refreshed. Re-adding the
+// branch restores the §1.3 flood-and-prune contract: data flows everywhere a
+// live neighbor sits until that neighbor says prune.
+func (r *Router) neighborUp(ifc *netsim.Iface) {
+	if !ifc.Up() || ifc.Addr == 0 || !r.inScope(ifc) {
+		return
+	}
+	now := r.now()
+	r.MFIB.ForEach(func(e *mfib.Entry) {
+		if e.Wildcard || e.Key.RPBit {
+			return
+		}
+		if e.IIF == ifc {
+			return
+		}
+		if r.assertLoser[e.Key][ifc.Index] {
+			return
+		}
+		if o := e.OIFs[ifc.Index]; o != nil && o.Live(now) {
+			return
+		}
+		e.AddOIF(ifc, infiniteExpiry)
+		if r.prunedUpstream[e.Key] {
+			r.sendGraft(e)
+			delete(r.prunedUpstream, e.Key)
+		}
+	})
+}
+
 // --- Control messages ---
 
 func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
@@ -361,7 +396,12 @@ func (r *Router) handlePIM(in *netsim.Iface, pkt *packet.Packet) {
 			byAddr = map[addr.IP]netsim.Time{}
 			r.neighbors[in.Index] = byAddr
 		}
+		deadline, known := byAddr[pkt.Src]
+		fresh := !known || r.now() > deadline
 		byAddr[pkt.Src] = r.now() + netsim.Time(q.HoldTime)*netsim.Second
+		if fresh {
+			r.neighborUp(in)
+		}
 	case pimmsg.TypeJoinPrune:
 		r.handleJoinPrune(in, body)
 	case pimmsg.TypeGraft:

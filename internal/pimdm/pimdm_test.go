@@ -23,7 +23,7 @@ func lineSim(t *testing.T, hold netsim.Time) (*scenario.Sim, *scenario.PIMDMDepl
 	receiver := sim.AddHost(0)
 	sender := sim.AddHost(3)
 	sim.FinishUnicast(scenario.UseOracle)
-	dep := sim.DeployPIMDM(pimdm.Config{PruneHoldTime: hold})
+	dep := sim.Deploy(scenario.DenseMode, scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: hold})).(*scenario.PIMDMDeployment)
 	sim.Run(2 * netsim.Second)
 	return sim, dep, receiver, sender
 }
@@ -147,7 +147,7 @@ func TestProtocolIndependentDense(t *testing.T) {
 	sender := sim.AddHost(2)
 	sim.FinishUnicast(scenario.UseDV)
 	sim.Run(sim.ConvergenceTime())
-	sim.DeployPIMDM(pimdm.Config{})
+	sim.Deploy(scenario.DenseMode)
 	sim.Run(2 * netsim.Second)
 	grp := addr.GroupForIndex(0)
 	receiver.Join(grp)

@@ -16,13 +16,6 @@ type DVMRPDeployment struct {
 	Queriers []*igmp.Querier
 }
 
-// DeployDVMRP starts DVMRP plus IGMP on every router.
-//
-// Deprecated: use Deploy(DVMRPMode, WithDVMRPConfig(cfg)).
-func (s *Sim) DeployDVMRP(cfg dvmrp.Config) *DVMRPDeployment {
-	return s.deployDVMRP(&DeployOptions{DVMRP: cfg, Telemetry: cfg.Telemetry})
-}
-
 // TotalState sums forwarding entries across all routers.
 func (d *DVMRPDeployment) TotalState() int {
 	total := 0
@@ -38,13 +31,6 @@ type CBTDeployment struct {
 	Sim      *Sim
 	Routers  []*cbt.Router
 	Queriers []*igmp.Querier
-}
-
-// DeployCBT starts CBT plus IGMP on every router.
-//
-// Deprecated: use Deploy(CBTMode, WithCBTConfig(cfg)).
-func (s *Sim) DeployCBT(cfg cbt.Config) *CBTDeployment {
-	return s.deployCBT(&DeployOptions{CBT: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums per-group tree entries across all routers.
@@ -65,14 +51,6 @@ type MOSPFDeployment struct {
 	Queriers []*igmp.Querier
 }
 
-// DeployMOSPF starts MOSPF plus IGMP on every router. MOSPF carries its own
-// topology view (the shared Domain), so FinishUnicast is not required.
-//
-// Deprecated: use Deploy(MOSPFMode).
-func (s *Sim) DeployMOSPF() *MOSPFDeployment {
-	return s.deployMOSPF(&DeployOptions{})
-}
-
 // TotalState sums cache entries and stored membership rows.
 func (d *MOSPFDeployment) TotalState() int {
 	total := 0
@@ -88,13 +66,6 @@ type PIMDMDeployment struct {
 	Sim      *Sim
 	Routers  []*pimdm.Router
 	Queriers []*igmp.Querier
-}
-
-// DeployPIMDM starts PIM dense mode plus IGMP on every router.
-//
-// Deprecated: use Deploy(DenseMode, WithDenseConfig(cfg)).
-func (s *Sim) DeployPIMDM(cfg pimdm.Config) *PIMDMDeployment {
-	return s.deployDense(&DeployOptions{Dense: cfg, Telemetry: cfg.Telemetry})
 }
 
 // TotalState sums forwarding entries across all routers.

@@ -15,14 +15,6 @@ type PIMDeployment struct {
 	Queriers []*igmp.Querier
 }
 
-// DeployPIM starts PIM-SM plus IGMP on every router. cfg is cloned per
-// router. Call after FinishUnicast (and after convergence for DV/LS modes).
-//
-// Deprecated: use Deploy(SparseMode, WithCoreConfig(cfg)).
-func (s *Sim) DeployPIM(cfg core.Config) *PIMDeployment {
-	return s.deploySparse(&DeployOptions{Core: cfg, Telemetry: cfg.Telemetry})
-}
-
 // TotalState sums multicast forwarding entries across all routers — the
 // network-wide state metric of §1.2.
 func (d *PIMDeployment) TotalState() int {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"pim/internal/addr"
-	"pim/internal/core"
 	"pim/internal/netsim"
 	"pim/internal/packet"
 	"pim/internal/topology"
@@ -137,7 +136,7 @@ func TestDeterminism(t *testing.T) {
 		s := sim.AddHost(3)
 		sim.FinishUnicast(UseOracle)
 		group := addr.GroupForIndex(0)
-		dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+		dep := sim.Deploy(SparseMode, WithRPMapping(map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}))
 		sim.Run(2 * netsim.Second)
 		r.Join(group)
 		sim.Run(2 * netsim.Second)
@@ -165,7 +164,7 @@ func TestDeploymentAggregates(t *testing.T) {
 	h := sim.AddHost(0)
 	sim.FinishUnicast(UseOracle)
 	group := addr.GroupForIndex(0)
-	dep := sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	dep := sim.Deploy(SparseMode, WithRPMapping(map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}})).(*PIMDeployment)
 	sim.Run(2 * netsim.Second)
 	h.Join(group)
 	sim.Run(2 * netsim.Second)
@@ -188,7 +187,7 @@ func TestGarbageTrafficNeverCrashesRouters(t *testing.T) {
 	sender := sim.AddHost(2)
 	sim.FinishUnicast(UseOracle)
 	group := addr.GroupForIndex(0)
-	sim.DeployPIM(core.Config{RPMapping: map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}})
+	sim.Deploy(SparseMode, WithRPMapping(map[addr.IP][]addr.IP{group: {sim.RouterAddr(2)}}))
 	sim.Run(2 * netsim.Second)
 	h.Join(group)
 	sim.Run(2 * netsim.Second)

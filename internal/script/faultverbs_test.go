@@ -18,7 +18,7 @@ func mustParse(t *testing.T, src string) *Script {
 func mustRunOK(t *testing.T, src string) {
 	t.Helper()
 	s := mustParse(t, src)
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ at 2s loss all 0.5 data
 at 3s send src G0 count=60 every=100ms
 run 60s
 `)
-		res, err := s.Run()
+		res, err := s.RunWith(RunConfig{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,15 +113,15 @@ run 180s
 expect recv received G0 >= 10
 expect violations == 0
 `)
-	res, chk, err := s.RunChecked()
+	res, err := s.RunWith(RunConfig{Checked: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.OK() {
 		t.Fatalf("failures: %v", res.Failures)
 	}
-	if chk == nil || len(chk.Violations()) != 0 {
-		t.Fatalf("violations: %v", chk.Violations())
+	if res.Checker == nil || len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
 	}
 }
 
@@ -148,21 +148,21 @@ run 180s
 expect recv received G0 >= 40
 expect violations == 0
 `)
-	res, chk, err := s.RunChecked()
+	res, err := s.RunWith(RunConfig{Checked: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.OK() {
 		t.Fatalf("failures: %v", res.Failures)
 	}
-	if chk == nil || len(chk.Violations()) != 0 {
-		t.Fatalf("violations: %v", chk.Violations())
+	if res.Checker == nil || len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
 	}
 }
 
 // TestExpectViolationsAutoChecks pins the recorded-verdict contract: a
-// script declaring `expect violations` attaches the checker even under
-// plain Run(), so the expectation always has a checker to read.
+// script declaring `expect violations` attaches the checker whatever the
+// RunConfig, so the expectation always has a checker to read.
 func TestExpectViolationsAutoChecks(t *testing.T) {
 	s := mustParse(t, `
 topo edges 0-1
@@ -180,7 +180,7 @@ expect violations == 0
 	if !s.ExpectsViolations() {
 		t.Fatal("ExpectsViolations = false for a script with the expectation")
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,18 +204,18 @@ at 2s send src G0 count=5
 run 30s
 expect recv received G0 == 5
 `)
-	res, chk, _, err := s.RunWith(RunConfig{FailFast: true})
+	res, err := s.RunWith(RunConfig{FailFast: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.OK() {
 		t.Fatalf("failures: %v", res.Failures)
 	}
-	if chk == nil {
+	if res.Checker == nil {
 		t.Fatal("fail-fast run attached no checker")
 	}
-	if len(chk.Violations()) != 0 {
-		t.Fatalf("violations: %v", chk.Violations())
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
 	}
 }
 
@@ -235,7 +235,7 @@ func TestNewVerbErrors(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		if _, err := s.Run(); err == nil {
+		if _, err := s.RunWith(RunConfig{}); err == nil {
 			t.Errorf("script %q ran without error", src)
 		}
 	}
@@ -252,7 +252,7 @@ protocol pim-sm dense=2
 run 1s
 expect violations == 0
 `)
-	_, err := s.Run()
+	_, err := s.RunWith(RunConfig{})
 	if err == nil || !strings.Contains(err.Error(), "invariant checker") {
 		t.Fatalf("err = %v, want checker-required error", err)
 	}

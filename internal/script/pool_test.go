@@ -23,7 +23,7 @@ func runScenario(t *testing.T, path string, pooled, poison bool) ([]telemetry.Ev
 	bus := telemetry.NewBus()
 	var events []telemetry.Event
 	bus.Subscribe(func(ev telemetry.Event) { events = append(events, ev) })
-	res, _, err := s.RunInstrumented(bus, false)
+	res, err := s.RunWith(RunConfig{Bus: bus})
 	if err != nil {
 		t.Fatalf("run (pool=%v poison=%v): %v", pooled, poison, err)
 	}

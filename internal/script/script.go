@@ -36,11 +36,19 @@
 // suffixes (150ms, 2s, 1m).
 //
 // A script that declares `expect violations` runs with the invariant checker
-// attached even under plain Run() — the expectation is the scenario's
+// attached regardless of RunConfig — the expectation is the scenario's
 // recorded verdict. The fault-schedule search (internal/faultsearch) emits
 // its minimized counterexamples in exactly this form: the scenario passes
 // iff the violation still reproduces, so the corpus under scenarios/found/
 // enforces every found bug forever.
+//
+// A scenario may additionally embed its golden digest after a line holding
+// exactly `-- golden --` (txtar-style): `delivered`, `events`, and `stream`
+// lines recording the delivery counts, per-kind telemetry event counts, and
+// the FNV-64a hash of the canonical captured stream. `pimscript -update`
+// regenerates the section; corpus discovery (Corpus, `pimscript -corpus`)
+// re-runs every scenario under ref+fast × heap+wheel × shards∈{1,2} and
+// fails on any digest drift. See DESIGN.md §15.
 package script
 
 import (
@@ -66,10 +74,30 @@ import (
 	"pim/internal/topology"
 )
 
+// GoldenMarker separates a scenario's script body from its embedded golden
+// digest (txtar-style): everything before the marker line is the script,
+// everything after is the recorded digest of the run's canonical telemetry
+// stream and delivery counts. `pimscript -update` regenerates the section.
+const GoldenMarker = "-- golden --"
+
 // Script is a parsed scenario.
 type Script struct {
 	stmts []stmt
+	// body is the raw script text up to (and excluding) the golden marker,
+	// preserved byte-for-byte so -update round-trips.
+	body string
+	// golden holds the embedded digest lines (nil when the scenario has no
+	// golden section yet).
+	golden []string
 }
+
+// Body returns the raw script text before the golden marker, exactly as
+// read, so regeneration preserves comments and formatting.
+func (s *Script) Body() string { return s.body }
+
+// Golden returns the embedded digest lines, or nil when the scenario has no
+// golden section.
+func (s *Script) Golden() []string { return s.golden }
 
 type stmt struct {
 	line int
@@ -82,10 +110,20 @@ func (st stmt) errf(format string, a ...interface{}) error {
 	return fmt.Errorf("line %d: %s", st.line, fmt.Sprintf(format, a...))
 }
 
-// Parse reads a scenario from text.
+// Parse reads a scenario from text. A line equal to GoldenMarker splits the
+// file: statements before it, the recorded golden digest after it.
 func Parse(text string) (*Script, error) {
-	s := &Script{}
-	for i, raw := range strings.Split(text, "\n") {
+	s := &Script{body: text}
+	if body, rest, ok := cutGolden(text); ok {
+		s.body = body
+		s.golden = []string{} // a present-but-empty section is still a golden
+		for _, ln := range strings.Split(rest, "\n") {
+			if ln = strings.TrimSpace(ln); ln != "" {
+				s.golden = append(s.golden, ln)
+			}
+		}
+	}
+	for i, raw := range strings.Split(s.body, "\n") {
 		line := i + 1
 		if idx := strings.IndexByte(raw, '#'); idx >= 0 {
 			raw = raw[:idx]
@@ -112,6 +150,25 @@ func Parse(text string) (*Script, error) {
 	return s, nil
 }
 
+// cutGolden splits text at the first line that is exactly the golden marker;
+// the marker line belongs to neither half.
+func cutGolden(text string) (body, golden string, ok bool) {
+	for off := 0; off < len(text); {
+		end := strings.IndexByte(text[off:], '\n')
+		line := text[off:]
+		next := len(text)
+		if end >= 0 {
+			line = text[off : off+end]
+			next = off + end + 1
+		}
+		if line == GoldenMarker {
+			return text[:off], text[next:], true
+		}
+		off = next
+	}
+	return text, "", false
+}
+
 // ParseFile reads a scenario file.
 func ParseFile(path string) (*Script, error) {
 	b, err := os.ReadFile(path)
@@ -129,6 +186,18 @@ type Result struct {
 	Log []string
 	// Delivered maps "<host>/<group>" to reception counts.
 	Delivered map[string]int
+	// Checker is the single invariant checker of a checked sequential run;
+	// nil when unchecked, when the deployment is not covered (the mixed
+	// sparse/dense interop form), or when a sharded run attached one checker
+	// per lane — read Violations either way.
+	Checker *telemetry.Checker
+	// Violations aggregates invariant-checker findings across every lane,
+	// sorted by time then router (nil on unchecked runs).
+	Violations []telemetry.Violation
+	// Events is the canonical captured telemetry stream of a Captured run:
+	// per-shard lane buffers concatenated and stable-sorted by (At, Router),
+	// identical for any shard count.
+	Events []telemetry.Event
 }
 
 // OK reports whether every expectation held.
@@ -170,10 +239,10 @@ type runner struct {
 	// sparse/dense deployment, which has no whole-router lifecycle.
 	dep scenario.Deployment
 	// checked attaches the telemetry bus and online invariant checker to
-	// the deployment (RunChecked); checker holds it after deploy. failFast
-	// additionally arms the checker's first-violation halt. bus, when
-	// non-nil, is an externally supplied event bus (RunInstrumented) whose
-	// subscribers — samplers, probes — observe the deployment.
+	// the deployment (RunConfig.Checked); checker holds it after deploy.
+	// failFast additionally arms the checker's first-violation halt. bus,
+	// when non-nil, is an externally supplied event bus (RunConfig.Bus)
+	// whose subscribers — samplers, probes — observe the deployment.
 	checked  bool
 	failFast bool
 	bus      *telemetry.Bus
@@ -181,8 +250,8 @@ type runner struct {
 	// fastTimers records protocol ... timers=fast, so deployOpts can shrink
 	// the IGMP clocks alongside the engine's.
 	fastTimers bool
-	// captured (RunCaptured) records the deployment's event stream on
-	// per-shard lanes; laneEvents[i] is appended only by shard i's
+	// captured (RunConfig.Captured) records the deployment's event stream
+	// on per-shard lanes; laneEvents[i] is appended only by shard i's
 	// goroutine, so capture stays race-free under parallel execution.
 	captured   bool
 	lanes      []*telemetry.Bus
@@ -218,63 +287,32 @@ type RunConfig struct {
 	// scripted run is skipped. Implies Checked.
 	FailFast bool
 	// Bus, when non-nil, is an externally supplied event bus whose
-	// subscribers observe the deployment (RunInstrumented).
+	// subscribers (samplers, convergence probes) observe the deployment;
+	// subscribe them before calling RunWith. Pins the run to one shard.
 	Bus *telemetry.Bus
-	// Captured records the event stream on per-shard lanes (RunCaptured).
+	// Captured records the event stream on per-shard telemetry lanes and
+	// returns the canonical merged stream in Result.Events: lane buffers
+	// concatenated and stable-sorted by (At, Router), preserving each
+	// router's publication order while normalizing cross-router
+	// same-instant interleaving — identical for any shard count. This is
+	// the sharded observation path and every equivalence gate's witness.
 	Captured bool
 }
 
-// RunWith executes the script in the given mode and returns the result, the
-// invariant checker when one was attached (nil otherwise), and the captured
-// event stream when cfg.Captured.
-func (s *Script) RunWith(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Event, error) {
-	return s.run(cfg)
-}
-
-// Run executes the script and returns its result.
-func (s *Script) Run() (*Result, error) {
-	res, _, _, err := s.run(RunConfig{})
-	return res, err
-}
-
-// RunChecked executes the script with a telemetry bus and the online §3.8
-// invariant checker attached to the deployment. The returned checker holds
-// any violations observed during the run; it is nil for deployments the
-// checker does not cover (the mixed sparse/dense interop form). Checked
-// runs execute sequentially regardless of netsim.SetShards: the checker
-// subscribes to one bus, which parallel shards would race on.
-func (s *Script) RunChecked() (*Result, *telemetry.Checker, error) {
-	res, chk, _, err := s.run(RunConfig{Checked: true})
-	return res, chk, err
-}
-
-// RunInstrumented executes the script with the supplied event bus attached
-// to the deployment, so externally subscribed consumers (samplers,
-// convergence probes) observe the run; check additionally attaches the
-// online invariant checker. Subscribe consumers before calling. Like
-// RunChecked, instrumented runs stay sequential — external single-bus
-// subscribers cannot observe a sharded run race-free.
-func (s *Script) RunInstrumented(bus *telemetry.Bus, check bool) (*Result, *telemetry.Checker, error) {
-	res, chk, _, err := s.run(RunConfig{Checked: check, Bus: bus})
-	return res, chk, err
-}
-
-// RunCaptured executes the script under the configured shard count
-// (netsim.Shards()) with one telemetry lane per shard and returns the
-// merged event stream: lane buffers concatenated and stable-sorted by
-// (At, Router). The stable sort preserves each router's publication order
-// while normalizing cross-router same-instant interleaving, so the stream
-// is a canonical form — identical for any shard count. This is the
-// sharded observation path and the shard-determinism gate's witness.
-func (s *Script) RunCaptured() (*Result, []telemetry.Event, error) {
-	res, _, events, err := s.run(RunConfig{Captured: true})
-	return res, events, err
-}
-
-func (s *Script) run(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Event, error) {
+// RunWith is the single execution entrypoint: it runs the script in the
+// mode cfg selects and folds every observation — checker, violations, the
+// captured canonical stream — into the Result. The zero RunConfig is the
+// plain run.
+//
+// Sharding: unchecked and captured runs execute under the configured shard
+// count (netsim.Shards()); a captured checked run attaches one checker per
+// lane (read Result.Violations). Runs with an external Bus, checked
+// uncaptured runs, and FailFast runs pin to sequential execution — their
+// consumers share one bus, which parallel shards would race on.
+func (s *Script) RunWith(cfg RunConfig) (*Result, error) {
 	// A recorded-verdict scenario needs its checker regardless of how the
 	// caller invoked it: the violation count is part of the outcome.
-	if s.ExpectsViolations() && !cfg.Captured {
+	if s.ExpectsViolations() {
 		cfg.Checked = true
 	}
 	if cfg.FailFast {
@@ -309,7 +347,7 @@ func (s *Script) run(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Ev
 			err = r.doFaultSeed(st)
 		}
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 	}
 	// Pass 2: deployment, timed actions, runs, and expectations in order.
@@ -326,7 +364,7 @@ func (s *Script) run(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Ev
 			err = r.doExpect(st)
 		}
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 	}
 	for name, h := range r.hosts {
@@ -337,19 +375,35 @@ func (s *Script) run(cfg RunConfig) (*Result, *telemetry.Checker, []telemetry.Ev
 	// Canonical captured stream: concatenate the per-shard lane buffers and
 	// stable-sort by (At, Router). Within one router all events come from
 	// one lane in publication order, which the stable sort preserves.
-	var events []telemetry.Event
 	if r.captured {
 		for _, buf := range r.laneEvents {
-			events = append(events, buf...)
+			r.res.Events = append(r.res.Events, buf...)
 		}
-		slices.SortStableFunc(events, func(x, y telemetry.Event) int {
+		slices.SortStableFunc(r.res.Events, func(x, y telemetry.Event) int {
 			if x.At != y.At {
 				return cmp.Compare(x.At, y.At)
 			}
 			return cmp.Compare(x.Router, y.Router)
 		})
 	}
-	return r.res, r.checker, events, nil
+	r.res.Checker = r.checker
+	if r.checked {
+		r.res.Violations = r.violations()
+	}
+	return r.res, nil
+}
+
+// violations aggregates the run's invariant-checker findings: across every
+// lane of a uniform deployment, or from the single externally attached
+// checker otherwise. Nil when no checker observed the run.
+func (r *runner) violations() []telemetry.Violation {
+	if r.dep != nil {
+		return r.dep.Violations()
+	}
+	if r.checker != nil {
+		return r.checker.Violations()
+	}
+	return nil
 }
 
 func (r *runner) doTopo(st stmt) error {
@@ -583,11 +637,15 @@ func (r *runner) deploy(st stmt) error {
 	if len(st.args) < 1 {
 		return st.errf("protocol needs a name")
 	}
-	// Shard before the unicast substrate schedules its first event. Checked
-	// and externally instrumented runs stay sequential (their consumers
-	// share one bus); MOSPF pins to one shard (shared link-state Domain),
-	// as does the mixed sparse/dense interop form.
-	if r.bus == nil && !r.checked && st.args[0] != "mospf" && st.kv["dense"] == "" {
+	// Shard before the unicast substrate schedules its first event.
+	// Externally instrumented runs, checked uncaptured runs, and fail-fast
+	// runs stay sequential (their consumers share one bus); a captured
+	// checked run shards fine — the deployment attaches one checker per
+	// lane, and the §3.8 invariants are per-router, so each lane checker
+	// sees everything it needs. MOSPF pins to one shard (shared link-state
+	// Domain), as does the mixed sparse/dense interop form.
+	if r.bus == nil && (!r.checked || r.captured) && !r.failFast &&
+		st.args[0] != "mospf" && st.kv["dense"] == "" {
 		r.sim.AutoShard()
 	}
 	if r.captured {
@@ -1027,18 +1085,19 @@ func (r *runner) doExpect(st stmt) error {
 			fail("%s mean-delay %s = %v, want %s %v", a[0], a[2], got, a[3], wantD)
 		}
 	case len(a) == 3 && a[0] == "violations":
-		if r.checker == nil {
+		if r.dep == nil && r.checker == nil {
 			return st.errf("expect violations requires the invariant checker (checked run, uniform deployment)")
 		}
 		want, op, err := opValue(st, a[1], a[2])
 		if err != nil {
 			return err
 		}
-		got := len(r.checker.Violations())
+		vs := r.violations()
+		got := len(vs)
 		if !op(got, want) {
 			detail := ""
 			if got > 0 {
-				detail = " (first: " + r.checker.Violations()[0].String() + ")"
+				detail = " (first: " + vs[0].String() + ")"
 			}
 			fail("violations = %d, want %s %d%s", got, a[1], want, detail)
 		}

@@ -26,7 +26,7 @@ func TestRendezvousScript(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestFailedExpectationReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ expect recv received G0 >= 15
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ expect recv received G0 >= 3
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := s.Run()
+			res, err := s.RunWith(RunConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -139,7 +139,7 @@ expect recv received G0 >= 3
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := s.Run()
+			res, err := s.RunWith(RunConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -170,7 +170,7 @@ expect router r3 state >= 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, src := range cases {
 		if s, err := Parse(src); err == nil {
-			if _, err := s.Run(); err == nil {
+			if _, err := s.RunWith(RunConfig{}); err == nil {
 				t.Errorf("script %q ran without error", src)
 			}
 		}
@@ -212,7 +212,7 @@ func TestRunErrors(t *testing.T) {
 		if err != nil {
 			continue // parse-time rejection also acceptable
 		}
-		if _, err := s.Run(); err == nil {
+		if _, err := s.RunWith(RunConfig{}); err == nil {
 			t.Errorf("script %q ran without error", src)
 		}
 	}
@@ -259,7 +259,7 @@ expect deep received G0 >= 4
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ expect recv mean-delay G0 > 5ms
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ run 5s
 expect recv mean-delay G0 <= 1s
 `
 	s, _ := Parse(src)
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ expect router r2 state >= 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ expect recv received G0 >= 25
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ expect recv received G0 >= 50
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestFaultVerbErrors(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		if _, err := s.Run(); err == nil {
+		if _, err := s.RunWith(RunConfig{}); err == nil {
 			t.Errorf("script %q ran without error", src)
 		}
 	}
@@ -435,7 +435,7 @@ func TestPartitionScenarioFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.RunWith(RunConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,7 +14,7 @@ import (
 // same canonical telemetry stream — every join/prune, entry mutation, timer
 // fire, delivery, and drop, with identical timestamps — whether it runs
 // sequentially or partitioned across 2 or 4 parallel shards. The canonical
-// form (RunCaptured: lane buffers merged, stable-sorted by (At, Router))
+// form (RunConfig.Captured: lane buffers merged, stable-sorted by (At, Router))
 // preserves each router's publication order, so a match means no router
 // anywhere observed the shard count. The scripts cover RP failover, SPT
 // switchover, dense-mode grafting, interop, and the fault verbs (loss,
@@ -35,11 +35,11 @@ func TestScenariosShardEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("parse: %v", err)
 				}
-				res, events, err := s.RunCaptured()
+				res, err := s.RunWith(RunConfig{Captured: true})
 				if err != nil {
 					t.Fatalf("run (shards=%d): %v", shards, err)
 				}
-				return events, res
+				return res.Events, res
 			}
 			baseEvents, baseRes := capture(1)
 			if len(baseEvents) == 0 {

@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files from the cur
 // under the online invariant checker: the §3.8 soft-state contracts must
 // hold through every documented workload, including the fault scripts. The
 // interop scenario deploys the mixed sparse/dense form the checker does not
-// cover; RunChecked returns a nil checker there and the script still must
+// cover; the run attaches no checker there and the script still must
 // pass its own expectations.
 // Counterexamples emitted by the fault-schedule search live under
 // scenarios/found/ and RECORD their bug in their expectations (`expect
@@ -26,15 +26,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files from the cur
 // the file failing means the bug stopped reproducing (fix the file to pin
 // the fix, don't delete it).
 func TestScenariosUpholdInvariants(t *testing.T) {
-	paths, err := filepath.Glob("../../scenarios/*.pim")
-	if err != nil || len(paths) == 0 {
+	paths, err := Discover("../../scenarios")
+	if err != nil {
 		t.Fatalf("no scenario scripts found: %v", err)
 	}
-	found, err := filepath.Glob("../../scenarios/found/*.pim")
-	if err != nil {
-		t.Fatal(err)
-	}
-	paths = append(paths, found...)
 	for _, path := range paths {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {
@@ -42,15 +37,15 @@ func TestScenariosUpholdInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse: %v", err)
 			}
-			res, chk, err := s.RunChecked()
+			res, err := s.RunWith(RunConfig{Checked: true})
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
 			for _, f := range res.Failures {
 				t.Errorf("expectation failed: %s", f)
 			}
-			if chk != nil && !s.ExpectsViolations() {
-				for _, v := range chk.Violations() {
+			if !s.ExpectsViolations() {
+				for _, v := range res.Violations {
 					t.Errorf("invariant violation: %s", v)
 				}
 			}
@@ -71,17 +66,17 @@ func TestTelemetryGoldenDump(t *testing.T) {
 	}
 	bus := telemetry.NewBus()
 	smp := telemetry.NewSampler(bus, 5*netsim.Second)
-	res, chk, err := s.RunInstrumented(bus, true)
+	res, err := s.RunWith(RunConfig{Checked: true, Bus: bus})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !res.OK() {
 		t.Fatalf("scenario failed: %v", res.Failures)
 	}
-	if chk == nil {
-		t.Fatal("RunInstrumented(check=true) returned no checker")
+	if res.Checker == nil {
+		t.Fatal("checked instrumented run attached no checker")
 	}
-	for _, v := range chk.Violations() {
+	for _, v := range res.Violations {
 		t.Errorf("invariant violation: %s", v)
 	}
 

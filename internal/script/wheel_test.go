@@ -34,7 +34,7 @@ func TestScenariosWheelEquivalence(t *testing.T) {
 				bus := telemetry.NewBus()
 				var events []telemetry.Event
 				bus.Subscribe(func(ev telemetry.Event) { events = append(events, ev) })
-				res, _, err := s.RunInstrumented(bus, false)
+				res, err := s.RunWith(RunConfig{Bus: bus})
 				if err != nil {
 					t.Fatalf("run (wheel=%v): %v", wheel, err)
 				}

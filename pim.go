@@ -49,9 +49,9 @@
 // Deploy runs any of the five protocols (SparseMode, DenseMode, DVMRPMode,
 // CBTMode, MOSPFMode) behind one Deployment interface; functional options
 // configure rendezvous mapping, SPT policy, telemetry, and the online
-// invariant checker. The protocol-specific DeployPIM/DeployPIMDM/
-// DeployDVMRP/DeployCBT/DeployMOSPF entry points remain as deprecated
-// wrappers.
+// invariant checker. Protocol-specific state (per-router engines, IGMP
+// queriers) is reachable by asserting to the concrete deployment type,
+// e.g. sim.Deploy(pim.SparseMode, ...).(*pim.PIMDeployment).
 //
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // figure-by-figure reproduction record.

@@ -18,7 +18,7 @@ func TestQuickstart(t *testing.T) {
 	sim.FinishUnicast(pim.UseOracle)
 	group := pim.GroupAddress(0)
 	rp := sim.RouterAddr(2)
-	sim.DeployPIM(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}})
+	sim.Deploy(pim.SparseMode, pim.WithCoreConfig(pim.Config{RPMapping: map[pim.IP][]pim.IP{group: {rp}}}))
 	sim.Run(2 * pim.Second)
 	receiver.Join(group)
 	sim.Run(2 * pim.Second)
