@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race corpus update-goldens bench-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger faultsearch-ledger
+.PHONY: check build vet test race corpus update-goldens bench-smoke profile bench fig2-ledger dataplane-ledger recovery-ledger scale-ledger tenk-ledger ctrlplane-ledger stateplane-ledger faultsearch-ledger
 
 # check is the full gate: vet, build, race-enabled tests, the self-verifying
 # scenario corpus under the full differential matrix, and the benchmark smoke
@@ -20,9 +20,9 @@ race:
 	$(GO) test -race ./...
 
 # corpus runs every scenarios/**/*.pim — the found/ counterexamples included —
-# under the 4-cell differential matrix (ref+fast paths, heap+wheel schedulers,
-# 1 and 2 shards) and checks each run against the scenario's embedded golden
-# digest (DESIGN.md §15).
+# under the 5-cell differential matrix (ref+fast paths, heap+wheel schedulers,
+# 1 and 2 shards, flat and map MFIB stores) and checks each run against the
+# scenario's embedded golden digest (DESIGN.md §15).
 corpus:
 	$(GO) run ./cmd/pimscript -corpus scenarios
 
@@ -48,7 +48,8 @@ bench-smoke:
 	$(GO) run ./cmd/pimscript -check scenarios/rpfailover.pim
 	$(GO) test -run 'TestScenarios(FramePoolEquivalence|PoisonedPool)' -count=1 ./internal/script/
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/core/ ./internal/pimdm/ ./internal/dvmrp/ ./internal/cbt/ ./internal/mospf/ ./internal/igmp/
-	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/script/ ./internal/netsim/... ./internal/parallel/... ./internal/faultsearch/ ./internal/faults/
+	$(GO) test -run 'TestFlatMapStoreLockstep' -count=1 ./internal/mfib/
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/script/ ./internal/netsim/... ./internal/parallel/... ./internal/faultsearch/ ./internal/faults/ ./internal/mfib/
 	$(GO) test -run XXX -bench 'BenchmarkDijkstraReuse|BenchmarkLANDeliver|BenchmarkScheduler(Churn|Dense)' -benchtime 10x ./internal/topology/ ./internal/netsim/
 	$(GO) test -run XXX -bench 'BenchmarkEngineFig2a' -benchtime 1x .
 	$(GO) test -run XXX -bench 'BenchmarkLPM(Trie|Linear)256' -benchtime 10x ./internal/unicast/
@@ -90,6 +91,12 @@ tenk-ledger:
 
 ctrlplane-ledger:
 	$(GO) run ./cmd/pimbench run ctrlplane -label $(or $(LABEL),run)
+
+# stateplane-ledger records the MFIB footprint/walk comparison (flat arena
+# store vs reference map store); recording is refused unless the two stores
+# produce observably identical runs (DESIGN.md §16).
+stateplane-ledger:
+	$(GO) run ./cmd/pimbench run stateplane -label $(or $(LABEL),run)
 
 # faultsearch-ledger runs the full-budget fault-schedule search and adds any
 # newly found minimized counterexample to the scenarios/found/ corpus (run

@@ -48,7 +48,7 @@ func main() {
 		if wc.IIF != nil {
 			iif = wc.IIF.String()
 		}
-		fmt.Printf("  %-6s %v  iif=%s  oifs=%d\n", name, wc, iif, len(wc.OIFs))
+		fmt.Printf("  %-6s %v  iif=%s  oifs=%d\n", name, wc, iif, wc.OIFCount())
 	}
 
 	// Step 2 (Figure 3): the sender transmits; D piggybacks the data on a

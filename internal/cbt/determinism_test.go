@@ -1,0 +1,72 @@
+package cbt
+
+import (
+	"testing"
+
+	"pim/internal/addr"
+	"pim/internal/netsim"
+	"pim/internal/packet"
+	"pim/internal/unicast"
+)
+
+// TestKeepaliveEchoOrder pins the keepalive walk to ascending group order.
+// Echo requests are sends: if they followed r.groups map iteration, the
+// sequence in which a child consumes the link (and any injected-loss draws)
+// would differ run to run — the expireNeighbors bug class. The test joins
+// many groups in descending order and requires the parent to receive the
+// echoes strictly ascending.
+func TestKeepaliveEchoOrder(t *testing.T) {
+	net := netsim.NewNetwork()
+	na := net.AddNode("a")
+	nb := net.AddNode("b")
+	ia := net.AddIface(na, addr.V4(10, 0, 0, 1))
+	ib := net.AddIface(nb, addr.V4(10, 0, 0, 2))
+	net.Connect(ia, ib, netsim.Millisecond)
+	oracle := unicast.NewOracle(net)
+
+	const n = 12
+	cores := map[addr.IP]addr.IP{}
+	groups := make([]addr.IP, n)
+	for i := range groups {
+		groups[i] = addr.GroupForIndex(i)
+		cores[groups[i]] = ib.Addr
+	}
+	cfg := Config{CoreMapping: cores}
+	ra := New(na, cfg, oracle.RouterFor(na))
+	rb := New(nb, cfg, oracle.RouterFor(nb))
+	ra.Start()
+	rb.Start()
+
+	// Capture the arrival order of a's echo requests at b, then hand each
+	// packet on to b's normal control handler.
+	var seen []addr.IP
+	nb.Handle(packet.ProtoCBT, netsim.HandlerFunc(func(in *netsim.Iface, pkt *packet.Packet) {
+		var m Message
+		if err := UnmarshalInto(&m, pkt.Payload); err == nil && m.Type == TypeEchoReq {
+			seen = append(seen, m.Group)
+		}
+		rb.handleCtrl(in, pkt)
+	}))
+
+	for i := n - 1; i >= 0; i-- { // scrambled (descending) join order
+		ra.LocalJoin(ia, groups[i])
+	}
+	net.Sched.RunUntil(2 * netsim.Second)
+	for _, g := range groups {
+		if !ra.OnTree(g) {
+			t.Fatalf("group %v not on tree", g)
+		}
+	}
+
+	seen = seen[:0]
+	ra.keepalive()
+	net.Sched.RunUntil(net.Sched.Now() + 100*netsim.Millisecond)
+	if len(seen) != n {
+		t.Fatalf("parent saw %d echo requests, want %d", len(seen), n)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("echo requests out of ascending group order: %v", seen)
+		}
+	}
+}

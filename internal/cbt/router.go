@@ -1,6 +1,8 @@
 package cbt
 
 import (
+	"slices"
+
 	"pim/internal/addr"
 	"pim/internal/metrics"
 	"pim/internal/netsim"
@@ -77,6 +79,8 @@ type Router struct {
 	groups map[addr.IP]*groupState
 	// pendingAcks holds join-ack retransmission state per (group, child).
 	pendingAcks map[ackKey]*pendingAck
+	// kaScratch is the keepalive walk's reusable sorted-group buffer.
+	kaScratch []addr.IP
 
 	// enc is the reusable control-message encode workspace (see
 	// core.Router.enc): safe because Node.Send copies the payload into its
@@ -398,10 +402,11 @@ func (r *Router) handleJoinAck(in *netsim.Iface, m *Message) {
 	if st.joinTimer != nil {
 		st.joinTimer.Stop()
 	}
-	// Ack every waiting downstream joiner.
-	for idx, set := range st.pending {
+	// Ack every waiting downstream joiner, in sorted order: acks are sends,
+	// so their order must not follow map iteration.
+	for _, idx := range sortedKeys(st.pending) {
 		ifc := r.Node.Ifaces[idx]
-		for child := range set {
+		for _, child := range sortedAddrs(st.pending[idx]) {
 			addToSet(st.children, idx, child)
 			r.sendJoinAck(m.Group, ifc, child, st.core)
 		}
@@ -460,7 +465,16 @@ func (r *Router) cancelAckRetry(g addr.IP, ifIdx int, child addr.IP) {
 
 func (r *Router) keepalive() {
 	now := r.now()
-	for g, st := range r.groups {
+	// Echo requests and parent-failure flushes are sends: their order must
+	// not follow map iteration (the expireNeighbors bug class), so walk the
+	// groups in ascending order via a reusable scratch.
+	r.kaScratch = r.kaScratch[:0]
+	for g := range r.groups {
+		r.kaScratch = append(r.kaScratch, g)
+	}
+	slices.Sort(r.kaScratch)
+	for _, g := range r.kaScratch {
+		st := r.groups[g]
 		if !st.onTree || st.parentAddr == 0 {
 			continue
 		}
@@ -484,12 +498,14 @@ func (r *Router) flush(g addr.IP) {
 	if st == nil {
 		return
 	}
-	for idx, set := range st.children {
+	// Flush notifications are sends: walk child interfaces and addresses in
+	// sorted order, not map order (the expireNeighbors bug class).
+	for _, idx := range sortedKeys(st.children) {
 		ifc := r.Node.Ifaces[idx]
 		if !ifc.Up() {
 			continue
 		}
-		for child := range set {
+		for _, child := range sortedAddrs(st.children[idx]) {
 			r.sendTo(ifc, child, &Message{Type: TypeFlush, Group: g})
 		}
 	}
@@ -581,19 +597,43 @@ func (r *Router) handleData(in *netsim.Iface, pkt *packet.Packet) {
 	if st.parentIf != nil && st.parentAddr != 0 {
 		send(st.parentIf, st.parentAddr)
 	}
+	// Data fan-out is a sequence of sends: walk children and member LANs in
+	// sorted order so delivery (and any injected-loss draw consumption) does
+	// not depend on map iteration.
 	sentIface := map[int]bool{}
-	for idx, set := range st.children {
-		for child := range set {
+	for _, idx := range sortedKeys(st.children) {
+		for _, child := range sortedAddrs(st.children[idx]) {
 			send(r.Node.Ifaces[idx], child)
 		}
 		sentIface[idx] = true
 	}
-	for idx, ifc := range st.memberIfs {
+	for _, idx := range sortedKeys(st.memberIfs) {
 		if !sentIface[idx] && (st.parentIf == nil || idx != st.parentIf.Index) {
-			send(ifc, 0)
+			send(st.memberIfs[idx], 0)
 			sentIface[idx] = true
 		}
 	}
+}
+
+// sortedKeys returns the interface indexes of m in ascending order, so that
+// sends fanned out over a map never follow map iteration order.
+func sortedKeys[V any](m map[int]V) []int {
+	idxs := make([]int, 0, len(m))
+	for idx := range m {
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	return idxs
+}
+
+// sortedAddrs returns the members of set in ascending address order.
+func sortedAddrs(set map[addr.IP]bool) []addr.IP {
+	as := make([]addr.IP, 0, len(set))
+	for a := range set {
+		as = append(as, a)
+	}
+	slices.Sort(as)
+	return as
 }
 
 func addToSet(m map[int]map[addr.IP]bool, idx int, a addr.IP) {

@@ -49,3 +49,70 @@ func TestQueryRefreshZeroAlloc(t *testing.T) {
 		t.Errorf("warm query refresh cycle: %.2f allocs, want 0", allocs)
 	}
 }
+
+// TestJoinPruneRefreshZeroAlloc pins the warm periodic join/prune refresh —
+// the batching walk over the MFIB, per-destination record assembly in the
+// router's reusable jpBatch/jpMsg scratch, append-encode, pooled transmit,
+// and the receivers' into-decode plus oif refresh — at zero heap
+// allocations per cycle. This is the steady-state control-plane path every
+// sparse-mode router runs every JoinPruneInterval for every entry, so a
+// single allocation here multiplies by the whole internet (DESIGN.md §16).
+//
+// The topology is a pure shared-tree line (member — a — b — c=RP) with
+// several joined groups, so the refresh carries multiple group records per
+// message and the grab/add batching paths are all exercised; nothing
+// triggers non-periodic sends mid-measure.
+func TestJoinPruneRefreshZeroAlloc(t *testing.T) {
+	prev := netsim.SetFramePool(true)
+	defer netsim.SetFramePool(prev)
+
+	net := netsim.NewNetwork()
+	na := net.AddNode("a")
+	nb := net.AddNode("b")
+	nc := net.AddNode("c")
+	host := net.AddIface(na, addr.V4(10, 100, 0, 1)) // member LAN, no peer
+	iab := net.AddIface(na, addr.V4(10, 0, 0, 1))
+	iba := net.AddIface(nb, addr.V4(10, 0, 0, 2))
+	ibc := net.AddIface(nb, addr.V4(10, 0, 1, 1))
+	icb := net.AddIface(nc, addr.V4(10, 0, 1, 2))
+	net.Connect(iab, iba, netsim.Millisecond)
+	net.Connect(ibc, icb, netsim.Millisecond)
+	oracle := unicast.NewOracle(net)
+
+	const n = 4
+	rpMap := map[addr.IP][]addr.IP{}
+	groups := make([]addr.IP, n)
+	for i := range groups {
+		groups[i] = addr.GroupForIndex(i)
+		rpMap[groups[i]] = []addr.IP{icb.Addr}
+	}
+	cfg := Config{RPMapping: rpMap}
+	ra := New(na, cfg, oracle.RouterFor(na))
+	rb := New(nb, cfg, oracle.RouterFor(nb))
+	rc := New(nc, cfg, oracle.RouterFor(nc))
+	ra.Start()
+	rb.Start()
+	rc.Start()
+	net.Sched.RunUntil(2 * netsim.Second)
+	for _, g := range groups {
+		ra.LocalJoin(host, g)
+	}
+	net.Sched.RunUntil(net.Sched.Now() + 2*netsim.Second)
+	for _, g := range groups {
+		if rb.MFIB.Wildcard(g) == nil || rc.MFIB.Wildcard(g) == nil {
+			t.Fatalf("shared tree for %v did not reach the RP", g)
+		}
+	}
+
+	cycle := func() {
+		ra.periodicRefresh()
+		rb.periodicRefresh()
+		net.Sched.RunUntil(net.Sched.Now() + 10*netsim.Millisecond)
+	}
+	for i := 0; i < 1500; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("warm join/prune refresh cycle: %.2f allocs, want 0", allocs)
+	}
+}

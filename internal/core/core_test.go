@@ -220,7 +220,7 @@ func TestFigure5SPTSwitch(t *testing.T) {
 		t.Fatal("RP has no (S,G)RPbit negative cache")
 	}
 	ifaceToB := sim.Routers[2].Ifaces[0]
-	if o := rpt.OIFs[ifaceToB.Index]; o == nil || !o.Live(now) {
+	if o := rpt.OIF(ifaceToB.Index); o == nil || !o.Live(now) {
 		t.Error("negative cache does not prune the B interface")
 	}
 	// Data keeps arriving (now via the SPT).

@@ -245,8 +245,8 @@ func (r *Router) considerSPTSwitch(in *netsim.Iface, s, g addr.IP, wc *mfib.Entr
 }
 
 func (r *Router) hasLocalMember(e *mfib.Entry) bool {
-	for _, o := range e.OIFs {
-		if o.LocalMember {
+	for i := 0; i < e.OIFCount(); i++ {
+		if e.OIFAt(i).LocalMember {
 			return true
 		}
 	}
@@ -284,8 +284,8 @@ func (r *Router) initiateSPTSwitch(s, g addr.IP, wc *mfib.Entry) {
 	// path tree" (§3.3): the local-member interfaces move over; downstream
 	// join-driven branches keep receiving through the inherited shared
 	// list until they switch themselves.
-	for _, o := range wc.OIFs {
-		if o.LocalMember && o.Iface != iif {
+	for i := 0; i < wc.OIFCount(); i++ {
+		if o := wc.OIFAt(i); o.LocalMember && o.Iface != iif {
 			sg.AddLocalOIF(o.Iface)
 		}
 	}

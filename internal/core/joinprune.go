@@ -1,8 +1,6 @@
 package core
 
 import (
-	"slices"
-
 	"pim/internal/addr"
 	"pim/internal/metrics"
 	"pim/internal/mfib"
@@ -47,7 +45,7 @@ func (r *Router) LocalJoin(ifc *netsim.Iface, g addr.IP) {
 func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 	now := r.now()
 	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
-		o := e.OIFs[ifc.Index]
+		o := e.OIF(ifc.Index)
 		if o == nil || !o.LocalMember {
 			return
 		}
@@ -137,37 +135,67 @@ func upstreamTarget(e *mfib.Entry) addr.IP {
 
 // --- Periodic refresh (§3.4) ---
 
+// jpRecord collects one group's joins and prunes for one destination during
+// a periodic refresh; jpDest is one (interface, upstream neighbor) batch.
+// Both live in reusable per-router scratch: the slices are truncated, never
+// reallocated, between refreshes, so the steady-state batching path is
+// allocation-free (pinned by TestJoinPruneRefreshZeroAlloc).
+type jpRecord struct {
+	g      addr.IP
+	joins  []pimmsg.Addr
+	prunes []pimmsg.Addr
+}
+
+type jpDest struct {
+	iface    *netsim.Iface
+	upstream addr.IP
+	recs     []jpRecord
+}
+
 // periodicRefresh re-sends the join/prune state for every entry, batched
 // per (interface, upstream neighbor) so one message carries many groups.
 func (r *Router) periodicRefresh() {
 	now := r.now()
-	type dest struct {
-		iface    *netsim.Iface
-		upstream addr.IP
-	}
-	type record struct {
-		joins  []pimmsg.Addr
-		prunes []pimmsg.Addr
-	}
-	batches := map[dest]map[addr.IP]*record{}
 	// Transmission order must not depend on map iteration: the simulation
 	// is deterministic, and under injected loss the draw sequence is
 	// consumed in delivery order. Destinations are emitted in the order the
-	// (MFIB-sorted) walk first produced them.
-	var order []dest
+	// (MFIB-sorted) walk first produced them, and a destination's groups
+	// arrive already sorted because the walk is group-ordered.
+	nb := 0
+	grab := func(ifc *netsim.Iface, up addr.IP) *jpDest {
+		for i := 0; i < nb; i++ {
+			if d := &r.jpBatch[i]; d.iface == ifc && d.upstream == up {
+				return d
+			}
+		}
+		if nb == len(r.jpBatch) {
+			r.jpBatch = append(r.jpBatch, jpDest{})
+		}
+		d := &r.jpBatch[nb]
+		nb++
+		d.iface, d.upstream = ifc, up
+		d.recs = d.recs[:0]
+		return d
+	}
 	add := func(ifc *netsim.Iface, up addr.IP, g addr.IP, a pimmsg.Addr, prune bool) {
 		if ifc == nil || up == 0 || !ifc.Up() {
 			return
 		}
-		d := dest{iface: ifc, upstream: up}
-		if batches[d] == nil {
-			batches[d] = map[addr.IP]*record{}
-			order = append(order, d)
-		}
-		rec := batches[d][g]
-		if rec == nil {
-			rec = &record{}
-			batches[d][g] = rec
+		d := grab(ifc, up)
+		var rec *jpRecord
+		if n := len(d.recs); n > 0 && d.recs[n-1].g == g {
+			// The walk visits a group's entries contiguously, so an open
+			// record for g is always the destination's last one.
+			rec = &d.recs[n-1]
+		} else if n < cap(d.recs) {
+			d.recs = d.recs[:n+1]
+			rec = &d.recs[n]
+			rec.g = g
+			rec.joins = rec.joins[:0]
+			rec.prunes = rec.prunes[:0]
+		} else {
+			d.recs = append(d.recs, jpRecord{g: g})
+			rec = &d.recs[n]
 		}
 		if prune {
 			rec.prunes = append(rec.prunes, a)
@@ -213,26 +241,18 @@ func (r *Router) periodicRefresh() {
 		}
 	})
 
-	for _, d := range order {
-		m := &pimmsg.JoinPrune{UpstreamNeighbor: d.upstream, HoldTime: r.Cfg.holdTimeSeconds()}
-		for g, rec := range batches[d] {
-			m.Groups = append(m.Groups, pimmsg.GroupRecord{Group: g, Joins: rec.joins, Prunes: rec.prunes})
+	for i := 0; i < nb; i++ {
+		d := &r.jpBatch[i]
+		m := &r.jpMsg
+		m.UpstreamNeighbor = d.upstream
+		m.HoldTime = r.Cfg.holdTimeSeconds()
+		m.Groups = m.Groups[:0]
+		for j := range d.recs {
+			rec := &d.recs[j]
+			m.Groups = append(m.Groups, pimmsg.GroupRecord{Group: rec.g, Joins: rec.joins, Prunes: rec.prunes})
 		}
-		sortGroups(m.Groups)
 		r.transmitJoinPrune(d.iface, m)
 	}
-}
-
-func sortGroups(gs []pimmsg.GroupRecord) {
-	slices.SortFunc(gs, func(a, b pimmsg.GroupRecord) int {
-		switch {
-		case a.Group < b.Group:
-			return -1
-		case a.Group > b.Group:
-			return 1
-		}
-		return 0
-	})
 }
 
 // rptPrunesToRefresh returns the sources whose shared-tree prunes this
@@ -240,26 +260,36 @@ func sortGroups(gs []pimmsg.GroupRecord) {
 // with a divergent incoming interface (§3.3), and sources whose negative
 // cache covers every remaining shared-tree oif (full-branch prune
 // propagation).
+// The result lives in per-router scratch reused across refreshes; callers
+// consume it before the next call.
 func (r *Router) rptPrunesToRefresh(g addr.IP, wc *mfib.Entry) []addr.IP {
 	now := r.now()
-	var out []addr.IP
-	seen := map[addr.IP]bool{}
+	r.rptScratch = r.rptScratch[:0]
 	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
 		switch {
 		case e.Wildcard:
 		case e.Key.RPBit:
-			if r.rptCoversSharedOifs(e, wc) && !seen[e.Key.Source] {
-				seen[e.Key.Source] = true
-				out = append(out, e.Key.Source)
+			if r.rptCoversSharedOifs(e, wc) && !containsIP(r.rptScratch, e.Key.Source) {
+				r.rptScratch = append(r.rptScratch, e.Key.Source)
 			}
 		default:
-			if e.SPTBit && e.IIF != wc.IIF && !e.OIFEmpty(now) && !seen[e.Key.Source] {
-				seen[e.Key.Source] = true
-				out = append(out, e.Key.Source)
+			if e.SPTBit && e.IIF != wc.IIF && !e.OIFEmpty(now) && !containsIP(r.rptScratch, e.Key.Source) {
+				r.rptScratch = append(r.rptScratch, e.Key.Source)
 			}
 		}
 	})
-	return out
+	return r.rptScratch
+}
+
+// containsIP is the linear dedup over the handful of sources a group
+// refreshes; a map here would allocate every period.
+func containsIP(s []addr.IP, a addr.IP) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
 }
 
 // rptCoversSharedOifs reports whether the negative cache prunes every live
@@ -267,17 +297,19 @@ func (r *Router) rptPrunesToRefresh(g addr.IP, wc *mfib.Entry) []addr.IP {
 // the RP tree and the prune should propagate upstream.
 func (r *Router) rptCoversSharedOifs(rpt, wc *mfib.Entry) bool {
 	now := r.now()
-	live := wc.LiveOIFs(now, nil)
-	if len(live) == 0 {
-		return false
-	}
-	for _, ifc := range live {
-		o := rpt.OIFs[ifc.Index]
+	any := false
+	for i := 0; i < wc.OIFCount(); i++ {
+		wo := wc.OIFAt(i)
+		if !wo.Live(now) {
+			continue
+		}
+		any = true
+		o := rpt.OIF(wo.Iface.Index)
 		if o == nil || !o.Live(now) || o.PrunePending {
 			return false
 		}
 	}
-	return true
+	return any
 }
 
 // rpUnreachable reports whether an entry's current RP can no longer be
@@ -504,13 +536,13 @@ func (r *Router) pruneShared(in *netsim.Iface, g addr.IP) {
 	if wc == nil {
 		return
 	}
-	o := wc.OIFs[in.Index]
+	o := wc.OIF(in.Index)
 	if o == nil {
 		return
 	}
-	r.scheduleOIFPrune(wc, o, in, func() {
-		wc.RemoveOIF(in)
-		r.checkEmptyOIF(wc)
+	r.scheduleOIFPrune(wc, o, in, func(e *mfib.Entry) {
+		e.RemoveOIF(in)
+		r.checkEmptyOIF(e)
 	})
 }
 
@@ -520,31 +552,42 @@ func (r *Router) pruneSPT(in *netsim.Iface, g, s addr.IP) {
 	if sg == nil {
 		return
 	}
-	o := sg.OIFs[in.Index]
+	o := sg.OIF(in.Index)
 	if o == nil {
 		return
 	}
-	r.scheduleOIFPrune(sg, o, in, func() {
-		sg.RemoveOIF(in)
-		r.checkEmptyOIF(sg)
+	r.scheduleOIFPrune(sg, o, in, func(e *mfib.Entry) {
+		e.RemoveOIF(in)
+		r.checkEmptyOIF(e)
 	})
 }
 
 // scheduleOIFPrune applies a prune immediately on point-to-point links and
-// after the override window on LANs, unless a join cancels it first.
-func (r *Router) scheduleOIFPrune(e *mfib.Entry, o *mfib.OIF, in *netsim.Iface, apply func()) {
+// after the override window on LANs, unless a join cancels it first. The
+// deferred path must not capture the entry or oif pointers across the
+// delay: oif storage moves under structural list mutation and the flat
+// store recycles entry slots, so the closure re-looks the entry up by key,
+// checks Life() to reject a deleted-and-recreated incarnation, and tests
+// the prune-pending state on whatever oif the interface has now (a join in
+// the window clears PrunePending, which cancels the prune exactly as the
+// old pointer-identity check did).
+func (r *Router) scheduleOIFPrune(e *mfib.Entry, o *mfib.OIF, in *netsim.Iface, apply func(*mfib.Entry)) {
 	if in.Link == nil || !in.Link.IsLAN() {
-		apply()
+		apply(e)
 		return
 	}
 	now := r.now()
 	o.PrunePending = true
 	o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
 	e.Touch()
+	key, life := e.Key, e.Life()
 	r.after(r.Cfg.PruneOverrideDelay, func() {
-		cur := e.OIFs[in.Index]
-		if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
-			apply()
+		cur := r.MFIB.Get(key)
+		if cur == nil || cur.Life() != life {
+			return
+		}
+		if co := cur.OIF(in.Index); co != nil && co.PrunePending && r.now() >= co.PruneDeadline {
+			apply(cur)
 		}
 	})
 }
@@ -566,16 +609,26 @@ func (r *Router) pruneSourceOnShared(in *netsim.Iface, g, s addr.IP, hold netsim
 	o := rpt.AddOIF(in, now+hold) // "pruned" membership, kept alive by prune refreshes
 	if in.Link != nil && in.Link.IsLAN() {
 		// Effective only after the override window (§3.7); an overheard
-		// join with the RP bit cancels it via cancelNegativeCache.
+		// join with the RP bit cancels it via cancelNegativeCache. The
+		// closure re-looks both entries up: pointers must not be held
+		// across the delay (see scheduleOIFPrune).
 		o.PrunePending = true
 		o.PruneDeadline = now + r.Cfg.PruneOverrideDelay
 		rpt.Touch()
+		rptKey, rptLife := rpt.Key, rpt.Life()
 		r.after(r.Cfg.PruneOverrideDelay, func() {
-			cur := rpt.OIFs[in.Index]
-			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
-				o.PrunePending = false
-				rpt.Touch()
-				r.propagateRptPrune(g, s, rpt, wc)
+			cur := r.MFIB.Get(rptKey)
+			if cur == nil || cur.Life() != rptLife {
+				return
+			}
+			co := cur.OIF(in.Index)
+			if co == nil || !co.PrunePending || r.now() < co.PruneDeadline {
+				return
+			}
+			co.PrunePending = false
+			cur.Touch()
+			if wcNow := r.MFIB.Wildcard(g); wcNow != nil {
+				r.propagateRptPrune(g, s, cur, wcNow)
 			}
 		})
 		return

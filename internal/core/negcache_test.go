@@ -114,7 +114,7 @@ func TestLANOverrideOfRPBitPrune(t *testing.T) {
 	now := f.net.Sched.Now()
 	rpt := f.u.MFIB.SGRpt(src, f.group)
 	if rpt != nil {
-		if o := rpt.OIFs[f.uLANIface.Index]; o != nil && o.Live(now) && !o.PrunePending {
+		if o := rpt.OIF(f.uLANIface.Index); o != nil && o.Live(now) && !o.PrunePending {
 			t.Fatal("RP-bit prune took effect despite D2's override")
 		}
 	}

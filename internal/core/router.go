@@ -61,6 +61,13 @@ type Router struct {
 	// jpDec is the join/prune decode scratch; valid only within one
 	// handleJoinPrune call (the record slices are recycled across calls).
 	jpDec pimmsg.JoinPrune
+	// jpBatch/jpMsg/rptScratch are the periodic-refresh batching scratches
+	// (joinprune.go): destination batches, the outgoing message shell, and
+	// the per-group rpt-prune source list. All reused across refreshes so
+	// the steady-state batching path allocates nothing.
+	jpBatch    []jpDest
+	jpMsg      pimmsg.JoinPrune
+	rptScratch []addr.IP
 
 	started bool
 	// epoch invalidates scheduled closures across Stop/Restart: every timer

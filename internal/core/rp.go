@@ -197,8 +197,8 @@ func (r *Router) rpFailover(g addr.IP) {
 	// Local-member interfaces survive; downstream join state must re-form
 	// toward whichever RP the downstream routers themselves fail over to.
 	var localIfaces []*netsim.Iface
-	for _, o := range old.OIFs {
-		if o.LocalMember {
+	for i := 0; i < old.OIFCount(); i++ {
+		if o := old.OIFAt(i); o.LocalMember {
 			localIfaces = append(localIfaces, o.Iface)
 		}
 	}

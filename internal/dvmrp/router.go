@@ -239,7 +239,7 @@ func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 		if e.Wildcard || e.Key.RPBit {
 			return
 		}
-		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
+		if o := e.OIF(ifc.Index); o != nil && o.LocalMember {
 			o.LocalMember = false
 			e.Touch()
 			if !o.Live(now) {
@@ -310,7 +310,7 @@ func (r *Router) neighborUp(ifc *netsim.Iface) {
 		if e.IIF == ifc {
 			return
 		}
-		if o := e.OIFs[ifc.Index]; o != nil && o.Live(now) {
+		if o := e.OIF(ifc.Index); o != nil && o.Live(now) {
 			return
 		}
 		e.AddOIF(ifc, infiniteExpiry)

@@ -51,6 +51,11 @@ func init() {
 		Ledger:  "BENCH_ctrlplane.json",
 		Run:     runCtrlPlaneBench,
 	})
+	bench.Register("stateplane", bench.Spec{
+		Summary: "MFIB state-plane footprint and refresh-walk cost, flat arena vs map store",
+		Ledger:  "BENCH_stateplane.json",
+		Run:     runStatePlaneBench,
+	})
 	bench.Register("telemetry", bench.Spec{
 		Summary: "PIM-SM crash-recovery telemetry curves (writes JSON report, no ledger)",
 		Run:     runTelemetryBench,
@@ -365,6 +370,46 @@ func runCtrlPlaneBench(ctx *bench.Context) error {
 		return nil
 	}
 	ctx.Append(CtrlPlaneEntry{LedgerHeader: ctx.Header(""), Result: res})
+	return nil
+}
+
+// StatePlaneEntry is one appended record of the state-plane ledger.
+type StatePlaneEntry struct {
+	bench.LedgerHeader
+	Result StatePlaneResult `json:"result"`
+}
+
+func runStatePlaneBench(ctx *bench.Context) error {
+	cfg := DefaultStatePlane()
+	if ctx.Smoke {
+		cfg = SmokeStatePlane()
+	}
+	res := RunStatePlane(cfg)
+	for _, p := range res.Pairs {
+		for _, c := range []StatePlaneCell{p.MapStore, p.FlatStore} {
+			store := "map "
+			if c.Flat {
+				store = "flat"
+			}
+			ctx.Printf("stateplane %-13s %s  state=%5d  %6.1f B/entry  %9.1f ms  gc=%d pause %6.2f ms  heap %6.1f MB  delivered=%d",
+				p.Protocol, store, c.State, c.BytesPerEntry, c.WallMs,
+				c.GCCycles, c.GCPauseMs, c.HeapMB, c.Delivered)
+		}
+		ctx.Printf("stateplane %-13s bytes ratio %.2fx  speedup %.2fx  identical=%v",
+			p.Protocol, p.BytesRatio, p.Speedup, p.Identical)
+	}
+	ctx.Printf("stateplane walk map  %6.1f ns/entry (%d allocs/sweep over %d entries)",
+		res.WalkMap.NsPerEntry, res.WalkMap.AllocsPerSweep, res.WalkMap.Entries)
+	ctx.Printf("stateplane walk flat %6.1f ns/entry (%d allocs/sweep over %d entries)",
+		res.WalkFlat.NsPerEntry, res.WalkFlat.AllocsPerSweep, res.WalkFlat.Entries)
+	if !res.AllIdentical {
+		return fmt.Errorf("flat-store run diverged from map-store run — not recording")
+	}
+	if ctx.Smoke {
+		ctx.Printf("smoke run: flat/map gate passed, nothing recorded")
+		return nil
+	}
+	ctx.Append(StatePlaneEntry{LedgerHeader: ctx.Header(""), Result: res})
 	return nil
 }
 

@@ -172,7 +172,7 @@ func runCtrlPlaneCell(cfg CtrlPlaneConfig, proto Protocol, pooled bool) CtrlPlan
 		rpMap[grp] = []addr.IP{anchor}
 		coreMap[grp] = anchor
 	}
-	state, _, _ := deployProtocol(sim, proto, rpMap, coreMap, 120*netsim.Second)
+	state, _, _, _ := deployProtocol(sim, proto, rpMap, coreMap, 120*netsim.Second)
 
 	// Warm up: hellos, queries, joins, tree formation.
 	sim.Run(2 * netsim.Second)

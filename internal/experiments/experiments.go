@@ -73,6 +73,12 @@ type Result struct {
 	// soft-state pressure the §2.3 periodic-refresh design puts on a router's
 	// timer subsystem.
 	PeakTimers int
+	// StateBytes is the end-of-run MFIB memory footprint summed across all
+	// routers, for the protocols whose state plane is the shared mfib store
+	// (PIM-SM, PIM-DM, DVMRP); zero for CBT and MOSPF, whose per-group tree
+	// and cache state live elsewhere. This is the byte-level side of the
+	// State entry count (DESIGN.md §16).
+	StateBytes int64
 }
 
 // String renders the result as one table row.
@@ -184,7 +190,7 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 		coreMap[grp] = anchor
 	}
 
-	state, ctrl, spf := deployProtocol(sim, proto, rpMap, coreMap, cfg.PruneLifetime)
+	state, stateBytes, ctrl, spf := deployProtocol(sim, proto, rpMap, coreMap, cfg.PruneLifetime)
 
 	// Warm up: hellos, queries, membership.
 	sim.Run(2 * netsim.Second)
@@ -234,6 +240,9 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 	if spf != nil {
 		res.SPFRuns = spf()
 	}
+	if stateBytes != nil {
+		res.StateBytes = stateBytes()
+	}
 	// Links touched: backbone links only (host LANs always carry data).
 	for _, l := range sim.EdgeLinks {
 		if sim.Net.Stats.PerLink[l.ID].DataPackets > 0 {
@@ -255,24 +264,27 @@ func runSparseImpl(g *topology.Graph, cfg SparseConfig, proto Protocol, rng *ran
 }
 
 // deployProtocol installs one protocol's routers on a built simulation and
-// returns accessors for total forwarding state, cumulative control-message
-// count, and SPF executions (nil for the non-link-state protocols). Shared
-// between the overhead sweeps and the control-plane churn benchmark so every
-// ledger deploys through one code path.
+// returns accessors for total forwarding state, its byte footprint (nil for
+// the protocols whose state plane is not the shared mfib store), cumulative
+// control-message count, and SPF executions (nil for the non-link-state
+// protocols). Shared between the overhead sweeps and the control-plane churn
+// benchmark so every ledger deploys through one code path.
 func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.IP,
-	coreMap map[addr.IP]addr.IP, pruneLifetime netsim.Time) (state func() int, ctrl, spf func() int64) {
+	coreMap map[addr.IP]addr.IP, pruneLifetime netsim.Time, extra ...scenario.DeployOption) (state func() int, stateBytes func() int64, ctrl, spf func() int64) {
 	switch proto {
 	case PIMSM, PIMSMShared:
 		pcfg := core.Config{RPMapping: rpMap}
 		if proto == PIMSMShared {
 			pcfg.SPTPolicy = core.SwitchNever
 		}
-		dep := sim.Deploy(scenario.SparseMode, scenario.WithCoreConfig(pcfg)).(*scenario.PIMDeployment)
+		dep := sim.Deploy(scenario.SparseMode, append([]scenario.DeployOption{scenario.WithCoreConfig(pcfg)}, extra...)...).(*scenario.PIMDeployment)
 		state = dep.TotalState
+		stateBytes = dep.StateBytes
 		ctrl = func() int64 { return sumCtrl(depMetrics(dep)) }
 	case DVMRP:
-		dep := sim.Deploy(scenario.DVMRPMode, scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: pruneLifetime})).(*scenario.DVMRPDeployment)
+		dep := sim.Deploy(scenario.DVMRPMode, append([]scenario.DeployOption{scenario.WithDVMRPConfig(dvmrp.Config{PruneLifetime: pruneLifetime})}, extra...)...).(*scenario.DVMRPDeployment)
 		state = dep.TotalState
+		stateBytes = dep.StateBytes
 		ctrl = func() int64 {
 			var t int64
 			for _, r := range dep.Routers {
@@ -281,8 +293,9 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case PIMDM:
-		dep := sim.Deploy(scenario.DenseMode, scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: pruneLifetime})).(*scenario.PIMDMDeployment)
+		dep := sim.Deploy(scenario.DenseMode, append([]scenario.DeployOption{scenario.WithDenseConfig(pimdm.Config{PruneHoldTime: pruneLifetime})}, extra...)...).(*scenario.PIMDMDeployment)
 		state = dep.TotalState
+		stateBytes = dep.StateBytes
 		ctrl = func() int64 {
 			var t int64
 			for _, r := range dep.Routers {
@@ -292,7 +305,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case CBT:
-		dep := sim.Deploy(scenario.CBTMode, scenario.WithCBTConfig(cbt.Config{CoreMapping: coreMap})).(*scenario.CBTDeployment)
+		dep := sim.Deploy(scenario.CBTMode, append([]scenario.DeployOption{scenario.WithCBTConfig(cbt.Config{CoreMapping: coreMap})}, extra...)...).(*scenario.CBTDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64
@@ -303,7 +316,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 			return t
 		}
 	case MOSPF:
-		dep := sim.Deploy(scenario.MOSPFMode).(*scenario.MOSPFDeployment)
+		dep := sim.Deploy(scenario.MOSPFMode, extra...).(*scenario.MOSPFDeployment)
 		state = dep.TotalState
 		ctrl = func() int64 {
 			var t int64
@@ -322,7 +335,7 @@ func deployProtocol(sim *scenario.Sim, proto Protocol, rpMap map[addr.IP][]addr.
 	default:
 		panic("experiments: unknown protocol " + string(proto))
 	}
-	return state, ctrl, spf
+	return state, stateBytes, ctrl, spf
 }
 
 func max(a, b int) int {

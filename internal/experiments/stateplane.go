@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"pim/internal/addr"
+	"pim/internal/igmp"
+	"pim/internal/mfib"
+	"pim/internal/netsim"
+	"pim/internal/scenario"
+	"pim/internal/telemetry"
+	"pim/internal/topology"
+)
+
+// The state-plane benchmark isolates the cost of the multicast forwarding
+// state itself (DESIGN.md §16): a high-group internet where every router
+// holds many (*,G)/(S,G) entries and the steady-state load is the periodic
+// refresh walk over them. Each MFIB-backed protocol runs twice in-process —
+// once on the reference map-of-pointers store (the "seed" side) and once on
+// the flat arena store with inline oif storage (the "after" side) — and the
+// ledger refuses to record unless the two runs' observables (delivery
+// counts, control messages, scheduler events, final state, and an
+// order-sensitive hash of the full telemetry stream) are bit-identical. The
+// host-side numbers (bytes/entry, GC cycles and pause, heap, wall time,
+// refresh-walk throughput) are then attributable purely to the store layout.
+
+// StatePlaneConfig parameterizes the state-plane benchmark.
+type StatePlaneConfig struct {
+	Nodes   int
+	Degree  float64
+	Groups  int // high: the state plane, not the data plane, is the load
+	Members int
+	Senders int
+	Seed    int64
+	// Warmup builds the trees; Duration is the measured phase (periodic
+	// senders keep (S,G) state alive while refresh walks dominate).
+	Warmup         netsim.Time
+	Duration       netsim.Time
+	PacketInterval netsim.Time
+	Protos         []Protocol
+	// WalkEntries sizes the refresh-walk microbenchmark table.
+	WalkEntries int
+}
+
+// DefaultStatePlane is the ledger workload: a 1000-router internet carrying
+// 48 concurrently active groups — thousands of MFIB entries network-wide —
+// across every protocol whose state plane is the shared mfib store.
+func DefaultStatePlane() StatePlaneConfig {
+	return StatePlaneConfig{
+		Nodes: 1000, Degree: 4, Groups: 48, Members: 4, Senders: 2, Seed: 42,
+		Warmup: 60 * netsim.Second, Duration: 120 * netsim.Second,
+		PacketInterval: 10 * netsim.Second,
+		Protos:         []Protocol{PIMSM, PIMDM, DVMRP},
+		WalkEntries:    8192,
+	}
+}
+
+// SmokeStatePlane is the CI-sized workload for make check: a small internet,
+// two protocols, the same flat/map equivalence gate; nothing is recorded.
+func SmokeStatePlane() StatePlaneConfig {
+	return StatePlaneConfig{
+		Nodes: 40, Degree: 4, Groups: 8, Members: 3, Senders: 1, Seed: 42,
+		Warmup: 30 * netsim.Second, Duration: 60 * netsim.Second,
+		PacketInterval: 10 * netsim.Second,
+		Protos:         []Protocol{PIMSM, DVMRP},
+		WalkEntries:    2048,
+	}
+}
+
+// StatePlaneCell is one (protocol, store) measurement.
+type StatePlaneCell struct {
+	Protocol Protocol `json:"protocol"`
+	Flat     bool     `json:"flat"`
+
+	// Simulated observables — must be bit-identical between the flat and
+	// map runs of the same protocol (the ledger gate).
+	Delivered    int64  `json:"delivered"`
+	CtrlMessages int64  `json:"ctrl_messages"`
+	State        int    `json:"state"`
+	Events       int64  `json:"events"`
+	StreamHash   string `json:"stream_hash"`
+
+	// Host-side cost.
+	StateBytes    int64   `json:"state_bytes"`
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	WallMs        float64 `json:"wall_ms"`
+	Mallocs       uint64  `json:"mallocs"`
+	GCCycles      uint32  `json:"gc_cycles"`
+	GCPauseMs     float64 `json:"gc_pause_ms"`
+	HeapMB        float64 `json:"heap_mb"`
+}
+
+// StatePlanePair is one protocol's before/after: the map-store oracle run
+// and the flat-store run over the identical simulation.
+type StatePlanePair struct {
+	Protocol  Protocol       `json:"protocol"`
+	MapStore  StatePlaneCell `json:"map"`
+	FlatStore StatePlaneCell `json:"flat"`
+	Identical bool           `json:"identical"`
+	// BytesRatio is map bytes/entry over flat bytes/entry (>1 means the
+	// flat store is denser); Speedup is map wall over flat wall.
+	BytesRatio float64 `json:"bytes_ratio"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// WalkBench is the refresh-walk microbenchmark for one store: a full
+// ForEach/ForGroup sweep over a populated table, the inner loop of every
+// periodic refresh.
+type WalkBench struct {
+	Entries        int     `json:"entries"`
+	NsPerEntry     float64 `json:"ns_per_entry"`
+	AllocsPerSweep int64   `json:"allocs_per_sweep"`
+}
+
+// StatePlaneResult aggregates the per-protocol pairs and the store-level
+// walk microbenchmarks.
+type StatePlaneResult struct {
+	Pairs        []StatePlanePair `json:"pairs"`
+	AllIdentical bool             `json:"all_identical"`
+	WalkMap      WalkBench        `json:"walk_map"`
+	WalkFlat     WalkBench        `json:"walk_flat"`
+	WallMs       float64          `json:"wall_ms"`
+}
+
+// RunStatePlane runs every configured protocol on both stores and returns
+// the paired measurements. Cells run sequentially in-process so the
+// runtime.MemStats deltas attribute cleanly to one simulation at a time.
+func RunStatePlane(cfg StatePlaneConfig) StatePlaneResult {
+	res := StatePlaneResult{AllIdentical: true}
+	t0 := time.Now()
+	for _, proto := range cfg.Protos {
+		m := runStatePlaneCell(cfg, proto, false)
+		f := runStatePlaneCell(cfg, proto, true)
+		pair := StatePlanePair{
+			Protocol: proto, MapStore: m, FlatStore: f,
+			Identical: m.Delivered == f.Delivered &&
+				m.CtrlMessages == f.CtrlMessages &&
+				m.State == f.State &&
+				m.Events == f.Events &&
+				m.StreamHash == f.StreamHash,
+		}
+		if f.BytesPerEntry > 0 {
+			pair.BytesRatio = m.BytesPerEntry / f.BytesPerEntry
+		}
+		if f.WallMs > 0 {
+			pair.Speedup = m.WallMs / f.WallMs
+		}
+		if !pair.Identical {
+			res.AllIdentical = false
+		}
+		res.Pairs = append(res.Pairs, pair)
+	}
+	res.WalkMap = walkMicroBench(false, cfg.WalkEntries)
+	res.WalkFlat = walkMicroBench(true, cfg.WalkEntries)
+	res.WallMs = float64(time.Since(t0).Microseconds()) / 1000
+	return res
+}
+
+// runStatePlaneCell builds one internet, joins the members, runs periodic
+// senders through the measured phase under the requested store, and hashes
+// the complete telemetry stream as the equivalence witness.
+func runStatePlaneCell(cfg StatePlaneConfig, proto Protocol, flat bool) StatePlaneCell {
+	prevStore := mfib.SetFlatStore(flat)
+	defer mfib.SetFlatStore(prevStore)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := topology.Random(topology.GenConfig{Nodes: cfg.Nodes, Degree: cfg.Degree}, rng)
+	groups := make([]addr.IP, cfg.Groups)
+	memberIdx := make([][]int, cfg.Groups)
+	senderIdx := make([][]int, cfg.Groups)
+	for gi := range groups {
+		groups[gi] = addr.GroupForIndex(gi)
+		picked := topology.PickDistinct(cfg.Nodes, cfg.Members+cfg.Senders, rng)
+		memberIdx[gi] = picked[:cfg.Members]
+		senderIdx[gi] = picked[cfg.Members:]
+	}
+
+	sim := scenario.Build(g)
+	recvHosts := make([][]*igmp.Host, cfg.Groups)
+	sendHosts := make([][]*igmp.Host, cfg.Groups)
+	hostAt := map[int]*igmp.Host{}
+	ensureHost := func(r int) *igmp.Host {
+		if h := hostAt[r]; h != nil {
+			return h
+		}
+		h := sim.AddHost(r)
+		hostAt[r] = h
+		return h
+	}
+	for gi := range groups {
+		for _, m := range memberIdx[gi] {
+			recvHosts[gi] = append(recvHosts[gi], ensureHost(m))
+		}
+		for _, s := range senderIdx[gi] {
+			sendHosts[gi] = append(sendHosts[gi], ensureHost(s))
+		}
+	}
+	sim.FinishUnicast(scenario.UseOracle)
+
+	rpMap := map[addr.IP][]addr.IP{}
+	coreMap := map[addr.IP]addr.IP{}
+	for gi, grp := range groups {
+		anchor := sim.RouterAddr(memberIdx[gi][0])
+		rpMap[grp] = []addr.IP{anchor}
+		coreMap[grp] = anchor
+	}
+
+	// The full event stream folds into an order-sensitive hash: any
+	// reordering, retiming, or behavioral drift between the two stores —
+	// including one the aggregate counters would cancel out — changes it.
+	hash := fnv.New64a()
+	var buf [8 * 8]byte
+	bus := telemetry.NewBus()
+	bus.Subscribe(func(ev telemetry.Event) {
+		fields := [...]uint64{
+			uint64(ev.At), uint64(ev.Kind), uint64(int64(ev.Router)),
+			uint64(int64(ev.Iface)), ev.Epoch, uint64(ev.Source),
+			uint64(ev.Group), uint64(ev.Value),
+		}
+		for i, f := range fields {
+			binary.LittleEndian.PutUint64(buf[i*8:], f)
+		}
+		hash.Write(buf[:])
+	})
+
+	state, stateBytes, _, _ := deployProtocol(sim, proto, rpMap, coreMap,
+		120*netsim.Second, scenario.WithTelemetry(bus))
+
+	// Warm up: hellos, queries, joins, tree formation.
+	sim.Run(2 * netsim.Second)
+	for gi, grp := range groups {
+		for _, h := range recvHosts[gi] {
+			h.Join(grp)
+		}
+	}
+	sim.Run(cfg.Warmup)
+
+	// Measured phase: periodic senders keep source state alive while the
+	// soft-state refresh walks the populated MFIBs.
+	sim.Net.Stats.Reset()
+	eventsBase := sim.Net.EventsProcessed()
+	for gi, grp := range groups {
+		grp := grp
+		for _, h := range sendHosts[gi] {
+			h := h
+			sched := h.Node.Sched()
+			var pump func()
+			pump = func() {
+				scenario.SendData(h, grp, 128)
+				sched.After(cfg.PacketInterval, pump)
+			}
+			sched.After(0, pump)
+		}
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	w0 := time.Now()
+	sim.Run(cfg.Duration)
+	wall := time.Since(w0)
+	runtime.ReadMemStats(&m1)
+
+	cell := StatePlaneCell{
+		Protocol:     proto,
+		Flat:         flat,
+		CtrlMessages: sim.Net.Stats.Totals.ControlPackets,
+		State:        state(),
+		Events:       sim.Net.EventsProcessed() - eventsBase,
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		Mallocs:      m1.Mallocs - m0.Mallocs,
+		GCCycles:     m1.NumGC - m0.NumGC,
+		GCPauseMs:    float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6,
+		HeapMB:       float64(m1.HeapAlloc) / (1 << 20),
+	}
+	for _, h := range hostAt {
+		for _, n := range h.Received {
+			cell.Delivered += int64(n)
+		}
+	}
+	if stateBytes != nil {
+		cell.StateBytes = stateBytes()
+	}
+	if cell.State > 0 {
+		cell.BytesPerEntry = float64(cell.StateBytes) / float64(cell.State)
+	}
+	cell.StreamHash = hashHex(hash.Sum64())
+	return cell
+}
+
+func hashHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// walkMicroBench times the periodic-refresh inner loop in isolation: a full
+// ForEach sweep over a table populated with entries spread across many
+// groups, three live oifs each, on the requested store.
+func walkMicroBench(flat bool, entries int) WalkBench {
+	if entries <= 0 {
+		entries = 2048
+	}
+	net := netsim.NewNetwork()
+	nd := net.AddNode("walk")
+	ifs := make([]*netsim.Iface, 4)
+	for i := range ifs {
+		ifs[i] = net.AddIface(nd, addr.V4(10, 9, byte(i), 1))
+	}
+	tb := mfib.NewTableWith(flat)
+	const sourcesPerGroup = 16
+	ngroups := (entries + sourcesPerGroup) / (sourcesPerGroup + 1)
+	n := 0
+	for gi := 0; n < entries; gi++ {
+		grp := addr.GroupForIndex(gi % max(ngroups, 1))
+		var k mfib.Key
+		if gi < ngroups {
+			k = mfib.Key{Group: grp, RPBit: true}
+		} else {
+			k = mfib.Key{Source: addr.V4(10, 100, byte(gi>>8), byte(gi)), Group: grp}
+		}
+		e, created := tb.Upsert(k, 0)
+		if !created {
+			continue
+		}
+		e.IIF = ifs[gi%len(ifs)]
+		for j := 0; j < 3; j++ {
+			e.AddOIF(ifs[(gi+j+1)%len(ifs)], netsim.Time(1)<<40)
+		}
+		n++
+	}
+	var visited int
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			visited = 0
+			tb.ForEach(func(e *mfib.Entry) {
+				for oi := 0; oi < e.OIFCount(); oi++ {
+					if e.OIFAt(oi).Live(1) {
+						visited++
+					}
+				}
+			})
+		}
+	})
+	_ = visited
+	return WalkBench{
+		Entries:        n,
+		NsPerEntry:     float64(r.T.Nanoseconds()) / float64(r.N) / float64(n),
+		AllocsPerSweep: r.AllocsPerOp(),
+	}
+}

@@ -18,12 +18,20 @@
 //   - (S,G) RP-bit: Wildcard=false, RPBit=true. A negative cache on the
 //     shared tree (§3.3 fn. 11): interfaces pruned for S are recorded here
 //     and subtracted from the (*,G) list during forwarding.
+//
+// Storage layout (DESIGN.md §16): the outgoing-interface list is stored
+// inline in the entry — a fixed [inlineOIFCap]OIF array covers the common
+// small fan-out, with a spill slice for wider lists. The list is kept packed
+// and sorted by interface index, so iteration is deterministic without a
+// per-walk sort and the steady-state refresh walk touches contiguous
+// memory. OIF pointers returned by accessors are invalidated by any
+// structural mutation of the list (AddOIF of a new interface, RemoveOIF);
+// callers must not hold them across such mutations — timer closures capture
+// the entry Key plus Life() and re-look-up instead.
 package mfib
 
 import (
-	"cmp"
 	"fmt"
-	"slices"
 
 	"pim/internal/addr"
 	"pim/internal/netsim"
@@ -51,6 +59,12 @@ type OIF struct {
 	PruneDeadline netsim.Time
 }
 
+// inlineOIFCap is the number of outgoing interfaces stored directly in the
+// entry; fan-outs beyond it spill to a heap slice. Four covers the typical
+// degree of the random internets the experiments build (§6 talks in terms
+// of a handful of tree neighbors per router).
+const inlineOIFCap = 4
+
 // Entry is one multicast forwarding entry.
 type Entry struct {
 	Key Key
@@ -70,8 +84,6 @@ type Entry struct {
 	// UpstreamNeighbor is the next-hop address toward the source/RP that
 	// periodic join/prune messages target; 0 when IIF is nil.
 	UpstreamNeighbor addr.IP
-	// OIFs maps interface index -> outgoing interface state.
-	OIFs map[int]*OIF
 	// Created supports the "delete after 3× refresh period" rule and
 	// entry-age metrics.
 	Created netsim.Time
@@ -82,10 +94,28 @@ type Entry struct {
 	// another router's identical join postpones this entry's own periodic
 	// refresh until the recorded time.
 	SuppressedUntil netsim.Time
+
+	// The outgoing-interface list: noif total, packed and sorted by
+	// Iface.Index, the first inlineOIFCap elements inline and the rest in
+	// oifSpill.
+	noif      int32
+	oifInline [inlineOIFCap]OIF
+	oifSpill  []OIF
+
+	// life identifies this incarnation of the (table, key) pair: the table
+	// assigns a fresh monotone value on every creation, in both stores, so
+	// timer closures can detect delete/re-create across their delay by
+	// comparing Life() (pointer identity is not enough once the flat store
+	// recycles slots).
+	life uint64
+	// dead marks a freed flat-store slot awaiting recycling.
+	dead bool
 	// gen is the entry's mutation generation; plans compiled against this
 	// entry (plan.go) revalidate with one compare. Every method mutating
 	// forwarding-relevant state bumps it; code mutating OIF fields or IIF
-	// directly must call Touch.
+	// directly must call Touch. Slot recycling continues the sequence
+	// (never resets it) so a stale plan dependency can never revalidate
+	// against a later incarnation.
 	gen uint64
 	// plans holds the compiled fan-out slices derived from this entry.
 	plans []plan
@@ -99,18 +129,102 @@ func (e *Entry) Touch() { e.gen++ }
 // Gen returns the entry's mutation generation.
 func (e *Entry) Gen() uint64 { return e.gen }
 
+// Life identifies this incarnation of the entry's key in its table. A timer
+// closure that must act on "the entry as it was scheduled" captures the Key
+// and Life, re-looks the entry up at fire time, and bails if Life changed.
+func (e *Entry) Life() uint64 { return e.life }
+
 // NewEntry builds an empty entry.
 func NewEntry(k Key, now netsim.Time) *Entry {
-	return &Entry{Key: k, Wildcard: k.Source == 0, OIFs: map[int]*OIF{}, Created: now}
+	return &Entry{Key: k, Wildcard: k.Source == 0, Created: now}
+}
+
+// oifAt returns the i-th slot of the packed oif list.
+func (e *Entry) oifAt(i int) *OIF {
+	if i < inlineOIFCap {
+		return &e.oifInline[i]
+	}
+	return &e.oifSpill[i-inlineOIFCap]
+}
+
+// oifFind locates the interface index in the sorted list: (position, true)
+// when present, (insertion point, false) when absent.
+func (e *Entry) oifFind(idx int) (int, bool) {
+	n := int(e.noif)
+	for i := 0; i < n; i++ {
+		j := e.oifAt(i).Iface.Index
+		if j == idx {
+			return i, true
+		}
+		if j > idx {
+			return i, false
+		}
+	}
+	return n, false
+}
+
+// oifInsert opens the slot at pos and writes o, keeping the list packed.
+func (e *Entry) oifInsert(pos int, o OIF) *OIF {
+	n := int(e.noif)
+	if n >= inlineOIFCap {
+		e.oifSpill = append(e.oifSpill, OIF{})
+	}
+	e.noif++
+	for i := n; i > pos; i-- {
+		*e.oifAt(i) = *e.oifAt(i - 1)
+	}
+	p := e.oifAt(pos)
+	*p = o
+	return p
+}
+
+// oifRemoveAt closes the slot at pos, keeping the list packed.
+func (e *Entry) oifRemoveAt(pos int) {
+	n := int(e.noif)
+	for i := pos; i < n-1; i++ {
+		*e.oifAt(i) = *e.oifAt(i + 1)
+	}
+	*e.oifAt(n - 1) = OIF{} // drop the Iface pointer
+	if n-1 >= inlineOIFCap {
+		e.oifSpill = e.oifSpill[:n-1-inlineOIFCap]
+	}
+	e.noif--
+}
+
+// OIFCount returns the number of interfaces in the list (live or not).
+func (e *Entry) OIFCount() int { return int(e.noif) }
+
+// OIFAt returns the i-th outgoing interface in index order. The pointer is
+// valid only until the next structural list mutation.
+func (e *Entry) OIFAt(i int) *OIF { return e.oifAt(i) }
+
+// OIF returns the state for the given interface index, or nil. The pointer
+// is valid only until the next structural list mutation.
+func (e *Entry) OIF(ifaceIndex int) *OIF {
+	if pos, ok := e.oifFind(ifaceIndex); ok {
+		return e.oifAt(pos)
+	}
+	return nil
+}
+
+// EachOIF calls fn for every outgoing interface in ascending index order —
+// the deterministic replacement for ranging over the old oif map. fn must
+// not structurally mutate the list.
+func (e *Entry) EachOIF(fn func(*OIF)) {
+	for i := 0; i < int(e.noif); i++ {
+		fn(e.oifAt(i))
+	}
 }
 
 // AddOIF inserts or refreshes an outgoing interface driven by a downstream
 // join, clearing any pending prune (a join overrides a pending LAN prune).
 func (e *Entry) AddOIF(ifc *netsim.Iface, expires netsim.Time) *OIF {
-	o := e.OIFs[ifc.Index]
-	if o == nil {
-		o = &OIF{Iface: ifc}
-		e.OIFs[ifc.Index] = o
+	pos, ok := e.oifFind(ifc.Index)
+	var o *OIF
+	if ok {
+		o = e.oifAt(pos)
+	} else {
+		o = e.oifInsert(pos, OIF{Iface: ifc})
 	}
 	if expires > o.Expires {
 		o.Expires = expires
@@ -123,10 +237,12 @@ func (e *Entry) AddOIF(ifc *netsim.Iface, expires netsim.Time) *OIF {
 
 // AddLocalOIF inserts or marks an interface as having a local member.
 func (e *Entry) AddLocalOIF(ifc *netsim.Iface) *OIF {
-	o := e.OIFs[ifc.Index]
-	if o == nil {
-		o = &OIF{Iface: ifc}
-		e.OIFs[ifc.Index] = o
+	pos, ok := e.oifFind(ifc.Index)
+	var o *OIF
+	if ok {
+		o = e.oifAt(pos)
+	} else {
+		o = e.oifInsert(pos, OIF{Iface: ifc})
 	}
 	o.LocalMember = true
 	o.PrunePending = false
@@ -137,13 +253,15 @@ func (e *Entry) AddLocalOIF(ifc *netsim.Iface) *OIF {
 
 // RemoveOIF drops an interface from the list.
 func (e *Entry) RemoveOIF(ifc *netsim.Iface) {
-	delete(e.OIFs, ifc.Index)
+	if pos, ok := e.oifFind(ifc.Index); ok {
+		e.oifRemoveAt(pos)
+	}
 	e.Touch()
 }
 
 // HasOIF reports whether the interface is currently in the live list.
 func (e *Entry) HasOIF(ifc *netsim.Iface, now netsim.Time) bool {
-	o := e.OIFs[ifc.Index]
+	o := e.OIF(ifc.Index)
 	return o != nil && o.Live(now)
 }
 
@@ -158,25 +276,39 @@ func (o *OIF) Live(now netsim.Time) bool {
 	return now <= o.Expires
 }
 
-// LiveOIFs returns the interfaces to forward over, excluding the given
-// arrival interface, sorted by index for determinism.
-func (e *Entry) LiveOIFs(now netsim.Time, except *netsim.Iface) []*netsim.Iface {
-	var out []*netsim.Iface
-	for _, o := range e.OIFs {
+// AppendLiveOIFs appends the interfaces to forward over — excluding the
+// given arrival interface, in ascending index order — to dst and returns it.
+// The allocation-free form of LiveOIFs for compiled-plan rebuilds and other
+// hot walks.
+func (e *Entry) AppendLiveOIFs(dst []*netsim.Iface, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	for i := 0; i < int(e.noif); i++ {
+		o := e.oifAt(i)
 		if !o.Live(now) {
 			continue
 		}
 		if except != nil && o.Iface == except {
 			continue
 		}
-		out = append(out, o.Iface)
+		dst = append(dst, o.Iface)
 	}
-	slices.SortFunc(out, func(a, b *netsim.Iface) int { return a.Index - b.Index })
-	return out
+	return dst
+}
+
+// LiveOIFs returns the interfaces to forward over, excluding the given
+// arrival interface, sorted by index for determinism.
+func (e *Entry) LiveOIFs(now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	return e.AppendLiveOIFs(nil, now, except)
 }
 
 // OIFEmpty reports whether no live outgoing interface remains.
-func (e *Entry) OIFEmpty(now netsim.Time) bool { return len(e.LiveOIFs(now, nil)) == 0 }
+func (e *Entry) OIFEmpty(now netsim.Time) bool {
+	for i := 0; i < int(e.noif); i++ {
+		if e.oifAt(i).Live(now) {
+			return false
+		}
+	}
+	return true
+}
 
 // String renders the entry in the paper's notation for traces and tests.
 func (e *Entry) String() string {
@@ -187,115 +319,4 @@ func (e *Entry) String() string {
 		kind += "RPbit"
 	}
 	return kind
-}
-
-// Table stores a router's multicast forwarding entries.
-type Table struct {
-	entries map[Key]*Entry
-}
-
-// NewTable returns an empty table.
-func NewTable() *Table { return &Table{entries: map[Key]*Entry{}} }
-
-// Get returns the entry for the exact key, or nil.
-func (t *Table) Get(k Key) *Entry { return t.entries[k] }
-
-// Wildcard returns the (*,G) entry, or nil.
-func (t *Table) Wildcard(g addr.IP) *Entry {
-	return t.entries[Key{Group: g, RPBit: true}]
-}
-
-// SG returns the (S,G) shortest-path entry, or nil.
-func (t *Table) SG(s, g addr.IP) *Entry {
-	return t.entries[Key{Source: s, Group: g}]
-}
-
-// SGRpt returns the (S,G) RP-bit negative-cache entry, or nil.
-func (t *Table) SGRpt(s, g addr.IP) *Entry {
-	return t.entries[Key{Source: s, Group: g, RPBit: true}]
-}
-
-// Upsert returns the entry for k, creating it if absent; created reports
-// whether it was new.
-func (t *Table) Upsert(k Key, now netsim.Time) (e *Entry, created bool) {
-	if e = t.entries[k]; e != nil {
-		return e, false
-	}
-	e = NewEntry(k, now)
-	e.Key = k
-	t.entries[k] = e
-	return e, true
-}
-
-// Delete removes an entry.
-func (t *Table) Delete(k Key) { delete(t.entries, k) }
-
-// Len returns the number of entries — the "state" axis of the paper's
-// overhead metric.
-func (t *Table) Len() int { return len(t.entries) }
-
-// ForGroup calls fn for every entry of the group, in deterministic order.
-func (t *Table) ForGroup(g addr.IP, fn func(*Entry)) {
-	t.forSelected(func(k Key) bool { return k.Group == g }, fn)
-}
-
-// ForEach calls fn for every entry in deterministic order.
-func (t *Table) ForEach(fn func(*Entry)) {
-	t.forSelected(func(Key) bool { return true }, fn)
-}
-
-func (t *Table) forSelected(sel func(Key) bool, fn func(*Entry)) {
-	keys := make([]Key, 0, len(t.entries))
-	for k := range t.entries {
-		if sel(k) {
-			keys = append(keys, k)
-		}
-	}
-	slices.SortFunc(keys, func(a, b Key) int {
-		if a.Group != b.Group {
-			return cmp.Compare(a.Group, b.Group)
-		}
-		if a.Source != b.Source {
-			return cmp.Compare(a.Source, b.Source)
-		}
-		return boolToInt(a.RPBit) - boolToInt(b.RPBit)
-	})
-	for _, k := range keys {
-		if e := t.entries[k]; e != nil {
-			fn(e)
-		}
-	}
-}
-
-// Sweep removes entries whose DeleteAt deadline has passed and prunes
-// expired non-local oifs; it returns the removed entries so the protocol can
-// emit triggered prunes.
-func (t *Table) Sweep(now netsim.Time) []*Entry {
-	var removed []*Entry
-	for k, e := range t.entries {
-		for idx, o := range e.OIFs {
-			if !o.LocalMember && now > o.Expires {
-				delete(e.OIFs, idx)
-				e.Touch()
-			}
-		}
-		if e.DeleteAt != 0 && now >= e.DeleteAt {
-			removed = append(removed, e)
-			delete(t.entries, k)
-		}
-	}
-	slices.SortFunc(removed, func(a, b *Entry) int {
-		if a.Key.Group != b.Key.Group {
-			return cmp.Compare(a.Key.Group, b.Key.Group)
-		}
-		return cmp.Compare(a.Key.Source, b.Key.Source)
-	})
-	return removed
-}
-
-func boolToInt(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
 }

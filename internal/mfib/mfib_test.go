@@ -142,10 +142,10 @@ func TestSweepExpiredOIFsAndDeadEntries(t *testing.T) {
 	e.AddOIF(ifs[0], 100)
 	e.AddLocalOIF(ifs[1])
 	tb.Sweep(200)
-	if e.OIFs[ifs[0].Index] != nil {
+	if e.OIF(ifs[0].Index) != nil {
 		t.Error("expired oif not swept")
 	}
-	if e.OIFs[ifs[1].Index] == nil {
+	if e.OIF(ifs[1].Index) == nil {
 		t.Error("local oif swept")
 	}
 	// Entry deletion after DeleteAt.

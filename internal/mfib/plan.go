@@ -8,23 +8,27 @@ import (
 // This file compiles §3.5 forwarding decisions into flat fan-out slices.
 //
 // The reference data plane recomputes the outgoing-interface list per
-// packet: walk the OIFs map, test per-oif timers, subtract the (S,G)RP-bit
-// negative cache, sort — all allocating. In steady state nothing in that
-// computation changes between packets, so the fast path caches the result
-// as a plan: the compiled slice plus everything needed to prove it is still
-// current. A plan is valid while
+// packet: walk the oif list, test per-oif timers, subtract the (S,G)RP-bit
+// negative cache — all allocating a fresh slice. In steady state nothing in
+// that computation changes between packets, so the fast path caches the
+// result as a plan: the compiled slice plus everything needed to prove it
+// is still current. A plan is valid while
 //
 //   - each dependency entry is the same object at the same generation
 //     (every OIF/IIF mutation bumps the owning entry's generation via
-//     Touch, and entry replacement changes the pointer), and
+//     Touch; entry replacement changes the pointer in the map store and
+//     continues the slot's generation past any pinned value in the flat
+//     store), and
 //   - simulated time has not passed validUntil, the earliest future oif
 //     expiry among the dependencies (timer-driven liveness changes are the
 //     one way a list changes with no mutation).
 //
-// Compilation calls the same reference functions the slow path uses, so the
-// two paths are structurally identical — same interfaces, same order — which
-// is what the differential tests and the pimbench trace-equivalence gate
-// verify end to end.
+// Compilation appends through the same append-style functions the
+// reference path wraps, so the two paths are structurally identical — same
+// interfaces, same order — which is what the differential tests and the
+// pimbench trace-equivalence gate verify end to end. The append forms also
+// make a steady-state recompile allocation-free once the plan's slice has
+// grown to its working capacity.
 
 // Plan kinds: a plain entry list (§3.6 oif timers folded in), the shared
 // tree minus the negative cache (§3.3 fn. 11), and the SPT∪shared union
@@ -63,16 +67,14 @@ type plan struct {
 
 // compile (re)builds the fan-out slice in place, reusing its capacity.
 func (p *plan) compile(d0, d1, d2 *Entry, now netsim.Time) {
-	var list []*netsim.Iface
 	switch p.kind {
 	case planSelf:
-		list = d0.LiveOIFs(now, p.except)
+		p.out = d0.AppendLiveOIFs(p.out[:0], now, p.except)
 	case planShared:
-		list = sharedList(d0, d1, now, p.except)
+		p.out = appendShared(p.out[:0], d0, d1, now, p.except)
 	case planUnion:
-		list = unionList(d0, d1, d2, now, p.except)
+		p.out = appendUnion(p.out[:0], d0, d1, d2, now, p.except)
 	}
-	p.out = append(p.out[:0], list...)
 	u := maxTime
 	u = minFutureExpiry(d0, now, u)
 	u = minFutureExpiry(d1, now, u)
@@ -99,7 +101,8 @@ func minFutureExpiry(e *Entry, now, until netsim.Time) netsim.Time {
 	if e == nil {
 		return until
 	}
-	for _, o := range e.OIFs {
+	for i := 0; i < int(e.noif); i++ {
+		o := e.oifAt(i)
 		if !o.LocalMember && o.Expires >= now && o.Expires < until {
 			until = o.Expires
 		}
@@ -164,36 +167,73 @@ func UnionForward(sg, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*
 	return sg.lookupPlan(planUnion, except, sg, wc, rpt, now)
 }
 
-// sharedList is the reference shared-tree computation (moved here from
-// internal/core so both paths share one implementation).
-func sharedList(wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
-	var out []*netsim.Iface
-	for _, ifc := range wc.LiveOIFs(now, except) {
+// appendShared appends the shared-tree fan-out to dst: the (*,G) live list
+// minus the interfaces the negative cache prunes for this source.
+func appendShared(dst []*netsim.Iface, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	for i := 0; i < int(wc.noif); i++ {
+		o := wc.oifAt(i)
+		if !o.Live(now) {
+			continue
+		}
+		if except != nil && o.Iface == except {
+			continue
+		}
 		if rpt != nil {
-			if o := rpt.OIFs[ifc.Index]; o != nil && o.Live(now) && !o.PrunePending {
+			if ro := rpt.OIF(o.Iface.Index); ro != nil && ro.Live(now) && !ro.PrunePending {
 				continue // pruned for this source (§3.3 fn. 11)
 			}
 		}
-		out = append(out, ifc)
+		dst = append(dst, o.Iface)
 	}
-	return out
+	return dst
+}
+
+// appendUnion appends the SPT∪shared fan-out to dst. Deduplication is a
+// linear scan over the handful of already-appended interfaces — fan-outs
+// are small, and it keeps the recompile allocation-free.
+func appendUnion(dst []*netsim.Iface, sg, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	base := len(dst)
+	dst = sg.AppendLiveOIFs(dst, now, except)
+	if wc == nil {
+		return dst
+	}
+	for i := 0; i < int(wc.noif); i++ {
+		o := wc.oifAt(i)
+		if !o.Live(now) {
+			continue
+		}
+		if except != nil && o.Iface == except {
+			continue
+		}
+		if o.Iface == sg.IIF {
+			continue
+		}
+		if rpt != nil {
+			if ro := rpt.OIF(o.Iface.Index); ro != nil && ro.Live(now) && !ro.PrunePending {
+				continue
+			}
+		}
+		dup := false
+		for _, have := range dst[base:] {
+			if have.Index == o.Iface.Index {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, o.Iface)
+		}
+	}
+	return dst
+}
+
+// sharedList is the reference shared-tree computation; the compiled path
+// appends through the same code.
+func sharedList(wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
+	return appendShared(nil, wc, rpt, now, except)
 }
 
 // unionList is the reference SPT∪shared computation.
 func unionList(sg, wc, rpt *Entry, now netsim.Time, except *netsim.Iface) []*netsim.Iface {
-	out := sg.LiveOIFs(now, except)
-	if wc == nil {
-		return out
-	}
-	have := map[int]bool{}
-	for _, ifc := range out {
-		have[ifc.Index] = true
-	}
-	for _, ifc := range sharedList(wc, rpt, now, except) {
-		if !have[ifc.Index] && ifc != sg.IIF {
-			out = append(out, ifc)
-			have[ifc.Index] = true
-		}
-	}
-	return out
+	return appendUnion(nil, sg, wc, rpt, now, except)
 }

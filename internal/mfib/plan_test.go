@@ -48,7 +48,7 @@ func TestPlansMatchReferenceLists(t *testing.T) {
 				}
 			case op < 9: // flip fields in place, as the engines do
 				if e != nil {
-					if o := e.OIFs[rng.Intn(len(ifs))]; o != nil {
+					if o := e.OIF(rng.Intn(len(ifs))); o != nil {
 						switch rng.Intn(3) {
 						case 0:
 							o.LocalMember = !o.LocalMember

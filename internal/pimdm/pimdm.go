@@ -289,7 +289,7 @@ func (r *Router) LocalLeave(ifc *netsim.Iface, g addr.IP) {
 	}
 	now := r.now()
 	r.MFIB.ForGroup(g, func(e *mfib.Entry) {
-		if o := e.OIFs[ifc.Index]; o != nil && o.LocalMember {
+		if o := e.OIF(ifc.Index); o != nil && o.LocalMember {
 			o.LocalMember = false
 			e.Touch()
 			if !o.Live(now) {
@@ -367,7 +367,7 @@ func (r *Router) neighborUp(ifc *netsim.Iface) {
 		if r.assertLoser[e.Key][ifc.Index] {
 			return
 		}
-		if o := e.OIFs[ifc.Index]; o != nil && o.Live(now) {
+		if o := e.OIF(ifc.Index); o != nil && o.Live(now) {
 			return
 		}
 		e.AddOIF(ifc, infiniteExpiry)
@@ -524,17 +524,30 @@ func (r *Router) recomputeRegionPresence() {
 			seen[g] = true
 		}
 	}
+	// Callback order must not follow map iteration: the border hooks send
+	// joins/grafts, and under injected loss the draw sequence is consumed
+	// in delivery order (the expireNeighbors bug class). Fire toggles in
+	// ascending group order.
+	var on, off []addr.IP
 	for g := range seen {
 		if !r.regionPresent[g] {
-			r.regionPresent[g] = true
-			r.OnRegionMembership(g, true)
+			on = append(on, g)
 		}
 	}
 	for g := range r.regionPresent {
 		if !seen[g] {
-			delete(r.regionPresent, g)
-			r.OnRegionMembership(g, false)
+			off = append(off, g)
 		}
+	}
+	slices.Sort(on)
+	slices.Sort(off)
+	for _, g := range on {
+		r.regionPresent[g] = true
+		r.OnRegionMembership(g, true)
+	}
+	for _, g := range off {
+		delete(r.regionPresent, g)
+		r.OnRegionMembership(g, false)
 	}
 }
 
@@ -575,34 +588,41 @@ func (r *Router) schedulePrune(e *mfib.Entry, in *netsim.Iface, g addr.IP) {
 		return
 	}
 	key := e.Key
-	apply := func() {
-		e.RemoveOIF(in)
+	apply := func(cur *mfib.Entry) {
+		cur.RemoveOIF(in)
 		r.after(r.Cfg.PruneHoldTime, func() {
 			// Grow back.
-			if cur := r.MFIB.Get(key); cur != nil && in.Up() && !r.assertLoser[key][in.Index] {
-				cur.AddOIF(in, infiniteExpiry)
+			if c := r.MFIB.Get(key); c != nil && in.Up() && !r.assertLoser[key][in.Index] {
+				c.AddOIF(in, infiniteExpiry)
 				delete(r.prunedUpstream, key)
 			}
 		})
-		r.maybePruneUpstream(e)
+		r.maybePruneUpstream(cur)
 	}
 	if in.Link != nil && in.Link.IsLAN() {
-		o := e.OIFs[in.Index]
+		o := e.OIF(in.Index)
 		if o == nil {
 			return
 		}
 		o.PrunePending = true
 		o.PruneDeadline = r.now() + r.Cfg.PruneOverrideDelay
 		e.Touch()
+		// Re-look the entry up at fire time: entry/oif pointers must not be
+		// held across the delay (the flat store recycles slots), and a join
+		// override in the window clears PrunePending, cancelling the prune.
+		life := e.Life()
 		r.after(r.Cfg.PruneOverrideDelay, func() {
-			cur := e.OIFs[in.Index]
-			if cur == o && o.PrunePending && r.now() >= o.PruneDeadline {
-				apply()
+			cur := r.MFIB.Get(key)
+			if cur == nil || cur.Life() != life {
+				return
+			}
+			if co := cur.OIF(in.Index); co != nil && co.PrunePending && r.now() >= co.PruneDeadline {
+				apply(cur)
 			}
 		})
 		return
 	}
-	apply()
+	apply(e)
 }
 
 func (r *Router) sendJoinOverride(out *netsim.Iface, upstream, g, s addr.IP) {
@@ -783,7 +803,7 @@ func (r *Router) handleAssert(in *netsim.Iface, from addr.IP, body []byte) {
 	if e == nil {
 		return
 	}
-	o := e.OIFs[in.Index]
+	o := e.OIF(in.Index)
 	if o == nil || !o.Live(r.now()) {
 		return
 	}

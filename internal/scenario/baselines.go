@@ -25,6 +25,15 @@ func (d *DVMRPDeployment) TotalState() int {
 	return total
 }
 
+// StateBytes sums the MFIB memory footprint across all routers.
+func (d *DVMRPDeployment) StateBytes() int64 {
+	var total int64
+	for _, r := range d.Routers {
+		total += r.MFIB.Bytes()
+	}
+	return total
+}
+
 // CBTDeployment is a CBT baseline instance on every router of a Sim.
 type CBTDeployment struct {
 	deploymentBase
@@ -73,6 +82,15 @@ func (d *PIMDMDeployment) TotalState() int {
 	total := 0
 	for _, r := range d.Routers {
 		total += r.StateCount()
+	}
+	return total
+}
+
+// StateBytes sums the MFIB memory footprint across all routers.
+func (d *PIMDMDeployment) StateBytes() int64 {
+	var total int64
+	for _, r := range d.Routers {
+		total += r.MFIB.Bytes()
 	}
 	return total
 }

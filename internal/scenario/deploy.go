@@ -297,7 +297,7 @@ func (s *Sim) Deploy(p Protocol, opts ...DeployOption) Deployment {
 				if rpt == nil {
 					return false
 				}
-				oif := rpt.OIFs[iface]
+				oif := rpt.OIF(iface)
 				now := r.Node.Sched().Now()
 				return oif != nil && oif.Live(now) && !oif.PrunePending
 			}

@@ -25,6 +25,16 @@ func (d *PIMDeployment) TotalState() int {
 	return total
 }
 
+// StateBytes sums the MFIB memory footprint across all routers — the
+// byte-level cost of the entry count TotalState reports (DESIGN.md §16).
+func (d *PIMDeployment) StateBytes() int64 {
+	var total int64
+	for _, r := range d.Routers {
+		total += r.MFIB.Bytes()
+	}
+	return total
+}
+
 // ControlMessages sums the named control counters across all routers.
 func (d *PIMDeployment) ControlMessages() int64 {
 	var total int64

@@ -2,7 +2,8 @@
 // self-verifying document. Each file embeds its golden digest after a
 // `-- golden --` marker (see Parse), and Corpus re-runs every file across
 // the differential matrix — forwarding reference vs fast path, binary heap
-// vs timing wheel, shards 1 vs 2 — requiring the scripted expectations, the
+// vs timing wheel, shards 1 vs 2, flat vs map MFIB store — requiring the
+// scripted expectations, the
 // §3.8 invariants, and the embedded digest to hold in every cell. One drift
 // anywhere (a changed delivery count, a new telemetry event, a reordered
 // stream) fails the corpus with a pointer to `pimscript -update`.
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"pim/internal/fastpath"
+	"pim/internal/mfib"
 	"pim/internal/netsim"
 	"pim/internal/telemetry"
 )
@@ -33,17 +35,22 @@ type Pass struct {
 	Wheel bool
 	// Shards is the partition count the run executes under.
 	Shards int
+	// MapStore selects the reference map-of-pointers MFIB store over the
+	// default flat arena store (DESIGN.md §16).
+	MapStore bool
 }
 
 // Matrix is the corpus verification matrix: the default configuration plus
 // one pass flipping each axis, so every scenario witnesses ref==fast,
-// heap==wheel, and sequential==sharded equivalence on every run.
+// heap==wheel, sequential==sharded, and flat==map store equivalence on
+// every run.
 func Matrix() []Pass {
 	return []Pass{
 		{Name: "fast+wheel+shards=1", Fast: true, Wheel: true, Shards: 1},
 		{Name: "ref+wheel+shards=1", Fast: false, Wheel: true, Shards: 1},
 		{Name: "fast+heap+shards=1", Fast: true, Wheel: false, Shards: 1},
 		{Name: "fast+wheel+shards=2", Fast: true, Wheel: true, Shards: 2},
+		{Name: "fast+wheel+shards=1+mapstore", Fast: true, Wheel: true, Shards: 1, MapStore: true},
 	}
 }
 
@@ -56,6 +63,8 @@ func runPass(s *Script, p Pass) (*Result, error) {
 	defer netsim.SetUseWheel(prevWheel)
 	prevShards := netsim.SetShards(p.Shards)
 	defer netsim.SetShards(prevShards)
+	prevStore := mfib.SetFlatStore(!p.MapStore)
+	defer mfib.SetFlatStore(prevStore)
 	return s.RunWith(RunConfig{Captured: true, Checked: true})
 }
 

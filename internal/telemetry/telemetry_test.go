@@ -48,6 +48,8 @@ func TestSamplerCurves(t *testing.T) {
 	// peak reading.
 	live := int64(7)
 	s.AttachLiveTimerGauge(func() int64 { return live })
+	stateBytes := int64(4096)
+	s.AttachStateBytesGauge(func() int64 { return stateBytes })
 	b.Publish(Event{At: 1200 * netsim.Millisecond, Kind: Deliver, Router: 3})
 	live = 42
 	b.Publish(Event{At: 1300 * netsim.Millisecond, Kind: RPFDrop, Router: 3})
@@ -78,6 +80,14 @@ func TestSamplerCurves(t *testing.T) {
 	}
 	if d.LiveTimerPeak != 42 {
 		t.Errorf("LiveTimerPeak = %d, want 42", d.LiveTimerPeak)
+	}
+	// Two entries were simultaneously installed at the peak, and the
+	// state-bytes gauge never moved off its attached reading.
+	if d.LiveEntryPeak != 2 {
+		t.Errorf("LiveEntryPeak = %d, want 2", d.LiveEntryPeak)
+	}
+	if d.StateBytesPeak != 4096 {
+		t.Errorf("StateBytesPeak = %d, want 4096", d.StateBytesPeak)
 	}
 
 	var buf bytes.Buffer
